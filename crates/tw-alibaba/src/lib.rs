@@ -1,0 +1,23 @@
+//! Synthetic production-trace dataset, standing in for the Alibaba cluster
+//! dataset used in the paper's §6.3 evaluation.
+//!
+//! The paper replays production traces from 15 distinct call graphs and
+//! stresses reconstruction by *compressing* trace inter-arrival spacing by
+//! a "load multiple" factor: spacing between traces shrinks while span
+//! durations and intra-trace gaps stay fixed, producing ever-higher
+//! concurrency until the algorithm's breaking point (§6.3.1).
+//!
+//! We reproduce both halves:
+//!
+//! * [`generate`] — 15 seeded random call-graph topologies (varying depth,
+//!   fan-out, sequential/parallel mix, replica counts, threading models)
+//!   whose base traces come from the simulator at low load, where they are
+//!   nearly unambiguous — the stand-in for real production traces;
+//! * [`compress_traces`] — the load-multiple transform itself, a pure
+//!   function on records.
+
+pub mod compress;
+pub mod topology;
+
+pub use compress::compress_traces;
+pub use topology::{generate, AlibabaDataset, GraphCase};

@@ -1,0 +1,208 @@
+//! Random production-style call-graph topologies.
+
+use tw_model::ids::{Catalog, Endpoint};
+use tw_model::time::Nanos;
+use tw_sim::config::{
+    AppConfig, CallBehavior, EndpointBehavior, ServiceConfig, StageBehavior, ThreadingModel,
+};
+use tw_sim::output::SimOutput;
+use tw_sim::{Simulator, Workload};
+use tw_stats::sampler::{DelayDistribution, Sampler};
+
+/// One synthetic production application: its topology plus a base trace
+/// set captured at low load (the "replayed production traces").
+#[derive(Debug, Clone)]
+pub struct GraphCase {
+    pub name: String,
+    pub config: AppConfig,
+    pub root: Endpoint,
+    /// Base run at low load; compress its records to raise concurrency.
+    pub base: SimOutput,
+    /// Total replicas across services (used for load normalization, as the
+    /// paper divides the load multiple by the replica count).
+    pub total_replicas: usize,
+}
+
+/// The full dataset: `num_graphs` independent topologies.
+#[derive(Debug, Clone)]
+pub struct AlibabaDataset {
+    pub cases: Vec<GraphCase>,
+}
+
+/// Generate the dataset. The paper uses 15 call graphs; pass
+/// `num_graphs = 15` to match.
+///
+/// Each topology is a random service tree: depth 2–4, fan-out 1–3 per
+/// stage, 1–3 stages per non-leaf service, mixed threading models,
+/// replicas 1–4, log-normal service times with medians spanning
+/// 100µs–1ms. Base traces are recorded at a low rate where concurrency is
+/// minimal — the production-trace stand-in.
+pub fn generate(seed: u64, num_graphs: usize, base_traces: usize) -> AlibabaDataset {
+    let mut sampler = Sampler::new(seed);
+    let cases = (0..num_graphs)
+        .map(|g| {
+            let mut s = sampler.fork(g as u64);
+            build_case(g, &mut s, base_traces)
+        })
+        .collect();
+    AlibabaDataset { cases }
+}
+
+fn lognorm(s: &mut Sampler) -> DelayDistribution {
+    let median = s.uniform_range(100.0, 1_000.0);
+    DelayDistribution::LogNormal {
+        mu: median.ln(),
+        sigma: s.uniform_range(0.3, 0.6),
+    }
+}
+
+fn build_case(index: usize, s: &mut Sampler, base_traces: usize) -> GraphCase {
+    let mut catalog = Catalog::new();
+    let mut services: Vec<ServiceConfig> = Vec::new();
+
+    // Recursive tree construction. Returns the endpoint of the subtree
+    // root.
+    fn build_service(
+        depth: usize,
+        max_depth: usize,
+        catalog: &mut Catalog,
+        services: &mut Vec<ServiceConfig>,
+        s: &mut Sampler,
+    ) -> Endpoint {
+        let id = catalog.service(&format!("svc-{}", services.len()));
+        let op = catalog.operation("call");
+        let ep = Endpoint::new(id, op);
+        let replicas = s.uniform_usize(1, 5) as u16;
+        let threading = match s.uniform_usize(0, 3) {
+            0 => ThreadingModel::BlockingPool {
+                threads: s.uniform_usize(4, 17) as u16,
+            },
+            1 => ThreadingModel::RpcPool {
+                io_threads: 2,
+                workers: s.uniform_usize(8, 25) as u16,
+            },
+            _ => ThreadingModel::AsyncEventLoop,
+        };
+
+        // Reserve our slot before recursing so service ids line up.
+        let slot = services.len();
+        services.push(ServiceConfig {
+            id,
+            replicas,
+            threading,
+            endpoints: vec![(op, EndpointBehavior::leaf(lognorm(s)))],
+        });
+
+        let is_leaf = depth >= max_depth || (depth > 0 && s.coin(0.35));
+        if !is_leaf {
+            let num_stages = s.uniform_usize(1, 4);
+            let mut stages = Vec::new();
+            for _ in 0..num_stages {
+                let fanout = s.uniform_usize(1, 4);
+                let calls: Vec<CallBehavior> = (0..fanout)
+                    .map(|_| {
+                        let child = build_service(depth + 1, max_depth, catalog, services, s);
+                        CallBehavior::new(
+                            child,
+                            DelayDistribution::LogNormal {
+                                mu: s.uniform_range(10.0, 40.0).ln(),
+                                sigma: 0.3,
+                            },
+                        )
+                    })
+                    .collect();
+                stages.push(StageBehavior::new(lognorm(s).scaled(0.2), calls));
+            }
+            services[slot].endpoints[0].1 =
+                EndpointBehavior::with_stages(lognorm(s).scaled(0.3), stages, lognorm(s).scaled(0.3));
+        }
+        ep
+    }
+
+    let max_depth = s.uniform_usize(2, 5);
+    let root = build_service(0, max_depth, &mut catalog, &mut services, s);
+    let total_replicas = services.iter().map(|c| c.replicas as usize).sum();
+
+    let config = AppConfig {
+        catalog,
+        services,
+        network_delay: DelayDistribution::LogNormal {
+            mu: 120.0f64.ln(),
+            sigma: 0.3,
+        },
+        seed: s.uniform_usize(0, u32::MAX as usize) as u64,
+    };
+
+    // Base traces at low rate: inter-arrival ~50ms, trace durations a few
+    // ms — minimal overlap, like sampled production traces.
+    let sim = Simulator::new(config.clone()).expect("generated config valid");
+    let duration = Nanos::from_millis(50 * base_traces as u64);
+    let base = sim.run(&Workload::poisson(root, 20.0, duration));
+
+    GraphCase {
+        name: format!("alibaba-graph-{index}"),
+        config,
+        root,
+        base,
+        total_replicas,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count() {
+        let ds = generate(1, 15, 20);
+        assert_eq!(ds.cases.len(), 15);
+    }
+
+    #[test]
+    fn topologies_differ() {
+        let ds = generate(2, 5, 10);
+        let sizes: Vec<usize> = ds.cases.iter().map(|c| c.config.services.len()).collect();
+        let mut uniq = sizes.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert!(uniq.len() >= 2, "all topologies identical: {sizes:?}");
+    }
+
+    #[test]
+    fn configs_validate_and_produce_traces() {
+        let ds = generate(3, 4, 15);
+        for case in &ds.cases {
+            assert_eq!(case.config.validate(), Ok(()));
+            assert!(
+                case.base.truth.roots().len() >= 5,
+                "{} produced too few traces",
+                case.name
+            );
+            assert_eq!(case.base.stats.completed_roots, case.base.stats.arrivals);
+            assert!(case.total_replicas >= case.config.services.len());
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(4, 3, 10);
+        let b = generate(4, 3, 10);
+        for (x, y) in a.cases.iter().zip(&b.cases) {
+            assert_eq!(x.config.services.len(), y.config.services.len());
+            assert_eq!(x.base.records.len(), y.base.records.len());
+        }
+    }
+
+    #[test]
+    fn tree_depth_bounded() {
+        let ds = generate(5, 6, 10);
+        for case in &ds.cases {
+            // Every trace has a bounded span count (tree depth ≤ 4, fanout
+            // ≤ 3, stages ≤ 3 → generous cap).
+            for &r in case.base.truth.roots() {
+                let size = case.base.truth.descendants(r).len();
+                assert!(size >= 1 && size < 400, "trace size {size}");
+            }
+        }
+    }
+}

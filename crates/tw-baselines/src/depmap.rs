@@ -1,0 +1,148 @@
+//! Service-level dependency mapping — the *weaker* problem that WAP5,
+//! Orion and Sherlock solve (paper §2.3): which services call which, and
+//! how often per request, without linking individual requests.
+//!
+//! Included for completeness and as a sanity oracle: every request-level
+//! mapping implies a dependency map, so TraceWeaver's output can be
+//! validated against simple count ratios that need no reconstruction.
+
+use std::collections::HashMap;
+use tw_model::ids::ServiceId;
+use tw_model::span::{RpcRecord, EXTERNAL};
+
+/// Service dependency map: for each (caller, callee) pair, the average
+/// number of calls to `callee` made per request handled by `caller`.
+#[derive(Debug, Clone, Default)]
+pub struct DependencyMap {
+    /// Calls per request, keyed by (caller service, callee service).
+    edges: HashMap<(ServiceId, ServiceId), f64>,
+}
+
+impl DependencyMap {
+    /// Derive the map from raw span records: count incoming requests and
+    /// outgoing calls per service and take ratios. No request linking
+    /// needed — this is why dependency mapping is the easy problem.
+    pub fn from_records(records: &[RpcRecord]) -> Self {
+        let mut incoming: HashMap<ServiceId, usize> = HashMap::new();
+        let mut outgoing: HashMap<(ServiceId, ServiceId), usize> = HashMap::new();
+        for r in records {
+            *incoming.entry(r.callee.service).or_default() += 1;
+            if r.caller != EXTERNAL {
+                *outgoing
+                    .entry((r.caller, r.callee.service))
+                    .or_default() += 1;
+            }
+        }
+        let edges = outgoing
+            .into_iter()
+            .filter_map(|((a, b), m)| {
+                incoming
+                    .get(&a)
+                    .filter(|&&n| n > 0)
+                    .map(|&n| ((a, b), m as f64 / n as f64))
+            })
+            .collect();
+        DependencyMap { edges }
+    }
+
+    /// Average calls from `a` to `b` per request at `a` (0.0 if never).
+    pub fn strength(&self, a: ServiceId, b: ServiceId) -> f64 {
+        self.edges.get(&(a, b)).copied().unwrap_or(0.0)
+    }
+
+    /// All edges with positive strength, sorted for determinism.
+    pub fn edges(&self) -> Vec<((ServiceId, ServiceId), f64)> {
+        let mut v: Vec<_> = self.edges.iter().map(|(&k, &s)| (k, s)).collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tw_model::metrics::end_to_end_accuracy_all_roots;
+    use tw_model::time::Nanos;
+    use tw_sim::apps::hotel_reservation;
+    use tw_sim::{Simulator, Workload};
+
+    #[test]
+    fn hotel_dependency_map_matches_topology() {
+        let app = hotel_reservation(90);
+        let catalog = app.config.catalog.clone();
+        let svc = |n: &str| catalog.lookup_service(n).unwrap();
+        let sim = Simulator::new(app.config).unwrap();
+        let out = sim.run(&Workload::poisson(
+            app.roots[0],
+            300.0,
+            Nanos::from_millis(800),
+        ));
+        let map = DependencyMap::from_records(&out.records);
+
+        // Static topology: frontend calls each backend exactly once per
+        // request; search calls geo and rate once.
+        for (a, b) in [
+            ("frontend", "search"),
+            ("frontend", "reservation"),
+            ("frontend", "profile"),
+            ("search", "geo"),
+            ("search", "rate"),
+        ] {
+            let s = map.strength(svc(a), svc(b));
+            assert!((s - 1.0).abs() < 1e-9, "{a}->{b} strength {s}");
+        }
+        // No reverse edges.
+        assert_eq!(map.strength(svc("geo"), svc("search")), 0.0);
+        assert_eq!(map.len(), 5);
+    }
+
+    #[test]
+    fn empty_records() {
+        let map = DependencyMap::from_records(&[]);
+        assert!(map.is_empty());
+    }
+
+    /// Request-level reconstruction strictly refines dependency mapping:
+    /// a perfect dependency map says nothing about which request caused
+    /// which call, while TraceWeaver's mapping implies the exact map.
+    #[test]
+    fn reconstruction_implies_dependency_map() {
+        let app = hotel_reservation(91);
+        let graph = app.config.call_graph();
+        let sim = Simulator::new(app.config).unwrap();
+        let out = sim.run(&Workload::poisson(
+            app.roots[0],
+            200.0,
+            Nanos::from_millis(500),
+        ));
+        let tw = tw_core::TraceWeaver::new(graph, tw_core::Params::default());
+        let result = tw.reconstruct_records(&out.records);
+        let acc = end_to_end_accuracy_all_roots(&result.mapping, &out.truth);
+        assert!(acc.ratio() > 0.9);
+        // Derive edge counts from the reconstructed mapping and compare
+        // against the record-count map.
+        let by_id = out.records_by_id();
+        let mut derived: HashMap<(ServiceId, ServiceId), usize> = HashMap::new();
+        for (parent, kids) in result.mapping.iter() {
+            let a = by_id[&parent].callee.service;
+            for k in kids {
+                *derived.entry((a, by_id[k].callee.service)).or_default() += 1;
+            }
+        }
+        let counted = DependencyMap::from_records(&out.records);
+        for ((a, b), _) in counted.edges() {
+            assert!(
+                derived.get(&(a, b)).copied().unwrap_or(0) > 0,
+                "edge {a:?}->{b:?} missing from reconstruction"
+            );
+        }
+    }
+}

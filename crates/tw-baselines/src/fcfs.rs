@@ -1,0 +1,148 @@
+//! FCFS strawman (paper §6.1 baseline iii): match incoming and outgoing
+//! spans per backend endpoint purely by arrival/departure order. Works
+//! when requests are processed in order with little parallelism; collapses
+//! as concurrency reorders requests.
+
+use crate::Tracer;
+use std::collections::HashMap;
+use tw_model::callgraph::CallGraph;
+use tw_model::ids::Endpoint;
+use tw_model::mapping::Mapping;
+use tw_model::span::{ProcessKey, SpanView};
+
+/// Order-matching tracer. Uses the call graph only to know which backend
+/// endpoints each served endpoint is supposed to call (the same knowledge
+/// every tracer in the evaluation gets).
+#[derive(Debug, Clone)]
+pub struct Fcfs {
+    call_graph: CallGraph,
+}
+
+impl Fcfs {
+    pub fn new(call_graph: CallGraph) -> Self {
+        Fcfs { call_graph }
+    }
+}
+
+impl Tracer for Fcfs {
+    fn name(&self) -> &'static str {
+        "fcfs"
+    }
+
+    fn reconstruct(&self, views: &HashMap<ProcessKey, SpanView>) -> Mapping {
+        let mut mapping = Mapping::new();
+        for view in views.values() {
+            // Per backend endpoint: outgoing spans in send order.
+            let mut out_by_ep: HashMap<Endpoint, Vec<usize>> = HashMap::new();
+            for (i, o) in view.outgoing.iter().enumerate() {
+                out_by_ep.entry(o.endpoint).or_default().push(i);
+            }
+            // Cursor per (serving endpoint? no—global per backend): k-th
+            // expecting parent takes the k-th outgoing span.
+            let mut cursor: HashMap<Endpoint, usize> = HashMap::new();
+            // Incoming spans are sorted by start (SpanView::sort).
+            for p in &view.incoming {
+                let spec = self.call_graph.spec(p.endpoint);
+                let mut children = Vec::new();
+                for callee in spec.all_calls() {
+                    let c = cursor.entry(callee).or_insert(0);
+                    if let Some(list) = out_by_ep.get(&callee) {
+                        if *c < list.len() {
+                            children.push(view.outgoing[list[*c]].rpc);
+                            *c += 1;
+                        }
+                    }
+                }
+                mapping.assign(p.rpc, children);
+            }
+        }
+        mapping
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tw_model::callgraph::{DependencySpec, Stage};
+    use tw_model::ids::{OperationId, RpcId, ServiceId};
+    use tw_model::span::ObservedSpan;
+    use tw_model::time::Nanos;
+
+    fn ep(s: u32) -> Endpoint {
+        Endpoint::new(ServiceId(s), OperationId(0))
+    }
+
+    fn span(rpc: u64, e: Endpoint, start: u64, end: u64) -> ObservedSpan {
+        ObservedSpan {
+            rpc: RpcId(rpc),
+            peer: e.service,
+            endpoint: e,
+            start: Nanos::from_micros(start),
+            end: Nanos::from_micros(end),
+            thread: None,
+        }
+    }
+
+    fn graph() -> CallGraph {
+        let mut g = CallGraph::new();
+        g.insert(ep(0), DependencySpec::new(vec![Stage::single(ep(1))]));
+        g
+    }
+
+    fn views_of(view: SpanView) -> HashMap<ProcessKey, SpanView> {
+        let mut m = HashMap::new();
+        let mut v = view;
+        v.sort();
+        m.insert(ProcessKey::new(ServiceId(0), 0), v);
+        m
+    }
+
+    #[test]
+    fn in_order_requests_match() {
+        let views = views_of(SpanView {
+            incoming: vec![span(0, ep(0), 0, 100), span(1, ep(0), 200, 300)],
+            outgoing: vec![span(10, ep(1), 10, 50), span(11, ep(1), 210, 250)],
+        });
+        let m = Fcfs::new(graph()).reconstruct(&views);
+        assert_eq!(m.children(RpcId(0)), &[RpcId(10)]);
+        assert_eq!(m.children(RpcId(1)), &[RpcId(11)]);
+    }
+
+    #[test]
+    fn reordering_breaks_fcfs() {
+        // Request 0 arrives first but its child is issued second.
+        let views = views_of(SpanView {
+            incoming: vec![span(0, ep(0), 0, 300), span(1, ep(0), 10, 200)],
+            outgoing: vec![
+                span(10, ep(1), 20, 60),  // actually child of 1
+                span(11, ep(1), 70, 120), // actually child of 0
+            ],
+        });
+        let m = Fcfs::new(graph()).reconstruct(&views);
+        // FCFS pairs 0↔10 and 1↔11 — both wrong, as expected.
+        assert_eq!(m.children(RpcId(0)), &[RpcId(10)]);
+        assert_eq!(m.children(RpcId(1)), &[RpcId(11)]);
+    }
+
+    #[test]
+    fn surplus_parents_get_empty() {
+        let views = views_of(SpanView {
+            incoming: vec![span(0, ep(0), 0, 100), span(1, ep(0), 200, 300)],
+            outgoing: vec![span(10, ep(1), 10, 50)],
+        });
+        let m = Fcfs::new(graph()).reconstruct(&views);
+        assert_eq!(m.children(RpcId(0)), &[RpcId(10)]);
+        assert!(m.children(RpcId(1)).is_empty());
+        assert!(m.contains(RpcId(1)));
+    }
+
+    #[test]
+    fn leaf_endpoints_empty() {
+        let views = views_of(SpanView {
+            incoming: vec![span(0, ep(9), 0, 100)],
+            outgoing: vec![],
+        });
+        let m = Fcfs::new(graph()).reconstruct(&views);
+        assert!(m.children(RpcId(0)).is_empty());
+    }
+}

@@ -1,0 +1,207 @@
+//! vPath / DeepFlow baseline (paper §2.2.4, §6.1 baseline ii).
+//!
+//! Assumes a synchronous threading model: the thread that received a
+//! request performs all of its backend sends before picking up the next
+//! request. Under that assumption, every outgoing request maps to the most
+//! recent incoming request received *on the same thread*.
+//!
+//! When thread ids are unavailable (e.g. the Alibaba dataset), the paper
+//! makes vPath assume all requests are handled by one thread; we do the
+//! same (all events fold onto a single pseudo-thread).
+
+use crate::Tracer;
+use std::collections::HashMap;
+use tw_model::mapping::Mapping;
+use tw_model::span::{ProcessKey, SpanView};
+use tw_model::time::Nanos;
+
+/// How vPath interprets thread ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ThreadMode {
+    /// Fold every event onto one pseudo-thread per container. This is the
+    /// configuration the paper evaluates for its benchmark apps: they all
+    /// use RPC frameworks, so the captured id is the framework's I/O
+    /// thread ("we only have the gRPC thread ID that picked up the
+    /// request"), which vPath cannot use — it falls back to assuming a
+    /// single thread. Also the only option for datasets without thread
+    /// ids (Alibaba).
+    #[default]
+    Folded,
+    /// Trust the recorded syscall thread ids — correct for applications
+    /// with a blocking worker-pool model, where vPath's assumptions hold.
+    Observed,
+}
+
+/// Thread-affinity tracer.
+#[derive(Debug, Clone, Default)]
+pub struct VPath {
+    mode: ThreadMode,
+}
+
+impl VPath {
+    /// The paper's evaluated configuration (folded threads).
+    pub fn new() -> Self {
+        VPath {
+            mode: ThreadMode::Folded,
+        }
+    }
+
+    /// Use recorded thread ids (blocking-pool apps).
+    pub fn observed_threads() -> Self {
+        VPath {
+            mode: ThreadMode::Observed,
+        }
+    }
+}
+
+impl Tracer for VPath {
+    fn name(&self) -> &'static str {
+        "vpath"
+    }
+
+    fn reconstruct(&self, views: &HashMap<ProcessKey, SpanView>) -> Mapping {
+        let mut mapping = Mapping::new();
+        for view in views.values() {
+            // Event streams per thread: incoming recv events and outgoing
+            // send events, merged in time order.
+            #[derive(Clone, Copy)]
+            enum Ev {
+                Recv { idx: usize },
+                Send { idx: usize },
+            }
+            let thread_of = |t: Option<u32>| match self.mode {
+                ThreadMode::Folded => 0,
+                ThreadMode::Observed => t.unwrap_or(0),
+            };
+            let mut events: Vec<(Nanos, u32, Ev)> = Vec::new();
+            for (i, s) in view.incoming.iter().enumerate() {
+                events.push((s.start, thread_of(s.thread), Ev::Recv { idx: i }));
+            }
+            for (i, s) in view.outgoing.iter().enumerate() {
+                events.push((s.start, thread_of(s.thread), Ev::Send { idx: i }));
+            }
+            events.sort_by_key(|&(t, _, _)| t);
+
+            // Most recent incoming per thread.
+            let mut last_recv: HashMap<u32, usize> = HashMap::new();
+            let mut children: Vec<Vec<usize>> = vec![Vec::new(); view.incoming.len()];
+            for (_, thread, ev) in events {
+                match ev {
+                    Ev::Recv { idx } => {
+                        last_recv.insert(thread, idx);
+                    }
+                    Ev::Send { idx } => {
+                        if let Some(&p) = last_recv.get(&thread) {
+                            children[p].push(idx);
+                        }
+                    }
+                }
+            }
+            for (p, kids) in children.into_iter().enumerate() {
+                mapping.assign(
+                    view.incoming[p].rpc,
+                    kids.into_iter().map(|i| view.outgoing[i].rpc),
+                );
+            }
+        }
+        mapping
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tw_model::ids::{Endpoint, OperationId, RpcId, ServiceId};
+    use tw_model::span::ObservedSpan;
+
+    fn ep(s: u32) -> Endpoint {
+        Endpoint::new(ServiceId(s), OperationId(0))
+    }
+
+    fn span(rpc: u64, e: Endpoint, start: u64, end: u64, thread: Option<u32>) -> ObservedSpan {
+        ObservedSpan {
+            rpc: RpcId(rpc),
+            peer: e.service,
+            endpoint: e,
+            start: Nanos::from_micros(start),
+            end: Nanos::from_micros(end),
+            thread,
+        }
+    }
+
+    fn views_of(mut v: SpanView) -> HashMap<ProcessKey, SpanView> {
+        v.sort();
+        let mut m = HashMap::new();
+        m.insert(ProcessKey::new(ServiceId(0), 0), v);
+        m
+    }
+
+    #[test]
+    fn blocking_model_correct() {
+        // Two threads, each handling its own request; sends on the same
+        // thread as the recv.
+        let views = views_of(SpanView {
+            incoming: vec![
+                span(0, ep(0), 0, 300, Some(1)),
+                span(1, ep(0), 10, 310, Some(2)),
+            ],
+            outgoing: vec![
+                span(10, ep(1), 50, 100, Some(1)),
+                span(11, ep(1), 60, 110, Some(2)),
+            ],
+        });
+        let m = VPath::observed_threads().reconstruct(&views);
+        assert_eq!(m.children(RpcId(0)), &[RpcId(10)]);
+        assert_eq!(m.children(RpcId(1)), &[RpcId(11)]);
+        // Folded mode on the same data degrades: both sends attribute to
+        // the most recent arrival.
+        let folded = VPath::new().reconstruct(&views);
+        assert_eq!(folded.children(RpcId(1)).len(), 2);
+    }
+
+    #[test]
+    fn async_interleaving_breaks_vpath() {
+        // Single thread (event loop): request 0 arrives, then request 1,
+        // but request 0's child is sent after request 1 arrived (async
+        // I/O finished late) — vPath misattributes it to request 1.
+        // This is exactly Figure 2b.
+        let views = views_of(SpanView {
+            incoming: vec![
+                span(0, ep(0), 0, 400, Some(0)),
+                span(1, ep(0), 100, 500, Some(0)),
+            ],
+            outgoing: vec![span(10, ep(1), 150, 250, Some(0))], // truth: child of 0
+        });
+        let m = VPath::new().reconstruct(&views);
+        assert_eq!(
+            m.children(RpcId(1)),
+            &[RpcId(10)],
+            "vPath must (wrongly) blame the most recent request"
+        );
+        assert!(m.children(RpcId(0)).is_empty());
+    }
+
+    #[test]
+    fn missing_thread_ids_fold_to_one_thread() {
+        let views = views_of(SpanView {
+            incoming: vec![
+                span(0, ep(0), 0, 300, None),
+                span(1, ep(0), 10, 310, None),
+            ],
+            outgoing: vec![span(10, ep(1), 50, 100, None)],
+        });
+        let m = VPath::new().reconstruct(&views);
+        // Both spans on pseudo-thread 0: child goes to the later arrival.
+        assert_eq!(m.children(RpcId(1)), &[RpcId(10)]);
+    }
+
+    #[test]
+    fn send_before_any_recv_unassigned() {
+        let views = views_of(SpanView {
+            incoming: vec![span(0, ep(0), 100, 300, Some(0))],
+            outgoing: vec![span(10, ep(1), 50, 80, Some(0))],
+        });
+        let m = VPath::new().reconstruct(&views);
+        assert!(m.children(RpcId(0)).is_empty());
+    }
+}

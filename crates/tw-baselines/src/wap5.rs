@@ -1,0 +1,190 @@
+//! WAP5 baseline (paper §6.1 baseline i), re-purposed for request tracing.
+//!
+//! WAP5 solves dependency mapping via delay-based message linking. The
+//! paper re-purposes its tree-building: each child request is assigned to
+//! its most probable parent under a per-(parent-endpoint, child-endpoint)
+//! delay distribution. We implement the two-pass version: a first
+//! nearest-parent pass estimates the delay distributions; a second pass
+//! re-assigns each child to the containing parent with the highest gap
+//! likelihood. No feasibility pruning beyond window containment and no
+//! joint optimization — the gap to TraceWeaver in the evaluation comes
+//! precisely from those missing pieces.
+
+use crate::Tracer;
+use std::collections::HashMap;
+use tw_model::ids::Endpoint;
+use tw_model::mapping::Mapping;
+use tw_model::span::{ObservedSpan, ProcessKey, SpanView};
+use tw_stats::gaussian::Gaussian;
+
+/// Delay-based probabilistic tracer.
+#[derive(Debug, Clone, Default)]
+pub struct Wap5 {
+    /// How many recent parents to consider per child.
+    pub window: usize,
+}
+
+impl Wap5 {
+    pub fn new() -> Self {
+        Wap5 { window: 64 }
+    }
+}
+
+/// Most recent containing parent for each outgoing span (pass 1).
+fn nearest_parent(incoming: &[ObservedSpan], o: &ObservedSpan, window: usize) -> Option<usize> {
+    let from = incoming.partition_point(|p| p.start <= o.start);
+    (0..from)
+        .rev()
+        .take(window)
+        .find(|&p| incoming[p].end >= o.end)
+}
+
+impl Tracer for Wap5 {
+    fn name(&self) -> &'static str {
+        "wap5"
+    }
+
+    fn reconstruct(&self, views: &HashMap<ProcessKey, SpanView>) -> Mapping {
+        let window = self.window.max(1);
+        let mut mapping = Mapping::new();
+        for view in views.values() {
+            let incoming = &view.incoming;
+            // Pass 1: nearest containing parent → delay samples per
+            // (parent endpoint, child endpoint).
+            let mut samples: HashMap<(Endpoint, Endpoint), Vec<f64>> = HashMap::new();
+            for o in &view.outgoing {
+                if let Some(p) = nearest_parent(incoming, o, window) {
+                    samples
+                        .entry((incoming[p].endpoint, o.endpoint))
+                        .or_default()
+                        .push(o.start.micros_since(incoming[p].start));
+                }
+            }
+            let models: HashMap<(Endpoint, Endpoint), Gaussian> = samples
+                .into_iter()
+                .map(|(k, xs)| (k, Gaussian::fit(&xs)))
+                .collect();
+
+            // Pass 2: each child picks the containing parent with the
+            // highest gap likelihood.
+            let mut children: Vec<Vec<tw_model::ids::RpcId>> =
+                vec![Vec::new(); incoming.len()];
+            for o in &view.outgoing {
+                let from = incoming.partition_point(|p| p.start <= o.start);
+                let mut best: Option<(f64, usize)> = None;
+                for p in (0..from).rev().take(window) {
+                    let parent = &incoming[p];
+                    if parent.end < o.end {
+                        continue; // no containment
+                    }
+                    let gap = o.start.micros_since(parent.start);
+                    let score = models
+                        .get(&(parent.endpoint, o.endpoint))
+                        .map(|g| g.log_pdf(gap))
+                        .unwrap_or(f64::NEG_INFINITY);
+                    if best.map_or(true, |(s, _)| score > s) {
+                        best = Some((score, p));
+                    }
+                }
+                if let Some((_, p)) = best {
+                    children[p].push(o.rpc);
+                }
+            }
+            for (p, kids) in children.into_iter().enumerate() {
+                mapping.assign(incoming[p].rpc, kids);
+            }
+        }
+        mapping
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tw_model::ids::{OperationId, RpcId, ServiceId};
+    use tw_model::time::Nanos;
+
+    fn ep(s: u32) -> Endpoint {
+        Endpoint::new(ServiceId(s), OperationId(0))
+    }
+
+    fn span(rpc: u64, e: Endpoint, start: u64, end: u64) -> ObservedSpan {
+        ObservedSpan {
+            rpc: RpcId(rpc),
+            peer: e.service,
+            endpoint: e,
+            start: Nanos::from_micros(start),
+            end: Nanos::from_micros(end),
+            thread: None,
+        }
+    }
+
+    fn views_of(mut v: SpanView) -> HashMap<ProcessKey, SpanView> {
+        v.sort();
+        let mut m = HashMap::new();
+        m.insert(ProcessKey::new(ServiceId(0), 0), v);
+        m
+    }
+
+    #[test]
+    fn disjoint_requests_trivially_correct() {
+        let views = views_of(SpanView {
+            incoming: vec![span(0, ep(0), 0, 1_000), span(1, ep(0), 5_000, 6_000)],
+            outgoing: vec![span(10, ep(1), 100, 800), span(11, ep(1), 5_100, 5_800)],
+        });
+        let m = Wap5::new().reconstruct(&views);
+        assert_eq!(m.children(RpcId(0)), &[RpcId(10)]);
+        assert_eq!(m.children(RpcId(1)), &[RpcId(11)]);
+    }
+
+    #[test]
+    fn consistent_gap_disambiguates_overlap() {
+        // Parents every 200us, children exactly 100us after their parent.
+        // WAP5's learned Gaussian centers at 100: the right parent wins
+        // even though windows overlap.
+        let mut incoming = Vec::new();
+        let mut outgoing = Vec::new();
+        for i in 0..20u64 {
+            incoming.push(span(i, ep(0), i * 200, i * 200 + 1_000));
+            outgoing.push(span(100 + i, ep(1), i * 200 + 100, i * 200 + 500));
+        }
+        let views = views_of(SpanView { incoming, outgoing });
+        let m = Wap5::new().reconstruct(&views);
+        let correct = (0..20u64)
+            .filter(|&i| m.children(RpcId(i)) == [RpcId(100 + i)])
+            .count();
+        assert!(correct >= 16, "only {correct}/20 correct");
+    }
+
+    #[test]
+    fn no_containing_parent_unassigned() {
+        let views = views_of(SpanView {
+            incoming: vec![span(0, ep(0), 0, 100)],
+            outgoing: vec![span(10, ep(1), 50, 200)], // outlives the parent
+        });
+        let m = Wap5::new().reconstruct(&views);
+        assert!(m.children(RpcId(0)).is_empty());
+    }
+
+    #[test]
+    fn can_double_book_one_parent() {
+        // Two children whose gaps both look typical for one parent: WAP5
+        // happily gives both to the same parent (no joint optimization) —
+        // the failure mode TraceWeaver's MIS fixes.
+        let views = views_of(SpanView {
+            incoming: vec![
+                span(0, ep(0), 0, 1_000),
+                span(1, ep(0), 20, 1_020),
+            ],
+            outgoing: vec![
+                span(10, ep(1), 120, 500),
+                span(11, ep(1), 121, 501),
+            ],
+        });
+        let m = Wap5::new().reconstruct(&views);
+        let total: usize = [0u64, 1].iter().map(|&p| m.children(RpcId(p)).len()).sum();
+        assert_eq!(total, 2);
+        // Not asserting which parent: the point is WAP5 does not enforce
+        // one-child-per-slot, so both may land on one parent.
+    }
+}

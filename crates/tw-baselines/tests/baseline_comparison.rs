@@ -1,0 +1,84 @@
+//! Baseline-vs-TraceWeaver ordering under load — the qualitative claim of
+//! the paper's Figure 4a: at non-trivial load TraceWeaver beats WAP5,
+//! vPath and FCFS; at high concurrency the order-based and thread-based
+//! baselines degrade hard.
+
+use tw_baselines::{Fcfs, Tracer, VPath, Wap5};
+use tw_core::{Params, TraceWeaver};
+use tw_model::metrics::end_to_end_accuracy_all_roots;
+use tw_model::time::Nanos;
+use tw_sim::apps::{hotel_reservation, nodejs_app};
+use tw_sim::{Simulator, Workload};
+
+struct Scores {
+    tw: f64,
+    wap5: f64,
+    vpath: f64,
+    fcfs: f64,
+}
+
+fn run_all(app: tw_sim::apps::BenchApp, rps: f64) -> Scores {
+    let call_graph = app.config.call_graph();
+    let root = app.roots[0];
+    let sim = Simulator::new(app.config).unwrap();
+    let out = sim.run(&Workload::poisson(root, rps, Nanos::from_millis(800)));
+
+    let acc = |m: &tw_model::Mapping| end_to_end_accuracy_all_roots(m, &out.truth).ratio();
+
+    let tw = TraceWeaver::new(call_graph.clone(), Params::default());
+    let tw_acc = acc(&tw.reconstruct_records(&out.records).mapping);
+    let wap5 = acc(&Wap5::new().reconstruct_records(&out.records));
+    let vpath = acc(&VPath::new().reconstruct_records(&out.records));
+    let fcfs = acc(&Fcfs::new(call_graph).reconstruct_records(&out.records));
+    Scores {
+        tw: tw_acc,
+        wap5,
+        vpath,
+        fcfs,
+    }
+}
+
+#[test]
+fn hotel_under_load_traceweaver_wins() {
+    let s = run_all(hotel_reservation(201), 600.0);
+    assert!(s.tw > 0.75, "TraceWeaver {}", s.tw);
+    assert!(s.tw > s.wap5, "tw {} <= wap5 {}", s.tw, s.wap5);
+    assert!(s.tw > s.vpath, "tw {} <= vpath {}", s.tw, s.vpath);
+    assert!(s.tw > s.fcfs, "tw {} <= fcfs {}", s.tw, s.fcfs);
+}
+
+#[test]
+fn all_do_fine_at_negligible_load() {
+    let s = run_all(hotel_reservation(202), 20.0);
+    // With almost no concurrency, even the strawmen mostly match.
+    assert!(s.tw > 0.95);
+    assert!(s.fcfs > 0.8, "fcfs at 20rps {}", s.fcfs);
+    assert!(s.wap5 > 0.8, "wap5 at 20rps {}", s.wap5);
+    assert!(s.vpath > 0.4, "vpath at 20rps {}", s.vpath);
+}
+
+#[test]
+fn async_app_breaks_vpath_not_traceweaver() {
+    // The Node.js app's event loop funnels every syscall through thread 0;
+    // under concurrency vPath's thread heuristic collapses.
+    let s = run_all(nodejs_app(203), 500.0);
+    assert!(s.tw > 0.7, "TraceWeaver on async app: {}", s.tw);
+    assert!(
+        s.tw > s.vpath + 0.2,
+        "vPath should collapse on async: tw {} vs vpath {}",
+        s.tw,
+        s.vpath
+    );
+}
+
+#[test]
+fn fcfs_degrades_with_load() {
+    let low = run_all(hotel_reservation(204), 30.0);
+    let high = run_all(hotel_reservation(204), 900.0);
+    assert!(
+        low.fcfs > high.fcfs + 0.1,
+        "fcfs low {} vs high {}",
+        low.fcfs,
+        high.fcfs
+    );
+}

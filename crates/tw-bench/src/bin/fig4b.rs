@@ -1,0 +1,63 @@
+//! Figure 4b: accuracy vs end-to-end response time. Traces are grouped by
+//! their e2e latency percentile bracket; developers care most about the
+//! tail brackets, where spans overlap more and reconstruction is hardest.
+
+use tw_bench::{e2e_accuracy, ms, reconstruct_with, sim_app, Algo, Table};
+use tw_model::ids::RpcId;
+use tw_model::metrics::end_to_end_accuracy;
+use tw_sim::apps::hotel_reservation;
+
+fn main() {
+    let app = hotel_reservation(44);
+    let call_graph = app.config.call_graph();
+    let out = sim_app(&app, 600.0, ms(2_000));
+
+    // Sort roots by e2e latency.
+    let mut lats = out.root_latencies_us();
+    lats.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+
+    let brackets: Vec<(&str, f64, f64)> = vec![
+        ("p0-p25", 0.0, 0.25),
+        ("p25-p50", 0.25, 0.50),
+        ("p50-p75", 0.50, 0.75),
+        ("p75-p90", 0.75, 0.90),
+        ("p90-p99", 0.90, 0.99),
+        ("p99-p100", 0.99, 1.0),
+    ];
+
+    let mut table = Table::new(
+        "Figure 4b: accuracy (%) by e2e latency bracket (hotel @600rps)",
+        &["bracket", "traces", "traceweaver", "wap5", "vpath", "fcfs"],
+    );
+
+    let algos = Algo::comparison_set();
+    let mappings: Vec<_> = algos
+        .iter()
+        .map(|a| (a.name(), reconstruct_with(a, &out.records, &call_graph)))
+        .collect();
+    // Overall row first.
+    {
+        let mut cells = vec!["all".to_string(), lats.len().to_string()];
+        for (_, m) in &mappings {
+            cells.push(format!("{:.1}", e2e_accuracy(m, &out.truth)));
+        }
+        table.row(cells);
+    }
+    for (name, lo, hi) in brackets {
+        let a = (lats.len() as f64 * lo) as usize;
+        let b = ((lats.len() as f64 * hi) as usize).min(lats.len());
+        let roots: Vec<RpcId> = lats[a..b].iter().map(|&(r, _)| r).collect();
+        if roots.is_empty() {
+            continue;
+        }
+        let mut cells = vec![name.to_string(), roots.len().to_string()];
+        for (_, m) in &mappings {
+            let acc = end_to_end_accuracy(m, &out.truth, roots.clone());
+            cells.push(format!("{:.1}", acc.percent()));
+        }
+        table.row(cells);
+    }
+
+    table.print();
+    table.save_json("fig4b").expect("write artifact");
+}

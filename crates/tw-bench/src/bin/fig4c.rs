@@ -1,0 +1,49 @@
+//! Figure 4c: accuracy under increasing caching dynamism. Caching is
+//! injected into HotelReservation's search service (its geo and rate
+//! backends are skipped on a hit) with hit probability 5%–80%; the fuzzy
+//! optimization (§4.2 skip spans) keeps TraceWeaver usable while order-
+//! based baselines misalign.
+
+use tw_bench::{e2e_accuracy, ms, reconstruct_with, sim_app, Algo, Table};
+use tw_core::Params;
+use tw_sim::apps::{hotel_reservation_with, HotelOptions};
+
+fn main() {
+    let mut table = Table::new(
+        "Figure 4c: accuracy (%) vs search-cache hit probability (hotel @300rps)",
+        &[
+            "cache-hit",
+            "traceweaver",
+            "tw-no-dynamism",
+            "wap5",
+            "vpath",
+            "fcfs",
+        ],
+    );
+
+    for &hit in &[0.05, 0.2, 0.4, 0.6, 0.8] {
+        let app = hotel_reservation_with(HotelOptions {
+            search_cache_prob: hit,
+            seed: 45,
+            ..HotelOptions::default()
+        });
+        let call_graph = app.config.call_graph();
+        let out = sim_app(&app, 300.0, ms(1_500));
+
+        let mut cells = vec![format!("{:.0}%", hit * 100.0)];
+        for algo in [
+            Algo::TraceWeaver(Params::with_dynamism()),
+            Algo::TraceWeaver(Params::default()),
+            Algo::Wap5,
+            Algo::VPath,
+            Algo::Fcfs,
+        ] {
+            let mapping = reconstruct_with(&algo, &out.records, &call_graph);
+            cells.push(format!("{:.1}", e2e_accuracy(&mapping, &out.truth)));
+        }
+        table.row(cells);
+    }
+
+    table.print();
+    table.save_json("fig4c").expect("write artifact");
+}

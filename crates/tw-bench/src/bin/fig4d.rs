@@ -1,0 +1,36 @@
+//! Figure 4d: accuracy in asynchronous settings. The Node.js app's
+//! gateway performs a non-blocking disk read before processing; raising
+//! the file-size (read-duration) standard deviation makes request
+//! completions interleave on the single event-loop thread, which breaks
+//! vPath/DeepFlow's synchronous-thread assumption (paper Figure 2b) while
+//! TraceWeaver keeps working.
+
+use tw_bench::{e2e_accuracy, ms, reconstruct_with, sim_app, Algo, Table};
+use tw_sim::apps::{nodejs_app_with, NodejsOptions};
+
+fn main() {
+    let mut table = Table::new(
+        "Figure 4d: accuracy (%) vs async disk-read stddev (nodejs @400rps)",
+        &["read-stddev-us", "traceweaver", "wap5", "vpath", "fcfs"],
+    );
+
+    for &stddev in &[0.0, 250.0, 500.0, 1_000.0, 2_000.0] {
+        let app = nodejs_app_with(NodejsOptions {
+            file_read_mean_us: 3_000.0,
+            file_read_stddev_us: stddev,
+            seed: 46,
+        });
+        let call_graph = app.config.call_graph();
+        let out = sim_app(&app, 400.0, ms(1_500));
+
+        let mut cells = vec![format!("{stddev:.0}")];
+        for algo in Algo::comparison_set() {
+            let mapping = reconstruct_with(&algo, &out.records, &call_graph);
+            cells.push(format!("{:.1}", e2e_accuracy(&mapping, &out.truth)));
+        }
+        table.row(cells);
+    }
+
+    table.print();
+    table.save_json("fig4d").expect("write artifact");
+}

@@ -1,0 +1,75 @@
+//! Figure 6a: accuracy on the (synthetic) Alibaba production dataset as
+//! the load multiple grows. Each load multiple compresses inter-trace
+//! spacing (§6.3.1), normalized by replica count; the boxplot percentiles
+//! are taken across the 15 call graphs, including the deliberate
+//! breaking-point regime at very large multiples.
+
+use tw_alibaba::{compress_traces, generate};
+use tw_bench::{e2e_accuracy, quick_mode, reconstruct_with, Algo, Table};
+use tw_core::Params;
+use tw_stats::Summary;
+use tw_viz::render_boxplots;
+
+fn main() {
+    let num_graphs = if quick_mode() { 4 } else { 15 };
+    let ds = generate(2024, num_graphs, if quick_mode() { 20 } else { 60 });
+    let load_multiples: &[f64] = &[1.0, 10.0, 50.0, 100.0, 500.0, 1_000.0, 15_000.0];
+
+    let mut table = Table::new(
+        "Figure 6a: Alibaba dataset accuracy (%) vs load multiple (percentiles over call graphs)",
+        &[
+            "load-mult", "tw-p5", "tw-p25", "tw-p50", "tw-p75", "tw-p95",
+            "wap5-p50", "vpath-p50", "fcfs-p50",
+        ],
+    );
+
+    let mut box_rows: Vec<(String, Summary)> = Vec::new();
+    for &lm in load_multiples {
+        let mut accs: Vec<f64> = Vec::new();
+        let mut wap5 = Vec::new();
+        let mut vpath = Vec::new();
+        let mut fcfs = Vec::new();
+        for case in &ds.cases {
+            // Replica normalization: the paper divides the load multiple by
+            // the number of replicas to recreate per-container load.
+            let mean_replicas =
+                case.total_replicas as f64 / case.config.services.len() as f64;
+            let cf = (lm / mean_replicas).max(1.0);
+            let records = compress_traces(&case.base.records, &case.base.truth, cf);
+            let graph = case.config.call_graph();
+            for algo in [
+                Algo::TraceWeaver(Params::default()),
+                Algo::Wap5,
+                Algo::VPath,
+                Algo::Fcfs,
+            ] {
+                let mapping = reconstruct_with(&algo, &records, &graph);
+                let acc = e2e_accuracy(&mapping, &case.base.truth);
+                match algo {
+                    Algo::TraceWeaver(_) => accs.push(acc),
+                    Algo::Wap5 => wap5.push(acc),
+                    Algo::VPath => vpath.push(acc),
+                    Algo::Fcfs => fcfs.push(acc),
+                }
+            }
+        }
+        let s = Summary::of(&accs);
+        box_rows.push((format!("lm={lm:.0}"), s.clone()));
+        table.row(vec![
+            format!("{lm:.0}"),
+            format!("{:.1}", s.p5),
+            format!("{:.1}", s.p25),
+            format!("{:.1}", s.p50),
+            format!("{:.1}", s.p75),
+            format!("{:.1}", s.p95),
+            format!("{:.1}", tw_stats::median(&wap5)),
+            format!("{:.1}", tw_stats::median(&vpath)),
+            format!("{:.1}", tw_stats::median(&fcfs)),
+        ]);
+    }
+
+    table.print();
+    println!("\nTraceWeaver accuracy distribution per load multiple:");
+    print!("{}", render_boxplots(&box_rows, 60));
+    table.save_json("fig6a").expect("write artifact");
+}

@@ -1,0 +1,52 @@
+//! §6.5 performance overhead, as a table (complementing `cargo bench`):
+//! wall-clock time and throughput to map batches of spans, plus the
+//! parallel scale-out the paper describes ("instantiating new instances
+//! of TraceWeaver which handle disjoint sets of spans in parallel").
+
+use std::time::Instant;
+use tw_bench::{ms, Table};
+use tw_core::{Params, TraceWeaver};
+use tw_model::time::Nanos;
+use tw_sim::apps::hotel_reservation;
+use tw_sim::{Simulator, Workload};
+
+fn main() {
+    let mut table = Table::new(
+        "§6.5: reconstruction runtime (paper: <5s per 1000 spans, ~200 RPS/container)",
+        &["spans", "rps", "threads", "wall-ms", "spans/sec"],
+    );
+
+    for &(target_spans, rps) in &[(1_000usize, 300.0f64), (5_000, 600.0), (20_000, 900.0)] {
+        let app = hotel_reservation(81);
+        let graph = app.config.call_graph();
+        let millis = ms((target_spans as f64 / 6.0 / rps * 1_000.0).ceil() as u64 + 100);
+        let sim = Simulator::new(app.config).unwrap();
+        let out = sim.run(&Workload::poisson(
+            app.roots[0],
+            rps,
+            Nanos::from_millis(millis),
+        ));
+        let tw = TraceWeaver::new(graph, Params::default());
+        for &threads in &[1usize, 4] {
+            let t0 = Instant::now();
+            let result = if threads == 1 {
+                tw.reconstruct_records(&out.records)
+            } else {
+                tw.reconstruct_records_parallel(&out.records, threads)
+            };
+            let elapsed = t0.elapsed();
+            assert!(!result.mapping.is_empty());
+            let wall_ms = elapsed.as_secs_f64() * 1_000.0;
+            table.row(vec![
+                out.records.len().to_string(),
+                format!("{rps:.0}"),
+                threads.to_string(),
+                format!("{wall_ms:.0}"),
+                format!("{:.0}", out.records.len() as f64 / elapsed.as_secs_f64()),
+            ]);
+        }
+    }
+
+    table.print();
+    table.save_json("perf65").expect("write artifact");
+}

@@ -1,0 +1,300 @@
+//! Call-graph and dependency-order inference from test traces (§5.2.2).
+//!
+//! For each served endpoint we model the backend endpoints it invokes as
+//! vertices and start with a complete directed graph of potential ordering
+//! dependencies ("every dependency is possible"). Every test trace then
+//! eliminates edges it violates: an edge `B → C` (B's invocation must
+//! complete before C's is issued) is removed as soon as one trace shows
+//! C's request leaving before B's response returned. What survives is the
+//! genuine dependency order, which we layer into sequential stages of
+//! parallel calls.
+//!
+//! Assumes each request invokes each backend endpoint at most once — true
+//! for all apps in this repository and for the paper's benchmarks.
+
+use crate::testenv::TestTrace;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use tw_model::callgraph::{CallGraph, DependencySpec, Stage};
+use tw_model::ids::Endpoint;
+use tw_model::time::Nanos;
+
+/// One observed backend call within one request handling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChildObs {
+    pub endpoint: Endpoint,
+    /// Request send time (caller side).
+    pub send: Nanos,
+    /// Response receive time (caller side).
+    pub recv_resp: Nanos,
+}
+
+/// Infer the dependency spec for one served endpoint from per-request
+/// child observations.
+///
+/// Each element of `examples` is the set of backend calls one request
+/// made. Returns a leaf spec if no example has children.
+pub fn infer_dependency_spec(examples: &[Vec<ChildObs>]) -> DependencySpec {
+    // Union of all endpoints ever called (dynamism / exclusive variants
+    // may hide some in individual examples).
+    let mut endpoints: BTreeSet<Endpoint> = BTreeSet::new();
+    for ex in examples {
+        for c in ex {
+            endpoints.insert(c.endpoint);
+        }
+    }
+    if endpoints.is_empty() {
+        return DependencySpec::leaf();
+    }
+    let eps: Vec<Endpoint> = endpoints.into_iter().collect();
+    let index: HashMap<Endpoint, usize> = eps.iter().enumerate().map(|(i, &e)| (e, i)).collect();
+    let n = eps.len();
+
+    // edge[i][j] = "i must complete before j is issued" still possible.
+    let mut edge = vec![vec![true; n]; n];
+    for (i, row) in edge.iter_mut().enumerate() {
+        row[i] = false;
+    }
+    for ex in examples {
+        for a in ex {
+            for b in ex {
+                if a.endpoint == b.endpoint {
+                    continue;
+                }
+                // Violation of a→b: b was issued before a finished.
+                if b.send < a.recv_resp {
+                    edge[index[&a.endpoint]][index[&b.endpoint]] = false;
+                }
+            }
+        }
+    }
+
+    // Mutual edges mean the two endpoints never co-occurred in a single
+    // request (e.g. exclusive A/B variants): there is no ordering
+    // evidence either way, and a genuine completes-before dependency
+    // cannot be symmetric — treat the pair as unordered.
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if edge[i][j] && edge[j][i] {
+                edge[i][j] = false;
+                edge[j][i] = false;
+            }
+        }
+    }
+
+    // Layer the surviving DAG: stage of v = longest chain of predecessors.
+    // Cycles cannot survive (mutual edges would both require strict
+    // ordering, and any example containing both calls violates one
+    // direction), but guard anyway.
+    let mut level = vec![usize::MAX; n];
+    fn level_of(
+        v: usize,
+        edge: &[Vec<bool>],
+        level: &mut [usize],
+        visiting: &mut Vec<bool>,
+    ) -> usize {
+        if level[v] != usize::MAX {
+            return level[v];
+        }
+        if visiting[v] {
+            // Cycle guard: break by treating as level 0.
+            return 0;
+        }
+        visiting[v] = true;
+        let mut l = 0;
+        for u in 0..edge.len() {
+            if edge[u][v] {
+                l = l.max(1 + level_of(u, edge, level, visiting));
+            }
+        }
+        visiting[v] = false;
+        level[v] = l;
+        l
+    }
+    let mut visiting = vec![false; n];
+    for v in 0..n {
+        level_of(v, &edge, &mut level, &mut visiting);
+    }
+
+    let mut stages: BTreeMap<usize, Vec<Endpoint>> = BTreeMap::new();
+    for (v, &l) in level.iter().enumerate() {
+        stages.entry(l).or_default().push(eps[v]);
+    }
+    DependencySpec::new(stages.into_values().map(Stage::parallel).collect())
+}
+
+/// Infer the full application call graph from a collection of test traces.
+pub fn infer_call_graph(traces: &[TestTrace]) -> CallGraph {
+    // served endpoint -> per-request child observations
+    let mut examples: HashMap<Endpoint, Vec<Vec<ChildObs>>> = HashMap::new();
+    for t in traces {
+        let by_id: HashMap<_, _> = t.records.iter().map(|r| (r.rpc, r)).collect();
+        for rec in &t.records {
+            let children: Vec<ChildObs> = t
+                .truth
+                .children(rec.rpc)
+                .iter()
+                .filter_map(|c| by_id.get(c))
+                .map(|c| ChildObs {
+                    endpoint: c.callee,
+                    send: c.send_req,
+                    recv_resp: c.recv_resp,
+                })
+                .collect();
+            examples.entry(rec.callee).or_default().push(children);
+        }
+    }
+    let mut g = CallGraph::new();
+    for (served, exs) in examples {
+        g.insert(served, infer_dependency_spec(&exs));
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testenv::generate_test_traces;
+    use tw_model::ids::{OperationId, ServiceId};
+    use tw_sim::apps::{hotel_reservation, media_microservices, nodejs_app};
+
+    fn ep(s: u32, o: u32) -> Endpoint {
+        Endpoint::new(ServiceId(s), OperationId(o))
+    }
+
+    fn obs(s: u32, send: u64, recv: u64) -> ChildObs {
+        ChildObs {
+            endpoint: ep(s, 0),
+            send: Nanos(send),
+            recv_resp: Nanos(recv),
+        }
+    }
+
+    #[test]
+    fn leaf_when_no_children() {
+        assert!(infer_dependency_spec(&[vec![]]).is_leaf());
+        assert!(infer_dependency_spec(&[]).is_leaf());
+    }
+
+    #[test]
+    fn sequential_pair_inferred() {
+        // B (svc 1) always completes before C (svc 2) is sent.
+        let examples = vec![
+            vec![obs(1, 0, 100), obs(2, 150, 250)],
+            vec![obs(1, 0, 300), obs(2, 350, 400)],
+        ];
+        let spec = infer_dependency_spec(&examples);
+        assert_eq!(spec.stages.len(), 2);
+        assert_eq!(spec.stages[0].calls, vec![ep(1, 0)]);
+        assert_eq!(spec.stages[1].calls, vec![ep(2, 0)]);
+    }
+
+    #[test]
+    fn parallel_pair_inferred_from_order_flips() {
+        // Order flips across examples: both orderings violated → parallel.
+        let examples = vec![
+            vec![obs(1, 0, 100), obs(2, 50, 250)],
+            vec![obs(2, 0, 100), obs(1, 50, 250)],
+        ];
+        let spec = infer_dependency_spec(&examples);
+        assert_eq!(spec.stages.len(), 1);
+        assert_eq!(spec.stages[0].calls.len(), 2);
+    }
+
+    #[test]
+    fn coincidental_serial_needs_variation() {
+        // A single example where B happens to finish before C would wrongly
+        // look serial — that's exactly why the test env perturbs delays.
+        let one = vec![vec![obs(1, 0, 100), obs(2, 150, 250)]];
+        let spec = infer_dependency_spec(&one);
+        assert_eq!(spec.stages.len(), 2, "one example can't rule out serial");
+    }
+
+    #[test]
+    fn hotel_call_graph_recovered() {
+        let app = hotel_reservation(31);
+        let traces = generate_test_traces(&app.config, app.roots[0], 12, 9);
+        let inferred = infer_call_graph(&traces);
+        let expected = app.config.call_graph();
+        for served in expected.endpoints() {
+            let e = expected.spec(served);
+            let i = inferred.spec(served);
+            // Compare stage structure as sets per stage.
+            assert_eq!(
+                e.stages.len(),
+                i.stages.len(),
+                "stage count mismatch at {served}"
+            );
+            for (es, is) in e.stages.iter().zip(&i.stages) {
+                let mut a = es.calls.clone();
+                let mut b = is.calls.clone();
+                a.sort();
+                b.sort();
+                assert_eq!(a, b, "stage content mismatch at {served}");
+            }
+        }
+    }
+
+    #[test]
+    fn media_call_graph_recovered() {
+        let app = media_microservices(32);
+        for root in &app.roots {
+            let traces = generate_test_traces(&app.config, *root, 15, 10);
+            let inferred = infer_call_graph(&traces);
+            let expected = app.config.call_graph();
+            for t in &traces {
+                for rec in &t.records {
+                    let e = expected.spec(rec.callee);
+                    let i = inferred.spec(rec.callee);
+                    assert_eq!(
+                        e.num_calls(),
+                        i.num_calls(),
+                        "call count mismatch at {}",
+                        rec.callee
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exclusive_variants_both_learned() {
+        // An app with A/B routing: across replays both variants execute,
+        // so the learned graph contains BOTH endpoints in the same stage —
+        // exactly the union the §4.2 dynamism machinery needs.
+        use tw_sim::apps::{hotel_reservation_with, HotelOptions};
+        let app = hotel_reservation_with(HotelOptions {
+            ab_split_to_b: Some(0.5),
+            seed: 34,
+            ..HotelOptions::default()
+        });
+        let traces = generate_test_traces(&app.config, app.roots[0], 20, 12);
+        let inferred = infer_call_graph(&traces);
+        let frontend = app.config.catalog.lookup_service("frontend").unwrap();
+        let op = app.config.catalog.lookup_operation("GET /hotels").unwrap();
+        let spec = inferred.spec(Endpoint::new(frontend, op));
+        let rec_a = app.config.catalog.lookup_service("recommend-a").unwrap();
+        let rec_b = app.config.catalog.lookup_service("recommend-b").unwrap();
+        let all: Vec<_> = spec.all_calls().map(|e| e.service).collect();
+        assert!(all.contains(&rec_a), "variant A missing from learned graph");
+        assert!(all.contains(&rec_b), "variant B missing from learned graph");
+        // And they land in the same (final) stage.
+        let last = spec.stages.last().unwrap();
+        let last_services: Vec<_> = last.calls.iter().map(|e| e.service).collect();
+        assert!(last_services.contains(&rec_a) && last_services.contains(&rec_b));
+    }
+
+    #[test]
+    fn nodejs_call_graph_recovered() {
+        let app = nodejs_app(33);
+        let traces = generate_test_traces(&app.config, app.roots[0], 12, 11);
+        let inferred = infer_call_graph(&traces);
+        let expected = app.config.call_graph();
+        for served in expected.endpoints() {
+            assert_eq!(
+                expected.spec(served).num_calls(),
+                inferred.spec(served).num_calls(),
+                "mismatch at {served}"
+            );
+        }
+    }
+}

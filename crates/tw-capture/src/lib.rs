@@ -1,0 +1,28 @@
+//! Span capture substrate — the stand-in for the paper's eBPF hooks,
+//! sidecar proxies and test environments (§5).
+//!
+//! * [`capture`] — the observation layer: turns raw RPC events into
+//!   per-process span views, optionally degrading the signal (timestamp
+//!   jitter, missing thread ids) the way real capture pipelines do;
+//! * [`http`] — HTTP/1.1 parsing: turn raw captured connection bytes
+//!   into request-response exchanges with first-byte timestamps (§5.1.2);
+//! * [`wire`] — a length-prefixed binary wire format for exporting span
+//!   records from capture agents to a TraceWeaver instance (the paper's
+//!   online deployment ships spans over the network);
+//! * [`testenv`] — the test-environment substrate: replays requests one at
+//!   a time with artificial delay variation (the paper uses Linux TC
+//!   rules) so dependencies can be learned without ambiguity (§5.2.1);
+//! * [`infer`] — call-graph and dependency-order inference from test
+//!   traces via edge elimination (§5.2.2).
+
+pub mod capture;
+pub mod http;
+pub mod infer;
+pub mod testenv;
+pub mod wire;
+
+pub use capture::{CaptureLayer, CaptureOptions};
+pub use http::{render_http_segments, segments_to_records, ExchangeAssembler, HttpParser};
+pub use infer::{infer_call_graph, infer_dependency_spec};
+pub use testenv::{generate_test_traces, TestTrace};
+pub use wire::{decode_records, encode_records, FrameDecoder, WireError};

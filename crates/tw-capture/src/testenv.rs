@@ -1,0 +1,119 @@
+//! Test-environment substrate (paper §5.2.1).
+//!
+//! To learn an application's call graph and dependency order, TraceWeaver
+//! replays requests **one at a time** in a test environment, so the
+//! resulting spans trivially weave into "test traces" (no competing
+//! candidates). To disambiguate serial from parallel invocation, the paper
+//! applies large artificial delays with Linux TC rules on observed outgoing
+//! calls; we emulate that by scaling the application's service-time
+//! distributions by a random factor per replay, which perturbs relative
+//! completion times the same way.
+
+use tw_model::ids::Endpoint;
+use tw_model::span::RpcRecord;
+use tw_model::time::Nanos;
+use tw_model::truth::TruthIndex;
+use tw_sim::{AppConfig, Simulator, Workload};
+use tw_stats::sampler::Sampler;
+
+/// One isolated replay: the spans of a single request, with ground-truth
+/// linkage that is *legitimately* known (one request at a time means the
+/// weaving is unambiguous, §5.2.1 — no oracle needed).
+#[derive(Debug, Clone)]
+pub struct TestTrace {
+    pub root: Endpoint,
+    pub records: Vec<RpcRecord>,
+    pub truth: TruthIndex,
+}
+
+/// Replay `n` isolated requests against `root`, each with artificially
+/// perturbed delays (TC-rule stand-in), and return the test traces.
+///
+/// Each replay runs the simulator with exactly one arrival, so every span
+/// in the output belongs to that request.
+pub fn generate_test_traces(
+    config: &AppConfig,
+    root: Endpoint,
+    n: usize,
+    seed: u64,
+) -> Vec<TestTrace> {
+    let mut sampler = Sampler::new(seed);
+    let mut traces = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut cfg = config.clone();
+        cfg.seed = seed ^ (0x5EED + i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+        // Inflate service times by a random per-replay factor in [1, 20]:
+        // big enough to flip the completion order of genuinely parallel
+        // calls across replays, which is what rules out spurious
+        // serial-order edges.
+        for svc in &mut cfg.services {
+            for (_, beh) in &mut svc.endpoints {
+                let f = sampler.uniform_range(1.0, 20.0);
+                beh.pre_delay = beh.pre_delay.scaled(f);
+                let f = sampler.uniform_range(1.0, 20.0);
+                beh.post_delay = beh.post_delay.scaled(f);
+                for st in &mut beh.stages {
+                    for call in &mut st.calls {
+                        // Never skip calls in the test environment: the
+                        // point is to observe the full static graph.
+                        call.skip_prob = 0.0;
+                        let f = sampler.uniform_range(1.0, 20.0);
+                        call.send_gap = call.send_gap.scaled(f);
+                    }
+                }
+            }
+        }
+        let sim = Simulator::new(cfg).expect("perturbed config stays valid");
+        // One request; generous horizon so it always fits.
+        let out = sim.run(&Workload::constant(root, 1_000.0, Nanos::from_millis(2)));
+        debug_assert_eq!(out.stats.arrivals, 1);
+        traces.push(TestTrace {
+            root,
+            records: out.records,
+            truth: out.truth,
+        });
+    }
+    traces
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tw_sim::apps::hotel_reservation;
+
+    #[test]
+    fn isolated_replays_have_one_root() {
+        let app = hotel_reservation(11);
+        let traces = generate_test_traces(&app.config, app.roots[0], 5, 3);
+        assert_eq!(traces.len(), 5);
+        for t in &traces {
+            assert_eq!(t.truth.roots().len(), 1);
+            // Full hotel tree: 6 spans.
+            assert_eq!(t.records.len(), 6);
+        }
+    }
+
+    #[test]
+    fn replays_vary_in_timing() {
+        let app = hotel_reservation(12);
+        let traces = generate_test_traces(&app.config, app.roots[0], 4, 4);
+        let latency = |t: &TestTrace| {
+            let root = t.truth.roots()[0];
+            let r = &t.records[root.0 as usize];
+            r.recv_resp.micros_since(r.send_req)
+        };
+        let lats: Vec<f64> = traces.iter().map(latency).collect();
+        let spread = tw_stats::std_dev(&lats);
+        assert!(spread > 100.0, "replay latencies too uniform: {lats:?}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let app = hotel_reservation(13);
+        let a = generate_test_traces(&app.config, app.roots[0], 3, 7);
+        let b = generate_test_traces(&app.config, app.roots[0], 3, 7);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.records, y.records);
+        }
+    }
+}

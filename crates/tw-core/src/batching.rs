@@ -1,0 +1,176 @@
+//! Optimization batching at perfect cuts (paper §4.1 step 2, proved
+//! correct in Appendix A.2).
+//!
+//! Incoming spans (sorted by start, ties by end) are split into contiguous
+//! batches so that the joint optimization stays small. A cut between spans
+//! `i` and `i+1` is *perfect* when span `i+1` shares no candidate child
+//! span with span `j` — the span with the latest end time among `0..=i` —
+//! and `j` ends before span `i+1` ends: by Theorem A.1 this guarantees no
+//! span after the cut shares a candidate with any span before it. A cut is
+//! also forced when the batch reaches the size cap `B`.
+
+use std::ops::Range;
+
+/// Split `n` spans into batches.
+///
+/// * `feasible[i]` — sorted outgoing-span indices feasible for parent `i`
+///   (any slot, window-nesting only);
+/// * `ends[i]` — parent `i`'s end time (any monotone-comparable value);
+/// * `batch_size` — the cap `B`.
+///
+/// Spans must already be sorted by (start, end). Returns consecutive index
+/// ranges covering `0..n`.
+pub fn make_batches(
+    feasible: &[Vec<usize>],
+    ends: &[u64],
+    batch_size: usize,
+) -> Vec<Range<usize>> {
+    let n = feasible.len();
+    assert_eq!(n, ends.len());
+    if n == 0 {
+        return vec![];
+    }
+    let b = batch_size.max(1);
+
+    let mut batches = Vec::new();
+    let mut batch_start = 0usize;
+    // Index of the latest-ending span among 0..=i.
+    let mut j = 0usize;
+    for i in 0..n - 1 {
+        if ends[i] > ends[j] {
+            j = i;
+        }
+        let size = i + 1 - batch_start;
+        let perfect =
+            ends[j] <= ends[i + 1] && !sorted_intersects(&feasible[j], &feasible[i + 1]);
+        if size >= b || perfect {
+            batches.push(batch_start..i + 1);
+            batch_start = i + 1;
+        }
+    }
+    batches.push(batch_start..n);
+    batches
+}
+
+/// Two-pointer intersection test over sorted slices.
+fn sorted_intersects(a: &[usize], b: &[usize]) -> bool {
+    let (mut x, mut y) = (0usize, 0usize);
+    while x < a.len() && y < b.len() {
+        match a[x].cmp(&b[y]) {
+            std::cmp::Ordering::Less => x += 1,
+            std::cmp::Ordering::Greater => y += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input() {
+        assert!(make_batches(&[], &[], 30).is_empty());
+    }
+
+    #[test]
+    fn single_span_single_batch() {
+        let batches = make_batches(&[vec![1, 2]], &[10], 30);
+        assert_eq!(batches, vec![0..1]);
+    }
+
+    #[test]
+    fn perfect_cut_on_disjoint_candidates() {
+        // Span 0 and 1: disjoint candidates, 0 ends before 1 → cut.
+        let feasible = vec![vec![0, 1], vec![2, 3]];
+        let ends = vec![10, 20];
+        let batches = make_batches(&feasible, &ends, 30);
+        assert_eq!(batches, vec![0..1, 1..2]);
+    }
+
+    #[test]
+    fn no_cut_when_candidates_shared() {
+        let feasible = vec![vec![0, 1], vec![1, 2]];
+        let ends = vec![10, 20];
+        let batches = make_batches(&feasible, &ends, 30);
+        assert_eq!(batches, vec![0..2]);
+    }
+
+    #[test]
+    fn no_cut_when_earlier_span_ends_later() {
+        // Span 0 ends AFTER span 1 (long parent overlapping): even with
+        // disjoint candidates between j=0 and span 1, the theorem's
+        // condition fails, so no perfect cut.
+        let feasible = vec![vec![0], vec![1]];
+        let ends = vec![100, 20];
+        let batches = make_batches(&feasible, &ends, 30);
+        assert_eq!(batches, vec![0..2]);
+    }
+
+    #[test]
+    fn latest_end_tracked_not_previous() {
+        // Span 0 ends at 100 and shares candidates with span 2; span 1 is
+        // short and disjoint. The cut test between 1 and 2 must use j=0
+        // (latest end), which shares candidates with 2 → no cut.
+        let feasible = vec![vec![5], vec![1], vec![5]];
+        let ends = vec![100, 20, 150];
+        let batches = make_batches(&feasible, &ends, 30);
+        assert_eq!(batches, vec![0..3]);
+    }
+
+    #[test]
+    fn size_cap_forces_cut() {
+        let n = 10;
+        // Everyone shares candidate 0: no perfect cut exists.
+        let feasible: Vec<Vec<usize>> = (0..n).map(|_| vec![0]).collect();
+        let ends: Vec<u64> = (0..n as u64).collect();
+        let batches = make_batches(&feasible, &ends, 4);
+        assert_eq!(batches, vec![0..4, 4..8, 8..10]);
+    }
+
+    #[test]
+    fn batches_cover_everything_contiguously() {
+        let feasible: Vec<Vec<usize>> = (0..57).map(|i| vec![i, i + 1]).collect();
+        let ends: Vec<u64> = (0..57u64).map(|i| i * 2).collect();
+        let batches = make_batches(&feasible, &ends, 7);
+        assert_eq!(batches.first().unwrap().start, 0);
+        assert_eq!(batches.last().unwrap().end, 57);
+        for pair in batches.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+        }
+    }
+
+    #[test]
+    fn theorem_a1_no_cross_batch_sharing() {
+        // Construct spans with varied windows; verify that after perfect
+        // cuts (large B so only perfect cuts fire), no candidate is shared
+        // across a batch boundary.
+        // Windows: candidates are "time slots" — feasible[i] shares when
+        // windows overlap.
+        let windows: Vec<(u64, u64)> = vec![
+            (0, 10),
+            (2, 12),
+            (15, 25), // gap: spans 0,1 end before 15
+            (16, 30),
+            (40, 50), // gap again
+        ];
+        let feasible: Vec<Vec<usize>> = windows
+            .iter()
+            .map(|&(s, e)| (s as usize..e as usize).collect())
+            .collect();
+        let ends: Vec<u64> = windows.iter().map(|&(_, e)| e).collect();
+        let batches = make_batches(&feasible, &ends, 100);
+        assert_eq!(batches.len(), 3, "two perfect cuts expected: {batches:?}");
+        for w in batches.windows(2) {
+            for i in w[0].clone() {
+                for k in w[1].clone() {
+                    assert!(
+                        !sorted_intersects(&feasible[i], &feasible[k]),
+                        "cross-batch sharing between {i} and {k}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! TraceWeaver: non-intrusive request-trace reconstruction (SIGCOMM 2024).
+//!
+//! Given per-container span observations (request/response timestamps from
+//! eBPF hooks or sidecars) and the application's call graph + dependency
+//! order (learned in a test environment), TraceWeaver reconstructs which
+//! incoming request caused which outgoing backend requests — without any
+//! application modification or context propagation.
+//!
+//! The algorithm (paper §4) decomposes reconstruction into independent
+//! per-container tasks. Each task:
+//!
+//! 1. identifies feasible candidate mappings per incoming span using
+//!    interval-nesting and dependency-order timing constraints
+//!    ([`candidates`]),
+//! 2. splits spans into optimization batches at provably safe "perfect
+//!    cuts" ([`batching`]),
+//! 3. estimates inter-span delay distributions — seed Gaussians from
+//!    marginal statistics, then Gaussian mixtures from inferred mappings
+//!    ([`delays`]),
+//! 4. scores candidates by log-likelihood under those distributions,
+//! 5. jointly optimizes each batch as a maximum-weight independent set
+//!    ([`optimize`]),
+//! 6. iterates 3–5 to convergence ([`task`]),
+//!
+//! and handles call-graph dynamism (caching, failures, A/B subsetting)
+//! with budgeted phantom "skip spans" ([`dynamism`]).
+//!
+//! # Quick start
+//!
+//! ```
+//! use tw_core::{Params, TraceWeaver};
+//! use tw_sim::apps::two_service_chain;
+//! use tw_sim::{Simulator, Workload};
+//! use tw_model::time::Nanos;
+//! use tw_model::metrics::end_to_end_accuracy_all_roots;
+//!
+//! let app = two_service_chain(7);
+//! let call_graph = app.config.call_graph();
+//! let sim = Simulator::new(app.config).unwrap();
+//! let out = sim.run(&Workload::poisson(app.roots[0], 200.0, Nanos::from_millis(500)));
+//!
+//! let tw = TraceWeaver::new(call_graph, Params::default());
+//! let result = tw.reconstruct_records(&out.records);
+//! let acc = end_to_end_accuracy_all_roots(&result.mapping, &out.truth);
+//! assert!(acc.ratio() > 0.9);
+//! ```
+
+pub mod batching;
+pub mod candidates;
+pub mod delays;
+pub mod dynamism;
+pub mod optimize;
+pub mod params;
+pub mod task;
+
+pub use params::Params;
+pub use task::{ReconstructionTask, TaskReport};
+
+use std::collections::HashMap;
+use tw_model::callgraph::CallGraph;
+use tw_model::ids::ServiceId;
+use tw_model::mapping::{Mapping, RankedMapping};
+use tw_model::span::{split_by_process, ProcessKey, RpcRecord, SpanView};
+
+/// The reconstruction engine: a call graph plus tuning parameters.
+#[derive(Debug, Clone)]
+pub struct TraceWeaver {
+    call_graph: CallGraph,
+    params: Params,
+}
+
+/// Output of a reconstruction pass.
+#[derive(Debug, Clone, Default)]
+pub struct Reconstruction {
+    /// Predicted parent → children mapping across all services.
+    pub mapping: Mapping,
+    /// Ranked top-K candidate child sets per parent (paper §6.2.1).
+    pub ranked: RankedMapping,
+    /// Per-task diagnostic reports.
+    pub reports: Vec<(ProcessKey, TaskReport)>,
+}
+
+/// Aggregate of all task reports in a reconstruction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReconstructionSummary {
+    pub tasks: usize,
+    pub total_spans: usize,
+    pub mapped_spans: usize,
+    pub top_choice_spans: usize,
+    pub batches: usize,
+    pub skip_budget: usize,
+}
+
+impl ReconstructionSummary {
+    /// Fraction of incoming spans that received a mapping.
+    pub fn mapped_fraction(&self) -> f64 {
+        if self.total_spans == 0 {
+            1.0
+        } else {
+            self.mapped_spans as f64 / self.total_spans as f64
+        }
+    }
+}
+
+impl Reconstruction {
+    /// Aggregate diagnostics across all per-container tasks.
+    pub fn summary(&self) -> ReconstructionSummary {
+        let mut s = ReconstructionSummary {
+            tasks: self.reports.len(),
+            ..Default::default()
+        };
+        for (_, r) in &self.reports {
+            s.total_spans += r.total_spans;
+            s.mapped_spans += r.mapped_spans;
+            s.top_choice_spans += r.top_choice_spans;
+            s.batches += r.batches;
+            s.skip_budget += r.skip_budget;
+        }
+        s
+    }
+
+    /// Per-service confidence scores (paper §6.3.2): 100% minus the
+    /// percentage of incoming spans at the service that remained unmapped
+    /// or weren't assigned their top-choice mapping. Averaged over the
+    /// service's containers, weighted by span count.
+    pub fn confidence_by_service(&self) -> HashMap<ServiceId, f64> {
+        let mut agg: HashMap<ServiceId, (usize, usize)> = HashMap::new();
+        for (proc_key, report) in &self.reports {
+            let e = agg.entry(proc_key.service).or_default();
+            e.0 += report.top_choice_spans;
+            e.1 += report.total_spans;
+        }
+        agg.into_iter()
+            .map(|(svc, (top, total))| {
+                let conf = if total == 0 {
+                    100.0
+                } else {
+                    100.0 * top as f64 / total as f64
+                };
+                (svc, conf)
+            })
+            .collect()
+    }
+}
+
+impl TraceWeaver {
+    pub fn new(call_graph: CallGraph, params: Params) -> Self {
+        TraceWeaver { call_graph, params }
+    }
+
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    pub fn call_graph(&self) -> &CallGraph {
+        &self.call_graph
+    }
+
+    /// Reconstruct from per-process span views.
+    pub fn reconstruct(&self, views: &HashMap<ProcessKey, SpanView>) -> Reconstruction {
+        let mut result = Reconstruction::default();
+        // Deterministic task order.
+        let mut keys: Vec<&ProcessKey> = views.keys().collect();
+        keys.sort();
+        for key in keys {
+            let view = &views[key];
+            if view.incoming.is_empty() {
+                continue;
+            }
+            let task = ReconstructionTask::new(&self.call_graph, &self.params, view);
+            let report = task.run(&mut result.mapping, &mut result.ranked);
+            result.reports.push((*key, report));
+        }
+        result
+    }
+
+    /// Convenience: split raw records into per-process views and
+    /// reconstruct.
+    pub fn reconstruct_records(&self, records: &[RpcRecord]) -> Reconstruction {
+        self.reconstruct(&split_by_process(records))
+    }
+
+    /// Parallel reconstruction: per-container tasks are independent
+    /// (paper §4.1), so they shard across `threads` worker threads. The
+    /// result is identical to [`TraceWeaver::reconstruct`] — determinism
+    /// is preserved because merging is order-independent (each task owns
+    /// disjoint parents).
+    pub fn reconstruct_parallel(
+        &self,
+        views: &HashMap<ProcessKey, SpanView>,
+        threads: usize,
+    ) -> Reconstruction {
+        let threads = threads.max(1);
+        let mut keys: Vec<&ProcessKey> = views.keys().collect();
+        keys.sort();
+        let shards: Vec<Vec<&ProcessKey>> = (0..threads)
+            .map(|t| keys.iter().skip(t).step_by(threads).copied().collect())
+            .collect();
+
+        let partials: Vec<Reconstruction> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .into_iter()
+                .map(|shard| {
+                    scope.spawn(move || {
+                        let mut partial = Reconstruction::default();
+                        for key in shard {
+                            let view = &views[key];
+                            if view.incoming.is_empty() {
+                                continue;
+                            }
+                            let task =
+                                ReconstructionTask::new(&self.call_graph, &self.params, view);
+                            let report =
+                                task.run(&mut partial.mapping, &mut partial.ranked);
+                            partial.reports.push((*key, report));
+                        }
+                        partial
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("reconstruction worker panicked"))
+                .collect()
+        });
+
+        let mut result = Reconstruction::default();
+        for p in partials {
+            result.mapping.merge(p.mapping);
+            result.ranked.merge(p.ranked);
+            result.reports.extend(p.reports);
+        }
+        result.reports.sort_by_key(|(k, _)| *k);
+        result
+    }
+
+    /// Parallel variant of [`TraceWeaver::reconstruct_records`].
+    pub fn reconstruct_records_parallel(
+        &self,
+        records: &[RpcRecord],
+        threads: usize,
+    ) -> Reconstruction {
+        self.reconstruct_parallel(&split_by_process(records), threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let app = tw_sim::apps::hotel_reservation(77);
+        let call_graph = app.config.call_graph();
+        let root = app.roots[0];
+        let sim = tw_sim::Simulator::new(app.config).unwrap();
+        let out = sim.run(&tw_sim::Workload::poisson(
+            root,
+            300.0,
+            tw_model::time::Nanos::from_millis(400),
+        ));
+        let tw = TraceWeaver::new(call_graph, Params::default());
+        let seq = tw.reconstruct_records(&out.records);
+        let par = tw.reconstruct_records_parallel(&out.records, 4);
+        for rec in &out.records {
+            assert_eq!(
+                seq.mapping.children(rec.rpc),
+                par.mapping.children(rec.rpc),
+                "parallel result diverged at {:?}",
+                rec.rpc
+            );
+        }
+        assert_eq!(seq.reports.len(), par.reports.len());
+    }
+
+    #[test]
+    fn summary_aggregates_reports() {
+        let app = tw_sim::apps::two_service_chain(79);
+        let call_graph = app.config.call_graph();
+        let root = app.roots[0];
+        let sim = tw_sim::Simulator::new(app.config).unwrap();
+        let out = sim.run(&tw_sim::Workload::poisson(
+            root,
+            200.0,
+            tw_model::time::Nanos::from_millis(300),
+        ));
+        let tw = TraceWeaver::new(call_graph, Params::default());
+        let result = tw.reconstruct_records(&out.records);
+        let s = result.summary();
+        assert_eq!(s.tasks, result.reports.len());
+        assert_eq!(s.total_spans, out.records.len());
+        assert!(s.mapped_fraction() > 0.95);
+        assert!(s.batches >= s.tasks);
+        assert_eq!(s.skip_budget, 0);
+    }
+
+    #[test]
+    fn parallel_with_more_threads_than_tasks() {
+        let app = tw_sim::apps::two_service_chain(78);
+        let call_graph = app.config.call_graph();
+        let root = app.roots[0];
+        let sim = tw_sim::Simulator::new(app.config).unwrap();
+        let out = sim.run(&tw_sim::Workload::poisson(
+            root,
+            100.0,
+            tw_model::time::Nanos::from_millis(200),
+        ));
+        let tw = TraceWeaver::new(call_graph, Params::default());
+        let par = tw.reconstruct_records_parallel(&out.records, 64);
+        assert!(!par.mapping.is_empty());
+    }
+}

@@ -1,0 +1,154 @@
+//! Tunable parameters (paper Table 1) plus the ablation toggles used by
+//! the Figure 5 study.
+
+use serde::{Deserialize, Serialize};
+
+/// TraceWeaver's tuning knobs. Defaults follow the paper's Table 1.
+///
+/// Note: the paper's Table 1 lists `B = 30` while the §4.1 step-2 text
+/// mentions a threshold of 100; we default to the table value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Params {
+    /// Maximum size of an optimization batch (Table 1: B = 30).
+    pub batch_size: usize,
+    /// Maximum candidates kept per span for the joint optimization
+    /// (Table 1: K = 5).
+    pub top_k: usize,
+    /// Maximum GMM components tried in the BIC sweep (Table 1: C = 5).
+    pub max_gmm_components: usize,
+    /// Buckets used for the seed-distribution variance estimate
+    /// (Table 1: R = 10).
+    pub seed_buckets: usize,
+    /// Total passes of steps 3–5 (≥ 1; the first uses seed Gaussians).
+    pub iterations: usize,
+    /// Per-slot fan-out cap during candidate enumeration (closest feasible
+    /// child spans considered per backend slot).
+    pub max_children_per_slot: usize,
+    /// Cap on enumerated candidates per span before top-K selection.
+    pub max_candidates_per_span: usize,
+    /// Log-density penalty charged for each skip span used by a candidate
+    /// (dynamism handling, §4.2).
+    pub skip_log_penalty: f64,
+    /// Branch-and-bound node budget for the MIS solver.
+    pub mis_node_budget: u64,
+    /// Enable dynamism handling (skip spans). Off by default: the static
+    /// algorithm is the paper's §4.1; turn on for workloads with caching /
+    /// failures / A-B subsetting.
+    pub handle_dynamism: bool,
+    /// Thread-affinity hints (paper §7 "Identifying thread affinity"):
+    /// when both the parent's recv thread and a candidate child's send
+    /// thread are known, require them to match. Sound ONLY for services
+    /// with a blocking worker-pool model (no hand-offs); enable it per
+    /// deployment when that is known to hold. Off by default.
+    pub use_thread_hints: bool,
+
+    // --- Ablation toggles (Figure 5) ---
+    /// Use the dependency order to constrain candidates (line 3 of the
+    /// ablation: "using invocation order to apply constraints").
+    pub use_order_constraints: bool,
+    /// Iterate to improve delay distributions (line 4: when false, only
+    /// the seed-Gaussian pass runs).
+    pub use_iteration: bool,
+    /// Jointly optimize across spans in batches (line 5: when false, each
+    /// span independently takes its best-scoring candidate, first-come
+    /// first-served on conflicts).
+    pub use_joint_optimization: bool,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            batch_size: 30,
+            top_k: 5,
+            max_gmm_components: 5,
+            seed_buckets: 10,
+            iterations: 3,
+            max_children_per_slot: 8,
+            max_candidates_per_span: 128,
+            skip_log_penalty: -14.0,
+            mis_node_budget: 500_000,
+            handle_dynamism: false,
+            use_thread_hints: false,
+            use_order_constraints: true,
+            use_iteration: true,
+            use_joint_optimization: true,
+        }
+    }
+}
+
+impl Params {
+    /// Paper defaults with dynamism handling enabled.
+    pub fn with_dynamism() -> Self {
+        Params {
+            handle_dynamism: true,
+            ..Params::default()
+        }
+    }
+
+    /// Paper defaults plus thread-affinity candidate pruning (§7), for
+    /// deployments known to use blocking worker pools.
+    pub fn with_thread_hints() -> Self {
+        Params {
+            use_thread_hints: true,
+            ..Params::default()
+        }
+    }
+
+    /// Ablation: no dependency-order constraints.
+    pub fn ablate_order_constraints(mut self) -> Self {
+        self.use_order_constraints = false;
+        self
+    }
+
+    /// Ablation: no distribution-improving iterations.
+    pub fn ablate_iteration(mut self) -> Self {
+        self.use_iteration = false;
+        self
+    }
+
+    /// Ablation: no joint optimization (greedy per-span assignment).
+    pub fn ablate_joint_optimization(mut self) -> Self {
+        self.use_joint_optimization = false;
+        self
+    }
+
+    /// Effective iteration count after the ablation toggle.
+    pub fn effective_iterations(&self) -> usize {
+        if self.use_iteration {
+            self.iterations.max(1)
+        } else {
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table1() {
+        let p = Params::default();
+        assert_eq!(p.batch_size, 30);
+        assert_eq!(p.top_k, 5);
+        assert_eq!(p.max_gmm_components, 5);
+        assert_eq!(p.seed_buckets, 10);
+    }
+
+    #[test]
+    fn ablation_builders() {
+        let p = Params::default().ablate_order_constraints();
+        assert!(!p.use_order_constraints);
+        let p = Params::default().ablate_iteration();
+        assert_eq!(p.effective_iterations(), 1);
+        let p = Params::default().ablate_joint_optimization();
+        assert!(!p.use_joint_optimization);
+    }
+
+    #[test]
+    fn effective_iterations_floor() {
+        let mut p = Params::default();
+        p.iterations = 0;
+        assert_eq!(p.effective_iterations(), 1);
+    }
+}

@@ -1,0 +1,463 @@
+//! One per-container reconstruction task: the full §4 pipeline.
+
+use crate::batching::make_batches;
+use crate::candidates::{enumerate_candidates, Candidate, OutgoingPool, SlotLayout};
+use crate::delays::{edge_gaps, score_candidate, DelayModel, EdgeKey};
+use crate::dynamism::{allocate_skips, batch_exclusive_counts, seed_from_wap5, SkipBudget};
+use crate::optimize::optimize_batch;
+use crate::params::Params;
+use std::collections::{HashMap, HashSet};
+use std::ops::Range;
+use tw_model::callgraph::CallGraph;
+use tw_model::ids::{Endpoint, RpcId};
+use tw_model::mapping::{Mapping, RankedMapping};
+use tw_model::span::SpanView;
+
+/// Diagnostics from one task, used for confidence scores (§6.3.2) and the
+/// evaluation harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TaskReport {
+    /// Incoming spans considered.
+    pub total_spans: usize,
+    /// Incoming spans that received a mapping.
+    pub mapped_spans: usize,
+    /// Incoming spans that received their top-choice mapping (the
+    /// numerator of the confidence score).
+    pub top_choice_spans: usize,
+    /// Optimization batches formed.
+    pub batches: usize,
+    /// Total skip budget detected (0 = no dynamism observed).
+    pub skip_budget: usize,
+    /// Iterations executed.
+    pub iterations: usize,
+}
+
+impl TaskReport {
+    /// The §6.3.2 confidence score: 100 minus the percentage of incoming
+    /// spans that remained unmapped or weren't assigned their top choice.
+    pub fn confidence(&self) -> f64 {
+        if self.total_spans == 0 {
+            100.0
+        } else {
+            100.0 * self.top_choice_spans as f64 / self.total_spans as f64
+        }
+    }
+}
+
+/// A reconstruction task over one container's span view.
+pub struct ReconstructionTask<'a> {
+    call_graph: &'a CallGraph,
+    params: &'a Params,
+    view: &'a SpanView,
+}
+
+impl<'a> ReconstructionTask<'a> {
+    pub fn new(call_graph: &'a CallGraph, params: &'a Params, view: &'a SpanView) -> Self {
+        ReconstructionTask {
+            call_graph,
+            params,
+            view,
+        }
+    }
+
+    /// Run the pipeline, writing results into `mapping` / `ranked`.
+    pub fn run(&self, mapping: &mut Mapping, ranked: &mut RankedMapping) -> TaskReport {
+        let params = self.params;
+        let incoming = &self.view.incoming;
+        let outgoing = &self.view.outgoing;
+        let n = incoming.len();
+        if n == 0 {
+            return TaskReport::default();
+        }
+
+        // Slot layouts per served endpoint.
+        let mut layouts: HashMap<Endpoint, SlotLayout> = HashMap::new();
+        for s in incoming {
+            layouts.entry(s.endpoint).or_insert_with(|| {
+                SlotLayout::from_spec(
+                    &self.call_graph.spec(s.endpoint),
+                    params.use_order_constraints,
+                )
+            });
+        }
+
+        let pool = OutgoingPool::new(outgoing);
+
+        // Window-feasible outgoing sets per parent (batching + quotas).
+        let feasible: Vec<Vec<usize>> = incoming
+            .iter()
+            .map(|p| {
+                let layout = &layouts[&p.endpoint];
+                let mut set: Vec<usize> = layout
+                    .stages
+                    .iter()
+                    .flatten()
+                    .flat_map(|&e| pool.feasible_for_window(e, p.start, p.end))
+                    .collect();
+                set.sort_unstable();
+                set.dedup();
+                set
+            })
+            .collect();
+
+        // Dynamism budget.
+        let budget = if params.handle_dynamism {
+            SkipBudget::compute(incoming, &layouts, &pool)
+        } else {
+            SkipBudget::default()
+        };
+        let allow_skips = !budget.is_empty();
+
+        // Candidate enumeration (constraints don't change across
+        // iterations, only scores do).
+        let mut candidates: Vec<Vec<Candidate>> = incoming
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                enumerate_candidates(i, p, &layouts[&p.endpoint], &pool, params, allow_skips)
+            })
+            .collect();
+
+        // Batching.
+        let ends: Vec<u64> = incoming.iter().map(|s| s.end.0).collect();
+        let batches: Vec<Range<usize>> = if params.use_joint_optimization {
+            make_batches(&feasible, &ends, params.batch_size)
+        } else {
+            vec![0..n]
+        };
+
+        // Skip allocation across batches.
+        let skip_alloc: Vec<usize> = if allow_skips {
+            let needs: Vec<usize> = batches
+                .iter()
+                .map(|r| {
+                    r.clone()
+                        .map(|i| layouts[&incoming[i].endpoint].num_slots)
+                        .sum()
+                })
+                .collect();
+            let exclusive = batch_exclusive_counts(&batches, &feasible, pool.len());
+            allocate_skips(budget.total(), &needs, &exclusive)
+        } else {
+            vec![0; batches.len()]
+        };
+
+        // Iteration-1 delay model.
+        let mut model = if allow_skips {
+            seed_from_wap5(incoming, outgoing, &pool, &layouts, params)
+        } else {
+            DelayModel::seed(incoming, &pool, &layouts, outgoing, params)
+        };
+
+        let iterations = params.effective_iterations();
+        let mut assignment: Vec<Option<Candidate>> = vec![None; n];
+        for iter in 0..iterations {
+            // Score and rank candidates under the current model.
+            for (i, cands) in candidates.iter_mut().enumerate() {
+                let p = &incoming[i];
+                let layout = &layouts[&p.endpoint];
+                for c in cands.iter_mut() {
+                    c.score = score_candidate(p.endpoint, p, layout, c, &pool, &model, params);
+                }
+                cands.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+            }
+
+            // Optimize batch by batch; spans claimed by earlier batches are
+            // deleted from later ones (§4.1 step 5 (v)).
+            let mut used: HashSet<usize> = HashSet::new();
+            assignment = vec![None; n];
+            for (b, range) in batches.iter().enumerate() {
+                let parents: Vec<usize> = range.clone().collect();
+                let per_parent: Vec<Vec<Candidate>> = parents
+                    .iter()
+                    .map(|&i| {
+                        candidates[i]
+                            .iter()
+                            .filter(|c| c.children.iter().flatten().all(|x| !used.contains(x)))
+                            .take(params.top_k)
+                            .cloned()
+                            .collect()
+                    })
+                    .collect();
+                let picks = optimize_batch(&per_parent, params);
+
+                // Enforce the batch's skip allocation: unassign the
+                // lowest-scoring skip users beyond the allocation.
+                let mut chosen: Vec<(usize, Candidate)> = parents
+                    .iter()
+                    .zip(&picks)
+                    .filter_map(|(&i, pick)| {
+                        pick.map(|c| (i, per_parent[i - range.start][c].clone()))
+                    })
+                    .collect();
+                let mut skips_used: usize = chosen.iter().map(|(_, c)| c.num_skips()).sum();
+                if skips_used > skip_alloc[b] {
+                    let mut order: Vec<usize> = (0..chosen.len())
+                        .filter(|&k| chosen[k].1.num_skips() > 0)
+                        .collect();
+                    order.sort_by(|&a, &b| {
+                        chosen[a]
+                            .1
+                            .score
+                            .partial_cmp(&chosen[b].1.score)
+                            .expect("finite")
+                    });
+                    let mut dropped: HashSet<usize> = HashSet::new();
+                    for k in order {
+                        if skips_used <= skip_alloc[b] {
+                            break;
+                        }
+                        skips_used -= chosen[k].1.num_skips();
+                        dropped.insert(k);
+                    }
+                    chosen = chosen
+                        .into_iter()
+                        .enumerate()
+                        .filter(|(k, _)| !dropped.contains(k))
+                        .map(|(_, v)| v)
+                        .collect();
+                }
+
+                for (i, cand) in chosen {
+                    for idx in cand.children.iter().flatten() {
+                        used.insert(*idx);
+                    }
+                    assignment[i] = Some(cand);
+                }
+            }
+
+            // Refit distributions from this iteration's mapping.
+            if iter + 1 < iterations {
+                let mut gaps: HashMap<EdgeKey, Vec<f64>> = HashMap::new();
+                for (i, a) in assignment.iter().enumerate() {
+                    let Some(cand) = a else { continue };
+                    let p = &incoming[i];
+                    let layout = &layouts[&p.endpoint];
+                    for (key, gap) in edge_gaps(p.endpoint, p, layout, cand, &pool) {
+                        gaps.entry(key).or_default().push(gap);
+                    }
+                }
+                model = model.refit(&gaps, params);
+            }
+        }
+
+        // Emit results.
+        let mut report = TaskReport {
+            total_spans: n,
+            batches: batches.len(),
+            skip_budget: budget.total(),
+            iterations,
+            ..TaskReport::default()
+        };
+        for (i, a) in assignment.iter().enumerate() {
+            let parent_rpc = incoming[i].rpc;
+            // Ranked top-K candidate child sets with final scores.
+            let ranked_sets: Vec<(Vec<RpcId>, f64)> = candidates[i]
+                .iter()
+                .take(params.top_k)
+                .map(|c| {
+                    let kids: Vec<RpcId> = c
+                        .children
+                        .iter()
+                        .flatten()
+                        .map(|&idx| pool.span(idx).rpc)
+                        .collect();
+                    (kids, c.score)
+                })
+                .collect();
+            if !ranked_sets.is_empty() {
+                ranked.set_scored(parent_rpc, ranked_sets);
+            }
+            if let Some(cand) = a {
+                report.mapped_spans += 1;
+                let is_top = candidates[i]
+                    .first()
+                    .map(|top| top.children == cand.children)
+                    .unwrap_or(false);
+                if is_top {
+                    report.top_choice_spans += 1;
+                }
+                let children: Vec<RpcId> = cand
+                    .children
+                    .iter()
+                    .flatten()
+                    .map(|&idx| pool.span(idx).rpc)
+                    .collect();
+                mapping.assign(parent_rpc, children);
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tw_model::callgraph::{DependencySpec, Stage};
+    use tw_model::ids::{OperationId, ServiceId};
+    use tw_model::span::ObservedSpan;
+    use tw_model::time::Nanos;
+
+    fn ep(s: u32) -> Endpoint {
+        Endpoint::new(ServiceId(s), OperationId(0))
+    }
+
+    fn span(rpc: u64, e: Endpoint, start: u64, end: u64) -> ObservedSpan {
+        ObservedSpan {
+            rpc: RpcId(rpc),
+            peer: e.service,
+            endpoint: e,
+            start: Nanos::from_micros(start),
+            end: Nanos::from_micros(end),
+            thread: None,
+        }
+    }
+
+    /// Hand-built scenario: service 0 calls service 1 once per request.
+    /// Two well-separated requests — unambiguous.
+    #[test]
+    fn unambiguous_two_requests() {
+        let mut g = CallGraph::new();
+        g.insert(ep(0), DependencySpec::new(vec![Stage::single(ep(1))]));
+        let view = SpanView {
+            incoming: vec![span(0, ep(0), 0, 1_000), span(1, ep(0), 5_000, 6_000)],
+            outgoing: vec![span(10, ep(1), 100, 800), span(11, ep(1), 5_100, 5_800)],
+        };
+        let params = Params::default();
+        let task = ReconstructionTask::new(&g, &params, &view);
+        let mut mapping = Mapping::new();
+        let mut ranked = RankedMapping::new();
+        let report = task.run(&mut mapping, &mut ranked);
+        assert_eq!(report.total_spans, 2);
+        assert_eq!(report.mapped_spans, 2);
+        assert_eq!(mapping.children(RpcId(0)), &[RpcId(10)]);
+        assert_eq!(mapping.children(RpcId(1)), &[RpcId(11)]);
+        assert_eq!(report.confidence(), 100.0);
+    }
+
+    /// Overlapping requests where timing statistics disambiguate: the
+    /// processing gap is consistently ~100us.
+    #[test]
+    fn overlapping_requests_resolved_by_timing() {
+        let mut g = CallGraph::new();
+        g.insert(ep(0), DependencySpec::new(vec![Stage::single(ep(1))]));
+        let mut incoming = Vec::new();
+        let mut outgoing = Vec::new();
+        // 50 requests arriving every 200us, each holding the service for
+        // 1000us with the child sent exactly 100us after arrival: heavily
+        // overlapped.
+        for i in 0..50u64 {
+            let t0 = i * 200;
+            incoming.push(span(i, ep(0), t0, t0 + 1_000));
+            outgoing.push(span(100 + i, ep(1), t0 + 100, t0 + 600));
+        }
+        let view = SpanView { incoming, outgoing };
+        let params = Params::default();
+        let g2 = g.clone();
+        let task = ReconstructionTask::new(&g2, &params, &view);
+        let mut mapping = Mapping::new();
+        let mut ranked = RankedMapping::new();
+        let report = task.run(&mut mapping, &mut ranked);
+        assert_eq!(report.mapped_spans, 50);
+        let correct = (0..50u64)
+            .filter(|&i| mapping.children(RpcId(i)) == [RpcId(100 + i)])
+            .count();
+        assert!(correct >= 45, "only {correct}/50 correct");
+    }
+
+    /// Leaf service: every incoming span maps to the empty child set.
+    #[test]
+    fn leaf_service_maps_empty() {
+        let g = CallGraph::new();
+        let view = SpanView {
+            incoming: vec![span(0, ep(3), 0, 100), span(1, ep(3), 50, 180)],
+            outgoing: vec![],
+        };
+        let params = Params::default();
+        let task = ReconstructionTask::new(&g, &params, &view);
+        let mut mapping = Mapping::new();
+        let mut ranked = RankedMapping::new();
+        let report = task.run(&mut mapping, &mut ranked);
+        assert_eq!(report.mapped_spans, 2);
+        assert!(mapping.contains(RpcId(0)));
+        assert!(mapping.children(RpcId(0)).is_empty());
+        assert_eq!(report.confidence(), 100.0);
+    }
+
+    /// Dynamism: one parent's backend call was served from cache. With
+    /// handle_dynamism the un-cached parent takes the only outgoing span
+    /// and the cached one maps to nothing.
+    #[test]
+    fn dynamism_skip_budget_used() {
+        let mut g = CallGraph::new();
+        g.insert(ep(0), DependencySpec::new(vec![Stage::single(ep(1))]));
+        let view = SpanView {
+            incoming: vec![
+                span(0, ep(0), 0, 1_000),
+                span(1, ep(0), 100, 1_100),
+            ],
+            // One child only, timed to match parent 0's profile (sent
+            // 50us after parent 0 arrived).
+            outgoing: vec![span(10, ep(1), 50, 700)],
+        };
+        let params = Params::with_dynamism();
+        let task = ReconstructionTask::new(&g, &params, &view);
+        let mut mapping = Mapping::new();
+        let mut ranked = RankedMapping::new();
+        let report = task.run(&mut mapping, &mut ranked);
+        assert_eq!(report.skip_budget, 1);
+        assert_eq!(report.mapped_spans, 2);
+        // The single concrete child went to exactly one parent.
+        let c0 = mapping.children(RpcId(0));
+        let c1 = mapping.children(RpcId(1));
+        assert_ne!(c0, c1);
+        assert!(c0 == [RpcId(10)] || c1 == [RpcId(10)]);
+    }
+
+    /// Without dynamism handling, a missing child leaves a parent
+    /// unmapped rather than stealing another parent's child.
+    #[test]
+    fn no_dynamism_leaves_unmapped() {
+        let mut g = CallGraph::new();
+        g.insert(ep(0), DependencySpec::new(vec![Stage::single(ep(1))]));
+        let view = SpanView {
+            incoming: vec![
+                span(0, ep(0), 0, 1_000),
+                span(1, ep(0), 2_000, 3_000),
+            ],
+            outgoing: vec![span(10, ep(1), 2_100, 2_700)],
+        };
+        let params = Params::default();
+        let task = ReconstructionTask::new(&g, &params, &view);
+        let mut mapping = Mapping::new();
+        let mut ranked = RankedMapping::new();
+        let report = task.run(&mut mapping, &mut ranked);
+        assert_eq!(report.mapped_spans, 1);
+        assert!(!mapping.contains(RpcId(0)));
+        assert_eq!(mapping.children(RpcId(1)), &[RpcId(10)]);
+        assert!(report.confidence() < 100.0);
+    }
+
+    /// Ranked output contains the truth within top-K even under ambiguity.
+    #[test]
+    fn ranked_output_has_k_entries() {
+        let mut g = CallGraph::new();
+        g.insert(ep(0), DependencySpec::new(vec![Stage::single(ep(1))]));
+        // One parent, several plausible children.
+        let view = SpanView {
+            incoming: vec![span(0, ep(0), 0, 1_000)],
+            outgoing: (0..8)
+                .map(|i| span(10 + i, ep(1), 100 + i * 50, 900))
+                .collect(),
+        };
+        let params = Params::default();
+        let task = ReconstructionTask::new(&g, &params, &view);
+        let mut mapping = Mapping::new();
+        let mut ranked = RankedMapping::new();
+        task.run(&mut mapping, &mut ranked);
+        let cands = ranked.candidates(RpcId(0));
+        assert!(!cands.is_empty());
+        assert!(cands.len() <= params.top_k);
+    }
+}
+

@@ -1,0 +1,165 @@
+//! Property-based tests for the reconstruction algorithm's invariants.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use tw_core::batching::make_batches;
+use tw_core::candidates::{enumerate_candidates, OutgoingPool, SlotLayout};
+use tw_core::delays::edge_gaps;
+use tw_core::params::Params;
+use tw_core::{Params as P, TraceWeaver};
+use tw_model::callgraph::{CallGraph, DependencySpec, Stage};
+use tw_model::ids::{Endpoint, OperationId, RpcId, ServiceId};
+use tw_model::span::{ObservedSpan, SpanView};
+use tw_model::time::Nanos;
+
+fn ep(s: u32) -> Endpoint {
+    Endpoint::new(ServiceId(s), OperationId(0))
+}
+
+fn span(rpc: u64, e: Endpoint, start: u64, dur: u64) -> ObservedSpan {
+    ObservedSpan {
+        rpc: RpcId(rpc),
+        peer: e.service,
+        endpoint: e,
+        start: Nanos(start),
+        end: Nanos(start + dur),
+        thread: None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every enumerated candidate satisfies nesting and order constraints.
+    #[test]
+    fn candidates_respect_constraints(
+        parent_start in 0u64..1_000,
+        parent_dur in 100u64..2_000,
+        children in prop::collection::vec((0u64..3_000, 1u64..800, 0u32..2), 0..12),
+    ) {
+        let spec = DependencySpec::new(vec![Stage::single(ep(1)), Stage::single(ep(2))]);
+        let layout = SlotLayout::from_spec(&spec, true);
+        let outgoing: Vec<ObservedSpan> = children
+            .iter()
+            .enumerate()
+            .map(|(i, &(s, d, which))| span(100 + i as u64, ep(1 + which), s, d))
+            .collect();
+        let pool = OutgoingPool::new(&outgoing);
+        let parent = span(0, ep(0), parent_start, parent_dur);
+        let cands = enumerate_candidates(0, &parent, &layout, &pool, &Params::default(), false);
+
+        for c in &cands {
+            let b = c.children[0].map(|i| pool.span(i));
+            let cc = c.children[1].map(|i| pool.span(i));
+            for child in [b, cc].iter().flatten() {
+                prop_assert!(parent.start <= child.start);
+                prop_assert!(child.end <= parent.end);
+            }
+            if let (Some(b), Some(cc)) = (b, cc) {
+                prop_assert!(b.end <= cc.start, "order constraint violated");
+            }
+            // All edge gaps of a feasible candidate are non-negative.
+            for (_, gap) in edge_gaps(ep(0), &parent, &layout, c, &pool) {
+                prop_assert!(gap >= -1e-9, "negative gap {gap}");
+            }
+        }
+    }
+
+    /// Batching covers every span exactly once, in order, within size cap.
+    #[test]
+    fn batches_partition_input(
+        sets in prop::collection::vec(prop::collection::vec(0usize..40, 0..6), 1..80),
+        raw_ends in prop::collection::vec(0u64..10_000, 1..80),
+        cap in 1usize..20,
+    ) {
+        let n = sets.len().min(raw_ends.len());
+        let mut feasible: Vec<Vec<usize>> = sets[..n].to_vec();
+        for f in &mut feasible {
+            f.sort_unstable();
+            f.dedup();
+        }
+        let ends = raw_ends[..n].to_vec();
+        let batches = make_batches(&feasible, &ends, cap);
+        prop_assert_eq!(batches.first().map(|r| r.start), Some(0));
+        prop_assert_eq!(batches.last().map(|r| r.end), Some(n));
+        for w in batches.windows(2) {
+            prop_assert_eq!(w[0].end, w[1].start);
+        }
+        for b in &batches {
+            prop_assert!(b.len() <= cap.max(1));
+            prop_assert!(!b.is_empty());
+        }
+    }
+
+    /// Reconstruction output never assigns one outgoing span to two
+    /// parents, regardless of timing layout.
+    #[test]
+    fn no_double_assignment(
+        parents in prop::collection::vec((0u64..5_000, 500u64..3_000), 1..15),
+        children in prop::collection::vec((0u64..8_000, 50u64..400), 0..15),
+    ) {
+        let mut g = CallGraph::new();
+        g.insert(ep(0), DependencySpec::new(vec![Stage::single(ep(1))]));
+        let mut view = SpanView {
+            incoming: parents
+                .iter()
+                .enumerate()
+                .map(|(i, &(s, d))| span(i as u64, ep(0), s, d))
+                .collect(),
+            outgoing: children
+                .iter()
+                .enumerate()
+                .map(|(i, &(s, d))| span(1_000 + i as u64, ep(1), s, d))
+                .collect(),
+        };
+        view.sort();
+        let mut views = std::collections::HashMap::new();
+        views.insert(tw_model::span::ProcessKey::new(ServiceId(0), 0), view);
+        let tw = TraceWeaver::new(g, P::default());
+        let result = tw.reconstruct(&views);
+
+        let mut used: HashSet<RpcId> = HashSet::new();
+        for (_, kids) in result.mapping.iter() {
+            for &k in kids {
+                prop_assert!(used.insert(k), "span {k:?} assigned twice");
+            }
+        }
+    }
+
+    /// With dynamism on, reconstruction still never double-assigns and
+    /// never panics on arbitrary inputs.
+    #[test]
+    fn dynamism_robustness(
+        parents in prop::collection::vec((0u64..5_000, 500u64..3_000), 1..10),
+        children in prop::collection::vec((0u64..8_000, 50u64..400), 0..8),
+    ) {
+        let mut g = CallGraph::new();
+        g.insert(
+            ep(0),
+            DependencySpec::new(vec![Stage::single(ep(1)), Stage::single(ep(2))]),
+        );
+        let mut view = SpanView {
+            incoming: parents
+                .iter()
+                .enumerate()
+                .map(|(i, &(s, d))| span(i as u64, ep(0), s, d))
+                .collect(),
+            outgoing: children
+                .iter()
+                .enumerate()
+                .map(|(i, &(s, d))| span(1_000 + i as u64, ep(1 + (i as u32 % 2)), s, d))
+                .collect(),
+        };
+        view.sort();
+        let mut views = std::collections::HashMap::new();
+        views.insert(tw_model::span::ProcessKey::new(ServiceId(0), 0), view);
+        let tw = TraceWeaver::new(g, P::with_dynamism());
+        let result = tw.reconstruct(&views);
+        let mut used: HashSet<RpcId> = HashSet::new();
+        for (_, kids) in result.mapping.iter() {
+            for &k in kids {
+                prop_assert!(used.insert(k));
+            }
+        }
+    }
+}

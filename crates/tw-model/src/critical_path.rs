@@ -1,0 +1,190 @@
+//! Critical-path extraction over (reconstructed) traces.
+//!
+//! The critical path of a request is the chain of spans that determines
+//! its end-to-end latency: starting at the root, repeatedly descend into
+//! the child whose response arrived last before the parent could respond.
+//! Shortening any span on this path shortens the request; spans off the
+//! path are hidden by parallelism. This is the aggregate-analysis
+//! workhorse the paper's §3 "Using the output" motivates, applied on top
+//! of TraceWeaver's reconstructed mappings.
+//!
+//! Note the granularity: this is the span-level *tail chain* (the
+//! standard APM approximation). Time a parent spent waiting on earlier
+//! sequential stages is attributed to the parent's own self-time, because
+//! the mapping alone does not reveal stage structure.
+
+use crate::ids::{RpcId, ServiceId};
+use crate::span::RpcRecord;
+use std::collections::HashMap;
+
+/// One hop on the critical path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CriticalHop {
+    pub rpc: RpcId,
+    pub service: ServiceId,
+    /// Callee-side span duration (µs).
+    pub span_us: f64,
+    /// Time attributable to this hop itself (span minus the critical
+    /// child's caller-side occupancy; µs, floored at zero).
+    pub self_us: f64,
+}
+
+/// Compute the critical path of the trace rooted at `root`.
+///
+/// `children_of` supplies the (predicted or ground-truth) child set per
+/// span; the descent picks, at each step, the child with the latest
+/// caller-side response time. Spans missing from `records` terminate the
+/// walk. Cycles (possible in wrong predictions) are broken by never
+/// revisiting a span.
+pub fn critical_path(
+    root: RpcId,
+    children_of: impl Fn(RpcId) -> Vec<RpcId>,
+    records: &HashMap<RpcId, RpcRecord>,
+) -> Vec<CriticalHop> {
+    let mut path = Vec::new();
+    let mut visited = std::collections::HashSet::new();
+    let mut cur = root;
+    while visited.insert(cur) {
+        let Some(rec) = records.get(&cur) else {
+            break;
+        };
+        let span_us = rec.send_resp.micros_since(rec.recv_req);
+        // Critical child: latest caller-side response.
+        let critical_child = children_of(cur)
+            .into_iter()
+            .filter_map(|c| records.get(&c).map(|r| (c, r.recv_resp)))
+            .max_by_key(|&(_, t)| t);
+        let self_us = match critical_child {
+            Some((c, _)) => {
+                let child = &records[&c];
+                (span_us - child.recv_resp.micros_since(child.send_req)).max(0.0)
+            }
+            None => span_us,
+        };
+        path.push(CriticalHop {
+            rpc: cur,
+            service: rec.callee.service,
+            span_us,
+            self_us,
+        });
+        match critical_child {
+            Some((c, _)) => cur = c,
+            None => break,
+        }
+    }
+    path
+}
+
+/// Aggregate critical-path self-time per service over many traces (µs
+/// summed per trace, then collected per service across traces).
+pub fn critical_path_breakdown(
+    roots: impl IntoIterator<Item = RpcId>,
+    children_of: impl Fn(RpcId) -> Vec<RpcId> + Copy,
+    records: &HashMap<RpcId, RpcRecord>,
+) -> HashMap<ServiceId, Vec<f64>> {
+    let mut out: HashMap<ServiceId, Vec<f64>> = HashMap::new();
+    for root in roots {
+        let mut per_service: HashMap<ServiceId, f64> = HashMap::new();
+        for hop in critical_path(root, children_of, records) {
+            *per_service.entry(hop.service).or_default() += hop.self_us;
+        }
+        for (svc, us) in per_service {
+            out.entry(svc).or_default().push(us);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{Endpoint, OperationId};
+    use crate::span::EXTERNAL;
+    use crate::time::Nanos;
+
+    fn mk(rpc: u64, svc: u32, t: [u64; 4]) -> RpcRecord {
+        RpcRecord {
+            rpc: RpcId(rpc),
+            caller: EXTERNAL,
+            caller_replica: 0,
+            callee: Endpoint::new(ServiceId(svc), OperationId(0)),
+            callee_replica: 0,
+            send_req: Nanos::from_micros(t[0]),
+            recv_req: Nanos::from_micros(t[1]),
+            send_resp: Nanos::from_micros(t[2]),
+            recv_resp: Nanos::from_micros(t[3]),
+            caller_thread: None,
+            callee_thread: None,
+        }
+    }
+
+    /// Root 1 (svc 0) with two parallel children: 2 (svc 1, fast) and
+    /// 3 (svc 2, slow). The slow child is critical.
+    fn parallel_trace() -> HashMap<RpcId, RpcRecord> {
+        let mut r = HashMap::new();
+        r.insert(RpcId(1), mk(1, 0, [0, 10, 1_000, 1_010]));
+        r.insert(RpcId(2), mk(2, 1, [50, 60, 200, 210]));
+        r.insert(RpcId(3), mk(3, 2, [50, 60, 900, 910]));
+        r
+    }
+
+    fn kids(rpc: RpcId) -> Vec<RpcId> {
+        if rpc == RpcId(1) {
+            vec![RpcId(2), RpcId(3)]
+        } else {
+            vec![]
+        }
+    }
+
+    #[test]
+    fn picks_slowest_child() {
+        let records = parallel_trace();
+        let path = critical_path(RpcId(1), kids, &records);
+        let rpcs: Vec<RpcId> = path.iter().map(|h| h.rpc).collect();
+        assert_eq!(rpcs, vec![RpcId(1), RpcId(3)]);
+    }
+
+    #[test]
+    fn self_time_subtracts_critical_child() {
+        let records = parallel_trace();
+        let path = critical_path(RpcId(1), kids, &records);
+        // Root span 990us; critical child occupies 910-50=860us caller-side.
+        assert!((path[0].span_us - 990.0).abs() < 1e-9);
+        assert!((path[0].self_us - 130.0).abs() < 1e-9);
+        // Leaf hop: self time = full span.
+        assert!((path[1].self_us - 840.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_record_stops_walk() {
+        let records = parallel_trace();
+        let path = critical_path(RpcId(99), kids, &records);
+        assert!(path.is_empty());
+    }
+
+    #[test]
+    fn cycle_safe() {
+        let records = parallel_trace();
+        let cyclic = |rpc: RpcId| {
+            if rpc == RpcId(1) {
+                vec![RpcId(3)]
+            } else {
+                vec![RpcId(1)] // bad prediction: cycle
+            }
+        };
+        let path = critical_path(RpcId(1), cyclic, &records);
+        assert_eq!(path.len(), 2);
+    }
+
+    #[test]
+    fn breakdown_aggregates_per_service() {
+        let records = parallel_trace();
+        let breakdown = critical_path_breakdown([RpcId(1)], kids, &records);
+        assert!(breakdown.contains_key(&ServiceId(0)));
+        assert!(breakdown.contains_key(&ServiceId(2)));
+        assert!(
+            !breakdown.contains_key(&ServiceId(1)),
+            "fast parallel child must be off the critical path"
+        );
+    }
+}

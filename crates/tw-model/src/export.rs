@@ -1,0 +1,201 @@
+//! Export reconstructed traces in Jaeger's JSON format.
+//!
+//! Reconstructed traces are most useful inside existing tooling; Jaeger's
+//! UI accepts a JSON document of the shape produced here (`{"data": [
+//! {"traceID", "spans": [...], "processes": {...}}]}`), so operators can
+//! browse TraceWeaver output exactly like instrumented traces.
+
+use crate::ids::{Catalog, RpcId};
+use crate::mapping::Mapping;
+use crate::span::RpcRecord;
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// One Jaeger span reference (CHILD_OF edge).
+#[derive(Debug, Clone, Serialize)]
+pub struct JaegerRef {
+    #[serde(rename = "refType")]
+    pub ref_type: &'static str,
+    #[serde(rename = "traceID")]
+    pub trace_id: String,
+    #[serde(rename = "spanID")]
+    pub span_id: String,
+}
+
+/// One Jaeger span.
+#[derive(Debug, Clone, Serialize)]
+pub struct JaegerSpan {
+    #[serde(rename = "traceID")]
+    pub trace_id: String,
+    #[serde(rename = "spanID")]
+    pub span_id: String,
+    #[serde(rename = "operationName")]
+    pub operation_name: String,
+    pub references: Vec<JaegerRef>,
+    /// Microseconds since epoch (here: simulation start).
+    #[serde(rename = "startTime")]
+    pub start_time: u64,
+    /// Microseconds.
+    pub duration: u64,
+    #[serde(rename = "processID")]
+    pub process_id: String,
+}
+
+/// One Jaeger process (service) entry.
+#[derive(Debug, Clone, Serialize)]
+pub struct JaegerProcess {
+    #[serde(rename = "serviceName")]
+    pub service_name: String,
+}
+
+/// One exported trace.
+#[derive(Debug, Clone, Serialize)]
+pub struct JaegerTrace {
+    #[serde(rename = "traceID")]
+    pub trace_id: String,
+    pub spans: Vec<JaegerSpan>,
+    pub processes: HashMap<String, JaegerProcess>,
+}
+
+/// Top-level Jaeger JSON document.
+#[derive(Debug, Clone, Serialize)]
+pub struct JaegerDoc {
+    pub data: Vec<JaegerTrace>,
+}
+
+fn hex(id: u64) -> String {
+    format!("{id:016x}")
+}
+
+/// Export the traces rooted at `roots`, following `mapping`'s predicted
+/// parent→child edges, using callee-side timestamps.
+pub fn to_jaeger(
+    roots: &[RpcId],
+    mapping: &Mapping,
+    records: &HashMap<RpcId, RpcRecord>,
+    catalog: &Catalog,
+) -> JaegerDoc {
+    let mut data = Vec::with_capacity(roots.len());
+    for &root in roots {
+        let trace_id = hex(root.0);
+        let mut spans = Vec::new();
+        let mut processes: HashMap<String, JaegerProcess> = HashMap::new();
+        let assembled = mapping.assemble(root);
+        // Parent lookup within this trace.
+        let mut parent_of: HashMap<RpcId, RpcId> = HashMap::new();
+        for rpc in assembled.rpcs() {
+            for &child in mapping.children(rpc) {
+                parent_of.insert(child, rpc);
+            }
+        }
+        for rpc in assembled.rpcs() {
+            let Some(rec) = records.get(&rpc) else {
+                continue;
+            };
+            let service = catalog.service_name(rec.callee.service).to_string();
+            let pid = format!("p{}", rec.callee.service.0);
+            processes
+                .entry(pid.clone())
+                .or_insert(JaegerProcess {
+                    service_name: service,
+                });
+            let references = parent_of
+                .get(&rpc)
+                .map(|p| {
+                    vec![JaegerRef {
+                        ref_type: "CHILD_OF",
+                        trace_id: trace_id.clone(),
+                        span_id: hex(p.0),
+                    }]
+                })
+                .unwrap_or_default();
+            spans.push(JaegerSpan {
+                trace_id: trace_id.clone(),
+                span_id: hex(rpc.0),
+                operation_name: catalog.operation_name(rec.callee.op).to_string(),
+                references,
+                start_time: rec.recv_req.0 / 1_000,
+                duration: rec.send_resp.saturating_sub(rec.recv_req).0 / 1_000,
+                process_id: pid,
+            });
+        }
+        data.push(JaegerTrace {
+            trace_id,
+            spans,
+            processes,
+        });
+    }
+    JaegerDoc { data }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{Endpoint, OperationId, ServiceId};
+    use crate::span::EXTERNAL;
+    use crate::time::Nanos;
+
+    fn setup() -> (Vec<RpcId>, Mapping, HashMap<RpcId, RpcRecord>, Catalog) {
+        let mut catalog = Catalog::new();
+        let a = catalog.service("frontend");
+        let b = catalog.service("backend");
+        let op_a = catalog.operation("GET /");
+        let op_b = catalog.operation("Backend.Do");
+
+        let mk = |rpc: u64, caller, callee, op, t: [u64; 4]| RpcRecord {
+            rpc: RpcId(rpc),
+            caller,
+            caller_replica: 0,
+            callee: Endpoint::new(callee, op),
+            callee_replica: 0,
+            send_req: Nanos::from_micros(t[0]),
+            recv_req: Nanos::from_micros(t[1]),
+            send_resp: Nanos::from_micros(t[2]),
+            recv_resp: Nanos::from_micros(t[3]),
+            caller_thread: None,
+            callee_thread: None,
+        };
+        let mut records = HashMap::new();
+        records.insert(RpcId(1), mk(1, EXTERNAL, a, op_a, [0, 10, 500, 510]));
+        records.insert(RpcId(2), mk(2, a, b, op_b, [50, 60, 300, 310]));
+        let mut mapping = Mapping::new();
+        mapping.assign(RpcId(1), [RpcId(2)]);
+        (vec![RpcId(1)], mapping, records, catalog)
+    }
+
+    #[test]
+    fn exports_trace_with_child_of_reference() {
+        let (roots, mapping, records, catalog) = setup();
+        let doc = to_jaeger(&roots, &mapping, &records, &catalog);
+        assert_eq!(doc.data.len(), 1);
+        let trace = &doc.data[0];
+        assert_eq!(trace.spans.len(), 2);
+        assert_eq!(trace.processes.len(), 2);
+        let root_span = trace.spans.iter().find(|s| s.span_id == hex(1)).unwrap();
+        assert!(root_span.references.is_empty());
+        assert_eq!(root_span.operation_name, "GET /");
+        assert_eq!(root_span.duration, 490); // 500 - 10 us
+        let child = trace.spans.iter().find(|s| s.span_id == hex(2)).unwrap();
+        assert_eq!(child.references.len(), 1);
+        assert_eq!(child.references[0].span_id, hex(1));
+        assert_eq!(child.references[0].ref_type, "CHILD_OF");
+    }
+
+    #[test]
+    fn serializes_to_jaeger_shape() {
+        let (roots, mapping, records, catalog) = setup();
+        let doc = to_jaeger(&roots, &mapping, &records, &catalog);
+        let json = serde_json::to_string(&doc).unwrap();
+        assert!(json.contains("\"traceID\""));
+        assert!(json.contains("\"CHILD_OF\""));
+        assert!(json.contains("\"serviceName\":\"frontend\""));
+    }
+
+    #[test]
+    fn missing_records_skipped() {
+        let (roots, mut mapping, records, catalog) = setup();
+        mapping.assign(RpcId(2), [RpcId(99)]); // dangling child
+        let doc = to_jaeger(&roots, &mapping, &records, &catalog);
+        assert_eq!(doc.data[0].spans.len(), 2); // 99 silently dropped
+    }
+}

@@ -1,0 +1,43 @@
+//! Domain model shared by every TraceWeaver crate.
+//!
+//! The vocabulary follows the paper (§2.1):
+//!
+//! * a **span** is one request-response pair at a service, with caller,
+//!   callee, API endpoint (operation), start and end timestamps;
+//! * the **call graph** at a service lists which backend endpoints it
+//!   invokes to serve an operation, and the **dependency order** says which
+//!   of those invocations are sequential and which are parallel;
+//! * a **request trace** is the tree of spans rooted at a front-end request;
+//! * the **parent-child relationship** (which incoming span caused which
+//!   outgoing spans) is what TraceWeaver reconstructs — it is *never*
+//!   visible to the reconstruction algorithms, only to the evaluation
+//!   metrics, which compare against the simulator's ground truth.
+//!
+//! Crate layout:
+//! * [`time`] — integer nanosecond timestamps,
+//! * [`ids`] — interned identifiers for services, operations and RPCs,
+//! * [`span`] — RPC records and per-service observed span views,
+//! * [`callgraph`] — dependency specifications (stages of parallel calls),
+//! * [`truth`] — ground-truth parent maps (evaluation oracle only),
+//! * [`mapping`] — reconstruction outputs (predicted parent→children),
+//! * [`metrics`] — accuracy definitions used throughout the evaluation.
+
+pub mod callgraph;
+pub mod critical_path;
+pub mod export;
+pub mod ids;
+pub mod mapping;
+pub mod metrics;
+pub mod span;
+pub mod time;
+pub mod truth;
+
+pub use callgraph::{CallGraph, DependencySpec, Stage};
+pub use critical_path::{critical_path, critical_path_breakdown, CriticalHop};
+pub use export::to_jaeger;
+pub use ids::{Catalog, Endpoint, OperationId, RpcId, ServiceId};
+pub use mapping::{AssembledTrace, Mapping, RankedMapping};
+pub use metrics::{end_to_end_accuracy, per_service_accuracy, top_k_accuracy, AccuracyReport};
+pub use span::{ObservedSpan, ProcessKey, RpcRecord, SpanView};
+pub use time::Nanos;
+pub use truth::TruthIndex;

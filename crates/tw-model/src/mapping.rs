@@ -1,0 +1,265 @@
+//! Reconstruction outputs: predicted parent→children mappings, ranked
+//! alternatives (for top-K accuracy and debugging), and assembled traces.
+
+use crate::ids::RpcId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A predicted mapping from each parent RPC to the set of child RPCs it is
+/// believed to have spawned. Mappings from independent per-service
+/// reconstruction tasks merge into one global `Mapping` (paper §4.1: the
+/// independently mapped pieces "can be trivially assembled in
+/// post-processing").
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Mapping {
+    children: HashMap<RpcId, Vec<RpcId>>,
+}
+
+impl Mapping {
+    pub fn new() -> Self {
+        Mapping::default()
+    }
+
+    /// Record the predicted children of `parent`. Children are stored
+    /// sorted so that set comparison is cheap. Merging the same parent
+    /// twice extends the child set (a parent's children at different
+    /// backend services may arrive from different tasks).
+    pub fn assign(&mut self, parent: RpcId, children: impl IntoIterator<Item = RpcId>) {
+        let entry = self.children.entry(parent).or_default();
+        entry.extend(children);
+        entry.sort();
+        entry.dedup();
+    }
+
+    /// Predicted children of a parent (sorted), empty if unmapped.
+    pub fn children(&self, parent: RpcId) -> &[RpcId] {
+        self.children.get(&parent).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// True if the parent has an entry (possibly with an empty child set,
+    /// which is a valid prediction when dynamism skipped all calls).
+    pub fn contains(&self, parent: RpcId) -> bool {
+        self.children.contains_key(&parent)
+    }
+
+    /// Number of mapped parents.
+    pub fn len(&self) -> usize {
+        self.children.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// Merge another mapping into this one.
+    pub fn merge(&mut self, other: Mapping) {
+        for (parent, kids) in other.children {
+            self.assign(parent, kids);
+        }
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (RpcId, &[RpcId])> + '_ {
+        self.children.iter().map(|(k, v)| (*k, v.as_slice()))
+    }
+
+    /// Assemble the full trace tree below `root` by following predicted
+    /// children. Cycles (possible with a wrong prediction) are broken by
+    /// never revisiting an RPC.
+    ///
+    /// # Examples
+    /// ```
+    /// use tw_model::{Mapping, RpcId};
+    /// let mut m = Mapping::new();
+    /// m.assign(RpcId(1), [RpcId(2), RpcId(3)]);
+    /// m.assign(RpcId(2), [RpcId(4)]);
+    /// let trace = m.assemble(RpcId(1));
+    /// // Pre-order: root, first child subtree, second child.
+    /// let order: Vec<u64> = trace.rpcs().map(|r| r.0).collect();
+    /// assert_eq!(order, vec![1, 2, 4, 3]);
+    /// ```
+    pub fn assemble(&self, root: RpcId) -> AssembledTrace {
+        let mut nodes = Vec::new();
+        let mut visited = std::collections::HashSet::new();
+        let mut stack = vec![(root, 0usize)];
+        while let Some((rpc, depth)) = stack.pop() {
+            if !visited.insert(rpc) {
+                continue;
+            }
+            nodes.push((rpc, depth));
+            for &c in self.children(rpc).iter().rev() {
+                stack.push((c, depth + 1));
+            }
+        }
+        AssembledTrace { root, nodes }
+    }
+}
+
+/// A fully assembled trace: pre-order list of (rpc, depth) pairs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AssembledTrace {
+    pub root: RpcId,
+    pub nodes: Vec<(RpcId, usize)>,
+}
+
+impl AssembledTrace {
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    pub fn rpcs(&self) -> impl Iterator<Item = RpcId> + '_ {
+        self.nodes.iter().map(|&(r, _)| r)
+    }
+}
+
+/// Ranked candidate child sets per parent, best first — the paper's top-K
+/// output (§6.2.1): "a ranked list of 5 candidate mappings at each service".
+/// Optionally carries each candidate's log-likelihood score so operators
+/// can see how decisive the ranking was.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RankedMapping {
+    ranked: HashMap<RpcId, Vec<Vec<RpcId>>>,
+    scores: HashMap<RpcId, Vec<f64>>,
+}
+
+impl RankedMapping {
+    pub fn new() -> Self {
+        RankedMapping::default()
+    }
+
+    /// Record the ranked candidates for a parent. Each candidate child set
+    /// is stored sorted.
+    pub fn set(&mut self, parent: RpcId, mut candidates: Vec<Vec<RpcId>>) {
+        for c in &mut candidates {
+            c.sort();
+            c.dedup();
+        }
+        self.ranked.insert(parent, candidates);
+    }
+
+    /// Record ranked candidates together with their scores (best first).
+    pub fn set_scored(&mut self, parent: RpcId, candidates: Vec<(Vec<RpcId>, f64)>) {
+        let (sets, scores): (Vec<Vec<RpcId>>, Vec<f64>) = candidates.into_iter().unzip();
+        self.set(parent, sets);
+        self.scores.insert(parent, scores);
+    }
+
+    /// Scores aligned with [`RankedMapping::candidates`]; empty if the
+    /// producer didn't record them.
+    pub fn scores(&self, parent: RpcId) -> &[f64] {
+        self.scores.get(&parent).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Append a lower-ranked candidate for a parent.
+    pub fn push(&mut self, parent: RpcId, mut candidate: Vec<RpcId>) {
+        candidate.sort();
+        candidate.dedup();
+        self.ranked.entry(parent).or_default().push(candidate);
+    }
+
+    pub fn candidates(&self, parent: RpcId) -> &[Vec<RpcId>] {
+        self.ranked.get(&parent).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    pub fn len(&self) -> usize {
+        self.ranked.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ranked.is_empty()
+    }
+
+    pub fn merge(&mut self, other: RankedMapping) {
+        self.ranked.extend(other.ranked);
+        self.scores.extend(other.scores);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(x: u64) -> RpcId {
+        RpcId(x)
+    }
+
+    #[test]
+    fn assign_sorts_and_dedups() {
+        let mut m = Mapping::new();
+        m.assign(r(1), [r(3), r(2), r(3)]);
+        assert_eq!(m.children(r(1)), &[r(2), r(3)]);
+    }
+
+    #[test]
+    fn assign_same_parent_extends() {
+        let mut m = Mapping::new();
+        m.assign(r(1), [r(2)]);
+        m.assign(r(1), [r(3)]);
+        assert_eq!(m.children(r(1)), &[r(2), r(3)]);
+    }
+
+    #[test]
+    fn empty_assignment_still_counts_as_mapped() {
+        let mut m = Mapping::new();
+        m.assign(r(1), []);
+        assert!(m.contains(r(1)));
+        assert!(m.children(r(1)).is_empty());
+        assert!(!m.contains(r(2)));
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Mapping::new();
+        a.assign(r(1), [r(2)]);
+        let mut b = Mapping::new();
+        b.assign(r(2), [r(4)]);
+        a.merge(b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.children(r(2)), &[r(4)]);
+    }
+
+    #[test]
+    fn assemble_walks_tree() {
+        let mut m = Mapping::new();
+        m.assign(r(1), [r(2), r(3)]);
+        m.assign(r(2), [r(4)]);
+        let t = m.assemble(r(1));
+        assert_eq!(
+            t.nodes,
+            vec![(r(1), 0), (r(2), 1), (r(4), 2), (r(3), 1)]
+        );
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn assemble_breaks_cycles() {
+        let mut m = Mapping::new();
+        m.assign(r(1), [r(2)]);
+        m.assign(r(2), [r(1)]);
+        let t = m.assemble(r(1));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn ranked_mapping_ordering_preserved() {
+        let mut rm = RankedMapping::new();
+        rm.set(r(1), vec![vec![r(3), r(2)], vec![r(4)]]);
+        let cands = rm.candidates(r(1));
+        assert_eq!(cands[0], vec![r(2), r(3)]);
+        assert_eq!(cands[1], vec![r(4)]);
+        rm.push(r(1), vec![r(5)]);
+        assert_eq!(rm.candidates(r(1)).len(), 3);
+    }
+
+    #[test]
+    fn ranked_scores_recorded() {
+        let mut rm = RankedMapping::new();
+        rm.set_scored(r(1), vec![(vec![r(2)], -1.5), (vec![r(3)], -7.0)]);
+        assert_eq!(rm.candidates(r(1)).len(), 2);
+        assert_eq!(rm.scores(r(1)), &[-1.5, -7.0]);
+        assert!(rm.scores(r(9)).is_empty());
+    }
+}

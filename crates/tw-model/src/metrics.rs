@@ -1,0 +1,276 @@
+//! Accuracy definitions used throughout the evaluation (paper §6).
+//!
+//! * **per-service accuracy** — fraction of parent spans at a service whose
+//!   predicted child set exactly equals the ground-truth child set;
+//! * **end-to-end accuracy** — fraction of root requests whose *entire*
+//!   reconstructed tree is correct (every span in the trace got exactly the
+//!   right children). This is the headline metric of Figure 4;
+//! * **top-K accuracy** — fraction of parent spans whose ground-truth child
+//!   set appears among the K highest-ranked candidate mappings (§6.2.1).
+
+use crate::ids::{RpcId, ServiceId};
+use crate::mapping::{Mapping, RankedMapping};
+use crate::span::RpcRecord;
+use crate::truth::TruthIndex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A correct/total pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AccuracyReport {
+    pub correct: usize,
+    pub total: usize,
+}
+
+impl AccuracyReport {
+    pub fn ratio(&self) -> f64 {
+        if self.total == 0 {
+            // Vacuous accuracy: nothing to get wrong.
+            1.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+
+    pub fn percent(&self) -> f64 {
+        self.ratio() * 100.0
+    }
+
+    pub fn add(&mut self, correct: bool) {
+        self.total += 1;
+        if correct {
+            self.correct += 1;
+        }
+    }
+
+    pub fn merge(&mut self, other: AccuracyReport) {
+        self.correct += other.correct;
+        self.total += other.total;
+    }
+}
+
+/// Is parent `p`'s prediction exactly the ground truth?
+pub fn parent_is_correct(mapping: &Mapping, truth: &TruthIndex, p: RpcId) -> bool {
+    mapping.children(p) == truth.children(p)
+}
+
+/// Per-service accuracy over a set of parent spans (the incoming spans of
+/// one reconstruction task).
+pub fn per_service_accuracy(
+    mapping: &Mapping,
+    truth: &TruthIndex,
+    parents: impl IntoIterator<Item = RpcId>,
+) -> AccuracyReport {
+    let mut report = AccuracyReport::default();
+    for p in parents {
+        report.add(parent_is_correct(mapping, truth, p));
+    }
+    report
+}
+
+/// End-to-end accuracy over the given roots: a trace counts as correct only
+/// if every span in its ground-truth tree received exactly the right
+/// children.
+pub fn end_to_end_accuracy(
+    mapping: &Mapping,
+    truth: &TruthIndex,
+    roots: impl IntoIterator<Item = RpcId>,
+) -> AccuracyReport {
+    let mut report = AccuracyReport::default();
+    for root in roots {
+        let ok = truth
+            .descendants(root)
+            .iter()
+            .all(|&rpc| parent_is_correct(mapping, truth, rpc));
+        report.add(ok);
+    }
+    report
+}
+
+/// End-to-end accuracy over all ground-truth roots.
+pub fn end_to_end_accuracy_all_roots(mapping: &Mapping, truth: &TruthIndex) -> AccuracyReport {
+    end_to_end_accuracy(mapping, truth, truth.roots().to_vec())
+}
+
+/// Top-K accuracy: the ground-truth child set appears among the first `k`
+/// ranked candidates.
+pub fn top_k_accuracy(
+    ranked: &RankedMapping,
+    truth: &TruthIndex,
+    parents: impl IntoIterator<Item = RpcId>,
+    k: usize,
+) -> AccuracyReport {
+    let mut report = AccuracyReport::default();
+    for p in parents {
+        let truth_kids = truth.children(p);
+        let hit = ranked
+            .candidates(p)
+            .iter()
+            .take(k)
+            .any(|cand| cand.as_slice() == truth_kids);
+        report.add(hit);
+    }
+    report
+}
+
+/// Exclusive processing time per service across one trace, in microseconds.
+///
+/// For each span the time attributed to its callee service is the span's
+/// service-side duration minus the caller-side durations of its (mapped)
+/// children — i.e. time the service itself spent, excluding time blocked on
+/// backends it called. This powers the tail-latency troubleshooting use
+/// case (paper §6.4.1 / Figure 6c).
+pub fn exclusive_time_per_service(
+    rpcs: impl IntoIterator<Item = RpcId>,
+    children_of: impl Fn(RpcId) -> Vec<RpcId>,
+    records: &HashMap<RpcId, RpcRecord>,
+) -> HashMap<ServiceId, f64> {
+    let mut out: HashMap<ServiceId, f64> = HashMap::new();
+    for rpc in rpcs {
+        let Some(rec) = records.get(&rpc) else {
+            continue;
+        };
+        let total = rec.send_resp.micros_since(rec.recv_req);
+        let child_time: f64 = children_of(rpc)
+            .iter()
+            .filter_map(|c| records.get(c))
+            .map(|c| c.recv_resp.micros_since(c.send_req))
+            .sum();
+        // Parallel child calls can overlap, so exclusive time can go
+        // negative under this simple subtraction; clamp at zero.
+        let exclusive = (total - child_time).max(0.0);
+        *out.entry(rec.callee.service).or_default() += exclusive;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{Endpoint, OperationId};
+    use crate::time::Nanos;
+
+    fn r(x: u64) -> RpcId {
+        RpcId(x)
+    }
+
+    /// Truth: 1 -> {2,3}, 2 -> {4}; root 1. Second root 5 (leaf).
+    fn truth() -> TruthIndex {
+        TruthIndex::from_pairs([
+            (r(1), None),
+            (r(2), Some(r(1))),
+            (r(3), Some(r(1))),
+            (r(4), Some(r(2))),
+            (r(5), None),
+        ])
+    }
+
+    #[test]
+    fn accuracy_report_ratio() {
+        let mut a = AccuracyReport::default();
+        assert_eq!(a.ratio(), 1.0);
+        a.add(true);
+        a.add(false);
+        assert_eq!(a.ratio(), 0.5);
+        assert_eq!(a.percent(), 50.0);
+    }
+
+    #[test]
+    fn per_service_exact_match_required() {
+        let t = truth();
+        let mut m = Mapping::new();
+        m.assign(r(1), [r(2), r(3)]);
+        let rep = per_service_accuracy(&m, &t, [r(1)]);
+        assert_eq!(rep.correct, 1);
+
+        let mut wrong = Mapping::new();
+        wrong.assign(r(1), [r(2)]); // missing r(3)
+        let rep = per_service_accuracy(&wrong, &t, [r(1)]);
+        assert_eq!(rep.correct, 0);
+
+        let mut extra = Mapping::new();
+        extra.assign(r(1), [r(2), r(3), r(4)]); // extra child
+        let rep = per_service_accuracy(&extra, &t, [r(1)]);
+        assert_eq!(rep.correct, 0);
+    }
+
+    #[test]
+    fn leaf_parent_needs_empty_prediction() {
+        let t = truth();
+        let m = Mapping::new();
+        // Unmapped leaf: children() is empty which matches truth.
+        let rep = per_service_accuracy(&m, &t, [r(4)]);
+        assert_eq!(rep.correct, 1);
+    }
+
+    #[test]
+    fn end_to_end_requires_whole_tree() {
+        let t = truth();
+        let mut m = Mapping::new();
+        m.assign(r(1), [r(2), r(3)]);
+        m.assign(r(2), [r(4)]);
+        let rep = end_to_end_accuracy(&m, &t, [r(1), r(5)]);
+        assert_eq!(rep.correct, 2);
+        assert_eq!(rep.total, 2);
+
+        // Break one deep link: the whole trace for root 1 becomes wrong.
+        let mut m2 = Mapping::new();
+        m2.assign(r(1), [r(2), r(3)]);
+        m2.assign(r(2), [r(3)]);
+        let rep = end_to_end_accuracy(&m2, &t, [r(1)]);
+        assert_eq!(rep.correct, 0);
+    }
+
+    #[test]
+    fn all_roots_helper() {
+        let t = truth();
+        let mut m = Mapping::new();
+        m.assign(r(1), [r(2), r(3)]);
+        m.assign(r(2), [r(4)]);
+        let rep = end_to_end_accuracy_all_roots(&m, &t);
+        assert_eq!(rep.total, 2);
+        assert_eq!(rep.correct, 2);
+    }
+
+    #[test]
+    fn top_k_hit_and_miss() {
+        let t = truth();
+        let mut rm = RankedMapping::new();
+        rm.set(
+            r(1),
+            vec![vec![r(2), r(4)], vec![r(2), r(3)], vec![r(3), r(4)]],
+        );
+        assert_eq!(top_k_accuracy(&rm, &t, [r(1)], 1).correct, 0);
+        assert_eq!(top_k_accuracy(&rm, &t, [r(1)], 2).correct, 1);
+        // Parent with no candidates at all: counted as a miss (unless leaf).
+        assert_eq!(top_k_accuracy(&rm, &t, [r(2)], 5).correct, 0);
+    }
+
+    #[test]
+    fn exclusive_time_subtracts_children() {
+        let a = ServiceId(0);
+        let b = ServiceId(1);
+        let mk = |rpc: u64, svc: ServiceId, t: [u64; 4]| RpcRecord {
+            rpc: r(rpc),
+            caller: ServiceId(99),
+            caller_replica: 0,
+            callee: Endpoint::new(svc, OperationId(0)),
+            callee_replica: 0,
+            send_req: Nanos::from_micros(t[0]),
+            recv_req: Nanos::from_micros(t[1]),
+            send_resp: Nanos::from_micros(t[2]),
+            recv_resp: Nanos::from_micros(t[3]),
+            caller_thread: None,
+            callee_thread: None,
+        };
+        let mut records = HashMap::new();
+        // Parent at A serves 0..100 (us); child at B occupies 20..60 from
+        // A's viewpoint (send_req=20, recv_resp=60).
+        records.insert(r(1), mk(1, a, [0, 0, 100, 100]));
+        records.insert(r(2), mk(2, b, [20, 25, 55, 60]));
+        let children = |rpc: RpcId| if rpc == r(1) { vec![r(2)] } else { vec![] };
+        let times = exclusive_time_per_service([r(1), r(2)], children, &records);
+        assert_eq!(times[&a], 60.0); // 100 - (60-20)
+        assert_eq!(times[&b], 30.0); // 55 - 25
+    }
+}

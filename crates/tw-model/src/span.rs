@@ -1,0 +1,281 @@
+//! RPC records and the per-process span views the reconstruction works on.
+//!
+//! The simulator (or a real eBPF capture layer) produces one [`RpcRecord`]
+//! per request-response exchange, carrying the four externally observable
+//! timestamps. [`split_by_process`] turns a batch of records into
+//! per-container [`SpanView`]s: the incoming spans a container served and
+//! the outgoing spans it issued — exactly the visibility a sidecar or eBPF
+//! hook has (paper §2.1 "What is visible?").
+
+use crate::ids::{Endpoint, RpcId, ServiceId};
+use crate::time::Nanos;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Sentinel service id for external clients (the internet-facing side of a
+/// front-end service).
+pub const EXTERNAL: ServiceId = ServiceId(u32::MAX);
+
+/// The unit of reconstruction: one container (replica) of one service.
+/// Requests arriving at container A only spawn backend requests out of the
+/// same container (paper §6.6), so reconstruction never crosses this key.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ProcessKey {
+    pub service: ServiceId,
+    pub replica: u16,
+}
+
+impl ProcessKey {
+    pub fn new(service: ServiceId, replica: u16) -> Self {
+        ProcessKey { service, replica }
+    }
+}
+
+/// Full wire-level record of one RPC, as produced by the capture substrate.
+///
+/// The four timestamps are what network interception sees; nothing in this
+/// record links the RPC to the incoming request that caused it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RpcRecord {
+    pub rpc: RpcId,
+    /// Service that issued the request ([`EXTERNAL`] for client calls).
+    pub caller: ServiceId,
+    pub caller_replica: u16,
+    /// Target endpoint (callee service + operation).
+    pub callee: Endpoint,
+    pub callee_replica: u16,
+    /// Request leaves the caller.
+    pub send_req: Nanos,
+    /// Request arrives at the callee.
+    pub recv_req: Nanos,
+    /// Response leaves the callee.
+    pub send_resp: Nanos,
+    /// Response arrives back at the caller.
+    pub recv_resp: Nanos,
+    /// OS thread at the caller that performed the `send` syscall, if the
+    /// capture layer records it (used only by the vPath baseline).
+    pub caller_thread: Option<u32>,
+    /// OS thread at the callee that performed the `recv` syscall.
+    pub callee_thread: Option<u32>,
+}
+
+impl RpcRecord {
+    /// The callee-side process.
+    pub fn callee_process(&self) -> ProcessKey {
+        ProcessKey::new(self.callee.service, self.callee_replica)
+    }
+
+    /// The caller-side process.
+    pub fn caller_process(&self) -> ProcessKey {
+        ProcessKey::new(self.caller, self.caller_replica)
+    }
+
+    /// True if timestamps are causally ordered.
+    pub fn is_well_formed(&self) -> bool {
+        self.send_req <= self.recv_req
+            && self.recv_req <= self.send_resp
+            && self.send_resp <= self.recv_resp
+    }
+}
+
+/// One side's view of an RPC: either an *incoming* span (this process
+/// served the request; start/end are recv-request/send-response) or an
+/// *outgoing* span (this process issued the request; start/end are
+/// send-request/recv-response).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ObservedSpan {
+    pub rpc: RpcId,
+    /// The remote service: the caller for incoming spans, the callee
+    /// service for outgoing spans.
+    pub peer: ServiceId,
+    /// Callee endpoint of the underlying RPC (for incoming spans this is
+    /// the operation this process served).
+    pub endpoint: Endpoint,
+    pub start: Nanos,
+    pub end: Nanos,
+    /// Locally observed syscall thread (recv thread for incoming spans,
+    /// send thread for outgoing spans).
+    pub thread: Option<u32>,
+}
+
+impl ObservedSpan {
+    /// Duration of the span.
+    pub fn duration(&self) -> Nanos {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// True if `other`'s window nests inside this span's window — the basic
+    /// feasibility requirement for a parent-child pairing.
+    pub fn contains(&self, other: &ObservedSpan) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+}
+
+/// Everything one container observed in a time range: the spans it served
+/// and the spans it issued. This is the exact input of one reconstruction
+/// task (paper §4.1: an "independent optimization task").
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SpanView {
+    pub incoming: Vec<ObservedSpan>,
+    pub outgoing: Vec<ObservedSpan>,
+}
+
+impl SpanView {
+    /// Sort both sides by (start, end) — the order the algorithm expects.
+    pub fn sort(&mut self) {
+        self.incoming.sort_by_key(|s| (s.start, s.end, s.rpc));
+        self.outgoing.sort_by_key(|s| (s.start, s.end, s.rpc));
+    }
+}
+
+/// Split a batch of RPC records into per-process views.
+///
+/// Each record contributes an incoming span at its callee process and — if
+/// the caller is not external — an outgoing span at its caller process.
+/// Views are returned with spans sorted by start time.
+pub fn split_by_process(records: &[RpcRecord]) -> HashMap<ProcessKey, SpanView> {
+    let mut views: HashMap<ProcessKey, SpanView> = HashMap::new();
+    for r in records {
+        views
+            .entry(r.callee_process())
+            .or_default()
+            .incoming
+            .push(ObservedSpan {
+                rpc: r.rpc,
+                peer: r.caller,
+                endpoint: r.callee,
+                start: r.recv_req,
+                end: r.send_resp,
+                thread: r.callee_thread,
+            });
+        if r.caller != EXTERNAL {
+            views
+                .entry(r.caller_process())
+                .or_default()
+                .outgoing
+                .push(ObservedSpan {
+                    rpc: r.rpc,
+                    peer: r.callee.service,
+                    endpoint: r.callee,
+                    start: r.send_req,
+                    end: r.recv_resp,
+                    thread: r.caller_thread,
+                });
+        }
+    }
+    for v in views.values_mut() {
+        v.sort();
+    }
+    views
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::OperationId;
+
+    fn rec(
+        rpc: u64,
+        caller: ServiceId,
+        callee: ServiceId,
+        t: [u64; 4],
+    ) -> RpcRecord {
+        RpcRecord {
+            rpc: RpcId(rpc),
+            caller,
+            caller_replica: 0,
+            callee: Endpoint::new(callee, OperationId(0)),
+            callee_replica: 0,
+            send_req: Nanos(t[0]),
+            recv_req: Nanos(t[1]),
+            send_resp: Nanos(t[2]),
+            recv_resp: Nanos(t[3]),
+            caller_thread: None,
+            callee_thread: None,
+        }
+    }
+
+    const A: ServiceId = ServiceId(0);
+    const B: ServiceId = ServiceId(1);
+
+    #[test]
+    fn split_produces_both_sides() {
+        // external -> A, then A -> B
+        let records = vec![
+            rec(1, EXTERNAL, A, [0, 10, 100, 110]),
+            rec(2, A, B, [20, 25, 80, 85]),
+        ];
+        let views = split_by_process(&records);
+        let at_a = &views[&ProcessKey::new(A, 0)];
+        assert_eq!(at_a.incoming.len(), 1);
+        assert_eq!(at_a.outgoing.len(), 1);
+        // Incoming at A covers [recv_req, send_resp].
+        assert_eq!(at_a.incoming[0].start, Nanos(10));
+        assert_eq!(at_a.incoming[0].end, Nanos(100));
+        // Outgoing from A covers [send_req, recv_resp].
+        assert_eq!(at_a.outgoing[0].start, Nanos(20));
+        assert_eq!(at_a.outgoing[0].end, Nanos(85));
+        let at_b = &views[&ProcessKey::new(B, 0)];
+        assert_eq!(at_b.incoming.len(), 1);
+        assert!(at_b.outgoing.is_empty());
+    }
+
+    #[test]
+    fn external_caller_has_no_outgoing_view() {
+        let records = vec![rec(1, EXTERNAL, A, [0, 1, 2, 3])];
+        let views = split_by_process(&records);
+        assert_eq!(views.len(), 1);
+        assert!(views.contains_key(&ProcessKey::new(A, 0)));
+    }
+
+    #[test]
+    fn replicas_are_distinct_processes() {
+        let mut r1 = rec(1, EXTERNAL, A, [0, 1, 2, 3]);
+        let mut r2 = rec(2, EXTERNAL, A, [0, 1, 2, 3]);
+        r1.callee_replica = 0;
+        r2.callee_replica = 1;
+        let views = split_by_process(&[r1, r2]);
+        assert_eq!(views.len(), 2);
+    }
+
+    #[test]
+    fn views_are_sorted_by_start() {
+        let records = vec![
+            rec(1, EXTERNAL, A, [0, 50, 60, 70]),
+            rec(2, EXTERNAL, A, [0, 10, 20, 30]),
+        ];
+        let views = split_by_process(&records);
+        let at_a = &views[&ProcessKey::new(A, 0)];
+        assert!(at_a.incoming[0].start <= at_a.incoming[1].start);
+        assert_eq!(at_a.incoming[0].rpc, RpcId(2));
+    }
+
+    #[test]
+    fn contains_and_duration() {
+        let outer = ObservedSpan {
+            rpc: RpcId(1),
+            peer: A,
+            endpoint: Endpoint::new(A, OperationId(0)),
+            start: Nanos(0),
+            end: Nanos(100),
+            thread: None,
+        };
+        let inner = ObservedSpan {
+            start: Nanos(10),
+            end: Nanos(90),
+            ..outer
+        };
+        assert!(outer.contains(&inner));
+        assert!(!inner.contains(&outer));
+        assert!(outer.contains(&outer));
+        assert_eq!(inner.duration(), Nanos(80));
+    }
+
+    #[test]
+    fn well_formedness() {
+        assert!(rec(1, A, B, [0, 1, 2, 3]).is_well_formed());
+        assert!(!rec(1, A, B, [5, 1, 2, 3]).is_well_formed());
+    }
+}

@@ -1,0 +1,145 @@
+//! Integer nanosecond timestamps.
+//!
+//! All simulator and algorithm code works in integer nanoseconds to keep
+//! ordering exact and hashing/equality well-defined; conversion to floating
+//! point microseconds happens only at the statistics boundary.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in (simulated) time, in nanoseconds since simulation start.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Nanos(pub u64);
+
+impl Nanos {
+    pub const ZERO: Nanos = Nanos(0);
+    pub const MAX: Nanos = Nanos(u64::MAX);
+
+    /// Construct from floating-point microseconds, rounding to the nearest
+    /// nanosecond and clamping negatives to zero.
+    pub fn from_micros_f64(us: f64) -> Nanos {
+        Nanos((us.max(0.0) * 1_000.0).round() as u64)
+    }
+
+    pub fn from_micros(us: u64) -> Nanos {
+        Nanos(us * 1_000)
+    }
+
+    pub fn from_millis(ms: u64) -> Nanos {
+        Nanos(ms * 1_000_000)
+    }
+
+    pub fn from_secs(s: u64) -> Nanos {
+        Nanos(s * 1_000_000_000)
+    }
+
+    /// Value in microseconds as f64 (statistics boundary).
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Difference as f64 microseconds; negative if `other` is later.
+    pub fn micros_since(self, other: Nanos) -> f64 {
+        (self.0 as f64 - other.0 as f64) / 1_000.0
+    }
+
+    pub fn saturating_sub(self, other: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(other.0))
+    }
+
+    pub fn min(self, other: Nanos) -> Nanos {
+        Nanos(self.0.min(other.0))
+    }
+
+    pub fn max(self, other: Nanos) -> Nanos {
+        Nanos(self.0.max(other.0))
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Nanos {
+    fn add_assign(&mut self, rhs: Nanos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Nanos {
+    type Output = Nanos;
+    /// Panics on underflow in debug builds (timestamps should be ordered
+    /// by the caller); use [`Nanos::saturating_sub`] when unsure.
+    fn sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.0 as f64 / 1e9)
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(Nanos::from_micros(5).0, 5_000);
+        assert_eq!(Nanos::from_millis(2).0, 2_000_000);
+        assert_eq!(Nanos::from_secs(1).0, 1_000_000_000);
+        assert_eq!(Nanos::from_micros(5).as_micros_f64(), 5.0);
+        assert_eq!(Nanos::from_micros_f64(2.5).0, 2_500);
+    }
+
+    #[test]
+    fn negative_micros_clamp_to_zero() {
+        assert_eq!(Nanos::from_micros_f64(-3.0), Nanos::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Nanos(100);
+        let b = Nanos(40);
+        assert_eq!(a + b, Nanos(140));
+        assert_eq!(a - b, Nanos(60));
+        assert_eq!(b.saturating_sub(a), Nanos::ZERO);
+        assert_eq!(a.micros_since(b), 0.06);
+        assert_eq!(b.micros_since(a), -0.06);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Nanos(1) < Nanos(2));
+        assert_eq!(Nanos(5).max(Nanos(3)), Nanos(5));
+        assert_eq!(Nanos(5).min(Nanos(3)), Nanos(3));
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(format!("{}", Nanos(500)), "500ns");
+        assert_eq!(format!("{}", Nanos(1_500)), "1.500us");
+        assert_eq!(format!("{}", Nanos(2_000_000)), "2.000ms");
+        assert_eq!(format!("{}", Nanos(3_000_000_000)), "3.000s");
+    }
+}

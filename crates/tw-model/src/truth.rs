@@ -1,0 +1,167 @@
+//! Ground-truth parent-child relationships.
+//!
+//! In the paper's evaluation, Jaeger (with full context propagation)
+//! provides ground-truth traces. In this repository the simulator plays
+//! that role: it knows exactly which incoming request caused which backend
+//! calls. The [`TruthIndex`] is used **only** by the evaluation metrics —
+//! the reconstruction algorithms never see it.
+
+use crate::ids::RpcId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Oracle mapping every RPC to its parent RPC (or `None` for roots, i.e.
+/// external client calls).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TruthIndex {
+    parent_of: HashMap<RpcId, Option<RpcId>>,
+    children_of: HashMap<RpcId, Vec<RpcId>>,
+    roots: Vec<RpcId>,
+}
+
+impl TruthIndex {
+    /// Build the index from `(rpc, parent)` pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (RpcId, Option<RpcId>)>) -> Self {
+        let mut idx = TruthIndex::default();
+        for (rpc, parent) in pairs {
+            idx.insert(rpc, parent);
+        }
+        idx.finish();
+        idx
+    }
+
+    /// Record one RPC's parent.
+    pub fn insert(&mut self, rpc: RpcId, parent: Option<RpcId>) {
+        self.parent_of.insert(rpc, parent);
+        match parent {
+            Some(p) => self.children_of.entry(p).or_default().push(rpc),
+            None => self.roots.push(rpc),
+        }
+    }
+
+    /// Sort child lists and roots for deterministic iteration. Called by
+    /// [`TruthIndex::from_pairs`]; call manually after incremental inserts.
+    pub fn finish(&mut self) {
+        for v in self.children_of.values_mut() {
+            v.sort();
+        }
+        self.roots.sort();
+    }
+
+    /// Parent of an RPC. Outer `None` = RPC unknown; inner `None` = root.
+    pub fn parent(&self, rpc: RpcId) -> Option<Option<RpcId>> {
+        self.parent_of.get(&rpc).copied()
+    }
+
+    /// Ground-truth children of an RPC (sorted), empty for leaves.
+    pub fn children(&self, rpc: RpcId) -> &[RpcId] {
+        self.children_of.get(&rpc).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All root RPCs (external client requests), sorted.
+    pub fn roots(&self) -> &[RpcId] {
+        &self.roots
+    }
+
+    /// Number of known RPCs.
+    pub fn len(&self) -> usize {
+        self.parent_of.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.parent_of.is_empty()
+    }
+
+    /// All RPCs in the trace rooted at `root`, including the root itself
+    /// (pre-order).
+    pub fn descendants(&self, root: RpcId) -> Vec<RpcId> {
+        let mut out = Vec::new();
+        let mut stack = vec![root];
+        while let Some(r) = stack.pop() {
+            out.push(r);
+            stack.extend(self.children(r).iter().rev().copied());
+        }
+        out
+    }
+
+    /// The root ancestor of an RPC (follows parent links).
+    pub fn root_of(&self, rpc: RpcId) -> Option<RpcId> {
+        let mut cur = rpc;
+        let mut hops = 0usize;
+        loop {
+            match self.parent(cur)? {
+                None => return Some(cur),
+                Some(p) => {
+                    cur = p;
+                    hops += 1;
+                    if hops > self.parent_of.len() {
+                        return None; // corrupt (cyclic) data; refuse to loop forever
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(x: u64) -> RpcId {
+        RpcId(x)
+    }
+
+    /// Tree: 1 -> {2, 3}, 2 -> {4}, plus separate root 5.
+    fn sample() -> TruthIndex {
+        TruthIndex::from_pairs([
+            (r(1), None),
+            (r(2), Some(r(1))),
+            (r(3), Some(r(1))),
+            (r(4), Some(r(2))),
+            (r(5), None),
+        ])
+    }
+
+    #[test]
+    fn roots_and_children() {
+        let t = sample();
+        assert_eq!(t.roots(), &[r(1), r(5)]);
+        assert_eq!(t.children(r(1)), &[r(2), r(3)]);
+        assert_eq!(t.children(r(2)), &[r(4)]);
+        assert!(t.children(r(4)).is_empty());
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn parent_lookup() {
+        let t = sample();
+        assert_eq!(t.parent(r(2)), Some(Some(r(1))));
+        assert_eq!(t.parent(r(1)), Some(None));
+        assert_eq!(t.parent(r(99)), None);
+    }
+
+    #[test]
+    fn descendants_preorder() {
+        let t = sample();
+        assert_eq!(t.descendants(r(1)), vec![r(1), r(2), r(4), r(3)]);
+        assert_eq!(t.descendants(r(5)), vec![r(5)]);
+    }
+
+    #[test]
+    fn root_of_follows_chain() {
+        let t = sample();
+        assert_eq!(t.root_of(r(4)), Some(r(1)));
+        assert_eq!(t.root_of(r(1)), Some(r(1)));
+        assert_eq!(t.root_of(r(5)), Some(r(5)));
+        assert_eq!(t.root_of(r(99)), None);
+    }
+
+    #[test]
+    fn cyclic_data_does_not_hang() {
+        let mut t = TruthIndex::default();
+        t.insert(r(1), Some(r(2)));
+        t.insert(r(2), Some(r(1)));
+        t.finish();
+        assert_eq!(t.root_of(r(1)), None);
+    }
+}

@@ -1,0 +1,24 @@
+//! Deployment modes for TraceWeaver (paper §5.3).
+//!
+//! * [`store`] — **offline** mode: spans are collected and persisted; an
+//!   operator later selects a time range and reconstructs on demand;
+//! * [`online`] — **online** mode: spans stream into a running engine
+//!   (over a crossbeam channel, as they would over the wire via
+//!   `tw_capture::wire`) that reconstructs tumbling windows in real time;
+//! * [`net`] — a TCP span transport: agents export wire frames to an
+//!   ingestion server feeding the engine;
+//! * [`sampling`] — **tail-based sampling** on reconstructed traces: once
+//!   a window is mapped, a configured fraction of complete traces is kept
+//!   and the rest dropped — the sampling style head-based tracing cannot
+//!   provide without context propagation (§6.6 discusses why head-based
+//!   sampling is unsupported).
+
+pub mod net;
+pub mod online;
+pub mod sampling;
+pub mod store;
+
+pub use net::{export_records, IngestServer};
+pub use online::{OnlineConfig, OnlineEngine, WindowResult};
+pub use sampling::TailSampler;
+pub use store::OfflineStore;

@@ -1,0 +1,225 @@
+//! TCP span transport: capture agents export length-prefixed span frames
+//! (`tw_capture::wire`) over TCP to an ingestion server that feeds a
+//! reconstruction sink.
+//!
+//! This is the wire path of the paper's online deployment (§5.3): eBPF
+//! agents on application nodes ship spans to a running TraceWeaver
+//! instance. The server is a plain blocking accept loop with one thread
+//! per connection — span export is a low-fan-in workload (one agent per
+//! node), so thread-per-connection is the robust, simple choice.
+
+use crossbeam::channel::Sender;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use tw_capture::wire::{encode_records, FrameDecoder};
+use tw_model::span::RpcRecord;
+
+/// A running span-ingestion server.
+///
+/// Incoming frames are decoded and forwarded to the sink channel (e.g.
+/// an [`crate::OnlineEngine`]'s ingest handle). Malformed streams close
+/// their connection; other connections are unaffected.
+pub struct IngestServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl IngestServer {
+    /// Bind and start accepting. Use `"127.0.0.1:0"` to pick a free port.
+    pub fn bind(addr: &str, sink: Sender<RpcRecord>) -> std::io::Result<IngestServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let accept_thread = std::thread::spawn(move || {
+            let mut workers: Vec<JoinHandle<()>> = Vec::new();
+            for conn in listener.incoming() {
+                if stop2.load(Ordering::SeqCst) {
+                    break;
+                }
+                match conn {
+                    Ok(stream) => {
+                        let sink = sink.clone();
+                        workers.push(std::thread::spawn(move || {
+                            let _ = serve_connection(stream, sink);
+                        }));
+                    }
+                    Err(_) => break,
+                }
+            }
+            for w in workers {
+                let _ = w.join();
+            }
+        });
+        Ok(IngestServer {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and wait for in-flight connections to drain.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a wake-up connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for IngestServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Decode one connection's frame stream into the sink until EOF or error.
+fn serve_connection(mut stream: TcpStream, sink: Sender<RpcRecord>) -> std::io::Result<()> {
+    let mut decoder = FrameDecoder::new();
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Ok(()); // clean EOF
+        }
+        decoder.feed(&buf[..n]);
+        loop {
+            match decoder.next_record() {
+                Ok(Some(rec)) => {
+                    if sink.send(rec).is_err() {
+                        return Ok(()); // sink closed: drop the rest
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("wire error: {e}"),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Client side: connect and export a batch of records as wire frames.
+pub fn export_records(addr: SocketAddr, records: &[RpcRecord]) -> std::io::Result<()> {
+    let mut stream = TcpStream::connect(addr)?;
+    let frames = encode_records(records);
+    stream.write_all(&frames)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+    use tw_model::ids::{Endpoint, OperationId, RpcId, ServiceId};
+    use tw_model::span::EXTERNAL;
+    use tw_model::time::Nanos;
+
+    fn rec(rpc: u64) -> RpcRecord {
+        RpcRecord {
+            rpc: RpcId(rpc),
+            caller: EXTERNAL,
+            caller_replica: 0,
+            callee: Endpoint::new(ServiceId(1), OperationId(0)),
+            callee_replica: 0,
+            send_req: Nanos(rpc * 1_000),
+            recv_req: Nanos(rpc * 1_000 + 10),
+            send_resp: Nanos(rpc * 1_000 + 500),
+            recv_resp: Nanos(rpc * 1_000 + 510),
+            caller_thread: Some(1),
+            callee_thread: Some(2),
+        }
+    }
+
+    #[test]
+    fn single_client_round_trip() {
+        let (tx, rx) = unbounded();
+        let server = IngestServer::bind("127.0.0.1:0", tx).unwrap();
+        let records: Vec<RpcRecord> = (0..100).map(rec).collect();
+        export_records(server.local_addr(), &records).unwrap();
+
+        let mut received = Vec::new();
+        for _ in 0..records.len() {
+            received.push(rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap());
+        }
+        assert_eq!(received, records);
+        server.shutdown();
+    }
+
+    #[test]
+    fn multiple_concurrent_clients() {
+        let (tx, rx) = unbounded();
+        let server = IngestServer::bind("127.0.0.1:0", tx).unwrap();
+        let addr = server.local_addr();
+        let handles: Vec<_> = (0..4u64)
+            .map(|k| {
+                std::thread::spawn(move || {
+                    let batch: Vec<RpcRecord> = (0..50).map(|i| rec(k * 1_000 + i)).collect();
+                    export_records(addr, &batch).unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut got = Vec::new();
+        for _ in 0..200 {
+            got.push(rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap());
+        }
+        // All records arrive exactly once (order across clients is free).
+        let mut ids: Vec<u64> = got.iter().map(|r| r.rpc.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_stream_only_kills_its_connection() {
+        let (tx, rx) = unbounded();
+        let server = IngestServer::bind("127.0.0.1:0", tx).unwrap();
+        let addr = server.local_addr();
+        // Garbage connection.
+        {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&[0xFF; 64]).unwrap();
+        }
+        // A healthy connection still works afterwards.
+        let records: Vec<RpcRecord> = (0..10).map(rec).collect();
+        export_records(addr, &records).unwrap();
+        let mut received = Vec::new();
+        for _ in 0..records.len() {
+            received.push(rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap());
+        }
+        assert_eq!(received, records);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_clean_and_idempotent_on_drop() {
+        let (tx, _rx) = unbounded();
+        let server = IngestServer::bind("127.0.0.1:0", tx).unwrap();
+        server.shutdown();
+        // Dropping another server without explicit shutdown is also fine.
+        let (tx2, _rx2) = unbounded();
+        let _server2 = IngestServer::bind("127.0.0.1:0", tx2).unwrap();
+    }
+}

@@ -1,0 +1,287 @@
+//! Online deployment mode (paper §5.3): a running engine ingests spans in
+//! real time and reconstructs traces window by window.
+//!
+//! Spans arrive on a crossbeam channel (in production they'd arrive as
+//! `tw_capture::wire` frames over TCP; the channel models the same
+//! stream). The engine buffers records and, whenever the *watermark* (the
+//! latest response timestamp seen) passes the current window's end plus a
+//! grace period, reconstructs every record that completed inside the
+//! window. The grace period plays the paper's role of "the window needs to
+//! be chosen based on the known response latency distribution of the app":
+//! records of one trace always land in the same window because a trace's
+//! root response is its last event.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use std::thread::JoinHandle;
+use tw_core::{Reconstruction, TraceWeaver};
+use tw_model::span::RpcRecord;
+use tw_model::time::Nanos;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct OnlineConfig {
+    /// Window length (paper suggests 1–5s of spans per optimization).
+    pub window: Nanos,
+    /// Extra wait beyond the window end before processing, covering the
+    /// app's maximum response latency.
+    pub grace: Nanos,
+    /// Channel capacity for ingestion back-pressure.
+    pub channel_capacity: usize,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        OnlineConfig {
+            window: Nanos::from_secs(1),
+            grace: Nanos::from_millis(200),
+            channel_capacity: 65_536,
+        }
+    }
+}
+
+/// One reconstructed window.
+#[derive(Debug)]
+pub struct WindowResult {
+    /// Window index (0-based).
+    pub index: u64,
+    /// Window end (records with `recv_resp <= end` were processed).
+    pub end: Nanos,
+    /// Records processed in this window.
+    pub records: Vec<RpcRecord>,
+    pub reconstruction: Reconstruction,
+}
+
+impl WindowResult {
+    /// Fraction of this window's incoming spans that received a mapping —
+    /// a cheap live health signal for the deployment.
+    pub fn mapped_fraction(&self) -> f64 {
+        let (mapped, total) = self
+            .reconstruction
+            .reports
+            .iter()
+            .fold((0usize, 0usize), |(m, t), (_, r)| {
+                (m + r.mapped_spans, t + r.total_spans)
+            });
+        if total == 0 {
+            1.0
+        } else {
+            mapped as f64 / total as f64
+        }
+    }
+}
+
+/// The online engine: a worker thread owning a [`TraceWeaver`] instance.
+///
+/// Dropping / closing the ingest sender flushes all remaining records as a
+/// final window and shuts the worker down.
+pub struct OnlineEngine {
+    ingest: Option<Sender<RpcRecord>>,
+    results: Receiver<WindowResult>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl OnlineEngine {
+    pub fn start(tw: TraceWeaver, config: OnlineConfig) -> Self {
+        let (tx, rx) = bounded::<RpcRecord>(config.channel_capacity);
+        let (res_tx, res_rx) = bounded::<WindowResult>(1024);
+        let worker = std::thread::spawn(move || {
+            run_worker(tw, config, rx, res_tx);
+        });
+        OnlineEngine {
+            ingest: Some(tx),
+            results: res_rx,
+            worker: Some(worker),
+        }
+    }
+
+    /// Sender half for span ingestion (clone freely across capture
+    /// threads).
+    pub fn ingest_handle(&self) -> Sender<RpcRecord> {
+        self.ingest.as_ref().expect("engine running").clone()
+    }
+
+    /// Receiver of reconstructed windows.
+    pub fn results(&self) -> &Receiver<WindowResult> {
+        &self.results
+    }
+
+    /// Close ingestion, flush, and wait for the worker. Returns any
+    /// remaining window results.
+    pub fn shutdown(mut self) -> Vec<WindowResult> {
+        self.ingest.take(); // close the channel
+        if let Some(h) = self.worker.take() {
+            h.join().expect("worker panicked");
+        }
+        self.results.try_iter().collect()
+    }
+}
+
+impl Drop for OnlineEngine {
+    fn drop(&mut self) {
+        self.ingest.take();
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn run_worker(
+    tw: TraceWeaver,
+    config: OnlineConfig,
+    rx: Receiver<RpcRecord>,
+    out: Sender<WindowResult>,
+) {
+    let mut buffer: Vec<RpcRecord> = Vec::new();
+    let mut watermark = Nanos::ZERO;
+    let mut window_index: u64 = 0;
+    let mut window_end = config.window;
+
+    let flush = |index: u64,
+                 end: Nanos,
+                 buffer: &mut Vec<RpcRecord>,
+                 out: &Sender<WindowResult>,
+                 tw: &TraceWeaver,
+                 everything: bool| {
+        let (ready, rest): (Vec<_>, Vec<_>) = buffer
+            .drain(..)
+            .partition(|r| everything || r.recv_resp <= end);
+        *buffer = rest;
+        if ready.is_empty() {
+            return;
+        }
+        let reconstruction = tw.reconstruct_records(&ready);
+        // Receiver may have been dropped; reconstruction results are then
+        // discarded, which is fine for shutdown paths.
+        let _ = out.send(WindowResult {
+            index,
+            end,
+            records: ready,
+            reconstruction,
+        });
+    };
+
+    for rec in rx.iter() {
+        watermark = watermark.max(rec.recv_resp);
+        buffer.push(rec);
+        while watermark >= window_end + config.grace {
+            flush(window_index, window_end, &mut buffer, &out, &tw, false);
+            window_index += 1;
+            window_end += config.window;
+        }
+    }
+    // Channel closed: flush whatever is left as the final window.
+    flush(window_index, watermark, &mut buffer, &out, &tw, true);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tw_core::Params;
+    use tw_model::metrics::end_to_end_accuracy_all_roots;
+    use tw_sim::apps::two_service_chain;
+    use tw_sim::{Simulator, Workload};
+
+    #[test]
+    fn online_matches_offline_accuracy() {
+        let app = two_service_chain(50);
+        let call_graph = app.config.call_graph();
+        let root = app.roots[0];
+        let sim = Simulator::new(app.config).unwrap();
+        let out = sim.run(&Workload::poisson(root, 500.0, Nanos::from_secs(3)));
+
+        let tw = TraceWeaver::new(call_graph, Params::default());
+        let engine = OnlineEngine::start(
+            tw,
+            OnlineConfig {
+                window: Nanos::from_millis(500),
+                grace: Nanos::from_millis(100),
+                channel_capacity: 1024,
+            },
+        );
+        let ingest = engine.ingest_handle();
+        // Stream records in time order, as a capture agent would.
+        let mut records = out.records.clone();
+        records.sort_by_key(|r| r.send_req);
+        for r in records {
+            ingest.send(r).unwrap();
+        }
+        drop(ingest);
+
+        let mut windows = Vec::new();
+        // Drain live results then the shutdown flush.
+        let engine_results = engine.results().clone();
+        windows.extend(engine.shutdown());
+        windows.extend(engine_results.try_iter());
+
+        assert!(windows.len() >= 4, "expected several windows, got {}", windows.len());
+        // Merge all window mappings and compare against truth.
+        let mut merged = tw_model::Mapping::new();
+        for w in &windows {
+            merged.merge(w.reconstruction.mapping.clone());
+        }
+        let acc = end_to_end_accuracy_all_roots(&merged, &out.truth);
+        assert!(acc.ratio() > 0.85, "online accuracy {}", acc.ratio());
+        // Every record was processed exactly once.
+        let total: usize = windows.iter().map(|w| w.records.len()).sum();
+        assert_eq!(total, out.records.len());
+        // Health signal available per window.
+        for w in &windows {
+            let f = w.mapped_fraction();
+            assert!((0.0..=1.0).contains(&f));
+            assert!(f > 0.8, "window {} mapped only {f}", w.index);
+        }
+    }
+
+    #[test]
+    fn shutdown_flushes_partial_window() {
+        let app = two_service_chain(51);
+        let call_graph = app.config.call_graph();
+        let root = app.roots[0];
+        let sim = Simulator::new(app.config).unwrap();
+        let out = sim.run(&Workload::poisson(root, 100.0, Nanos::from_millis(100)));
+
+        let tw = TraceWeaver::new(call_graph, Params::default());
+        // Window far longer than the run: nothing flushes until shutdown.
+        let engine = OnlineEngine::start(tw, OnlineConfig::default());
+        let ingest = engine.ingest_handle();
+        for r in &out.records {
+            ingest.send(*r).unwrap();
+        }
+        drop(ingest);
+        let windows = engine.shutdown();
+        let total: usize = windows.iter().map(|w| w.records.len()).sum();
+        assert_eq!(total, out.records.len());
+    }
+
+    #[test]
+    fn windows_are_ordered() {
+        let app = two_service_chain(52);
+        let call_graph = app.config.call_graph();
+        let root = app.roots[0];
+        let sim = Simulator::new(app.config).unwrap();
+        let out = sim.run(&Workload::poisson(root, 300.0, Nanos::from_secs(2)));
+        let tw = TraceWeaver::new(call_graph, Params::default());
+        let engine = OnlineEngine::start(
+            tw,
+            OnlineConfig {
+                window: Nanos::from_millis(250),
+                grace: Nanos::from_millis(50),
+                channel_capacity: 1024,
+            },
+        );
+        let ingest = engine.ingest_handle();
+        let mut records = out.records.clone();
+        records.sort_by_key(|r| r.send_req);
+        for r in records {
+            ingest.send(r).unwrap();
+        }
+        drop(ingest);
+        let results = engine.results().clone();
+        let mut windows: Vec<WindowResult> = engine.shutdown();
+        windows.extend(results.try_iter());
+        windows.sort_by_key(|w| w.index);
+        for pair in windows.windows(2) {
+            assert!(pair[0].end <= pair[1].end);
+        }
+    }
+}

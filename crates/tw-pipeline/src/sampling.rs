@@ -1,0 +1,138 @@
+//! Tail-based sampling on reconstructed traces (paper §5.3, mode 2).
+//!
+//! Head-based sampling decides when a request *arrives* and needs trace
+//! ids propagated to keep whole trees together — impossible without
+//! instrumentation (§6.6). Tail-based sampling decides after the fact:
+//! once TraceWeaver has mapped a window, keep a fraction of complete
+//! traces (the whole tree for each kept root) and drop the rest.
+
+use tw_core::Reconstruction;
+use tw_model::ids::RpcId;
+use tw_model::span::{RpcRecord, EXTERNAL};
+use tw_stats::sampler::Sampler;
+
+/// Deterministic tail sampler.
+#[derive(Debug, Clone)]
+pub struct TailSampler {
+    rate: f64,
+    sampler: Sampler,
+}
+
+impl TailSampler {
+    /// `rate` in [0, 1]: fraction of traces kept.
+    pub fn new(rate: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0,1]");
+        TailSampler {
+            rate,
+            sampler: Sampler::new(seed),
+        }
+    }
+
+    /// Sample a reconstructed window: returns the kept records (whole
+    /// trees of sampled roots, in input order).
+    ///
+    /// Roots are the records whose caller is external.
+    pub fn sample(
+        &mut self,
+        records: &[RpcRecord],
+        reconstruction: &Reconstruction,
+    ) -> Vec<RpcRecord> {
+        let roots: Vec<RpcId> = records
+            .iter()
+            .filter(|r| r.caller == EXTERNAL)
+            .map(|r| r.rpc)
+            .collect();
+        let mut keep: std::collections::HashSet<RpcId> = std::collections::HashSet::new();
+        for root in roots {
+            if self.sampler.coin(self.rate) {
+                let trace = reconstruction.mapping.assemble(root);
+                keep.extend(trace.rpcs());
+            }
+        }
+        records
+            .iter()
+            .filter(|r| keep.contains(&r.rpc))
+            .copied()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tw_core::{Params, TraceWeaver};
+    use tw_model::time::Nanos;
+    use tw_sim::apps::two_service_chain;
+    use tw_sim::{Simulator, Workload};
+
+    fn reconstructed() -> (Vec<RpcRecord>, Reconstruction) {
+        let app = two_service_chain(60);
+        let call_graph = app.config.call_graph();
+        let root = app.roots[0];
+        let sim = Simulator::new(app.config).unwrap();
+        let out = sim.run(&Workload::poisson(root, 300.0, Nanos::from_secs(1)));
+        let tw = TraceWeaver::new(call_graph, Params::default());
+        let rec = tw.reconstruct_records(&out.records);
+        (out.records, rec)
+    }
+
+    #[test]
+    fn rate_zero_keeps_nothing() {
+        let (records, rec) = reconstructed();
+        let mut s = TailSampler::new(0.0, 1);
+        assert!(s.sample(&records, &rec).is_empty());
+    }
+
+    #[test]
+    fn rate_one_keeps_all_mapped_trees() {
+        let (records, rec) = reconstructed();
+        let mut s = TailSampler::new(1.0, 1);
+        let kept = s.sample(&records, &rec);
+        // All roots kept; with correct mappings nearly all records kept.
+        let frac = kept.len() as f64 / records.len() as f64;
+        assert!(frac > 0.95, "kept fraction {frac}");
+    }
+
+    #[test]
+    fn intermediate_rate_keeps_whole_trees() {
+        let (records, rec) = reconstructed();
+        let mut s = TailSampler::new(0.3, 2);
+        let kept = s.sample(&records, &rec);
+        assert!(!kept.is_empty() && kept.len() < records.len());
+        // Every kept non-root record's mapped parent must also be kept:
+        // trees are sampled atomically.
+        let kept_ids: std::collections::HashSet<RpcId> =
+            kept.iter().map(|r| r.rpc).collect();
+        for r in &kept {
+            if r.caller != EXTERNAL {
+                let has_parent = kept.iter().any(|p| {
+                    rec.mapping
+                        .children(p.rpc)
+                        .contains(&r.rpc)
+                });
+                assert!(
+                    has_parent && !kept_ids.is_empty(),
+                    "orphan record {:?} in sample",
+                    r.rpc
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_rate_approximate() {
+        let (records, rec) = reconstructed();
+        let roots = records.iter().filter(|r| r.caller == EXTERNAL).count();
+        let mut s = TailSampler::new(0.5, 3);
+        let kept = s.sample(&records, &rec);
+        let kept_roots = kept.iter().filter(|r| r.caller == EXTERNAL).count();
+        let frac = kept_roots as f64 / roots as f64;
+        assert!((frac - 0.5).abs() < 0.15, "root keep fraction {frac}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_rate_rejected() {
+        let _ = TailSampler::new(1.5, 1);
+    }
+}

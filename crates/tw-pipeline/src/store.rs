@@ -1,0 +1,144 @@
+//! Offline deployment mode: persist spans, reconstruct on demand.
+
+use parking_lot::RwLock;
+use std::io::{BufReader, BufWriter, Write};
+use std::path::Path;
+use tw_core::{Reconstruction, TraceWeaver};
+use tw_model::span::RpcRecord;
+use tw_model::time::Nanos;
+
+/// A thread-safe append-only span store with time-range queries and
+/// JSON-lines persistence.
+#[derive(Debug, Default)]
+pub struct OfflineStore {
+    records: RwLock<Vec<RpcRecord>>,
+}
+
+impl OfflineStore {
+    pub fn new() -> Self {
+        OfflineStore::default()
+    }
+
+    /// Append a batch of records (any order; queries sort internally).
+    pub fn ingest(&self, batch: &[RpcRecord]) {
+        self.records.write().extend_from_slice(batch);
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.read().is_empty()
+    }
+
+    /// Records whose request was sent within `[from, to)`.
+    pub fn query(&self, from: Nanos, to: Nanos) -> Vec<RpcRecord> {
+        self.records
+            .read()
+            .iter()
+            .filter(|r| r.send_req >= from && r.send_req < to)
+            .copied()
+            .collect()
+    }
+
+    /// Reconstruct traces for a time range on demand (the paper's offline
+    /// workflow: "TraceWeaver can selectively run the algorithm on spans
+    /// from that period").
+    pub fn reconstruct_range(
+        &self,
+        tw: &TraceWeaver,
+        from: Nanos,
+        to: Nanos,
+    ) -> Reconstruction {
+        tw.reconstruct_records(&self.query(from, to))
+    }
+
+    /// Persist all records as JSON lines.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        let mut w = BufWriter::new(file);
+        for rec in self.records.read().iter() {
+            serde_json::to_writer(&mut w, rec)?;
+            w.write_all(b"\n")?;
+        }
+        w.flush()
+    }
+
+    /// Load records from a JSON-lines file into a new store.
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let file = std::fs::File::open(path)?;
+        let reader = BufReader::new(file);
+        let mut records = Vec::new();
+        use std::io::BufRead;
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let rec: RpcRecord = serde_json::from_str(&line)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            records.push(rec);
+        }
+        Ok(OfflineStore {
+            records: RwLock::new(records),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tw_model::ids::{Endpoint, OperationId, RpcId, ServiceId};
+    use tw_model::span::EXTERNAL;
+
+    fn rec(rpc: u64, at_us: u64) -> RpcRecord {
+        RpcRecord {
+            rpc: RpcId(rpc),
+            caller: EXTERNAL,
+            caller_replica: 0,
+            callee: Endpoint::new(ServiceId(0), OperationId(0)),
+            callee_replica: 0,
+            send_req: Nanos::from_micros(at_us),
+            recv_req: Nanos::from_micros(at_us + 10),
+            send_resp: Nanos::from_micros(at_us + 100),
+            recv_resp: Nanos::from_micros(at_us + 110),
+            caller_thread: None,
+            callee_thread: None,
+        }
+    }
+
+    #[test]
+    fn ingest_and_query_range() {
+        let store = OfflineStore::new();
+        store.ingest(&[rec(0, 100), rec(1, 500), rec(2, 900)]);
+        assert_eq!(store.len(), 3);
+        let hits = store.query(Nanos::from_micros(200), Nanos::from_micros(800));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rpc, RpcId(1));
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let store = OfflineStore::new();
+        store.ingest(&[rec(0, 100), rec(1, 500)]);
+        let dir = std::env::temp_dir().join("tw-pipeline-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("spans.jsonl");
+        store.save(&path).unwrap();
+        let loaded = OfflineStore::load(&path).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(
+            loaded.query(Nanos::ZERO, Nanos::MAX),
+            store.query(Nanos::ZERO, Nanos::MAX)
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_store() {
+        let store = OfflineStore::new();
+        assert!(store.is_empty());
+        assert!(store.query(Nanos::ZERO, Nanos::MAX).is_empty());
+    }
+}

@@ -1,0 +1,1146 @@
+//! The discrete-event simulation engine.
+//!
+//! Requests flow through containers as chains of events; each in-flight
+//! request at a container is a [`Handler`] state machine that walks its
+//! endpoint's stages (issue calls, await responses) and finally sends the
+//! response. The engine records one [`RpcRecord`] per RPC — the externally
+//! observable signal — and, separately, the ground-truth parent of each RPC.
+//!
+//! Determinism: a single seeded sampler drives all randomness, and the
+//! event queue breaks timestamp ties by insertion sequence, so a run is a
+//! pure function of `(AppConfig, Workload)`.
+
+use crate::config::{AppConfig, ConfigError, EndpointBehavior, ThreadingModel};
+use crate::output::{SimOutput, SimStats};
+use crate::workload::Workload;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use tw_model::ids::{Endpoint, RpcId, ServiceId};
+use tw_model::span::{RpcRecord, EXTERNAL};
+use tw_model::time::Nanos;
+use tw_model::truth::TruthIndex;
+use tw_stats::sampler::Sampler;
+
+/// Index into the flattened container table.
+type ContainerIdx = usize;
+/// Index into the handler slab.
+type HandlerId = usize;
+
+#[derive(Debug)]
+enum Ev {
+    /// A request arrives at a container (network traversal done).
+    Arrive {
+        container: ContainerIdx,
+        req: PendingRequest,
+    },
+    /// The handler's disk read completed.
+    DiskDone { handler: HandlerId },
+    /// The handler's current stage gap elapsed: issue this stage's calls
+    /// (or the response if all stages are done).
+    StageReady { handler: HandlerId },
+    /// One backend call's send gap elapsed: put the request on the wire.
+    CallSend {
+        handler: HandlerId,
+        target: Endpoint,
+    },
+    /// A response to one of the handler's outstanding calls arrived back.
+    ChildResponse { handler: HandlerId },
+    /// Post-processing done: send the response.
+    Respond { handler: HandlerId },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingRequest {
+    rpc: RpcId,
+    endpoint: Endpoint,
+    /// Handler at the caller container awaiting this RPC's response
+    /// (`None` for external client requests).
+    reply_to: Option<HandlerId>,
+    slow: bool,
+    /// When the request reached the container (for queue-wait stats).
+    arrived: Nanos,
+}
+
+struct Container {
+    service: ServiceId,
+    replica: u16,
+    threading: ThreadingModel,
+    /// Free worker-thread ids (pool models).
+    free_workers: Vec<u16>,
+    /// Requests waiting for a worker.
+    queue: VecDeque<PendingRequest>,
+    /// Round-robin cursors for I/O-thread stamping (RpcPool).
+    rr_recv: u16,
+    rr_send: u16,
+    peak_queue: usize,
+    /// Accumulated worker-busy nanoseconds (pool models only).
+    busy_ns: u64,
+}
+
+impl Container {
+    /// Thread id stamped on the `recv` syscall of an incoming request.
+    fn recv_thread(&mut self, worker: Option<u16>) -> u32 {
+        match self.threading {
+            ThreadingModel::BlockingPool { .. } => worker.expect("pool has worker") as u32,
+            ThreadingModel::RpcPool { io_threads, .. } => {
+                let t = self.rr_recv % io_threads.max(1);
+                self.rr_recv = self.rr_recv.wrapping_add(1);
+                t as u32
+            }
+            ThreadingModel::AsyncEventLoop => 0,
+        }
+    }
+
+    /// Thread id stamped on the `send` syscall of an outgoing request.
+    fn send_thread(&mut self, worker: Option<u16>) -> u32 {
+        match self.threading {
+            ThreadingModel::BlockingPool { .. } => worker.expect("pool has worker") as u32,
+            ThreadingModel::RpcPool { io_threads, .. } => {
+                let t = self.rr_send % io_threads.max(1);
+                self.rr_send = self.rr_send.wrapping_add(1);
+                t as u32
+            }
+            ThreadingModel::AsyncEventLoop => 0,
+        }
+    }
+}
+
+struct Handler {
+    rpc: RpcId,
+    container: ContainerIdx,
+    behavior: EndpointBehavior,
+    slow: bool,
+    worker: Option<u16>,
+    /// Dispatch time (worker occupancy starts here).
+    started: Nanos,
+    /// Index of the stage whose calls are currently outstanding (or about
+    /// to be issued).
+    stage_idx: usize,
+    outstanding: usize,
+    reply_to: Option<HandlerId>,
+}
+
+/// The simulator. Construct with a validated [`AppConfig`], then [`run`]
+/// one or more workloads (each run is independent and deterministic).
+///
+/// [`run`]: Simulator::run
+pub struct Simulator {
+    config: AppConfig,
+}
+
+impl Simulator {
+    /// Validates the configuration.
+    pub fn new(config: AppConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(Simulator { config })
+    }
+
+    pub fn config(&self) -> &AppConfig {
+        &self.config
+    }
+
+    /// Run the workload to completion and collect every RPC record.
+    pub fn run(&self, workload: &Workload) -> SimOutput {
+        let mut sampler = Sampler::new(self.config.seed);
+        let arrivals = workload.generate(&mut sampler.fork(0xA221));
+
+        // Flatten containers and index replicas per service.
+        let mut containers: Vec<Container> = Vec::new();
+        let mut replicas_of: HashMap<ServiceId, Vec<ContainerIdx>> = HashMap::new();
+        for svc in &self.config.services {
+            for replica in 0..svc.replicas {
+                let idx = containers.len();
+                let workers = match svc.threading {
+                    ThreadingModel::BlockingPool { threads } => (0..threads).rev().collect(),
+                    ThreadingModel::RpcPool {
+                        io_threads,
+                        workers,
+                    } => (io_threads..io_threads + workers).rev().collect(),
+                    ThreadingModel::AsyncEventLoop => Vec::new(),
+                };
+                containers.push(Container {
+                    service: svc.id,
+                    replica,
+                    threading: svc.threading,
+                    free_workers: workers,
+                    queue: VecDeque::new(),
+                    rr_recv: 0,
+                    rr_send: 0,
+                    peak_queue: 0,
+                    busy_ns: 0,
+                });
+                replicas_of.entry(svc.id).or_default().push(idx);
+            }
+        }
+
+        let mut st = RunState {
+            now: Nanos::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            containers,
+            replicas_of,
+            handlers: Vec::new(),
+            free_handlers: Vec::new(),
+            records: Vec::new(),
+            parents: Vec::new(),
+            slow_roots: Vec::new(),
+            sampler,
+            config: &self.config,
+            completed_roots: 0,
+            queue_wait_ns: 0,
+            dispatches: 0,
+        };
+
+        // Inject the full arrival schedule.
+        for a in &arrivals {
+            let rpc = st.new_rpc(
+                EXTERNAL,
+                0,
+                a.root,
+                a.at, // client-side send time
+                None,
+                None,
+                a.slow,
+            );
+            let net = st.net_delay();
+            let container = st.pick_replica(a.root.service);
+            st.push(
+                a.at + net,
+                Ev::Arrive {
+                    container,
+                    req: PendingRequest {
+                        rpc,
+                        endpoint: a.root,
+                        reply_to: None,
+                        slow: a.slow,
+                        arrived: a.at + net,
+                    },
+                },
+            );
+        }
+
+        // Main loop.
+        while let Some(Reverse((t, _seq, ev))) = st.heap.pop() {
+            st.now = t;
+            st.dispatch(ev);
+        }
+
+        let peak_queue = st
+            .containers
+            .iter()
+            .map(|c| c.peak_queue)
+            .max()
+            .unwrap_or(0);
+        let horizon = st.now.0.max(1);
+        let peak_utilization = st
+            .containers
+            .iter()
+            .filter_map(|c| {
+                c.threading.concurrency_limit().map(|w| {
+                    c.busy_ns as f64 / (horizon as f64 * w.max(1) as f64)
+                })
+            })
+            .fold(0.0f64, f64::max);
+        let mean_queue_wait_us = if st.dispatches == 0 {
+            0.0
+        } else {
+            st.queue_wait_ns as f64 / st.dispatches as f64 / 1_000.0
+        };
+        let truth = TruthIndex::from_pairs(
+            st.parents
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| (RpcId(i as u64), p)),
+        );
+        let stats = SimStats {
+            arrivals: arrivals.len(),
+            completed_roots: st.completed_roots,
+            total_rpcs: st.records.len(),
+            peak_queue,
+            mean_queue_wait_us,
+            peak_utilization,
+        };
+        SimOutput {
+            records: st.records,
+            truth,
+            call_graph: self.config.call_graph(),
+            slow_roots: st
+                .slow_roots
+                .iter()
+                .enumerate()
+                .filter(|(_, &s)| s)
+                .map(|(i, _)| RpcId(i as u64))
+                .collect(),
+            stats,
+        }
+    }
+}
+
+/// Mutable state of one simulation run.
+struct RunState<'a> {
+    now: Nanos,
+    seq: u64,
+    #[allow(clippy::type_complexity)]
+    heap: BinaryHeap<Reverse<(Nanos, u64, Ev)>>,
+    containers: Vec<Container>,
+    replicas_of: HashMap<ServiceId, Vec<ContainerIdx>>,
+    handlers: Vec<Option<Handler>>,
+    free_handlers: Vec<HandlerId>,
+    records: Vec<RpcRecord>,
+    parents: Vec<Option<RpcId>>,
+    /// Indexed by rpc id: whether this rpc is tagged slow (only roots are
+    /// consulted at output time).
+    slow_roots: Vec<bool>,
+    sampler: Sampler,
+    config: &'a AppConfig,
+    completed_roots: usize,
+    queue_wait_ns: u64,
+    dispatches: u64,
+}
+
+// Events are incomparable by themselves; ordering lives in (time, seq).
+impl PartialEq for Ev {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl Eq for Ev {}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<'a> RunState<'a> {
+    fn push(&mut self, at: Nanos, ev: Ev) {
+        self.seq += 1;
+        self.heap.push(Reverse((at, self.seq, ev)));
+    }
+
+    fn net_delay(&mut self) -> Nanos {
+        let us = self.sampler.delay(&self.config.network_delay);
+        Nanos::from_micros_f64(us)
+    }
+
+    fn delay(&mut self, d: &tw_stats::sampler::DelayDistribution) -> Nanos {
+        let us = self.sampler.delay(d);
+        Nanos::from_micros_f64(us)
+    }
+
+    fn pick_replica(&mut self, svc: ServiceId) -> ContainerIdx {
+        let replicas = &self.replicas_of[&svc];
+        if replicas.len() == 1 {
+            replicas[0]
+        } else {
+            replicas[self.sampler.uniform_usize(0, replicas.len())]
+        }
+    }
+
+    /// Allocate a new RPC record; timestamps other than `send_req` are
+    /// filled in as the RPC progresses.
+    #[allow(clippy::too_many_arguments)]
+    fn new_rpc(
+        &mut self,
+        caller: ServiceId,
+        caller_replica: u16,
+        callee: Endpoint,
+        send_req: Nanos,
+        caller_thread: Option<u32>,
+        parent: Option<RpcId>,
+        slow: bool,
+    ) -> RpcId {
+        let rpc = RpcId(self.records.len() as u64);
+        self.records.push(RpcRecord {
+            rpc,
+            caller,
+            caller_replica,
+            callee,
+            callee_replica: 0, // filled at dispatch
+            send_req,
+            recv_req: send_req,
+            send_resp: send_req,
+            recv_resp: send_req,
+            caller_thread,
+            callee_thread: None,
+        });
+        self.parents.push(parent);
+        self.slow_roots.push(slow);
+        rpc
+    }
+
+    fn dispatch(&mut self, ev: Ev) {
+        match ev {
+            Ev::Arrive { container, req } => self.on_arrive(container, req),
+            Ev::DiskDone { handler } => self.on_disk_done(handler),
+            Ev::StageReady { handler } => self.on_stage_ready(handler),
+            Ev::CallSend { handler, target } => self.on_call_send(handler, target),
+            Ev::ChildResponse { handler } => self.on_child_response(handler),
+            Ev::Respond { handler } => self.on_respond(handler),
+        }
+    }
+
+    fn on_arrive(&mut self, container: ContainerIdx, req: PendingRequest) {
+        let c = &mut self.containers[container];
+        let has_capacity = match c.threading {
+            ThreadingModel::AsyncEventLoop => true,
+            _ => !c.free_workers.is_empty(),
+        };
+        if has_capacity {
+            self.start_handler(container, req);
+        } else {
+            c.queue.push_back(req);
+            c.peak_queue = c.peak_queue.max(c.queue.len());
+        }
+    }
+
+    /// Begin handling: stamp recv, acquire a worker, kick off disk/pre
+    /// processing.
+    fn start_handler(&mut self, container: ContainerIdx, req: PendingRequest) {
+        let worker = {
+            let c = &mut self.containers[container];
+            match c.threading {
+                ThreadingModel::AsyncEventLoop => None,
+                _ => Some(c.free_workers.pop().expect("caller checked capacity")),
+            }
+        };
+        let (recv_thread, replica) = {
+            let c = &mut self.containers[container];
+            (c.recv_thread(worker), c.replica)
+        };
+        {
+            let rec = &mut self.records[req.rpc.0 as usize];
+            rec.recv_req = self.now;
+            rec.callee_replica = replica;
+            rec.callee_thread = Some(recv_thread);
+        }
+
+        let behavior = self
+            .config
+            .behavior(req.endpoint)
+            .cloned()
+            .unwrap_or_else(|| {
+                EndpointBehavior::leaf(tw_stats::sampler::DelayDistribution::Constant {
+                    value: 0.0,
+                })
+            });
+
+        self.queue_wait_ns += self.now.saturating_sub(req.arrived).0;
+        self.dispatches += 1;
+        let handler = Handler {
+            rpc: req.rpc,
+            container,
+            behavior,
+            slow: req.slow,
+            worker,
+            started: self.now,
+            stage_idx: 0,
+            outstanding: 0,
+            reply_to: req.reply_to,
+        };
+        let hid = match self.free_handlers.pop() {
+            Some(id) => {
+                self.handlers[id] = Some(handler);
+                id
+            }
+            None => {
+                self.handlers.push(Some(handler));
+                self.handlers.len() - 1
+            }
+        };
+
+        let h = self.handlers[hid].as_ref().expect("just inserted");
+        if let Some(io) = h.behavior.disk_io {
+            let d = self.delay(&io.duration);
+            self.push(self.now + d, Ev::DiskDone { handler: hid });
+        } else {
+            self.schedule_stage_entry(hid);
+        }
+    }
+
+    fn on_disk_done(&mut self, hid: HandlerId) {
+        self.schedule_stage_entry(hid);
+    }
+
+    /// Schedule the handler's next step: `StageReady` for the current
+    /// stage (after pre-delay and/or the stage's gap), or `Respond` once
+    /// all stages are done.
+    fn schedule_stage_entry(&mut self, hid: HandlerId) {
+        enum Next {
+            Stage { gap: DD, pre: Option<DD> },
+            Respond { post: DD, pre: Option<DD>, extra: Nanos },
+        }
+        use tw_stats::sampler::DelayDistribution as DD;
+
+        let next = {
+            let h = self.handlers[hid].as_ref().expect("live handler");
+            let entering = h.stage_idx == 0;
+            if h.stage_idx >= h.behavior.stages.len() {
+                // All stages done (or a leaf endpoint with none): post-
+                // processing then respond. A leaf's pre-delay still counts.
+                Next::Respond {
+                    post: h.behavior.post_delay,
+                    pre: (entering && h.behavior.stages.is_empty())
+                        .then_some(h.behavior.pre_delay),
+                    extra: if h.slow && h.behavior.slow_tag_extra_us > 0.0 {
+                        Nanos::from_micros_f64(h.behavior.slow_tag_extra_us)
+                    } else {
+                        Nanos::ZERO
+                    },
+                }
+            } else {
+                Next::Stage {
+                    gap: h.behavior.stages[h.stage_idx].gap,
+                    pre: entering.then_some(h.behavior.pre_delay),
+                }
+            }
+        };
+        match next {
+            Next::Stage { gap, pre } => {
+                let mut d = self.delay(&gap);
+                if let Some(p) = pre {
+                    d += self.delay(&p);
+                }
+                self.push(self.now + d, Ev::StageReady { handler: hid });
+            }
+            Next::Respond { post, pre, extra } => {
+                let mut d = self.delay(&post) + extra;
+                if let Some(p) = pre {
+                    d += self.delay(&p);
+                }
+                self.push(self.now + d, Ev::Respond { handler: hid });
+            }
+        }
+    }
+
+    /// Issue the current stage's calls, resolving skip probabilities and
+    /// exclusive groups.
+    fn on_stage_ready(&mut self, hid: HandlerId) {
+        let (stage_len, stage_idx) = {
+            let h = self.handlers[hid].as_ref().expect("live handler");
+            if h.stage_idx >= h.behavior.stages.len() {
+                // Leaf endpoint (no stages): go straight to respond path.
+                self.schedule_stage_entry(hid);
+                return;
+            }
+            (h.behavior.stages[h.stage_idx].calls.len(), h.stage_idx)
+        };
+
+        // Resolve exclusive groups: pick one winner per group by weight.
+        let mut group_winner: HashMap<u32, usize> = HashMap::new();
+        {
+            let h = self.handlers[hid].as_ref().expect("live handler");
+            let calls = &h.behavior.stages[stage_idx].calls;
+            let mut groups: HashMap<u32, Vec<(usize, f64)>> = HashMap::new();
+            for (i, c) in calls.iter().enumerate() {
+                if let Some(g) = c.exclusive_group {
+                    groups.entry(g).or_default().push((i, c.weight));
+                }
+            }
+            let mut group_list: Vec<_> = groups.into_iter().collect();
+            group_list.sort_by_key(|(g, _)| *g);
+            for (g, members) in group_list {
+                let total: f64 = members.iter().map(|(_, w)| w).sum();
+                let mut pick = self.sampler.uniform() * total;
+                let mut winner = members[0].0;
+                for (i, w) in &members {
+                    if pick < *w {
+                        winner = *i;
+                        break;
+                    }
+                    pick -= w;
+                }
+                group_winner.insert(g, winner);
+            }
+        }
+
+        // Decide executions and gather (target, send_gap) pairs.
+        let mut to_send: Vec<(Endpoint, tw_stats::sampler::DelayDistribution)> = Vec::new();
+        {
+            let h = self.handlers[hid].as_ref().expect("live handler");
+            let calls: Vec<_> = h.behavior.stages[stage_idx]
+                .calls
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (i, c.clone()))
+                .collect();
+            for (i, call) in calls {
+                let executes = match call.exclusive_group {
+                    Some(g) => group_winner.get(&g) == Some(&i),
+                    None => !(call.skip_prob > 0.0 && self.sampler.coin(call.skip_prob)),
+                };
+                if executes {
+                    to_send.push((call.target, call.send_gap));
+                    // Transient failure + retry: the call goes out twice
+                    // (future-work dynamism class, §7).
+                    if call.retry_prob > 0.0 && self.sampler.coin(call.retry_prob) {
+                        to_send.push((call.target, call.send_gap));
+                    }
+                }
+            }
+        }
+        debug_assert!(to_send.len() <= 2 * stage_len); // retries may double calls
+
+        if to_send.is_empty() {
+            // Whole stage skipped: advance immediately.
+            let h = self.handlers[hid].as_mut().expect("live handler");
+            h.stage_idx += 1;
+            self.schedule_stage_entry(hid);
+            return;
+        }
+
+        {
+            let h = self.handlers[hid].as_mut().expect("live handler");
+            h.outstanding = to_send.len();
+        }
+        for (target, gap) in to_send {
+            let d = self.delay(&gap);
+            self.push(
+                self.now + d,
+                Ev::CallSend {
+                    handler: hid,
+                    target,
+                },
+            );
+        }
+    }
+
+    fn on_call_send(&mut self, hid: HandlerId, target: Endpoint) {
+        let (container, parent_rpc, slow) = {
+            let h = self.handlers[hid].as_ref().expect("live handler");
+            (h.container, h.rpc, h.slow)
+        };
+        let (caller_svc, caller_replica, send_thread) = {
+            let worker = self.handlers[hid].as_ref().expect("live").worker;
+            let c = &mut self.containers[container];
+            (c.service, c.replica, c.send_thread(worker))
+        };
+        let rpc = self.new_rpc(
+            caller_svc,
+            caller_replica,
+            target,
+            self.now,
+            Some(send_thread),
+            Some(parent_rpc),
+            slow,
+        );
+        let net = self.net_delay();
+        let callee = self.pick_replica(target.service);
+        self.push(
+            self.now + net,
+            Ev::Arrive {
+                container: callee,
+                req: PendingRequest {
+                    rpc,
+                    endpoint: target,
+                    reply_to: Some(hid),
+                    slow,
+                    arrived: self.now + net,
+                },
+            },
+        );
+    }
+
+    fn on_child_response(&mut self, hid: HandlerId) {
+        let advance = {
+            let h = self.handlers[hid].as_mut().expect("live handler");
+            debug_assert!(h.outstanding > 0);
+            h.outstanding -= 1;
+            h.outstanding == 0
+        };
+        if advance {
+            let h = self.handlers[hid].as_mut().expect("live handler");
+            h.stage_idx += 1;
+            self.schedule_stage_entry(hid);
+        }
+    }
+
+    fn on_respond(&mut self, hid: HandlerId) {
+        let handler = self.handlers[hid].take().expect("live handler");
+        self.free_handlers.push(hid);
+
+        // Stamp response timestamps.
+        let net = self.net_delay();
+        {
+            let rec = &mut self.records[handler.rpc.0 as usize];
+            rec.send_resp = self.now;
+            rec.recv_resp = self.now + net;
+        }
+
+        // Deliver to the awaiting caller handler (if any).
+        match handler.reply_to {
+            Some(parent) => {
+                self.push(self.now + net, Ev::ChildResponse { handler: parent });
+            }
+            None => {
+                self.completed_roots += 1;
+            }
+        }
+
+        // Release the worker and pull the next queued request.
+        let container = handler.container;
+        if let Some(w) = handler.worker {
+            let c = &mut self.containers[container];
+            c.busy_ns += self.now.saturating_sub(handler.started).0;
+            c.free_workers.push(w);
+        }
+        let next = self.containers[container].queue.pop_front();
+        if let Some(req) = next {
+            self.start_handler(container, req);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CallBehavior, ServiceConfig, StageBehavior};
+    use tw_model::ids::Catalog;
+    use tw_stats::sampler::DelayDistribution;
+
+    fn us(v: f64) -> DelayDistribution {
+        DelayDistribution::Constant { value: v }
+    }
+
+    /// Figure-1-shaped app: A -> B then C (sequential); B -> D || E.
+    fn fig1_app(seed: u64) -> AppConfig {
+        let mut catalog = Catalog::new();
+        let names = ["a", "b", "c", "d", "e"];
+        let ids: Vec<_> = names.iter().map(|n| catalog.service(n)).collect();
+        let op = catalog.operation("get");
+        let ep = |i: usize| Endpoint::new(ids[i], op);
+        let services = vec![
+            ServiceConfig {
+                id: ids[0],
+                replicas: 1,
+                threading: ThreadingModel::BlockingPool { threads: 8 },
+                endpoints: vec![(
+                    op,
+                    EndpointBehavior::with_stages(
+                        us(50.0),
+                        vec![
+                            StageBehavior::new(us(5.0), vec![CallBehavior::new(ep(1), us(1.0))]),
+                            StageBehavior::new(us(5.0), vec![CallBehavior::new(ep(2), us(1.0))]),
+                        ],
+                        us(20.0),
+                    ),
+                )],
+            },
+            ServiceConfig {
+                id: ids[1],
+                replicas: 1,
+                threading: ThreadingModel::RpcPool {
+                    io_threads: 2,
+                    workers: 8,
+                },
+                endpoints: vec![(
+                    op,
+                    EndpointBehavior::with_stages(
+                        us(30.0),
+                        vec![StageBehavior::new(
+                            us(2.0),
+                            vec![
+                                CallBehavior::new(ep(3), us(1.0)),
+                                CallBehavior::new(ep(4), us(1.0)),
+                            ],
+                        )],
+                        us(10.0),
+                    ),
+                )],
+            },
+            ServiceConfig {
+                id: ids[2],
+                replicas: 1,
+                threading: ThreadingModel::AsyncEventLoop,
+                endpoints: vec![(op, EndpointBehavior::leaf(us(100.0)))],
+            },
+            ServiceConfig {
+                id: ids[3],
+                replicas: 1,
+                threading: ThreadingModel::BlockingPool { threads: 4 },
+                endpoints: vec![(op, EndpointBehavior::leaf(us(80.0)))],
+            },
+            ServiceConfig {
+                id: ids[4],
+                replicas: 2,
+                threading: ThreadingModel::BlockingPool { threads: 4 },
+                endpoints: vec![(op, EndpointBehavior::leaf(us(60.0)))],
+            },
+        ];
+        AppConfig {
+            catalog,
+            services,
+            network_delay: us(100.0),
+            seed,
+        }
+    }
+
+    fn run_fig1(rps: f64, secs: u64, seed: u64) -> SimOutput {
+        let app = fig1_app(seed);
+        let a = app.catalog.lookup_service("a").unwrap();
+        let op = app.catalog.lookup_operation("get").unwrap();
+        let root = Endpoint::new(a, op);
+        let sim = Simulator::new(app).unwrap();
+        sim.run(&Workload::poisson(root, rps, Nanos::from_secs(secs)))
+    }
+
+    #[test]
+    fn all_roots_complete() {
+        let out = run_fig1(200.0, 1, 7);
+        assert_eq!(out.stats.completed_roots, out.stats.arrivals);
+        assert!(out.stats.arrivals > 150);
+    }
+
+    #[test]
+    fn tree_shape_matches_call_graph() {
+        let out = run_fig1(100.0, 1, 8);
+        // Every root trace must have 5 spans: A, B, C, D, E.
+        for &root in out.truth.roots() {
+            let desc = out.truth.descendants(root);
+            assert_eq!(desc.len(), 5, "trace of {root:?} has {} spans", desc.len());
+        }
+    }
+
+    #[test]
+    fn timestamps_are_causal() {
+        let out = run_fig1(300.0, 1, 9);
+        for rec in &out.records {
+            assert!(rec.is_well_formed(), "record {:?} ill-formed", rec.rpc);
+        }
+        // Children nest inside parents (callee-side window).
+        for rec in &out.records {
+            if let Some(Some(parent)) = out.truth.parent(rec.rpc) {
+                let p = &out.records[parent.0 as usize];
+                assert!(p.recv_req <= rec.send_req, "child sent before parent recv");
+                assert!(rec.recv_resp <= p.send_resp, "child resp after parent resp");
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_dependency_order_respected() {
+        let out = run_fig1(100.0, 1, 10);
+        // At A: call to B completes (recv_resp) before call to C is sent.
+        let b = ServiceId(1);
+        let c = ServiceId(2);
+        for &root in out.truth.roots() {
+            let kids = out.truth.children(root);
+            let to_b = kids
+                .iter()
+                .map(|&k| &out.records[k.0 as usize])
+                .find(|r| r.callee.service == b)
+                .expect("B called");
+            let to_c = kids
+                .iter()
+                .map(|&k| &out.records[k.0 as usize])
+                .find(|r| r.callee.service == c)
+                .expect("C called");
+            assert!(
+                to_b.recv_resp <= to_c.send_req,
+                "dependency order violated: C sent at {:?} before B done at {:?}",
+                to_c.send_req,
+                to_b.recv_resp
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = run_fig1(150.0, 1, 11);
+        let b = run_fig1(150.0, 1, 11);
+        assert_eq!(a.records.len(), b.records.len());
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = run_fig1(150.0, 1, 1);
+        let b = run_fig1(150.0, 1, 2);
+        let same = a
+            .records
+            .iter()
+            .zip(&b.records)
+            .filter(|(x, y)| x.send_req == y.send_req)
+            .count();
+        assert!(same < a.records.len() / 2);
+    }
+
+    #[test]
+    fn replica_spread() {
+        let out = run_fig1(500.0, 1, 12);
+        // Service E has two replicas; both should serve traffic.
+        let e = ServiceId(4);
+        let mut reps: Vec<u16> = out
+            .records
+            .iter()
+            .filter(|r| r.callee.service == e)
+            .map(|r| r.callee_replica)
+            .collect();
+        reps.sort_unstable();
+        reps.dedup();
+        assert_eq!(reps, vec![0, 1]);
+    }
+
+    #[test]
+    fn thread_stamps_match_model() {
+        let out = run_fig1(200.0, 1, 13);
+        // RpcPool service B has io_threads=2: recv stamps in {0,1}.
+        let b = ServiceId(1);
+        for r in out.records.iter().filter(|r| r.callee.service == b) {
+            assert!(r.callee_thread.unwrap() < 2);
+        }
+        // Async service C: always thread 0.
+        let c = ServiceId(2);
+        for r in out.records.iter().filter(|r| r.callee.service == c) {
+            assert_eq!(r.callee_thread, Some(0));
+        }
+        // BlockingPool A (8 threads): recv thread < 8 and send thread of
+        // A's outgoing calls equals the worker that served the parent.
+        let a = ServiceId(0);
+        for r in out.records.iter().filter(|r| r.callee.service == a) {
+            assert!(r.callee_thread.unwrap() < 8);
+        }
+        for r in out.records.iter().filter(|r| r.caller == a) {
+            let parent = out.truth.parent(r.rpc).unwrap().unwrap();
+            let p = &out.records[parent.0 as usize];
+            assert_eq!(r.caller_thread, p.callee_thread);
+        }
+    }
+
+    #[test]
+    fn queueing_under_overload() {
+        // 1 worker, long service time, high rate: queue must build.
+        let mut catalog = Catalog::new();
+        let a = catalog.service("a");
+        let op = catalog.operation("get");
+        let app = AppConfig {
+            catalog,
+            services: vec![ServiceConfig {
+                id: a,
+                replicas: 1,
+                threading: ThreadingModel::BlockingPool { threads: 1 },
+                endpoints: vec![(op, EndpointBehavior::leaf(us(2_000.0)))],
+            }],
+            network_delay: us(10.0),
+            seed: 3,
+        };
+        let sim = Simulator::new(app).unwrap();
+        let out = sim.run(&Workload::constant(
+            Endpoint::new(a, op),
+            1_000.0,
+            Nanos::from_millis(100),
+        ));
+        assert!(out.stats.peak_queue > 5, "peak queue {}", out.stats.peak_queue);
+        // All requests still complete (drain after arrivals stop).
+        assert_eq!(out.stats.completed_roots, out.stats.arrivals);
+        // Spans must serialize: with one worker, recv_req of request k+1
+        // >= send_resp of request k.
+        let mut recs: Vec<_> = out.records.clone();
+        recs.sort_by_key(|r| r.recv_req);
+        for pair in recs.windows(2) {
+            assert!(pair[1].recv_req >= pair[0].send_resp);
+        }
+    }
+
+    #[test]
+    fn skip_probability_thins_calls() {
+        let mut app = fig1_app(21);
+        // Make A's call to B skippable 50% of the time.
+        app.services[0].endpoints[0].1.stages[0].calls[0].skip_prob = 0.5;
+        let a = app.catalog.lookup_service("a").unwrap();
+        let op = app.catalog.lookup_operation("get").unwrap();
+        let sim = Simulator::new(app).unwrap();
+        let out = sim.run(&Workload::poisson(
+            Endpoint::new(a, op),
+            500.0,
+            Nanos::from_secs(1),
+        ));
+        let b = ServiceId(1);
+        let roots = out.truth.roots().len();
+        let b_calls = out
+            .records
+            .iter()
+            .filter(|r| r.callee.service == b)
+            .count();
+        let frac = b_calls as f64 / roots as f64;
+        assert!((frac - 0.5).abs() < 0.1, "B call fraction {frac}");
+    }
+
+    #[test]
+    fn exclusive_group_picks_exactly_one() {
+        let mut app = fig1_app(22);
+        // Replace A's stage 2 (call to C) with an exclusive A/B pair C|D.
+        let c = app.catalog.lookup_service("c").unwrap();
+        let d = app.catalog.lookup_service("d").unwrap();
+        let op = app.catalog.lookup_operation("get").unwrap();
+        app.services[0].endpoints[0].1.stages[1] = StageBehavior::new(
+            us(5.0),
+            vec![
+                CallBehavior::new(Endpoint::new(c, op), us(1.0)).in_group(0, 0.8),
+                CallBehavior::new(Endpoint::new(d, op), us(1.0)).in_group(0, 0.2),
+            ],
+        );
+        let a = app.catalog.lookup_service("a").unwrap();
+        let sim = Simulator::new(app).unwrap();
+        let out = sim.run(&Workload::poisson(
+            Endpoint::new(a, op),
+            500.0,
+            Nanos::from_secs(1),
+        ));
+        let mut c_calls = 0usize;
+        let mut d_from_a = 0usize;
+        for &root in out.truth.roots() {
+            let kids = out.truth.children(root);
+            let stage2: Vec<_> = kids
+                .iter()
+                .map(|&k| &out.records[k.0 as usize])
+                .filter(|r| r.callee.service == c || r.callee.service == d)
+                .collect();
+            assert_eq!(stage2.len(), 1, "exactly one variant per request");
+            if stage2[0].callee.service == c {
+                c_calls += 1;
+            } else {
+                d_from_a += 1;
+            }
+        }
+        let frac = c_calls as f64 / (c_calls + d_from_a) as f64;
+        assert!((frac - 0.8).abs() < 0.06, "variant fraction {frac}");
+    }
+
+    #[test]
+    fn utilization_and_queue_stats() {
+        // Single worker near saturation: utilization ~high, queue waits
+        // non-trivial. Light load: both near zero.
+        let mk_out = |rps: f64| {
+            let mut catalog = Catalog::new();
+            let a = catalog.service("a");
+            let op = catalog.operation("get");
+            let app = AppConfig {
+                catalog,
+                services: vec![ServiceConfig {
+                    id: a,
+                    replicas: 1,
+                    threading: ThreadingModel::BlockingPool { threads: 1 },
+                    endpoints: vec![(op, EndpointBehavior::leaf(us(1_000.0)))],
+                }],
+                network_delay: us(10.0),
+                seed: 5,
+            };
+            let sim = Simulator::new(app).unwrap();
+            sim.run(&Workload::constant(
+                Endpoint::new(a, op),
+                rps,
+                Nanos::from_millis(200),
+            ))
+        };
+        let hot = mk_out(900.0); // 0.9 of the 1000 rps capacity
+        assert!(
+            hot.stats.peak_utilization > 0.6,
+            "hot utilization {}",
+            hot.stats.peak_utilization
+        );
+        let cold = mk_out(50.0);
+        assert!(
+            cold.stats.peak_utilization < 0.2,
+            "cold utilization {}",
+            cold.stats.peak_utilization
+        );
+        assert!(cold.stats.mean_queue_wait_us <= hot.stats.mean_queue_wait_us);
+        assert!(hot.stats.peak_utilization <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn retries_duplicate_calls() {
+        let mut app = fig1_app(25);
+        // A's call to C retries 50% of the time.
+        app.services[0].endpoints[0].1.stages[1].calls[0].retry_prob = 0.5;
+        let a = app.catalog.lookup_service("a").unwrap();
+        let c = ServiceId(2);
+        let op = app.catalog.lookup_operation("get").unwrap();
+        let sim = Simulator::new(app).unwrap();
+        let out = sim.run(&Workload::poisson(
+            Endpoint::new(a, op),
+            300.0,
+            Nanos::from_secs(1),
+        ));
+        let roots = out.truth.roots().len();
+        let c_calls = out
+            .records
+            .iter()
+            .filter(|r| r.callee.service == c)
+            .count();
+        let ratio = c_calls as f64 / roots as f64;
+        assert!((ratio - 1.5).abs() < 0.1, "C calls per request {ratio}");
+        // Both copies are ground-truth children of the same parent.
+        let doubled = out
+            .truth
+            .roots()
+            .iter()
+            .filter(|&&r| {
+                out.truth
+                    .children(r)
+                    .iter()
+                    .filter(|&&k| out.records[k.0 as usize].callee.service == c)
+                    .count()
+                    == 2
+            })
+            .count();
+        assert!(doubled > 0, "some requests must have retried");
+    }
+
+    #[test]
+    fn slow_tag_inflates_latency() {
+        let mut app = fig1_app(23);
+        app.services[2].endpoints[0].1.slow_tag_extra_us = 40_000.0;
+        let a = app.catalog.lookup_service("a").unwrap();
+        let op = app.catalog.lookup_operation("get").unwrap();
+        let sim = Simulator::new(app).unwrap();
+        let out = sim.run(
+            &Workload::poisson(Endpoint::new(a, op), 200.0, Nanos::from_secs(1))
+                .with_slow_fraction(0.2),
+        );
+        let mut slow_lat = Vec::new();
+        let mut fast_lat = Vec::new();
+        for &root in out.truth.roots() {
+            let r = &out.records[root.0 as usize];
+            let lat = r.recv_resp.micros_since(r.send_req);
+            if out.slow_roots.contains(&root) {
+                slow_lat.push(lat);
+            } else {
+                fast_lat.push(lat);
+            }
+        }
+        assert!(!slow_lat.is_empty() && !fast_lat.is_empty());
+        let ms = tw_stats::mean(&slow_lat);
+        let mf = tw_stats::mean(&fast_lat);
+        assert!(ms > mf + 30_000.0, "slow {ms} vs fast {mf}");
+    }
+
+    #[test]
+    fn disk_io_adds_latency() {
+        let mut app = fig1_app(24);
+        app.services[2].endpoints[0].1.disk_io = Some(crate::config::DiskIo {
+            duration: us(5_000.0),
+            non_blocking: true,
+        });
+        let a = app.catalog.lookup_service("a").unwrap();
+        let op = app.catalog.lookup_operation("get").unwrap();
+        let sim = Simulator::new(app).unwrap();
+        let out = sim.run(&Workload::poisson(
+            Endpoint::new(a, op),
+            100.0,
+            Nanos::from_millis(500),
+        ));
+        let c = ServiceId(2);
+        for r in out.records.iter().filter(|r| r.callee.service == c) {
+            let span_us = r.send_resp.micros_since(r.recv_req);
+            assert!(span_us >= 5_000.0, "disk read not reflected: {span_us}");
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Simulation output: the observable records, the ground-truth oracle, and
+//! summary statistics.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use tw_model::callgraph::CallGraph;
+use tw_model::ids::RpcId;
+use tw_model::span::RpcRecord;
+use tw_model::truth::TruthIndex;
+
+/// Summary counters from one run.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SimStats {
+    /// External requests injected.
+    pub arrivals: usize,
+    /// External requests fully served.
+    pub completed_roots: usize,
+    /// All RPCs recorded (roots + backend calls).
+    pub total_rpcs: usize,
+    /// Largest per-container dispatch queue observed.
+    pub peak_queue: usize,
+    /// Mean time requests spent queued for a worker, in microseconds
+    /// (zero for async event loops, which never queue).
+    pub mean_queue_wait_us: f64,
+    /// Utilization of the busiest pool container: worker-busy time over
+    /// (horizon × workers). Async containers are excluded (no worker
+    /// pool to saturate).
+    pub peak_utilization: f64,
+}
+
+/// Everything a simulation run produces.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimOutput {
+    /// Observable span records (the reconstruction input).
+    pub records: Vec<RpcRecord>,
+    /// Ground truth (evaluation only).
+    pub truth: TruthIndex,
+    /// Static call graph derived from the app config.
+    pub call_graph: CallGraph,
+    /// Root RPCs tagged "slow" by the workload's anomaly injection.
+    pub slow_roots: HashSet<RpcId>,
+    pub stats: SimStats,
+}
+
+impl SimOutput {
+    /// Records indexed by RPC id.
+    pub fn records_by_id(&self) -> HashMap<RpcId, RpcRecord> {
+        self.records.iter().map(|r| (r.rpc, *r)).collect()
+    }
+
+    /// End-to-end latency of a root request in microseconds (client side:
+    /// send to receive).
+    pub fn root_latency_us(&self, root: RpcId) -> Option<f64> {
+        let rec = self.records.get(root.0 as usize)?;
+        if rec.rpc != root {
+            return None;
+        }
+        Some(rec.recv_resp.micros_since(rec.send_req))
+    }
+
+    /// Latencies of all roots, in root order.
+    pub fn root_latencies_us(&self) -> Vec<(RpcId, f64)> {
+        self.truth
+            .roots()
+            .iter()
+            .filter_map(|&r| self.root_latency_us(r).map(|l| (r, l)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tw_model::ids::{Endpoint, OperationId, ServiceId};
+    use tw_model::span::EXTERNAL;
+    use tw_model::time::Nanos;
+
+    fn out_with_one_root() -> SimOutput {
+        let rec = RpcRecord {
+            rpc: RpcId(0),
+            caller: EXTERNAL,
+            caller_replica: 0,
+            callee: Endpoint::new(ServiceId(0), OperationId(0)),
+            callee_replica: 0,
+            send_req: Nanos::from_micros(100),
+            recv_req: Nanos::from_micros(200),
+            send_resp: Nanos::from_micros(700),
+            recv_resp: Nanos::from_micros(800),
+            caller_thread: None,
+            callee_thread: Some(0),
+        };
+        SimOutput {
+            records: vec![rec],
+            truth: TruthIndex::from_pairs([(RpcId(0), None)]),
+            call_graph: CallGraph::new(),
+            slow_roots: HashSet::new(),
+            stats: SimStats {
+                arrivals: 1,
+                completed_roots: 1,
+                total_rpcs: 1,
+                peak_queue: 0,
+                mean_queue_wait_us: 0.0,
+                peak_utilization: 0.0,
+            },
+        }
+    }
+
+    #[test]
+    fn root_latency_client_side() {
+        let out = out_with_one_root();
+        assert_eq!(out.root_latency_us(RpcId(0)), Some(700.0));
+        assert_eq!(out.root_latency_us(RpcId(5)), None);
+        let all = out.root_latencies_us();
+        assert_eq!(all, vec![(RpcId(0), 700.0)]);
+    }
+
+    #[test]
+    fn records_by_id_lookup() {
+        let out = out_with_one_root();
+        let map = out.records_by_id();
+        assert_eq!(map.len(), 1);
+        assert!(map.contains_key(&RpcId(0)));
+    }
+}

@@ -1,0 +1,196 @@
+//! Open-loop workload generation (wrk2 stand-in, paper §6.1).
+//!
+//! Arrivals are generated up front as a deterministic schedule: the
+//! simulator consumes them as external client requests against root
+//! endpoints. Open-loop means arrival times never depend on response
+//! times — exactly wrk2's constant-throughput behaviour, which is what
+//! creates queueing (and reconstruction difficulty) at high load.
+
+use serde::{Deserialize, Serialize};
+use tw_model::ids::Endpoint;
+use tw_model::time::Nanos;
+use tw_stats::sampler::Sampler;
+
+/// Arrival process shape.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Fixed inter-arrival gap (wrk2-style constant throughput).
+    ConstantRate,
+    /// Exponential inter-arrival gaps (Poisson process).
+    Poisson,
+}
+
+/// A workload: a mix of root endpoints driven at a target rate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Workload {
+    /// Root endpoints and their relative weights in the request mix.
+    pub mix: Vec<(Endpoint, f64)>,
+    /// Aggregate request rate (requests per second).
+    pub rps: f64,
+    /// Generation horizon.
+    pub duration: Nanos,
+    pub process: ArrivalProcess,
+    /// Fraction of requests tagged "slow" (latency-anomaly injection for
+    /// the §6.4.1 use case); the tag follows the request through the tree.
+    pub slow_fraction: f64,
+}
+
+/// One external request to be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Arrival {
+    pub at: Nanos,
+    pub root: Endpoint,
+    pub slow: bool,
+}
+
+impl Workload {
+    /// Constant-rate workload against a single root endpoint.
+    pub fn constant(root: Endpoint, rps: f64, duration: Nanos) -> Self {
+        Workload {
+            mix: vec![(root, 1.0)],
+            rps,
+            duration,
+            process: ArrivalProcess::ConstantRate,
+            slow_fraction: 0.0,
+        }
+    }
+
+    /// Poisson workload against a single root endpoint.
+    pub fn poisson(root: Endpoint, rps: f64, duration: Nanos) -> Self {
+        Workload {
+            process: ArrivalProcess::Poisson,
+            ..Workload::constant(root, rps, duration)
+        }
+    }
+
+    pub fn with_mix(mut self, mix: Vec<(Endpoint, f64)>) -> Self {
+        self.mix = mix;
+        self
+    }
+
+    pub fn with_slow_fraction(mut self, f: f64) -> Self {
+        self.slow_fraction = f;
+        self
+    }
+
+    /// Materialize the arrival schedule. Deterministic for a given sampler
+    /// state.
+    pub fn generate(&self, sampler: &mut Sampler) -> Vec<Arrival> {
+        assert!(self.rps > 0.0, "workload rate must be positive");
+        assert!(!self.mix.is_empty(), "workload mix must not be empty");
+        let gap_us = 1_000_000.0 / self.rps;
+        let total_weight: f64 = self.mix.iter().map(|(_, w)| w).sum();
+        assert!(total_weight > 0.0, "workload mix weights must sum > 0");
+
+        let mut arrivals = Vec::new();
+        let mut t_us = 0.0f64;
+        loop {
+            t_us += match self.process {
+                ArrivalProcess::ConstantRate => gap_us,
+                ArrivalProcess::Poisson => sampler.exponential(gap_us),
+            };
+            let at = Nanos::from_micros_f64(t_us);
+            if at >= self.duration {
+                break;
+            }
+            // Pick a root endpoint by weight.
+            let mut pick = sampler.uniform() * total_weight;
+            let mut root = self.mix[0].0;
+            for (ep, w) in &self.mix {
+                if pick < *w {
+                    root = *ep;
+                    break;
+                }
+                pick -= w;
+            }
+            arrivals.push(Arrival {
+                at,
+                root,
+                slow: self.slow_fraction > 0.0 && sampler.coin(self.slow_fraction),
+            });
+        }
+        arrivals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tw_model::ids::{OperationId, ServiceId};
+
+    fn ep(s: u32) -> Endpoint {
+        Endpoint::new(ServiceId(s), OperationId(0))
+    }
+
+    #[test]
+    fn constant_rate_spacing() {
+        let w = Workload::constant(ep(0), 1000.0, Nanos::from_millis(10));
+        let mut s = Sampler::new(1);
+        let arrivals = w.generate(&mut s);
+        // 1000 rps for 10 ms = ~9 arrivals (first at t=1ms, excludes t=10ms).
+        assert_eq!(arrivals.len(), 9);
+        let gap = arrivals[1].at.0 - arrivals[0].at.0;
+        assert_eq!(gap, 1_000_000); // 1ms in ns
+    }
+
+    #[test]
+    fn poisson_rate_approximately_correct() {
+        let w = Workload::poisson(ep(0), 5000.0, Nanos::from_secs(2));
+        let mut s = Sampler::new(2);
+        let arrivals = w.generate(&mut s);
+        let expected = 10_000.0;
+        assert!(
+            (arrivals.len() as f64 - expected).abs() / expected < 0.05,
+            "got {} arrivals",
+            arrivals.len()
+        );
+    }
+
+    #[test]
+    fn arrivals_are_ordered_and_bounded() {
+        let w = Workload::poisson(ep(0), 2000.0, Nanos::from_millis(500));
+        let mut s = Sampler::new(3);
+        let arrivals = w.generate(&mut s);
+        for pair in arrivals.windows(2) {
+            assert!(pair[0].at <= pair[1].at);
+        }
+        assert!(arrivals.iter().all(|a| a.at < w.duration));
+    }
+
+    #[test]
+    fn mix_is_respected() {
+        let w = Workload::constant(ep(0), 10_000.0, Nanos::from_secs(1))
+            .with_mix(vec![(ep(0), 3.0), (ep(1), 1.0)]);
+        let mut s = Sampler::new(4);
+        let arrivals = w.generate(&mut s);
+        let n0 = arrivals.iter().filter(|a| a.root == ep(0)).count();
+        let frac = n0 as f64 / arrivals.len() as f64;
+        assert!((frac - 0.75).abs() < 0.03, "mix fraction {frac}");
+    }
+
+    #[test]
+    fn slow_fraction_tagging() {
+        let w = Workload::constant(ep(0), 10_000.0, Nanos::from_secs(1))
+            .with_slow_fraction(0.1);
+        let mut s = Sampler::new(5);
+        let arrivals = w.generate(&mut s);
+        let slow = arrivals.iter().filter(|a| a.slow).count();
+        let frac = slow as f64 / arrivals.len() as f64;
+        assert!((frac - 0.1).abs() < 0.02, "slow fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic_schedule() {
+        let w = Workload::poisson(ep(0), 1000.0, Nanos::from_millis(100));
+        let a = w.generate(&mut Sampler::new(7));
+        let b = w.generate(&mut Sampler::new(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_rate_panics() {
+        let w = Workload::constant(ep(0), 0.0, Nanos::from_secs(1));
+        w.generate(&mut Sampler::new(1));
+    }
+}

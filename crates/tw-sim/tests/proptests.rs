@@ -1,0 +1,158 @@
+//! Property-based tests for the simulator: arbitrary small topologies and
+//! workloads must produce causally consistent, complete, deterministic
+//! output.
+
+use proptest::prelude::*;
+use tw_model::ids::{Catalog, Endpoint};
+use tw_model::span::EXTERNAL;
+use tw_model::time::Nanos;
+use tw_sim::config::{
+    AppConfig, CallBehavior, EndpointBehavior, ServiceConfig, StageBehavior, ThreadingModel,
+};
+use tw_sim::{Simulator, Workload};
+use tw_stats::sampler::DelayDistribution;
+
+#[derive(Debug, Clone)]
+struct TopoSpec {
+    /// Per non-root service: number of replicas and threading selector.
+    leaves: Vec<(u16, u8)>,
+    /// Stage split point: leaves [0..split) in stage 1, rest in stage 2.
+    split: usize,
+    root_threads: u16,
+    seed: u64,
+    rps: f64,
+}
+
+fn topo_strategy() -> impl Strategy<Value = TopoSpec> {
+    (
+        prop::collection::vec((1u16..3, 0u8..3), 1..5),
+        any::<usize>(),
+        1u16..8,
+        any::<u64>(),
+        50.0f64..800.0,
+    )
+        .prop_map(|(leaves, split, root_threads, seed, rps)| TopoSpec {
+            split: split % (leaves.len() + 1),
+            leaves,
+            root_threads,
+            seed,
+            rps,
+        })
+}
+
+fn build_app(spec: &TopoSpec) -> (AppConfig, Endpoint) {
+    let mut catalog = Catalog::new();
+    let root_id = catalog.service("root");
+    let op = catalog.operation("op");
+    let us = |v: f64| DelayDistribution::Constant { value: v };
+
+    let mut services = Vec::new();
+    let mut leaf_eps = Vec::new();
+    for (i, &(replicas, threading)) in spec.leaves.iter().enumerate() {
+        let id = catalog.service(&format!("leaf{i}"));
+        let threading = match threading {
+            0 => ThreadingModel::BlockingPool { threads: 4 },
+            1 => ThreadingModel::RpcPool {
+                io_threads: 2,
+                workers: 8,
+            },
+            _ => ThreadingModel::AsyncEventLoop,
+        };
+        leaf_eps.push(Endpoint::new(id, op));
+        services.push(ServiceConfig {
+            id,
+            replicas,
+            threading,
+            endpoints: vec![(
+                op,
+                EndpointBehavior::leaf(DelayDistribution::LogNormal {
+                    mu: 5.0,
+                    sigma: 0.4,
+                }),
+            )],
+        });
+    }
+
+    let mut stages = Vec::new();
+    let (s1, s2) = leaf_eps.split_at(spec.split);
+    for group in [s1, s2] {
+        if !group.is_empty() {
+            stages.push(StageBehavior::new(
+                us(5.0),
+                group
+                    .iter()
+                    .map(|&e| CallBehavior::new(e, us(1.0)))
+                    .collect(),
+            ));
+        }
+    }
+    services.insert(
+        0,
+        ServiceConfig {
+            id: root_id,
+            replicas: 1,
+            threading: ThreadingModel::BlockingPool {
+                threads: spec.root_threads,
+            },
+            endpoints: vec![(
+                op,
+                EndpointBehavior::with_stages(us(20.0), stages, us(10.0)),
+            )],
+        },
+    );
+
+    (
+        AppConfig {
+            catalog,
+            services,
+            network_delay: us(50.0),
+            seed: spec.seed,
+        },
+        Endpoint::new(root_id, op),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn arbitrary_topology_invariants(spec in topo_strategy()) {
+        let (config, root) = build_app(&spec);
+        prop_assert_eq!(config.validate(), Ok(()));
+        let expected_spans = 1 + spec.leaves.len();
+        let sim = Simulator::new(config).unwrap();
+        let out = sim.run(&Workload::poisson(root, spec.rps, Nanos::from_millis(200)));
+
+        // Everything completes.
+        prop_assert_eq!(out.stats.completed_roots, out.stats.arrivals);
+        // Causality per record.
+        for rec in &out.records {
+            prop_assert!(rec.is_well_formed());
+        }
+        // Tree shape and nesting per trace.
+        for &r in out.truth.roots() {
+            let desc = out.truth.descendants(r);
+            prop_assert_eq!(desc.len(), expected_spans);
+            for &d in &desc {
+                if let Some(Some(parent)) = out.truth.parent(d) {
+                    let c = &out.records[d.0 as usize];
+                    let p = &out.records[parent.0 as usize];
+                    prop_assert!(p.recv_req <= c.send_req);
+                    prop_assert!(c.recv_resp <= p.send_resp);
+                }
+            }
+        }
+        // Exactly the roots have EXTERNAL callers.
+        let external = out.records.iter().filter(|r| r.caller == EXTERNAL).count();
+        prop_assert_eq!(external, out.truth.roots().len());
+    }
+
+    #[test]
+    fn determinism(spec in topo_strategy()) {
+        let (config, root) = build_app(&spec);
+        let w = Workload::poisson(root, spec.rps, Nanos::from_millis(100));
+        let a = Simulator::new(config.clone()).unwrap().run(&w);
+        let b = Simulator::new(config).unwrap().run(&w);
+        prop_assert_eq!(a.records, b.records);
+    }
+}

@@ -1,0 +1,469 @@
+//! Maximum-weight independent set.
+//!
+//! TraceWeaver casts each optimization batch as MIS: vertices are candidate
+//! mappings (weight ∝ likelihood score), edges connect conflicting
+//! candidates — two candidates of the same incoming span, or two candidates
+//! sharing an outgoing span (§4.1 step 5). Batches are small (≲ 150
+//! vertices), so an exact branch-and-bound with a weight-sum bound solves
+//! them optimally, like the paper's Gurobi. A node budget keeps worst-case
+//! inputs bounded; if it is ever exhausted, the best solution found so far
+//! (at least as good as greedy) is returned and flagged as inexact.
+
+use crate::bitset::BitSet;
+
+/// A vertex-weighted conflict graph.
+///
+/// # Examples
+/// ```
+/// use tw_solver::mis::{ConflictGraph, SolveOptions};
+/// // Path 0—1—2 with a heavy middle vertex: the optimum takes just {1}.
+/// let mut g = ConflictGraph::new(vec![1.0, 10.0, 1.0]);
+/// g.add_edge(0, 1);
+/// g.add_edge(1, 2);
+/// let solution = g.solve(&SolveOptions::default());
+/// assert_eq!(solution.chosen, vec![1]);
+/// assert!(solution.exact);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConflictGraph {
+    weights: Vec<f64>,
+    adj: Vec<BitSet>,
+}
+
+/// Solver knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SolveOptions {
+    /// Maximum branch-and-bound nodes explored before giving up on
+    /// optimality (the incumbent is still returned).
+    pub node_budget: u64,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            node_budget: 2_000_000,
+        }
+    }
+}
+
+/// Result of a solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MisSolution {
+    /// Chosen vertices (ascending).
+    pub chosen: Vec<usize>,
+    /// Total weight of the chosen set.
+    pub weight: f64,
+    /// True if the branch-and-bound proved optimality.
+    pub exact: bool,
+}
+
+impl ConflictGraph {
+    /// Create a graph with the given vertex weights and no edges.
+    ///
+    /// # Panics
+    /// Panics if any weight is negative or non-finite: MIS with negative
+    /// weights silently drops those vertices, which is never what the
+    /// caller wants here (shift scores before building the graph).
+    pub fn new(weights: Vec<f64>) -> Self {
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "vertex weights must be finite and non-negative"
+        );
+        let n = weights.len();
+        ConflictGraph {
+            weights,
+            adj: (0..n).map(|_| BitSet::new(n)).collect(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Add a conflict edge between `u` and `v` (idempotent; self-loops are
+    /// ignored).
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        if u == v {
+            return;
+        }
+        self.adj[u].insert(v);
+        self.adj[v].insert(u);
+    }
+
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adj[u].contains(v)
+    }
+
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj[u].len()
+    }
+
+    /// Verify a vertex set is independent.
+    pub fn is_independent(&self, vs: &[usize]) -> bool {
+        for (i, &u) in vs.iter().enumerate() {
+            for &v in &vs[i + 1..] {
+                if self.has_edge(u, v) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Greedy solution: repeatedly take the vertex maximizing
+    /// `weight / (1 + degree)` among remaining vertices, then delete its
+    /// neighborhood.
+    pub fn solve_greedy(&self) -> MisSolution {
+        let n = self.len();
+        let mut remaining = BitSet::full(n);
+        let mut chosen = Vec::new();
+        let mut weight = 0.0;
+        loop {
+            let mut best: Option<(f64, usize)> = None;
+            for v in remaining.iter() {
+                let mut live_deg = 0usize;
+                for u in self.adj[v].iter() {
+                    if remaining.contains(u) {
+                        live_deg += 1;
+                    }
+                }
+                let score = self.weights[v] / (1.0 + live_deg as f64);
+                if best.map_or(true, |(s, _)| score > s) {
+                    best = Some((score, v));
+                }
+            }
+            let Some((_, v)) = best else { break };
+            chosen.push(v);
+            weight += self.weights[v];
+            remaining.remove(v);
+            remaining.subtract(&self.adj[v]);
+        }
+        chosen.sort_unstable();
+        MisSolution {
+            chosen,
+            weight,
+            exact: false,
+        }
+    }
+
+    /// Exact branch-and-bound solve (falls back to the greedy incumbent if
+    /// the node budget runs out).
+    pub fn solve(&self, opts: &SolveOptions) -> MisSolution {
+        let n = self.len();
+        if n == 0 {
+            return MisSolution {
+                chosen: vec![],
+                weight: 0.0,
+                exact: true,
+            };
+        }
+
+        // Branch order: heaviest vertices first makes the incumbent strong
+        // early and the bound tight.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            self.weights[b]
+                .partial_cmp(&self.weights[a])
+                .expect("weights are finite")
+        });
+        let rank_of = {
+            let mut r = vec![0usize; n];
+            for (rank, &v) in order.iter().enumerate() {
+                r[v] = rank;
+            }
+            r
+        };
+        // Re-index adjacency into rank space so the search always extends
+        // the prefix.
+        let weights: Vec<f64> = order.iter().map(|&v| self.weights[v]).collect();
+        let mut adj: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+        for v in 0..n {
+            for u in self.adj[v].iter() {
+                adj[rank_of[v]].insert(rank_of[u]);
+            }
+        }
+        // Suffix weight sums for the bound: suffix[i] = sum of weights[i..].
+        let mut suffix = vec![0.0; n + 1];
+        for i in (0..n).rev() {
+            suffix[i] = suffix[i + 1] + weights[i];
+        }
+
+        let greedy = self.solve_greedy();
+        let mut best_weight = greedy.weight;
+        let mut best_set: Vec<usize> = greedy.chosen.iter().map(|&v| rank_of[v]).collect();
+
+        let mut nodes_left = opts.node_budget;
+        let mut current: Vec<usize> = Vec::new();
+        let exact = Self::branch(
+            &weights,
+            &adj,
+            &suffix,
+            &BitSet::full(n),
+            0,
+            0.0,
+            &mut current,
+            &mut best_weight,
+            &mut best_set,
+            &mut nodes_left,
+        );
+
+        // Map rank-space solution back to caller vertex ids.
+        let mut chosen: Vec<usize> = best_set.iter().map(|&r| order[r]).collect();
+        chosen.sort_unstable();
+        MisSolution {
+            chosen,
+            weight: best_weight,
+            exact,
+        }
+    }
+
+    /// Recursive branch step over rank-space indices `from..n` restricted
+    /// to `avail`. Returns false if the node budget ran out.
+    #[allow(clippy::too_many_arguments)]
+    fn branch(
+        weights: &[f64],
+        adj: &[BitSet],
+        suffix: &[f64],
+        avail: &BitSet,
+        from: usize,
+        acc: f64,
+        current: &mut Vec<usize>,
+        best_weight: &mut f64,
+        best_set: &mut Vec<usize>,
+        nodes_left: &mut u64,
+    ) -> bool {
+        if *nodes_left == 0 {
+            return false;
+        }
+        *nodes_left -= 1;
+
+        // Find the next available vertex at or after `from`.
+        let next = avail.iter().find(|&v| v >= from);
+        let Some(v) = next else {
+            if acc > *best_weight {
+                *best_weight = acc;
+                *best_set = current.clone();
+            }
+            return true;
+        };
+
+        // Bound: even taking every remaining vertex cannot beat the
+        // incumbent. (Sum over available suffix is ≤ suffix[v].)
+        if acc + suffix[v] <= *best_weight {
+            // Still record exact-equality incumbents found earlier; pruning
+            // cannot lose the optimum because ties don't need replacing.
+            return true;
+        }
+
+        // Branch 1: include v.
+        let mut with_v = avail.clone();
+        with_v.remove(v);
+        with_v.subtract(&adj[v]);
+        current.push(v);
+        let ok1 = Self::branch(
+            weights,
+            adj,
+            suffix,
+            &with_v,
+            v + 1,
+            acc + weights[v],
+            current,
+            best_weight,
+            best_set,
+            nodes_left,
+        );
+        current.pop();
+
+        // Branch 2: exclude v.
+        let mut without_v = avail.clone();
+        without_v.remove(v);
+        let ok2 = Self::branch(
+            weights,
+            adj,
+            suffix,
+            &without_v,
+            v + 1,
+            acc,
+            current,
+            best_weight,
+            best_set,
+            nodes_left,
+        );
+        ok1 && ok2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve(g: &ConflictGraph) -> MisSolution {
+        g.solve(&SolveOptions::default())
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = ConflictGraph::new(vec![]);
+        let s = solve(&g);
+        assert!(s.chosen.is_empty());
+        assert_eq!(s.weight, 0.0);
+        assert!(s.exact);
+    }
+
+    #[test]
+    fn no_edges_takes_everything() {
+        let g = ConflictGraph::new(vec![1.0, 2.0, 3.0]);
+        let s = solve(&g);
+        assert_eq!(s.chosen, vec![0, 1, 2]);
+        assert_eq!(s.weight, 6.0);
+    }
+
+    #[test]
+    fn single_edge_takes_heavier() {
+        let mut g = ConflictGraph::new(vec![1.0, 5.0]);
+        g.add_edge(0, 1);
+        let s = solve(&g);
+        assert_eq!(s.chosen, vec![1]);
+        assert_eq!(s.weight, 5.0);
+    }
+
+    #[test]
+    fn triangle_takes_max_vertex() {
+        let mut g = ConflictGraph::new(vec![2.0, 3.0, 4.0]);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 2);
+        let s = solve(&g);
+        assert_eq!(s.chosen, vec![2]);
+    }
+
+    #[test]
+    fn path_graph_alternation() {
+        // Path 0-1-2-3-4 with uniform weights: optimum is {0,2,4}.
+        let mut g = ConflictGraph::new(vec![1.0; 5]);
+        for i in 0..4 {
+            g.add_edge(i, i + 1);
+        }
+        let s = solve(&g);
+        assert_eq!(s.chosen, vec![0, 2, 4]);
+        assert!(s.exact);
+    }
+
+    #[test]
+    fn weighted_path_prefers_heavy_middle() {
+        // Path 0-1-2; middle vertex outweighs both ends.
+        let mut g = ConflictGraph::new(vec![1.0, 10.0, 1.0]);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        let s = solve(&g);
+        assert_eq!(s.chosen, vec![1]);
+        assert_eq!(s.weight, 10.0);
+    }
+
+    #[test]
+    fn greedy_is_feasible() {
+        let mut g = ConflictGraph::new(vec![3.0, 2.0, 2.0, 3.0]);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        let s = g.solve_greedy();
+        assert!(g.is_independent(&s.chosen));
+        // Exact must be at least as good as greedy.
+        let e = solve(&g);
+        assert!(e.weight >= s.weight);
+        assert_eq!(e.weight, 6.0); // {0, 3}
+    }
+
+    #[test]
+    fn exact_beats_or_matches_greedy_on_random_graphs() {
+        // Deterministic pseudo-random graphs via a simple LCG.
+        let mut state = 12345u64;
+        let mut rand = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (u32::MAX as f64 / 2.0)
+        };
+        for trial in 0..20 {
+            let n = 12 + trial % 8;
+            let mut weights = Vec::new();
+            for _ in 0..n {
+                weights.push(1.0 + rand() * 10.0);
+            }
+            let mut g = ConflictGraph::new(weights);
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rand() < 0.3 {
+                        g.add_edge(u, v);
+                    }
+                }
+            }
+            let greedy = g.solve_greedy();
+            let exact = solve(&g);
+            assert!(g.is_independent(&exact.chosen));
+            assert!(
+                exact.weight >= greedy.weight - 1e-9,
+                "exact {} < greedy {} at trial {trial}",
+                exact.weight,
+                greedy.weight
+            );
+            assert!(exact.exact);
+        }
+    }
+
+    #[test]
+    fn exact_matches_brute_force_small() {
+        let mut state = 999u64;
+        let mut rand = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (u32::MAX as f64 / 2.0)
+        };
+        for _ in 0..30 {
+            let n = 10;
+            let weights: Vec<f64> = (0..n).map(|_| 1.0 + rand() * 5.0).collect();
+            let mut g = ConflictGraph::new(weights.clone());
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rand() < 0.4 {
+                        g.add_edge(u, v);
+                    }
+                }
+            }
+            // Brute force over all subsets.
+            let mut best = 0.0f64;
+            for mask in 0u32..(1 << n) {
+                let vs: Vec<usize> = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
+                if g.is_independent(&vs) {
+                    let w: f64 = vs.iter().map(|&i| weights[i]).sum();
+                    best = best.max(w);
+                }
+            }
+            let s = solve(&g);
+            assert!((s.weight - best).abs() < 1e-9, "{} vs {}", s.weight, best);
+        }
+    }
+
+    #[test]
+    fn node_budget_degrades_gracefully() {
+        let mut g = ConflictGraph::new(vec![1.0; 30]);
+        for u in 0..30usize {
+            for v in (u + 1)..30 {
+                if (u + v) % 3 == 0 {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        let s = g.solve(&SolveOptions { node_budget: 10 });
+        assert!(!s.exact);
+        assert!(g.is_independent(&s.chosen));
+        assert!(s.weight > 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_weights_rejected() {
+        let _ = ConflictGraph::new(vec![1.0, -2.0]);
+    }
+}

@@ -1,0 +1,140 @@
+//! Water-filling allocation of a shared budget across capped consumers.
+//!
+//! Used by TraceWeaver's dynamism handling (§4.2 step 3): a total budget of
+//! skip spans is distributed across optimization batches, each with its own
+//! maximum quota, "iteratively distributing to the most needy batches ...
+//! stopping only when it runs out of total budget".
+
+/// Distribute `budget` integral units across consumers with the given
+/// `quotas`. Returns per-consumer allocations with `alloc[i] <= quotas[i]`
+/// and `sum(alloc) == min(budget, sum(quotas))`.
+///
+/// # Examples
+/// ```
+/// use tw_solver::water_fill;
+/// // 6 units over quotas [1, 10, 10]: the small consumer saturates,
+/// // the rest split what remains.
+/// let alloc = water_fill(6, &[1, 10, 10]);
+/// assert_eq!(alloc.iter().sum::<usize>(), 6);
+/// assert_eq!(alloc[0], 1);
+/// ```
+///
+/// Allocation is level-based water-filling: the water level rises uniformly,
+/// so need (remaining quota) is served in a max-min fair order — the
+/// neediest consumers are the last to saturate, matching the paper's
+/// "most needy first" intent while spreading estimation error evenly.
+pub fn water_fill(budget: usize, quotas: &[usize]) -> Vec<usize> {
+    let mut alloc = vec![0usize; quotas.len()];
+    let total_quota: usize = quotas.iter().sum();
+    let mut remaining = budget.min(total_quota);
+
+    // Raise the common level until the budget is spent. Consumers whose
+    // quota is below the level are capped at their quota.
+    // Sort quota values to compute the level analytically.
+    let mut sorted: Vec<usize> = quotas.to_vec();
+    sorted.sort_unstable();
+
+    // Find the water level L such that sum(min(quota_i, L)) == budget.
+    let mut level = 0usize;
+    {
+        let mut spent = 0usize;
+        let mut active = sorted.len();
+        let mut prev = 0usize;
+        for (idx, &q) in sorted.iter().enumerate() {
+            let step = q - prev;
+            let cost = step * active;
+            if spent + cost >= remaining {
+                level = prev + (remaining - spent) / active;
+                break;
+            }
+            spent += cost;
+            prev = q;
+            active = sorted.len() - idx - 1;
+            level = q;
+        }
+    }
+
+    // First pass: everyone gets min(quota, level).
+    for (a, &q) in alloc.iter_mut().zip(quotas) {
+        *a = q.min(level);
+        remaining -= *a;
+    }
+    // Second pass: hand out the remainder one unit at a time to consumers
+    // with spare quota, neediest (largest spare) first for determinism.
+    while remaining > 0 {
+        let mut order: Vec<usize> = (0..quotas.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(quotas[i] - alloc[i]));
+        let mut gave = false;
+        for i in order {
+            if remaining == 0 {
+                break;
+            }
+            if alloc[i] < quotas[i] {
+                alloc[i] += 1;
+                remaining -= 1;
+                gave = true;
+            }
+        }
+        if !gave {
+            break;
+        }
+    }
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_exceeds_quotas() {
+        let alloc = water_fill(100, &[3, 5, 2]);
+        assert_eq!(alloc, vec![3, 5, 2]);
+    }
+
+    #[test]
+    fn zero_budget() {
+        assert_eq!(water_fill(0, &[3, 5]), vec![0, 0]);
+    }
+
+    #[test]
+    fn empty_consumers() {
+        assert_eq!(water_fill(10, &[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn fair_split_when_equal_quotas() {
+        let alloc = water_fill(6, &[10, 10, 10]);
+        assert_eq!(alloc.iter().sum::<usize>(), 6);
+        assert!(alloc.iter().all(|&a| a == 2));
+    }
+
+    #[test]
+    fn small_quota_saturates_first() {
+        // Level rises: consumer with quota 1 caps out, rest split evenly.
+        let alloc = water_fill(7, &[1, 10, 10]);
+        assert_eq!(alloc.iter().sum::<usize>(), 7);
+        assert_eq!(alloc[0], 1);
+        assert!((alloc[1] as i64 - alloc[2] as i64).abs() <= 1);
+    }
+
+    #[test]
+    fn respects_individual_quotas() {
+        for budget in 0..30 {
+            let quotas = [4, 0, 9, 2, 5];
+            let alloc = water_fill(budget, &quotas);
+            for (a, q) in alloc.iter().zip(&quotas) {
+                assert!(a <= q);
+            }
+            let expect = budget.min(quotas.iter().sum());
+            assert_eq!(alloc.iter().sum::<usize>(), expect, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = water_fill(13, &[7, 3, 9, 1]);
+        let b = water_fill(13, &[7, 3, 9, 1]);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,235 @@
+//! Descriptive statistics: means, variances, percentiles, summaries.
+
+/// Arithmetic mean; 0.0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased (n-1) sample variance; 0.0 for fewer than two points.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Unbiased sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Population (biased, n) variance; 0.0 for an empty slice.
+pub fn population_variance(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Percentile with linear interpolation between closest ranks.
+///
+/// `p` is in [0, 100]. Returns 0.0 for an empty slice. The input does not
+/// need to be sorted.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    percentile_sorted(&sorted, p)
+}
+
+/// Percentile over an already-sorted slice (ascending).
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let p = p.clamp(0.0, 100.0);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median (50th percentile).
+pub fn median(xs: &[f64]) -> f64 {
+    percentile(xs, 50.0)
+}
+
+/// Five-number-style summary of a sample, used by the figure harnesses for
+/// boxplots ([5, 25, 50, 75, 95] percentiles as in the paper's Figure 6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    pub count: usize,
+    pub mean: f64,
+    pub std_dev: f64,
+    pub min: f64,
+    pub p5: f64,
+    pub p25: f64,
+    pub p50: f64,
+    pub p75: f64,
+    pub p95: f64,
+    pub max: f64,
+}
+
+impl Summary {
+    /// Compute a summary; returns an all-zero summary for empty input.
+    pub fn of(xs: &[f64]) -> Self {
+        if xs.is_empty() {
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                p5: 0.0,
+                p25: 0.0,
+                p50: 0.0,
+                p75: 0.0,
+                p95: 0.0,
+                max: 0.0,
+            };
+        }
+        let mut sorted: Vec<f64> = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in summary input"));
+        Summary {
+            count: sorted.len(),
+            mean: mean(&sorted),
+            std_dev: std_dev(&sorted),
+            min: sorted[0],
+            p5: percentile_sorted(&sorted, 5.0),
+            p25: percentile_sorted(&sorted, 25.0),
+            p50: percentile_sorted(&sorted, 50.0),
+            p75: percentile_sorted(&sorted, 75.0),
+            p95: percentile_sorted(&sorted, 95.0),
+            max: sorted[sorted.len() - 1],
+        }
+    }
+}
+
+/// Estimate the population standard deviation from bucket means, per the
+/// paper's seed-distribution trick (§4.1 step 3).
+///
+/// Splits `xs` into `buckets` contiguous buckets, computes each bucket's
+/// mean, takes the sample standard deviation across those means and scales
+/// by sqrt(buckets) per the central limit theorem. This is the only way to
+/// estimate spread when individual (parent, child) pairings are unknown but
+/// the two marginal timestamp populations are.
+pub fn bucketed_std_estimate(xs: &[f64], buckets: usize) -> f64 {
+    if xs.len() < 2 || buckets < 2 {
+        return std_dev(xs);
+    }
+    let buckets = buckets.min(xs.len());
+    let per = xs.len() / buckets;
+    if per == 0 {
+        return std_dev(xs);
+    }
+    let bucket_means: Vec<f64> = (0..buckets)
+        .map(|b| {
+            let start = b * per;
+            let end = if b == buckets - 1 { xs.len() } else { start + per };
+            mean(&xs[start..end])
+        })
+        .collect();
+    std_dev(&bucket_means) * (buckets as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[4.0]), 4.0);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn variance_basic() {
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+        assert_eq!(variance(&[1.0, 2.0, 3.0]), 1.0);
+        assert!((std_dev(&[1.0, 2.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn population_vs_sample_variance() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((population_variance(&xs) - 4.0).abs() < 1e-12);
+        assert!(variance(&xs) > population_variance(&xs));
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+        assert_eq!(percentile(&xs, 50.0), 2.5);
+        assert_eq!(median(&xs), 2.5);
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&xs, 50.0), 2.5);
+    }
+
+    #[test]
+    fn percentile_out_of_range_clamped() {
+        let xs = [1.0, 2.0];
+        assert_eq!(percentile(&xs, -5.0), 1.0);
+        assert_eq!(percentile(&xs, 150.0), 2.0);
+    }
+
+    #[test]
+    fn summary_fields_consistent() {
+        let xs: Vec<f64> = (1..=100).map(|x| x as f64).collect();
+        let s = Summary::of(&xs);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!(s.p25 < s.p50 && s.p50 < s.p75);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_empty() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn bucketed_std_close_to_true_std() {
+        // Random sample: bucket means behave like CLT samples, so the
+        // estimate should land in the right ballpark of the true sigma.
+        let mut s = crate::sampler::Sampler::new(99);
+        let xs: Vec<f64> = (0..2000).map(|_| s.normal(50.0, 8.0)).collect();
+        let true_sd = std_dev(&xs);
+        let est = bucketed_std_estimate(&xs, 10);
+        // The CLT estimate is approximate; tolerance is generous.
+        assert!(
+            (est - true_sd).abs() / true_sd < 0.75,
+            "estimate {est} too far from true {true_sd}"
+        );
+    }
+
+    #[test]
+    fn bucketed_std_degenerate_inputs() {
+        assert_eq!(bucketed_std_estimate(&[], 10), 0.0);
+        assert_eq!(bucketed_std_estimate(&[1.0], 10), 0.0);
+        // buckets < 2 falls back to plain std_dev
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(bucketed_std_estimate(&xs, 1), std_dev(&xs));
+    }
+}

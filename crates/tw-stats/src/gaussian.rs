@@ -1,0 +1,96 @@
+//! Univariate Gaussian distribution.
+
+use crate::special::erf;
+use serde::{Deserialize, Serialize};
+
+/// Minimum standard deviation enforced when fitting, to keep log-densities
+/// finite when a delay distribution is (nearly) deterministic.
+pub const SIGMA_FLOOR: f64 = 1e-9;
+
+/// A univariate normal distribution N(mu, sigma).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Gaussian {
+    pub mu: f64,
+    pub sigma: f64,
+}
+
+impl Gaussian {
+    /// Create a Gaussian; `sigma` is floored at [`SIGMA_FLOOR`].
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        Gaussian {
+            mu,
+            sigma: sigma.max(SIGMA_FLOOR),
+        }
+    }
+
+    /// Maximum-likelihood fit (population variance) over a sample.
+    pub fn fit(xs: &[f64]) -> Self {
+        let mu = crate::desc::mean(xs);
+        let sigma = crate::desc::population_variance(xs).sqrt();
+        Gaussian::new(mu, sigma)
+    }
+
+    /// Probability density function at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        self.log_pdf(x).exp()
+    }
+
+    /// Natural log of the pdf at `x`.
+    pub fn log_pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.sigma;
+        -0.5 * z * z - self.sigma.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln()
+    }
+
+    /// Cumulative distribution function at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        0.5 * (1.0 + erf((x - self.mu) / (self.sigma * std::f64::consts::SQRT_2)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_normal_pdf() {
+        let g = Gaussian::new(0.0, 1.0);
+        assert!((g.pdf(0.0) - 0.3989422804).abs() < 1e-9);
+        assert!((g.pdf(1.0) - 0.2419707245).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_pdf_matches_pdf() {
+        let g = Gaussian::new(3.0, 2.0);
+        for x in [-1.0, 0.0, 3.0, 7.5] {
+            assert!((g.log_pdf(x).exp() - g.pdf(x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cdf_properties() {
+        let g = Gaussian::new(5.0, 2.0);
+        assert!((g.cdf(5.0) - 0.5).abs() < 1e-9);
+        assert!(g.cdf(-100.0) < 1e-6);
+        assert!(g.cdf(100.0) > 1.0 - 1e-6);
+        // Monotone.
+        assert!(g.cdf(4.0) < g.cdf(6.0));
+    }
+
+    #[test]
+    fn fit_recovers_parameters() {
+        // Symmetric sample around 10 with spread 2.
+        let xs = [8.0, 9.0, 10.0, 11.0, 12.0];
+        let g = Gaussian::fit(&xs);
+        assert!((g.mu - 10.0).abs() < 1e-12);
+        assert!((g.sigma - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sigma_floor_applied() {
+        let g = Gaussian::new(0.0, 0.0);
+        assert!(g.sigma >= SIGMA_FLOOR);
+        assert!(g.log_pdf(0.0).is_finite());
+        let g = Gaussian::fit(&[5.0, 5.0, 5.0]);
+        assert!(g.sigma >= SIGMA_FLOOR);
+    }
+}

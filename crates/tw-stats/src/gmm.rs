@@ -1,0 +1,358 @@
+//! Gaussian Mixture Models fit by Expectation-Maximization, with Bayesian
+//! Information Criterion model selection.
+//!
+//! This implements the delay-distribution machinery of TraceWeaver §4.1
+//! step 3: after the first iteration, inferred (parent, child) gaps are fit
+//! with a GMM whose component count is chosen by sweeping `C = 1..=C_max`
+//! and minimizing BIC.
+
+use crate::desc::{mean, percentile, population_variance};
+use crate::gaussian::{Gaussian, SIGMA_FLOOR};
+use serde::{Deserialize, Serialize};
+
+/// One mixture component: a weighted Gaussian.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GmmComponent {
+    /// Mixing weight π_c, in (0, 1]; weights of a mixture sum to 1.
+    pub weight: f64,
+    pub gaussian: Gaussian,
+}
+
+/// A univariate Gaussian mixture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Gmm {
+    pub components: Vec<GmmComponent>,
+}
+
+/// Options controlling the EM fit and the BIC sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct GmmFitOptions {
+    /// Largest component count tried by [`Gmm::fit_auto`] (paper: C = 5,
+    /// text sweeps up to 20).
+    pub max_components: usize,
+    /// Maximum EM iterations per candidate model.
+    pub max_iters: usize,
+    /// Convergence threshold on mean log-likelihood improvement.
+    pub tol: f64,
+}
+
+impl Default for GmmFitOptions {
+    fn default() -> Self {
+        GmmFitOptions {
+            max_components: 5,
+            max_iters: 100,
+            tol: 1e-6,
+        }
+    }
+}
+
+impl Gmm {
+    /// A single-component mixture equal to the given Gaussian. This is how
+    /// TraceWeaver's iteration 1 seed distribution is represented.
+    pub fn single(g: Gaussian) -> Self {
+        Gmm {
+            components: vec![GmmComponent {
+                weight: 1.0,
+                gaussian: g,
+            }],
+        }
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// True if the mixture has no components (an unusable model).
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Log density at `x` via log-sum-exp over components.
+    pub fn log_pdf(&self, x: f64) -> f64 {
+        debug_assert!(!self.components.is_empty());
+        let logs: Vec<f64> = self
+            .components
+            .iter()
+            .map(|c| c.weight.max(f64::MIN_POSITIVE).ln() + c.gaussian.log_pdf(x))
+            .collect();
+        log_sum_exp(&logs)
+    }
+
+    /// Density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        self.log_pdf(x).exp()
+    }
+
+    /// Mean of the mixture.
+    pub fn mean(&self) -> f64 {
+        self.components
+            .iter()
+            .map(|c| c.weight * c.gaussian.mu)
+            .sum()
+    }
+
+    /// Total log-likelihood of a sample under this mixture.
+    pub fn log_likelihood(&self, xs: &[f64]) -> f64 {
+        xs.iter().map(|&x| self.log_pdf(x)).sum()
+    }
+
+    /// Bayesian Information Criterion: `k ln n − 2 ln L` with
+    /// `k = 3C − 1` free parameters (C means, C sigmas, C−1 weights).
+    pub fn bic(&self, xs: &[f64]) -> f64 {
+        let k = (3 * self.components.len() - 1) as f64;
+        let n = xs.len().max(1) as f64;
+        k * n.ln() - 2.0 * self.log_likelihood(xs)
+    }
+
+    /// Fit a mixture with exactly `c` components using EM.
+    ///
+    /// Initialization is deterministic: component means are placed at evenly
+    /// spaced quantiles of the sample, sigmas at the overall sigma, weights
+    /// uniform. Returns a single-component fit if the sample is too small to
+    /// support `c` components.
+    pub fn fit(xs: &[f64], c: usize, opts: &GmmFitOptions) -> Self {
+        assert!(c >= 1, "component count must be >= 1");
+        if xs.is_empty() {
+            return Gmm::single(Gaussian::new(0.0, 1.0));
+        }
+        if c == 1 || xs.len() < 2 * c {
+            return Gmm::single(Gaussian::fit(xs));
+        }
+
+        let overall_sigma = population_variance(xs).sqrt().max(SIGMA_FLOOR);
+        let mut comps: Vec<GmmComponent> = (0..c)
+            .map(|i| {
+                let q = (i as f64 + 0.5) / c as f64 * 100.0;
+                GmmComponent {
+                    weight: 1.0 / c as f64,
+                    gaussian: Gaussian::new(percentile(xs, q), overall_sigma),
+                }
+            })
+            .collect();
+
+        let n = xs.len();
+        let mut resp = vec![0.0f64; n * c]; // responsibilities, row-major [point][comp]
+        let mut prev_ll = f64::NEG_INFINITY;
+
+        for _ in 0..opts.max_iters {
+            // E-step.
+            let mut ll = 0.0;
+            for (i, &x) in xs.iter().enumerate() {
+                let logs: Vec<f64> = comps
+                    .iter()
+                    .map(|cm| cm.weight.max(f64::MIN_POSITIVE).ln() + cm.gaussian.log_pdf(x))
+                    .collect();
+                let lse = log_sum_exp(&logs);
+                ll += lse;
+                for (j, &lj) in logs.iter().enumerate() {
+                    resp[i * c + j] = (lj - lse).exp();
+                }
+            }
+
+            // M-step.
+            for j in 0..c {
+                let nj: f64 = (0..n).map(|i| resp[i * c + j]).sum();
+                if nj < 1e-12 {
+                    // Dead component: re-seed at the sample mean so it can
+                    // recover, with a tiny weight.
+                    comps[j] = GmmComponent {
+                        weight: 1e-6,
+                        gaussian: Gaussian::new(mean(xs), overall_sigma),
+                    };
+                    continue;
+                }
+                let mu: f64 = (0..n).map(|i| resp[i * c + j] * xs[i]).sum::<f64>() / nj;
+                let var: f64 = (0..n)
+                    .map(|i| {
+                        let d = xs[i] - mu;
+                        resp[i * c + j] * d * d
+                    })
+                    .sum::<f64>()
+                    / nj;
+                comps[j] = GmmComponent {
+                    weight: nj / n as f64,
+                    gaussian: Gaussian::new(mu, var.sqrt()),
+                };
+            }
+            normalize_weights(&mut comps);
+
+            if (ll - prev_ll).abs() / n as f64 <= opts.tol {
+                break;
+            }
+            prev_ll = ll;
+        }
+
+        Gmm { components: comps }
+    }
+
+    /// Fit mixtures for `C = 1..=opts.max_components` and return the one
+    /// minimizing BIC (paper §4.1 step 3).
+    ///
+    /// # Examples
+    /// ```
+    /// use tw_stats::gmm::{Gmm, GmmFitOptions};
+    /// // Clearly bimodal data: BIC selects two components.
+    /// let xs: Vec<f64> = (0..200)
+    ///     .map(|i| if i % 2 == 0 { 10.0 } else { 500.0 } + (i % 7) as f64)
+    ///     .collect();
+    /// let gmm = Gmm::fit_auto(&xs, &GmmFitOptions::default());
+    /// assert!(gmm.len() >= 2);
+    /// assert!(gmm.log_pdf(500.0) > gmm.log_pdf(250.0));
+    /// ```
+    pub fn fit_auto(xs: &[f64], opts: &GmmFitOptions) -> Self {
+        let mut best: Option<(f64, Gmm)> = None;
+        for c in 1..=opts.max_components.max(1) {
+            let gmm = Gmm::fit(xs, c, opts);
+            let bic = gmm.bic(xs);
+            match &best {
+                Some((b, _)) if *b <= bic => {}
+                _ => best = Some((bic, gmm)),
+            }
+        }
+        best.expect("at least one candidate model").1
+    }
+}
+
+fn normalize_weights(comps: &mut [GmmComponent]) {
+    let total: f64 = comps.iter().map(|c| c.weight).sum();
+    if total > 0.0 {
+        for c in comps.iter_mut() {
+            c.weight /= total;
+        }
+    }
+}
+
+/// Numerically stable log(sum(exp(xs))).
+fn log_sum_exp(xs: &[f64]) -> f64 {
+    let m = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if !m.is_finite() {
+        return m;
+    }
+    m + xs.iter().map(|&x| (x - m).exp()).sum::<f64>().ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic interleaved bimodal sample: half near 10, half near 50.
+    fn bimodal() -> Vec<f64> {
+        let mut xs = Vec::new();
+        for i in 0..200 {
+            let jitter = (i % 7) as f64 * 0.3 - 0.9;
+            if i % 2 == 0 {
+                xs.push(10.0 + jitter);
+            } else {
+                xs.push(50.0 + jitter);
+            }
+        }
+        xs
+    }
+
+    #[test]
+    fn single_component_fit_is_mle() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let gmm = Gmm::fit(&xs, 1, &GmmFitOptions::default());
+        assert_eq!(gmm.len(), 1);
+        assert!((gmm.components[0].gaussian.mu - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_component_fit_finds_modes() {
+        let xs = bimodal();
+        let gmm = Gmm::fit(&xs, 2, &GmmFitOptions::default());
+        let mut mus: Vec<f64> = gmm.components.iter().map(|c| c.gaussian.mu).collect();
+        mus.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((mus[0] - 10.0).abs() < 1.0, "low mode at {}", mus[0]);
+        assert!((mus[1] - 50.0).abs() < 1.0, "high mode at {}", mus[1]);
+    }
+
+    #[test]
+    fn bic_prefers_two_components_on_bimodal() {
+        let xs = bimodal();
+        let opts = GmmFitOptions::default();
+        let auto = Gmm::fit_auto(&xs, &opts);
+        assert!(auto.len() >= 2, "BIC should reject a single Gaussian");
+    }
+
+    #[test]
+    fn bic_prefers_one_component_on_unimodal() {
+        // A genuinely Gaussian sample: extra components do not pay for
+        // their BIC penalty.
+        let mut s = crate::sampler::Sampler::new(4);
+        let xs: Vec<f64> = (0..400).map(|_| s.normal(20.0, 2.0)).collect();
+        let auto = Gmm::fit_auto(&xs, &GmmFitOptions::default());
+        assert_eq!(auto.len(), 1, "BIC should select 1 component");
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let gmm = Gmm::fit(&bimodal(), 3, &GmmFitOptions::default());
+        let total: f64 = gmm.components.iter().map(|c| c.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_pdf_matches_manual_mixture() {
+        let gmm = Gmm {
+            components: vec![
+                GmmComponent {
+                    weight: 0.3,
+                    gaussian: Gaussian::new(0.0, 1.0),
+                },
+                GmmComponent {
+                    weight: 0.7,
+                    gaussian: Gaussian::new(5.0, 2.0),
+                },
+            ],
+        };
+        let x = 2.0;
+        let manual =
+            0.3 * Gaussian::new(0.0, 1.0).pdf(x) + 0.7 * Gaussian::new(5.0, 2.0).pdf(x);
+        assert!((gmm.pdf(x) - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixture_mean() {
+        let gmm = Gmm {
+            components: vec![
+                GmmComponent {
+                    weight: 0.5,
+                    gaussian: Gaussian::new(0.0, 1.0),
+                },
+                GmmComponent {
+                    weight: 0.5,
+                    gaussian: Gaussian::new(10.0, 1.0),
+                },
+            ],
+        };
+        assert!((gmm.mean() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let gmm = Gmm::fit(&[], 3, &GmmFitOptions::default());
+        assert_eq!(gmm.len(), 1);
+        let gmm = Gmm::fit(&[1.0], 3, &GmmFitOptions::default());
+        assert_eq!(gmm.len(), 1);
+        assert!(gmm.log_pdf(1.0).is_finite());
+        // Identical points: sigma floored, density finite.
+        let gmm = Gmm::fit(&[2.0; 50], 2, &GmmFitOptions::default());
+        assert!(gmm.log_pdf(2.0).is_finite());
+    }
+
+    #[test]
+    fn log_likelihood_higher_for_better_model() {
+        let xs = bimodal();
+        let one = Gmm::fit(&xs, 1, &GmmFitOptions::default());
+        let two = Gmm::fit(&xs, 2, &GmmFitOptions::default());
+        assert!(two.log_likelihood(&xs) > one.log_likelihood(&xs));
+    }
+
+    #[test]
+    fn log_sum_exp_stability() {
+        assert!((log_sum_exp(&[-1000.0, -1000.0]) - (-1000.0 + 2.0f64.ln())).abs() < 1e-9);
+        assert_eq!(log_sum_exp(&[f64::NEG_INFINITY]), f64::NEG_INFINITY);
+    }
+}

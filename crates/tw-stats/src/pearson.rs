@@ -1,0 +1,79 @@
+//! Pearson correlation coefficient (paper §6.3.2 reports r = 0.89 between
+//! TraceWeaver's per-service confidence score and actual accuracy).
+
+/// Pearson correlation between two equal-length samples.
+///
+/// Returns `None` if the samples differ in length, have fewer than two
+/// points, or either is constant (correlation undefined).
+pub fn pearson_correlation(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_positive() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson_correlation(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_negative() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [3.0, 2.0, 1.0];
+        assert!((pearson_correlation(&xs, &ys).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncorrelated_near_zero() {
+        // Symmetric pattern with zero covariance.
+        let xs = [-1.0, 1.0, -1.0, 1.0];
+        let ys = [1.0, 1.0, -1.0, -1.0];
+        assert!(pearson_correlation(&xs, &ys).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn invariant_to_affine_transform() {
+        let xs = [1.0, 3.0, 2.0, 5.0, 4.0];
+        let ys = [2.0, 1.0, 4.0, 3.0, 5.0];
+        let r1 = pearson_correlation(&xs, &ys).unwrap();
+        let xs2: Vec<f64> = xs.iter().map(|x| 3.0 * x + 7.0).collect();
+        let r2 = pearson_correlation(&xs2, &ys).unwrap();
+        assert!((r1 - r2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert!(pearson_correlation(&[1.0], &[2.0]).is_none());
+        assert!(pearson_correlation(&[1.0, 2.0], &[1.0]).is_none());
+        assert!(pearson_correlation(&[1.0, 1.0], &[1.0, 2.0]).is_none()); // constant x
+    }
+
+    #[test]
+    fn bounded_in_minus_one_one() {
+        let xs = [0.3, 1.7, 2.2, 9.1, 4.4, 5.0];
+        let ys = [1.1, 0.4, 3.3, 2.2, 8.8, 0.1];
+        let r = pearson_correlation(&xs, &ys).unwrap();
+        assert!((-1.0..=1.0).contains(&r));
+    }
+}

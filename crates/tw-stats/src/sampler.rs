@@ -1,0 +1,355 @@
+//! Deterministic random samplers used by the workload generators and the
+//! microservice simulator.
+//!
+//! All sampling goes through [`Sampler`], a thin wrapper over a seeded
+//! `StdRng`, so that every experiment in the repository is reproducible
+//! from its seed. Distribution transforms (Box-Muller, inverse CDF) are
+//! implemented here rather than pulling in `rand_distr`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A deterministic sampler seeded once per experiment (or per simulator).
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    rng: StdRng,
+    /// Cached second value from the Box-Muller pair.
+    gauss_spare: Option<f64>,
+}
+
+impl Sampler {
+    pub fn new(seed: u64) -> Self {
+        Sampler {
+            rng: StdRng::seed_from_u64(seed),
+            gauss_spare: None,
+        }
+    }
+
+    /// Uniform in [0, 1).
+    pub fn uniform(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Uniform in [lo, hi).
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in [lo, hi).
+    pub fn uniform_usize(&mut self, lo: usize, hi: usize) -> usize {
+        if hi <= lo {
+            return lo;
+        }
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    pub fn coin(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+
+    /// Standard normal via Box-Muller (polar form).
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.gauss_spare.take() {
+            return z;
+        }
+        loop {
+            let u = 2.0 * self.uniform() - 1.0;
+            let v = 2.0 * self.uniform() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                self.gauss_spare = Some(v * factor);
+                return u * factor;
+            }
+        }
+    }
+
+    /// Normal with the given mean and standard deviation.
+    pub fn normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        mu + sigma * self.standard_normal()
+    }
+
+    /// Log-normal parameterized by the underlying normal's (mu, sigma).
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Exponential with the given mean (inverse CDF).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let u = 1.0 - self.uniform(); // avoid ln(0)
+        -mean * u.ln()
+    }
+
+    /// Pareto with scale `xm > 0` and shape `alpha > 0` (heavy tail).
+    pub fn pareto(&mut self, xm: f64, alpha: f64) -> f64 {
+        let u = 1.0 - self.uniform();
+        xm / u.powf(1.0 / alpha)
+    }
+
+    /// Draw from a configured [`DelayDistribution`], clamped at `min_floor`.
+    pub fn delay(&mut self, dist: &DelayDistribution) -> f64 {
+        let v = match *dist {
+            DelayDistribution::Constant { value } => value,
+            DelayDistribution::Uniform { lo, hi } => self.uniform_range(lo, hi),
+            DelayDistribution::Normal { mu, sigma } => self.normal(mu, sigma),
+            DelayDistribution::LogNormal { mu, sigma } => self.log_normal(mu, sigma),
+            DelayDistribution::Exponential { mean } => self.exponential(mean),
+            DelayDistribution::Pareto { xm, alpha } => self.pareto(xm, alpha),
+            DelayDistribution::Bimodal {
+                mu1,
+                sigma1,
+                mu2,
+                sigma2,
+                p2,
+            } => {
+                if self.coin(p2) {
+                    self.normal(mu2, sigma2)
+                } else {
+                    self.normal(mu1, sigma1)
+                }
+            }
+        };
+        v.max(0.0)
+    }
+
+    /// Fork a derived sampler with an independent stream. Used to give each
+    /// simulated service its own stream so adding a service does not perturb
+    /// the draws of the others.
+    pub fn fork(&mut self, stream: u64) -> Sampler {
+        let seed = self.rng.gen::<u64>() ^ stream.wrapping_mul(0x9E3779B97F4A7C15);
+        Sampler::new(seed)
+    }
+}
+
+/// Service-time / network-delay distribution configuration.
+///
+/// Times are in microseconds throughout the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DelayDistribution {
+    Constant { value: f64 },
+    Uniform { lo: f64, hi: f64 },
+    Normal { mu: f64, sigma: f64 },
+    LogNormal { mu: f64, sigma: f64 },
+    Exponential { mean: f64 },
+    Pareto { xm: f64, alpha: f64 },
+    /// Mixture of two normals; `p2` is the probability of the second mode.
+    /// Exercises the GMM fitting path (a single Gaussian cannot model it).
+    Bimodal {
+        mu1: f64,
+        sigma1: f64,
+        mu2: f64,
+        sigma2: f64,
+        p2: f64,
+    },
+}
+
+impl DelayDistribution {
+    /// A version of this distribution scaled by `factor` (> 0). Used by the
+    /// test-environment substrate to emulate Linux-TC-style artificial
+    /// delay variation when learning dependency order.
+    pub fn scaled(&self, factor: f64) -> DelayDistribution {
+        assert!(factor > 0.0, "scale factor must be positive");
+        match *self {
+            DelayDistribution::Constant { value } => DelayDistribution::Constant {
+                value: value * factor,
+            },
+            DelayDistribution::Uniform { lo, hi } => DelayDistribution::Uniform {
+                lo: lo * factor,
+                hi: hi * factor,
+            },
+            DelayDistribution::Normal { mu, sigma } => DelayDistribution::Normal {
+                mu: mu * factor,
+                sigma: sigma * factor,
+            },
+            // Scaling a log-normal multiplies the median: shift mu by ln(f).
+            DelayDistribution::LogNormal { mu, sigma } => DelayDistribution::LogNormal {
+                mu: mu + factor.ln(),
+                sigma,
+            },
+            DelayDistribution::Exponential { mean } => DelayDistribution::Exponential {
+                mean: mean * factor,
+            },
+            DelayDistribution::Pareto { xm, alpha } => DelayDistribution::Pareto {
+                xm: xm * factor,
+                alpha,
+            },
+            DelayDistribution::Bimodal {
+                mu1,
+                sigma1,
+                mu2,
+                sigma2,
+                p2,
+            } => DelayDistribution::Bimodal {
+                mu1: mu1 * factor,
+                sigma1: sigma1 * factor,
+                mu2: mu2 * factor,
+                sigma2: sigma2 * factor,
+                p2,
+            },
+        }
+    }
+
+    /// Expected value of the distribution (used for capacity planning in
+    /// the load generators).
+    pub fn mean(&self) -> f64 {
+        match *self {
+            DelayDistribution::Constant { value } => value,
+            DelayDistribution::Uniform { lo, hi } => (lo + hi) / 2.0,
+            DelayDistribution::Normal { mu, .. } => mu,
+            DelayDistribution::LogNormal { mu, sigma } => (mu + sigma * sigma / 2.0).exp(),
+            DelayDistribution::Exponential { mean } => mean,
+            DelayDistribution::Pareto { xm, alpha } => {
+                if alpha > 1.0 {
+                    alpha * xm / (alpha - 1.0)
+                } else {
+                    f64::INFINITY
+                }
+            }
+            DelayDistribution::Bimodal {
+                mu1, mu2, p2, ..
+            } => mu1 * (1.0 - p2) + mu2 * p2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::desc::{mean, std_dev};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Sampler::new(42);
+        let mut b = Sampler::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(), b.uniform());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Sampler::new(1);
+        let mut b = Sampler::new(2);
+        let same = (0..20).filter(|_| a.uniform() == b.uniform()).count();
+        assert!(same < 3);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut s = Sampler::new(7);
+        let xs: Vec<f64> = (0..20_000).map(|_| s.normal(10.0, 3.0)).collect();
+        assert!((mean(&xs) - 10.0).abs() < 0.1);
+        assert!((std_dev(&xs) - 3.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn exponential_moments() {
+        let mut s = Sampler::new(8);
+        let xs: Vec<f64> = (0..20_000).map(|_| s.exponential(5.0)).collect();
+        assert!((mean(&xs) - 5.0).abs() < 0.2);
+        assert!(xs.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn pareto_heavy_tail() {
+        let mut s = Sampler::new(9);
+        let xs: Vec<f64> = (0..20_000).map(|_| s.pareto(1.0, 2.0)).collect();
+        assert!(xs.iter().all(|&x| x >= 1.0));
+        // E[X] = alpha*xm/(alpha-1) = 2
+        assert!((mean(&xs) - 2.0).abs() < 0.25);
+    }
+
+    #[test]
+    fn lognormal_mean_matches_formula() {
+        let mut s = Sampler::new(10);
+        let d = DelayDistribution::LogNormal { mu: 1.0, sigma: 0.5 };
+        let xs: Vec<f64> = (0..50_000).map(|_| s.delay(&d)).collect();
+        assert!((mean(&xs) - d.mean()).abs() / d.mean() < 0.05);
+    }
+
+    #[test]
+    fn bimodal_has_two_modes() {
+        let mut s = Sampler::new(11);
+        let d = DelayDistribution::Bimodal {
+            mu1: 10.0,
+            sigma1: 1.0,
+            mu2: 100.0,
+            sigma2: 1.0,
+            p2: 0.5,
+        };
+        let xs: Vec<f64> = (0..10_000).map(|_| s.delay(&d)).collect();
+        let low = xs.iter().filter(|&&x| x < 50.0).count();
+        let frac = low as f64 / xs.len() as f64;
+        assert!((frac - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn delay_is_non_negative() {
+        let mut s = Sampler::new(12);
+        let d = DelayDistribution::Normal { mu: 0.5, sigma: 10.0 };
+        for _ in 0..1000 {
+            assert!(s.delay(&d) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn coin_probability() {
+        let mut s = Sampler::new(13);
+        let hits = (0..10_000).filter(|_| s.coin(0.3)).count();
+        let frac = hits as f64 / 10_000.0;
+        assert!((frac - 0.3).abs() < 0.03);
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut root = Sampler::new(5);
+        let mut a = root.fork(1);
+        let mut b = root.fork(2);
+        let same = (0..20).filter(|_| a.uniform() == b.uniform()).count();
+        assert!(same < 3);
+    }
+
+    #[test]
+    fn uniform_usize_bounds() {
+        let mut s = Sampler::new(14);
+        for _ in 0..1000 {
+            let v = s.uniform_usize(3, 7);
+            assert!((3..7).contains(&v));
+        }
+        assert_eq!(s.uniform_usize(5, 5), 5);
+        assert_eq!(s.uniform_usize(5, 3), 5);
+    }
+
+    #[test]
+    fn scaled_distributions() {
+        let mut s = Sampler::new(20);
+        let d = DelayDistribution::Constant { value: 3.0 }.scaled(2.0);
+        assert_eq!(s.delay(&d), 6.0);
+        // Log-normal scaling shifts the mean multiplicatively.
+        let base = DelayDistribution::LogNormal { mu: 2.0, sigma: 0.4 };
+        let scaled = base.scaled(3.0);
+        assert!((scaled.mean() / base.mean() - 3.0).abs() < 1e-9);
+        // Empirical check for exponential.
+        let e = DelayDistribution::Exponential { mean: 2.0 }.scaled(5.0);
+        let xs: Vec<f64> = (0..20_000).map(|_| s.delay(&e)).collect();
+        assert!((mean(&xs) - 10.0).abs() < 0.4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn scaled_rejects_non_positive() {
+        let _ = DelayDistribution::Constant { value: 1.0 }.scaled(0.0);
+    }
+
+    #[test]
+    fn mean_formulas() {
+        assert_eq!(DelayDistribution::Constant { value: 4.0 }.mean(), 4.0);
+        assert_eq!(DelayDistribution::Uniform { lo: 2.0, hi: 6.0 }.mean(), 4.0);
+        assert_eq!(
+            DelayDistribution::Pareto { xm: 1.0, alpha: 0.5 }.mean(),
+            f64::INFINITY
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Welch's two-sample t-test, used by the A/B-testing use case (paper §6.4.2).
+
+use crate::desc::{mean, variance};
+use crate::special::{student_t_one_sided_p, student_t_two_sided_p};
+
+/// Result of a two-sample t-test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TTestResult {
+    /// The t statistic (positive when sample `a` has the larger mean).
+    pub t: f64,
+    /// Welch-Satterthwaite degrees of freedom.
+    pub df: f64,
+    /// Two-sided p-value.
+    pub p_two_sided: f64,
+    /// One-sided p-value for the alternative "mean(a) > mean(b)".
+    pub p_greater: f64,
+}
+
+/// Welch's unequal-variance two-sample t-test comparing `a` against `b`.
+///
+/// Returns `None` if either sample has fewer than two points or both
+/// variances are zero (the statistic is undefined).
+///
+/// # Examples
+/// ```
+/// use tw_stats::welch_t_test;
+/// let a = [5.1, 4.9, 5.2, 5.0, 4.8, 5.1];
+/// let b = [6.0, 6.2, 5.9, 6.1, 6.3, 5.8];
+/// let r = welch_t_test(&b, &a).unwrap();
+/// assert!(r.p_two_sided < 0.01, "clearly different samples");
+/// assert!(r.t > 0.0, "b has the larger mean");
+/// ```
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> Option<TTestResult> {
+    if a.len() < 2 || b.len() < 2 {
+        return None;
+    }
+    let (ma, mb) = (mean(a), mean(b));
+    let (va, vb) = (variance(a), variance(b));
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let se2 = va / na + vb / nb;
+    if se2 <= 0.0 {
+        return None;
+    }
+    let t = (ma - mb) / se2.sqrt();
+    let df = se2 * se2
+        / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
+    Some(TTestResult {
+        t,
+        df,
+        p_two_sided: student_t_two_sided_p(t, df),
+        p_greater: student_t_one_sided_p(t, df),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::Sampler;
+
+    #[test]
+    fn identical_samples_not_significant() {
+        let a: Vec<f64> = (0..50).map(|i| (i % 10) as f64).collect();
+        let r = welch_t_test(&a, &a).unwrap();
+        assert!((r.t).abs() < 1e-12);
+        assert!(r.p_two_sided > 0.99);
+    }
+
+    #[test]
+    fn clearly_different_samples_significant() {
+        let mut s = Sampler::new(1);
+        let a: Vec<f64> = (0..200).map(|_| s.normal(10.0, 1.0)).collect();
+        let b: Vec<f64> = (0..200).map(|_| s.normal(12.0, 1.0)).collect();
+        let r = welch_t_test(&b, &a).unwrap();
+        assert!(r.p_two_sided < 1e-6);
+        assert!(r.p_greater < 1e-6, "b should test greater than a");
+        assert!(r.t > 0.0);
+    }
+
+    #[test]
+    fn small_effect_small_sample_not_significant() {
+        let mut s = Sampler::new(21);
+        let a: Vec<f64> = (0..8).map(|_| s.normal(10.0, 3.0)).collect();
+        let b: Vec<f64> = (0..8).map(|_| s.normal(10.05, 3.0)).collect();
+        let r = welch_t_test(&a, &b).unwrap();
+        assert!(
+            r.p_two_sided > 0.05,
+            "tiny effect at n=8 should be insignificant, p={}",
+            r.p_two_sided
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert!(welch_t_test(&[1.0], &[1.0, 2.0]).is_none());
+        assert!(welch_t_test(&[1.0, 1.0], &[2.0, 2.0]).is_none()); // zero variance both
+    }
+
+    #[test]
+    fn direction_of_t() {
+        let a = [5.0, 6.0, 7.0, 8.0];
+        let b = [1.0, 2.0, 3.0, 4.0];
+        let r = welch_t_test(&a, &b).unwrap();
+        assert!(r.t > 0.0);
+        let r2 = welch_t_test(&b, &a).unwrap();
+        assert!((r.t + r2.t).abs() < 1e-12);
+    }
+
+    #[test]
+    fn df_bounded_by_pooled() {
+        // Welch df should be <= na + nb - 2.
+        let mut s = Sampler::new(3);
+        let a: Vec<f64> = (0..30).map(|_| s.normal(0.0, 1.0)).collect();
+        let b: Vec<f64> = (0..40).map(|_| s.normal(0.0, 5.0)).collect();
+        let r = welch_t_test(&a, &b).unwrap();
+        assert!(r.df <= 68.0);
+        assert!(r.df >= (30f64 - 1.0).min(40.0 - 1.0) - 1e-9);
+    }
+}

@@ -1,0 +1,109 @@
+//! ASCII boxplots from percentile summaries — the Figure 6a/6c rendering
+//! style of the paper.
+
+use tw_stats::Summary;
+
+/// Render horizontal boxplots for labeled samples on a shared scale.
+///
+/// ```text
+/// lm=1      ├────[▓▓▓█▓▓]────┤   (p5 [p25 median p75] p95)
+/// lm=100  ├──[▓▓█▓▓▓▓]──────────┤
+/// ```
+pub fn render_boxplots(rows: &[(String, Summary)], width: usize) -> String {
+    let width = width.max(20);
+    if rows.is_empty() {
+        return "<no data>\n".to_string();
+    }
+    let lo = rows
+        .iter()
+        .map(|(_, s)| s.p5)
+        .fold(f64::INFINITY, f64::min);
+    let hi = rows
+        .iter()
+        .map(|(_, s)| s.p95)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(f64::EPSILON);
+    let label_width = rows.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+
+    let col = |v: f64| -> usize {
+        (((v - lo) / span) * (width - 1) as f64).round() as usize
+    };
+
+    let mut out = String::new();
+    for (label, s) in rows {
+        if s.count == 0 {
+            out.push_str(&format!("{label:<label_width$}  <empty>\n"));
+            continue;
+        }
+        let (c5, c25, c50, c75, c95) = (col(s.p5), col(s.p25), col(s.p50), col(s.p75), col(s.p95));
+        let mut line = vec![' '; width];
+        for c in line.iter_mut().take(c95 + 1).skip(c5) {
+            *c = '─';
+        }
+        for c in line.iter_mut().take(c75 + 1).skip(c25) {
+            *c = '▓';
+        }
+        line[c5] = '├';
+        line[c95] = '┤';
+        line[c50.clamp(c5, c95)] = '█';
+        out.push_str(&format!(
+            "{label:<label_width$}  {}  (p50 {:.1})\n",
+            line.iter().collect::<String>(),
+            s.p50
+        ));
+    }
+    out.push_str(&format!(
+        "{}  scale: {lo:.1} … {hi:.1}\n",
+        " ".repeat(label_width)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary_of(xs: &[f64]) -> Summary {
+        Summary::of(xs)
+    }
+
+    #[test]
+    fn renders_box_markers() {
+        let xs: Vec<f64> = (0..100).map(|x| x as f64).collect();
+        let rows = vec![("run".to_string(), summary_of(&xs))];
+        let text = render_boxplots(&rows, 50);
+        assert!(text.contains('├'));
+        assert!(text.contains('┤'));
+        assert!(text.contains('█'));
+        assert!(text.contains('▓'));
+        assert!(text.contains("p50"));
+    }
+
+    #[test]
+    fn shifted_distributions_render_at_different_positions() {
+        let low: Vec<f64> = (0..100).map(|x| x as f64).collect();
+        let high: Vec<f64> = (0..100).map(|x| 900.0 + x as f64).collect();
+        let rows = vec![
+            ("low".to_string(), summary_of(&low)),
+            ("high".to_string(), summary_of(&high)),
+        ];
+        let text = render_boxplots(&rows, 60);
+        let lines: Vec<&str> = text.lines().collect();
+        let pos = |line: &str| line.find('█').unwrap();
+        assert!(pos(lines[0]) < pos(lines[1]));
+    }
+
+    #[test]
+    fn empty_input_graceful() {
+        assert!(render_boxplots(&[], 40).contains("<no data>"));
+        let rows = vec![("x".to_string(), summary_of(&[]))];
+        assert!(render_boxplots(&rows, 40).contains("<empty>"));
+    }
+
+    #[test]
+    fn degenerate_all_equal() {
+        let rows = vec![("c".to_string(), summary_of(&[5.0; 20]))];
+        let text = render_boxplots(&rows, 40);
+        assert!(text.contains('█'));
+    }
+}

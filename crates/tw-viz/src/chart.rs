@@ -1,0 +1,177 @@
+//! ASCII scatter / line charts for evaluation series (e.g. accuracy vs
+//! load, one mark per algorithm).
+
+/// A chart with one or more named series over a shared x-axis.
+#[derive(Debug, Clone, Default)]
+pub struct Chart {
+    title: String,
+    series: Vec<(String, char, Vec<(f64, f64)>)>,
+    y_label: String,
+    x_label: String,
+}
+
+impl Chart {
+    pub fn new(title: &str) -> Self {
+        Chart {
+            title: title.to_string(),
+            ..Chart::default()
+        }
+    }
+
+    pub fn labels(mut self, x: &str, y: &str) -> Self {
+        self.x_label = x.to_string();
+        self.y_label = y.to_string();
+        self
+    }
+
+    /// Add a series plotted with the given mark character.
+    pub fn series(mut self, name: &str, mark: char, points: Vec<(f64, f64)>) -> Self {
+        self.series.push((name.to_string(), mark, points));
+        self
+    }
+
+    /// Render to a grid of `width` × `height` plot cells plus axes.
+    pub fn render(&self, width: usize, height: usize) -> String {
+        let width = width.max(10);
+        let height = height.max(4);
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|(_, _, pts)| pts.iter().copied())
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        if all.is_empty() {
+            return format!("{}\n<no data>\n", self.title);
+        }
+        let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &all {
+            x_min = x_min.min(x);
+            x_max = x_max.max(x);
+            y_min = y_min.min(y);
+            y_max = y_max.max(y);
+        }
+        if (x_max - x_min).abs() < f64::EPSILON {
+            x_max = x_min + 1.0;
+        }
+        if (y_max - y_min).abs() < f64::EPSILON {
+            y_max = y_min + 1.0;
+        }
+
+        let mut grid = vec![vec![' '; width]; height];
+        for (_, mark, pts) in &self.series {
+            for &(x, y) in pts {
+                if !x.is_finite() || !y.is_finite() {
+                    continue;
+                }
+                let cx = ((x - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize;
+                let cy = ((y - y_min) / (y_max - y_min) * (height - 1) as f64).round() as usize;
+                let row = height - 1 - cy;
+                grid[row][cx] = *mark;
+            }
+        }
+
+        let mut out = String::new();
+        out.push_str(&format!("{}\n", self.title));
+        let y_top = format!("{y_max:>8.1}");
+        let y_bot = format!("{y_min:>8.1}");
+        for (i, row) in grid.iter().enumerate() {
+            let margin = if i == 0 {
+                y_top.clone()
+            } else if i == height - 1 {
+                y_bot.clone()
+            } else {
+                " ".repeat(8)
+            };
+            out.push_str(&format!("{margin} │{}\n", row.iter().collect::<String>()));
+        }
+        out.push_str(&format!(
+            "{} └{}\n",
+            " ".repeat(8),
+            "─".repeat(width)
+        ));
+        out.push_str(&format!(
+            "{}   {:<width$.1}{:>.1}\n",
+            " ".repeat(8),
+            x_min,
+            x_max,
+            width = width.saturating_sub(6)
+        ));
+        // Legend.
+        let legend: Vec<String> = self
+            .series
+            .iter()
+            .map(|(name, mark, _)| format!("{mark} {name}"))
+            .collect();
+        out.push_str(&format!("  [{}]", legend.join("   ")));
+        if !self.x_label.is_empty() || !self.y_label.is_empty() {
+            out.push_str(&format!("  ({} vs {})", self.y_label, self.x_label));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_marks_and_legend() {
+        let chart = Chart::new("accuracy vs load")
+            .labels("rps", "accuracy")
+            .series("tw", '*', vec![(0.0, 100.0), (1000.0, 90.0)])
+            .series("fcfs", 'o', vec![(0.0, 95.0), (1000.0, 40.0)]);
+        let text = chart.render(40, 10);
+        assert!(text.contains('*'));
+        assert!(text.contains('o'));
+        assert!(text.contains("* tw"));
+        assert!(text.contains("o fcfs"));
+        assert!(text.contains("accuracy vs load"));
+    }
+
+    #[test]
+    fn empty_chart_graceful() {
+        let chart = Chart::new("empty");
+        assert!(chart.render(40, 10).contains("<no data>"));
+    }
+
+    #[test]
+    fn constant_series_no_panic() {
+        let chart = Chart::new("flat").series("s", '#', vec![(1.0, 5.0), (2.0, 5.0)]);
+        let text = chart.render(20, 5);
+        assert!(text.contains('#'));
+    }
+
+    #[test]
+    fn higher_values_render_higher() {
+        let chart = Chart::new("slope").series(
+            "s",
+            '#',
+            vec![(0.0, 0.0), (10.0, 10.0)],
+        );
+        let text = chart.render(20, 10);
+        let rows: Vec<&str> = text.lines().collect();
+        // Find row indices of the two marks; the (10,10) mark must be in
+        // an earlier (higher) row than the (0,0) mark.
+        let mark_rows: Vec<usize> = rows
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.contains('#'))
+            .map(|(i, _)| i)
+            .collect();
+        assert!(mark_rows.len() >= 2);
+        assert!(mark_rows[0] < mark_rows[mark_rows.len() - 1]);
+    }
+
+    #[test]
+    fn non_finite_points_ignored() {
+        let chart = Chart::new("nan").series(
+            "s",
+            '#',
+            vec![(f64::NAN, 1.0), (1.0, 2.0), (2.0, f64::INFINITY)],
+        );
+        let text = chart.render(20, 5);
+        assert!(text.contains('#'));
+    }
+}

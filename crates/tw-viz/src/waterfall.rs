@@ -1,0 +1,173 @@
+//! ASCII trace waterfall.
+//!
+//! ```text
+//! frontend GET /hotels   ████████████████████████████  3376us
+//! ├ search Nearby           ████████████               1494us
+//! │ ├ geo Near                 ███                      367us
+//! │ └ rate GetRates                 ████                418us
+//! ├ reservation Check                   ███             431us
+//! └ profile GetProfiles                     ███████    1019us
+//! ```
+
+use std::collections::HashMap;
+use tw_model::ids::{Catalog, RpcId};
+use tw_model::mapping::Mapping;
+use tw_model::span::RpcRecord;
+
+/// Render the trace rooted at `root` as a waterfall, `width` columns of
+/// timeline. Follows the mapping's predicted children (pass a mapping
+/// built from ground truth to render oracle traces).
+pub fn render_waterfall(
+    root: RpcId,
+    mapping: &Mapping,
+    records: &HashMap<RpcId, RpcRecord>,
+    catalog: &Catalog,
+    width: usize,
+) -> String {
+    let width = width.max(10);
+    let assembled = mapping.assemble(root);
+    let Some(root_rec) = records.get(&root) else {
+        return format!("<trace {root:?}: no record>\n");
+    };
+    let t0 = root_rec.recv_req;
+    let t1 = root_rec.send_resp;
+    let span_total = (t1.0.saturating_sub(t0.0)).max(1) as f64;
+
+    // Label column width.
+    let label_of = |rpc: RpcId, depth: usize, last: bool| -> String {
+        let rec = &records[&rpc];
+        let name = format!(
+            "{} {}",
+            catalog.service_name(rec.callee.service),
+            catalog.operation_name(rec.callee.op)
+        );
+        if depth == 0 {
+            name
+        } else {
+            let mut prefix = String::new();
+            for _ in 1..depth {
+                prefix.push_str("│ ");
+            }
+            prefix.push_str(if last { "└ " } else { "├ " });
+            format!("{prefix}{name}")
+        }
+    };
+
+    // Determine which nodes are the last child of their parent.
+    let mut is_last: HashMap<RpcId, bool> = HashMap::new();
+    for (rpc, _) in &assembled.nodes {
+        let kids = mapping.children(*rpc);
+        for (i, &k) in kids.iter().enumerate() {
+            is_last.insert(k, i + 1 == kids.len());
+        }
+    }
+
+    let rows: Vec<(String, RpcId)> = assembled
+        .nodes
+        .iter()
+        .filter(|(rpc, _)| records.contains_key(rpc))
+        .map(|&(rpc, depth)| {
+            (
+                label_of(rpc, depth, is_last.get(&rpc).copied().unwrap_or(true)),
+                rpc,
+            )
+        })
+        .collect();
+    let label_width = rows.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+
+    let mut out = String::new();
+    for (label, rpc) in rows {
+        let rec = &records[&rpc];
+        let rel_start = rec.recv_req.0.saturating_sub(t0.0) as f64 / span_total;
+        let rel_end = rec.send_resp.0.saturating_sub(t0.0) as f64 / span_total;
+        let col_start = (rel_start * width as f64).floor() as usize;
+        let col_end = ((rel_end * width as f64).ceil() as usize)
+            .clamp(col_start + 1, width);
+        let mut bar = String::with_capacity(width);
+        for c in 0..width {
+            bar.push(if c >= col_start && c < col_end { '█' } else { ' ' });
+        }
+        let dur_us = rec.send_resp.micros_since(rec.recv_req);
+        let pad = label_width - label.chars().count();
+        out.push_str(&format!(
+            "{label}{:pad$}  {bar}  {dur_us:>8.0}us\n",
+            "",
+            pad = pad
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tw_model::ids::{Endpoint, OperationId, ServiceId};
+    use tw_model::span::EXTERNAL;
+    use tw_model::time::Nanos;
+
+    fn setup() -> (RpcId, Mapping, HashMap<RpcId, RpcRecord>, Catalog) {
+        let mut catalog = Catalog::new();
+        let a = catalog.service("front");
+        let b = catalog.service("back");
+        let op = catalog.operation("get");
+        let mk = |rpc: u64, caller, callee, t: [u64; 4]| RpcRecord {
+            rpc: RpcId(rpc),
+            caller,
+            caller_replica: 0,
+            callee: Endpoint::new(callee, op),
+            callee_replica: 0,
+            send_req: Nanos::from_micros(t[0]),
+            recv_req: Nanos::from_micros(t[1]),
+            send_resp: Nanos::from_micros(t[2]),
+            recv_resp: Nanos::from_micros(t[3]),
+            caller_thread: None,
+            callee_thread: None,
+        };
+        let mut records = HashMap::new();
+        records.insert(RpcId(1), mk(1, EXTERNAL, a, [0, 0, 1000, 1000]));
+        records.insert(RpcId(2), mk(2, a, b, [200, 210, 590, 600]));
+        records.insert(RpcId(3), mk(3, a, b, [700, 710, 890, 900]));
+        let mut m = Mapping::new();
+        m.assign(RpcId(1), [RpcId(2), RpcId(3)]);
+        (RpcId(1), m, records, catalog)
+    }
+
+    #[test]
+    fn renders_all_spans_with_durations() {
+        let (root, m, records, catalog) = setup();
+        let text = render_waterfall(root, &m, &records, &catalog, 40);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("front get"));
+        assert!(lines[0].contains("1000us"));
+        assert!(lines[1].contains("├ back get"));
+        assert!(lines[2].contains("└ back get"));
+    }
+
+    #[test]
+    fn bars_positioned_in_time_order() {
+        let (root, m, records, catalog) = setup();
+        let text = render_waterfall(root, &m, &records, &catalog, 40);
+        let lines: Vec<&str> = text.lines().collect();
+        // Child 2 (210..590 of 1000) starts before child 3 (710..890).
+        let bar_start = |line: &str| line.find('█').unwrap();
+        assert!(bar_start(lines[1]) < bar_start(lines[2]));
+        // Root bar starts at the very beginning.
+        assert!(bar_start(lines[0]) < bar_start(lines[1]));
+    }
+
+    #[test]
+    fn missing_root_record_is_graceful() {
+        let (_, m, records, catalog) = setup();
+        let text = render_waterfall(RpcId(99), &m, &records, &catalog, 40);
+        assert!(text.contains("no record"));
+    }
+
+    #[test]
+    fn minimum_width_enforced() {
+        let (root, m, records, catalog) = setup();
+        // Degenerate width still renders non-empty bars.
+        let text = render_waterfall(root, &m, &records, &catalog, 0);
+        assert!(text.contains('█'));
+    }
+}

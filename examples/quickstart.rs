@@ -1,0 +1,65 @@
+//! Quickstart: reconstruct request traces for a microservice application
+//! without any instrumentation.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use traceweaver::prelude::*;
+
+fn main() {
+    // A DeathStarBench-style HotelReservation app (6 services over gRPC
+    // worker pools), simulated deterministically.
+    let app = traceweaver::sim::apps::hotel_reservation(42);
+    let catalog = app.config.catalog.clone();
+    let call_graph = app.config.call_graph();
+
+    // Drive it with an open-loop Poisson workload and capture spans —
+    // the only signal a real eBPF/sidecar layer would see.
+    let sim = Simulator::new(app.config).expect("valid app config");
+    let out = sim.run(&Workload::poisson(
+        app.roots[0],
+        300.0,
+        Nanos::from_secs(2),
+    ));
+    println!(
+        "simulated {} requests -> {} spans across {} services",
+        out.stats.arrivals,
+        out.records.len(),
+        catalog.num_services(),
+    );
+
+    // Reconstruct.
+    let tw = TraceWeaver::new(call_graph, Params::default());
+    let result = tw.reconstruct_records(&out.records);
+
+    // Score against the simulator's ground truth (Jaeger stand-in).
+    let e2e = end_to_end_accuracy_all_roots(&result.mapping, &out.truth);
+    let parents = out.records.iter().map(|r| r.rpc);
+    let per_span = per_service_accuracy(&result.mapping, &out.truth, parents);
+    println!(
+        "end-to-end trace accuracy: {:.1}%  ({} / {} traces fully correct)",
+        e2e.percent(),
+        e2e.correct,
+        e2e.total
+    );
+    println!("per-span accuracy:         {:.1}%", per_span.percent());
+
+    // Render one reconstructed trace as a waterfall.
+    let records = out.records_by_id();
+    if let Some(&root) = out.truth.roots().first() {
+        println!("\nreconstructed trace for request {:?}:", root);
+        print!(
+            "{}",
+            traceweaver::viz::render_waterfall(root, &result.mapping, &records, &catalog, 48)
+        );
+    }
+
+    // Per-service confidence scores (which services were hard?).
+    println!("\nper-service confidence:");
+    let mut confs: Vec<_> = result.confidence_by_service().into_iter().collect();
+    confs.sort_by_key(|(s, _)| *s);
+    for (svc, conf) in confs {
+        println!("  {:<14} {:.1}%", catalog.service_name(svc), conf);
+    }
+}

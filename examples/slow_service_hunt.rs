@@ -1,0 +1,90 @@
+//! Use case 1 (paper §6.4.1): find which backend services cause tail
+//! latency for the slowest 2% of requests.
+//!
+//! A latency anomaly (+40ms at Reservation and Profile for 10% of
+//! requests) is injected. Without request traces, filtering *spans* by
+//! tail latency blames every service; with TraceWeaver's reconstructed
+//! traces, filtering *traces* in the top-2% bracket pinpoints the culprits.
+//!
+//! ```sh
+//! cargo run --release --example slow_service_hunt
+//! ```
+
+use std::collections::HashMap;
+use traceweaver::model::metrics::exclusive_time_per_service;
+use traceweaver::model::ids::ServiceId;
+use traceweaver::prelude::*;
+use traceweaver::sim::apps::{hotel_reservation_with, HotelOptions};
+
+fn main() {
+    let app = hotel_reservation_with(HotelOptions {
+        slow_extra_us: 40_000.0, // +40ms at Reservation & Profile
+        seed: 7,
+        ..HotelOptions::default()
+    });
+    let catalog = app.config.catalog.clone();
+    let call_graph = app.config.call_graph();
+    let sim = Simulator::new(app.config).expect("valid config");
+    let out = sim.run(
+        &Workload::poisson(app.roots[0], 250.0, Nanos::from_secs(3)).with_slow_fraction(0.10),
+    );
+
+    let tw = TraceWeaver::new(call_graph, Params::default());
+    let result = tw.reconstruct_records(&out.records);
+    let acc = end_to_end_accuracy_all_roots(&result.mapping, &out.truth);
+    println!("reconstruction accuracy: {:.1}%\n", acc.percent());
+
+    // Select the slowest 2% of end-to-end requests.
+    let mut lats = out.root_latencies_us();
+    lats.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    let cut = (lats.len() as f64 * 0.98) as usize;
+    let slow_roots: Vec<RpcId> = lats[cut..].iter().map(|&(r, _)| r).collect();
+    println!(
+        "analyzing the slowest {} of {} requests (top 2%)",
+        slow_roots.len(),
+        lats.len()
+    );
+
+    let records = out.records_by_id();
+    let attribute = |children_of: &dyn Fn(RpcId) -> Vec<RpcId>| -> Vec<(ServiceId, f64)> {
+        let mut per_service: HashMap<ServiceId, Vec<f64>> = HashMap::new();
+        for &root in &slow_roots {
+            let mut rpcs = vec![root];
+            let mut i = 0;
+            while i < rpcs.len() {
+                let kids = children_of(rpcs[i]);
+                rpcs.extend(kids);
+                i += 1;
+            }
+            let times =
+                exclusive_time_per_service(rpcs.iter().copied(), |r| children_of(r), &records);
+            for (svc, t) in times {
+                per_service.entry(svc).or_default().push(t / 1_000.0);
+            }
+        }
+        let mut rows: Vec<(ServiceId, f64)> = per_service
+            .into_iter()
+            .map(|(s, xs)| (s, traceweaver::stats::mean(&xs)))
+            .collect();
+        rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        rows
+    };
+
+    println!("\nmean exclusive time per service in slow traces (reconstructed):");
+    let mapping = result.mapping.clone();
+    for (svc, ms) in attribute(&|r| mapping.children(r).to_vec()) {
+        println!("  {:<14} {:>8.2} ms", catalog.service_name(svc), ms);
+    }
+
+    println!("\nsame analysis on ground-truth traces (oracle):");
+    let truth = out.truth.clone();
+    for (svc, ms) in attribute(&|r| truth.children(r).to_vec()) {
+        println!("  {:<14} {:>8.2} ms", catalog.service_name(svc), ms);
+    }
+
+    println!(
+        "\n=> Reservation and Profile should dominate both tables: the\n   \
+         reconstructed traces localize the injected anomaly just like the\n   \
+         ground truth does (paper Figure 6c)."
+    );
+}

@@ -1,0 +1,303 @@
+//! `twctl` — command-line front end for the TraceWeaver toolkit.
+//!
+//! ```text
+//! twctl simulate    --app hotel --rps 300 --millis 2000 --seed 7 --out-dir run/
+//! twctl learn-graph --app hotel --seed 7 --replays 12 --out run/graph.json
+//! twctl reconstruct --spans run/spans.jsonl --graph run/graph.json --jaeger run/traces.json
+//! twctl evaluate    --spans run/spans.jsonl --graph run/graph.json --truth run/truth.json
+//! ```
+//!
+//! `simulate` writes three artifacts into `--out-dir`: `spans.jsonl`
+//! (observable records, one JSON per line), `graph.json` (the app's call
+//! graph + dependency order), and `truth.json` (ground truth — for
+//! evaluation only). `reconstruct` needs only the first two, exactly like
+//! a production deployment.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use traceweaver::capture::{generate_test_traces, infer_call_graph};
+use traceweaver::model::export::to_jaeger;
+use traceweaver::model::span::EXTERNAL;
+use traceweaver::prelude::*;
+use traceweaver::sim::apps::{
+    hotel_reservation, media_microservices, nodejs_app, social_network, two_service_chain,
+    BenchApp,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "simulate" => cmd_simulate(&flags),
+        "learn-graph" => cmd_learn_graph(&flags),
+        "reconstruct" => cmd_reconstruct(&flags),
+        "evaluate" => cmd_evaluate(&flags),
+        "waterfall" => cmd_waterfall(&flags),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+twctl — non-intrusive request tracing toolkit
+
+USAGE:
+  twctl simulate    --app <hotel|media|nodejs|social|chain> [--rps N] [--millis N] [--seed N] --out-dir DIR
+  twctl learn-graph --app <hotel|media|nodejs|social|chain> [--seed N] [--replays N] --out FILE
+  twctl reconstruct --spans FILE --graph FILE [--dynamism] [--jaeger FILE]
+  twctl evaluate    --spans FILE --graph FILE --truth FILE [--dynamism]
+  twctl waterfall   --spans FILE --graph FILE [--trace N] [--width N]
+  twctl help";
+
+type Flags = HashMap<String, String>;
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        let Some(name) = arg.strip_prefix("--") else {
+            return Err(format!("expected --flag, got `{arg}`"));
+        };
+        // Boolean flags take no value.
+        if matches!(name, "dynamism") {
+            flags.insert(name.to_string(), "true".to_string());
+            i += 1;
+            continue;
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("--{name} needs a value"))?;
+        flags.insert(name.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn flag<'a>(flags: &'a Flags, name: &str) -> Result<&'a str, String> {
+    flags
+        .get(name)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required flag --{name}"))
+}
+
+fn num<T: std::str::FromStr>(flags: &Flags, name: &str, default: T) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name}: cannot parse `{v}`")),
+    }
+}
+
+fn app_by_name(name: &str, seed: u64) -> Result<BenchApp, String> {
+    match name {
+        "hotel" => Ok(hotel_reservation(seed)),
+        "media" => Ok(media_microservices(seed)),
+        "nodejs" => Ok(nodejs_app(seed)),
+        "social" => Ok(social_network(seed)),
+        "chain" => Ok(two_service_chain(seed)),
+        other => Err(format!("unknown app `{other}` (hotel|media|nodejs|social|chain)")),
+    }
+}
+
+fn write_json<T: serde::Serialize>(path: &Path, value: &T) -> Result<(), String> {
+    let json = serde_json::to_string_pretty(value).map_err(|e| e.to_string())?;
+    std::fs::write(path, json).map_err(|e| format!("{}: {e}", path.display()))?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+fn read_json<T: serde::de::DeserializeOwned>(path: &str) -> Result<T, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_spans(path: &str) -> Result<Vec<traceweaver::model::RpcRecord>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| serde_json::from_str(l).map_err(|e| format!("{path}: {e}")))
+        .collect()
+}
+
+fn cmd_simulate(flags: &Flags) -> Result<(), String> {
+    let app = app_by_name(flag(flags, "app")?, num(flags, "seed", 42u64)?)?;
+    let rps: f64 = num(flags, "rps", 300.0)?;
+    let millis: u64 = num(flags, "millis", 2_000u64)?;
+    let out_dir = PathBuf::from(flag(flags, "out-dir")?);
+    std::fs::create_dir_all(&out_dir).map_err(|e| e.to_string())?;
+
+    let graph = app.config.call_graph();
+    let root = app.roots[0];
+    let sim = Simulator::new(app.config).map_err(|e| e.to_string())?;
+    let out = sim.run(&Workload::poisson(root, rps, Nanos::from_millis(millis)));
+    println!(
+        "simulated {} requests, {} spans",
+        out.stats.arrivals, out.stats.total_rpcs
+    );
+
+    // spans.jsonl
+    let store = OfflineStore::new();
+    store.ingest(&out.records);
+    let spans_path = out_dir.join("spans.jsonl");
+    store
+        .save(&spans_path)
+        .map_err(|e| format!("{}: {e}", spans_path.display()))?;
+    println!("wrote {}", spans_path.display());
+
+    write_json(&out_dir.join("graph.json"), &graph)?;
+    write_json(&out_dir.join("truth.json"), &out.truth)?;
+    Ok(())
+}
+
+fn cmd_learn_graph(flags: &Flags) -> Result<(), String> {
+    let app = app_by_name(flag(flags, "app")?, num(flags, "seed", 42u64)?)?;
+    let replays: usize = num(flags, "replays", 12usize)?;
+    let out = PathBuf::from(flag(flags, "out")?);
+
+    let mut traces = Vec::new();
+    for &root in &app.roots {
+        traces.extend(generate_test_traces(&app.config, root, replays, 0xC0FFEE));
+    }
+    let learned = infer_call_graph(&traces);
+    println!(
+        "learned call graph from {} isolated replays ({} endpoints)",
+        traces.len(),
+        learned.len()
+    );
+    write_json(&out, &learned)
+}
+
+fn params_from(flags: &Flags) -> Params {
+    if flags.contains_key("dynamism") {
+        Params::with_dynamism()
+    } else {
+        Params::default()
+    }
+}
+
+fn cmd_reconstruct(flags: &Flags) -> Result<(), String> {
+    let records = load_spans(flag(flags, "spans")?)?;
+    let graph: CallGraph = read_json(flag(flags, "graph")?)?;
+    let tw = TraceWeaver::new(graph, params_from(flags));
+    let result = tw.reconstruct_records(&records);
+    let s = result.summary();
+    println!(
+        "reconstructed {}/{} spans across {} tasks ({} batches, {:.1}% mapped)",
+        s.mapped_spans,
+        s.total_spans,
+        s.tasks,
+        s.batches,
+        s.mapped_fraction() * 100.0
+    );
+
+    if let Some(jaeger_path) = flags.get("jaeger") {
+        // Catalog is not shipped in spans.jsonl; synthesize generic names.
+        let mut catalog = Catalog::new();
+        let mut max_svc = 0;
+        let mut max_op = 0;
+        for r in &records {
+            if r.callee.service.0 != u32::MAX {
+                max_svc = max_svc.max(r.callee.service.0);
+            }
+            max_op = max_op.max(r.callee.op.0);
+        }
+        for s in 0..=max_svc {
+            catalog.service(&format!("service-{s}"));
+        }
+        for o in 0..=max_op {
+            catalog.operation(&format!("op-{o}"));
+        }
+        let by_id: HashMap<_, _> = records.iter().map(|r| (r.rpc, *r)).collect();
+        let roots: Vec<RpcId> = records
+            .iter()
+            .filter(|r| r.caller == EXTERNAL)
+            .map(|r| r.rpc)
+            .collect();
+        let doc = to_jaeger(&roots, &result.mapping, &by_id, &catalog);
+        write_json(Path::new(jaeger_path), &doc)?;
+    }
+    Ok(())
+}
+
+fn cmd_waterfall(flags: &Flags) -> Result<(), String> {
+    let records = load_spans(flag(flags, "spans")?)?;
+    let graph: CallGraph = read_json(flag(flags, "graph")?)?;
+    let width: usize = num(flags, "width", 60usize)?;
+    let tw = TraceWeaver::new(graph, params_from(flags));
+    let result = tw.reconstruct_records(&records);
+
+    let roots: Vec<RpcId> = records
+        .iter()
+        .filter(|r| r.caller == EXTERNAL)
+        .map(|r| r.rpc)
+        .collect();
+    if roots.is_empty() {
+        return Err("no root (external) spans in the input".into());
+    }
+    let idx: usize = num(flags, "trace", 0usize)?;
+    let root = *roots
+        .get(idx)
+        .ok_or_else(|| format!("--trace {idx} out of range (have {} traces)", roots.len()))?;
+
+    // Names are not shipped with spans: use generic labels.
+    let mut catalog = Catalog::new();
+    let max_svc = records
+        .iter()
+        .filter(|r| r.callee.service.0 != u32::MAX)
+        .map(|r| r.callee.service.0)
+        .max()
+        .unwrap_or(0);
+    let max_op = records.iter().map(|r| r.callee.op.0).max().unwrap_or(0);
+    for s in 0..=max_svc {
+        catalog.service(&format!("service-{s}"));
+    }
+    for o in 0..=max_op {
+        catalog.operation(&format!("op-{o}"));
+    }
+    let by_id: HashMap<_, _> = records.iter().map(|r| (r.rpc, *r)).collect();
+    print!(
+        "{}",
+        traceweaver::viz::render_waterfall(root, &result.mapping, &by_id, &catalog, width)
+    );
+    Ok(())
+}
+
+fn cmd_evaluate(flags: &Flags) -> Result<(), String> {
+    let records = load_spans(flag(flags, "spans")?)?;
+    let graph: CallGraph = read_json(flag(flags, "graph")?)?;
+    let truth: TruthIndex = read_json(flag(flags, "truth")?)?;
+    let tw = TraceWeaver::new(graph, params_from(flags));
+    let result = tw.reconstruct_records(&records);
+
+    let e2e = end_to_end_accuracy_all_roots(&result.mapping, &truth);
+    let per_span =
+        per_service_accuracy(&result.mapping, &truth, records.iter().map(|r| r.rpc));
+    let top5 = top_k_accuracy(&result.ranked, &truth, records.iter().map(|r| r.rpc), 5);
+    println!("end-to-end accuracy: {:.2}% ({}/{})", e2e.percent(), e2e.correct, e2e.total);
+    println!("per-span accuracy:   {:.2}%", per_span.percent());
+    println!("top-5 accuracy:      {:.2}%", top5.percent());
+    Ok(())
+}
