@@ -19,11 +19,7 @@ use tw_model::truth::TruthIndex;
 ///
 /// Records whose root cannot be resolved through `truth` are passed
 /// through unchanged.
-pub fn compress_traces(
-    records: &[RpcRecord],
-    truth: &TruthIndex,
-    factor: f64,
-) -> Vec<RpcRecord> {
+pub fn compress_traces(records: &[RpcRecord], truth: &TruthIndex, factor: f64) -> Vec<RpcRecord> {
     assert!(factor >= 1.0, "compression factor must be >= 1.0");
     if records.is_empty() || factor == 1.0 {
         return records.to_vec();
@@ -31,10 +27,7 @@ pub fn compress_traces(
 
     // Trace start = root's send_req.
     let root_start = |root: RpcId| -> Option<Nanos> {
-        records
-            .iter()
-            .find(|r| r.rpc == root)
-            .map(|r| r.send_req)
+        records.iter().find(|r| r.rpc == root).map(|r| r.send_req)
     };
     let Some(&first_root) = truth.roots().first() else {
         return records.to_vec();

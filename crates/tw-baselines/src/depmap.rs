@@ -28,9 +28,7 @@ impl DependencyMap {
         for r in records {
             *incoming.entry(r.callee.service).or_default() += 1;
             if r.caller != EXTERNAL {
-                *outgoing
-                    .entry((r.caller, r.callee.service))
-                    .or_default() += 1;
+                *outgoing.entry((r.caller, r.callee.service)).or_default() += 1;
             }
         }
         let edges = outgoing
@@ -53,7 +51,7 @@ impl DependencyMap {
     /// All edges with positive strength, sorted for determinism.
     pub fn edges(&self) -> Vec<((ServiceId, ServiceId), f64)> {
         let mut v: Vec<_> = self.edges.iter().map(|(&k, &s)| (k, s)).collect();
-        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v.sort_by_key(|a| a.0);
         v
     }
 

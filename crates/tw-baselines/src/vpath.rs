@@ -184,10 +184,7 @@ mod tests {
     #[test]
     fn missing_thread_ids_fold_to_one_thread() {
         let views = views_of(SpanView {
-            incoming: vec![
-                span(0, ep(0), 0, 300, None),
-                span(1, ep(0), 10, 310, None),
-            ],
+            incoming: vec![span(0, ep(0), 0, 300, None), span(1, ep(0), 10, 310, None)],
             outgoing: vec![span(10, ep(1), 50, 100, None)],
         });
         let m = VPath::new().reconstruct(&views);

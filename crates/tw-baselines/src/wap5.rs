@@ -67,8 +67,7 @@ impl Tracer for Wap5 {
 
             // Pass 2: each child picks the containing parent with the
             // highest gap likelihood.
-            let mut children: Vec<Vec<tw_model::ids::RpcId>> =
-                vec![Vec::new(); incoming.len()];
+            let mut children: Vec<Vec<tw_model::ids::RpcId>> = vec![Vec::new(); incoming.len()];
             for o in &view.outgoing {
                 let from = incoming.partition_point(|p| p.start <= o.start);
                 let mut best: Option<(f64, usize)> = None;
@@ -82,7 +81,7 @@ impl Tracer for Wap5 {
                         .get(&(parent.endpoint, o.endpoint))
                         .map(|g| g.log_pdf(gap))
                         .unwrap_or(f64::NEG_INFINITY);
-                    if best.map_or(true, |(s, _)| score > s) {
+                    if best.is_none_or(|(s, _)| score > s) {
                         best = Some((score, p));
                     }
                 }
@@ -172,14 +171,8 @@ mod tests {
         // happily gives both to the same parent (no joint optimization) —
         // the failure mode TraceWeaver's MIS fixes.
         let views = views_of(SpanView {
-            incoming: vec![
-                span(0, ep(0), 0, 1_000),
-                span(1, ep(0), 20, 1_020),
-            ],
-            outgoing: vec![
-                span(10, ep(1), 120, 500),
-                span(11, ep(1), 121, 501),
-            ],
+            incoming: vec![span(0, ep(0), 0, 1_000), span(1, ep(0), 20, 1_020)],
+            outgoing: vec![span(10, ep(1), 120, 500), span(11, ep(1), 121, 501)],
         });
         let m = Wap5::new().reconstruct(&views);
         let total: usize = [0u64, 1].iter().map(|&p| m.children(RpcId(p)).len()).sum();

@@ -42,5 +42,7 @@ fn main() {
 
     table.print();
     println!("\n=> Hints must never hurt, and should help where timing alone is ambiguous.");
-    table.save_json("ext1_thread_hints").expect("write artifact");
+    table
+        .save_json("ext1_thread_hints")
+        .expect("write artifact");
 }

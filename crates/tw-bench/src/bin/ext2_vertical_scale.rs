@@ -34,5 +34,7 @@ fn main() {
         "\n=> Accuracy should rise with replica count: per-container concurrency\n   \
          (what reconstruction must untangle) falls as load spreads out."
     );
-    table.save_json("ext2_vertical_scale").expect("write artifact");
+    table
+        .save_json("ext2_vertical_scale")
+        .expect("write artifact");
 }

@@ -26,8 +26,8 @@ fn main() {
         let out = sim_app(&app, 300.0, ms(1_500));
         let base = TraceWeaver::new(call_graph.clone(), Params::default())
             .reconstruct_records(&out.records);
-        let dynamism = TraceWeaver::new(call_graph, Params::with_dynamism())
-            .reconstruct_records(&out.records);
+        let dynamism =
+            TraceWeaver::new(call_graph, Params::with_dynamism()).reconstruct_records(&out.records);
         table.row(vec![
             format!("{:.0}%", p * 100.0),
             format!("{:.1}", e2e_accuracy(&base.mapping, &out.truth)),

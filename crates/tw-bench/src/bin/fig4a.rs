@@ -9,14 +9,28 @@ use tw_sim::apps::{hotel_reservation, media_microservices, nodejs_app, BenchApp}
 
 fn main() {
     let apps: Vec<(BenchApp, Vec<f64>)> = vec![
-        (hotel_reservation(41), vec![50.0, 200.0, 500.0, 1_000.0, 1_500.0]),
-        (media_microservices(42), vec![50.0, 150.0, 400.0, 800.0, 1_200.0]),
+        (
+            hotel_reservation(41),
+            vec![50.0, 200.0, 500.0, 1_000.0, 1_500.0],
+        ),
+        (
+            media_microservices(42),
+            vec![50.0, 150.0, 400.0, 800.0, 1_200.0],
+        ),
         (nodejs_app(43), vec![50.0, 200.0, 600.0, 1_200.0, 2_000.0]),
     ];
 
     let mut table = Table::new(
         "Figure 4a: accuracy (%) vs load (rps)",
-        &["app", "rps", "traceweaver", "tw-top5", "wap5", "vpath", "fcfs"],
+        &[
+            "app",
+            "rps",
+            "traceweaver",
+            "tw-top5",
+            "wap5",
+            "vpath",
+            "fcfs",
+        ],
     );
 
     for (app, loads) in apps {

@@ -45,10 +45,10 @@ fn main() {
     let media_out = sim_app(&media, 400.0, ms(1_500));
 
     for (name, params) in variants {
-        let h = TraceWeaver::new(hotel_graph.clone(), params)
-            .reconstruct_records(&hotel_out.records);
-        let m = TraceWeaver::new(media_graph.clone(), params)
-            .reconstruct_records(&media_out.records);
+        let h =
+            TraceWeaver::new(hotel_graph.clone(), params).reconstruct_records(&hotel_out.records);
+        let m =
+            TraceWeaver::new(media_graph.clone(), params).reconstruct_records(&media_out.records);
         table.row(vec![
             name.to_string(),
             format!("{:.1}", e2e_accuracy(&h.mapping, &hotel_out.truth)),

@@ -18,8 +18,15 @@ fn main() {
     let mut table = Table::new(
         "Figure 6a: Alibaba dataset accuracy (%) vs load multiple (percentiles over call graphs)",
         &[
-            "load-mult", "tw-p5", "tw-p25", "tw-p50", "tw-p75", "tw-p95",
-            "wap5-p50", "vpath-p50", "fcfs-p50",
+            "load-mult",
+            "tw-p5",
+            "tw-p25",
+            "tw-p50",
+            "tw-p75",
+            "tw-p95",
+            "wap5-p50",
+            "vpath-p50",
+            "fcfs-p50",
         ],
     );
 
@@ -32,8 +39,7 @@ fn main() {
         for case in &ds.cases {
             // Replica normalization: the paper divides the load multiple by
             // the number of replicas to recreate per-container load.
-            let mean_replicas =
-                case.total_replicas as f64 / case.config.services.len() as f64;
+            let mean_replicas = case.total_replicas as f64 / case.config.services.len() as f64;
             let cf = (lm / mean_replicas).max(1.0);
             let records = compress_traces(&case.base.records, &case.base.truth, cf);
             let graph = case.config.call_graph();

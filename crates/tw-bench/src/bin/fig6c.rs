@@ -53,8 +53,7 @@ fn main() {
                 rpcs.extend(children_of(rpcs[i]));
                 i += 1;
             }
-            for (svc, us) in
-                exclusive_time_per_service(rpcs.iter().copied(), |r| children_of(r), &records)
+            for (svc, us) in exclusive_time_per_service(rpcs.iter().copied(), children_of, &records)
             {
                 per_service.entry(svc).or_default().push(us / 1_000.0);
             }

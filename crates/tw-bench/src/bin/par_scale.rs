@@ -1,0 +1,73 @@
+//! Parallel-scaling benchmark for the reconstruction executor: wall-clock
+//! time and speedup of `TraceWeaver::reconstruct` at 1/2/4/8 threads on a
+//! multi-service workload (many independent per-container tasks — the
+//! fan-out the paper's §4.1 decomposition exposes).
+//!
+//! The workload is the synthetic production dataset (several random
+//! call-graph topologies, hundreds of services) compressed to a
+//! non-trivial load multiple, so the task pool is wide and uneven —
+//! exactly what work stealing is for. Speedup is bounded by the host's
+//! physical parallelism; the `host-cores` row records it so results from
+//! constrained machines (e.g. single-core CI) read honestly.
+
+use std::time::Instant;
+use tw_alibaba as alibaba;
+use tw_bench::Table;
+use tw_core::{Params, TraceWeaver};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const REPEATS: usize = 3;
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut table = Table::new(
+        "executor scaling: reconstruct wall time vs threads (best of 3)",
+        &[
+            "workload",
+            "spans",
+            "threads",
+            "host-cores",
+            "wall-ms",
+            "speedup",
+        ],
+    );
+
+    let quick = tw_bench::quick_mode();
+    let (graphs, base_traces, load) = if quick { (2, 20, 10.0) } else { (4, 40, 20.0) };
+    let ds = alibaba::generate(42, graphs, base_traces);
+
+    for case in &ds.cases {
+        let records = alibaba::compress_traces(&case.base.records, &case.base.truth, load);
+        let graph = case.config.call_graph();
+        let mut baseline_ms = 0.0f64;
+        for &threads in &THREAD_COUNTS {
+            let tw = TraceWeaver::new(graph.clone(), Params::with_threads(threads));
+            // Best-of-N: scheduling noise only ever slows a run down.
+            let mut best = f64::INFINITY;
+            let mut mapped = 0usize;
+            for _ in 0..REPEATS {
+                let t0 = Instant::now();
+                let result = tw.reconstruct_records(&records);
+                best = best.min(t0.elapsed().as_secs_f64() * 1_000.0);
+                mapped = result.summary().mapped_spans;
+            }
+            assert!(mapped > 0, "reconstruction produced no mappings");
+            if threads == 1 {
+                baseline_ms = best;
+            }
+            table.row(vec![
+                case.name.clone(),
+                records.len().to_string(),
+                threads.to_string(),
+                cores.to_string(),
+                format!("{best:.1}"),
+                format!("{:.2}x", baseline_ms / best),
+            ]);
+        }
+    }
+
+    table.print();
+    table.save_json("par_scale").expect("write artifact");
+}

@@ -26,14 +26,10 @@ fn main() {
             rps,
             Nanos::from_millis(millis),
         ));
-        let tw = TraceWeaver::new(graph, Params::default());
         for &threads in &[1usize, 4] {
+            let tw = TraceWeaver::new(graph.clone(), Params::with_threads(threads));
             let t0 = Instant::now();
-            let result = if threads == 1 {
-                tw.reconstruct_records(&out.records)
-            } else {
-                tw.reconstruct_records_parallel(&out.records, threads)
-            };
+            let result = tw.reconstruct_records(&out.records);
             let elapsed = t0.elapsed();
             assert!(!result.mapping.is_empty());
             let wall_ms = elapsed.as_secs_f64() * 1_000.0;

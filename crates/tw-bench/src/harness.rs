@@ -30,15 +30,28 @@ impl Algo {
         }
     }
 
-    /// The paper's four-way comparison set.
+    /// The paper's four-way comparison set. TraceWeaver runs on the
+    /// executor width given by [`bench_threads`], so every figure binary
+    /// parallelizes via `TW_THREADS` without per-binary wiring.
     pub fn comparison_set() -> Vec<Algo> {
         vec![
-            Algo::TraceWeaver(Params::default()),
+            Algo::TraceWeaver(Params::with_threads(bench_threads())),
             Algo::Wap5,
             Algo::VPath,
             Algo::Fcfs,
         ]
     }
+}
+
+/// Reconstruction threads for benchmark runs: the `TW_THREADS`
+/// environment variable, defaulting to 1 (sequential — results are
+/// identical either way, only wall time changes).
+pub fn bench_threads() -> usize {
+    std::env::var("TW_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+        .max(1)
 }
 
 /// Reconstruct with the given algorithm.

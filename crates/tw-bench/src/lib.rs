@@ -22,12 +22,12 @@
 pub mod harness;
 pub mod report;
 
-pub use harness::{e2e_accuracy, reconstruct_with, sim_app, Algo};
+pub use harness::{bench_threads, e2e_accuracy, reconstruct_with, sim_app, Algo};
 pub use report::Table;
 
 /// True when quick mode is requested (CI / smoke runs).
 pub fn quick_mode() -> bool {
-    std::env::var("TW_BENCH_QUICK").map_or(false, |v| v != "0" && !v.is_empty())
+    std::env::var("TW_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
 }
 
 /// Scale a duration in milliseconds down in quick mode.

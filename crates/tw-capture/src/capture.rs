@@ -129,7 +129,9 @@ mod tests {
             ..Default::default()
         });
         let out = layer.observe(&recs(5));
-        assert!(out.iter().all(|r| r.caller_thread.is_none() && r.callee_thread.is_none()));
+        assert!(out
+            .iter()
+            .all(|r| r.caller_thread.is_none() && r.callee_thread.is_none()));
     }
 
     #[test]

@@ -191,8 +191,8 @@ impl HttpParser {
                         return Ok(());
                     };
                     let head: Vec<u8> = self.buf.drain(..end + 4).collect();
-                    let text = std::str::from_utf8(&head[..end])
-                        .map_err(|_| err("non-utf8 headers"))?;
+                    let text =
+                        std::str::from_utf8(&head[..end]).map_err(|_| err("non-utf8 headers"))?;
                     let mut lines = text.split("\r\n");
                     let start_line = lines.next().ok_or_else(|| err("empty message"))?;
                     if start_line.trim().is_empty() {
@@ -359,7 +359,10 @@ impl ExchangeAssembler {
             if msg.is_request() {
                 self.pending_requests.entry(pair_key).or_default().push(msg);
             } else {
-                self.pending_responses.entry(pair_key).or_default().push(msg);
+                self.pending_responses
+                    .entry(pair_key)
+                    .or_default()
+                    .push(msg);
             }
             self.try_pair(pair_key);
         }
@@ -548,11 +551,8 @@ mod tests {
     #[test]
     fn parses_simple_request() {
         let mut p = HttpParser::new();
-        p.feed(
-            Nanos(100),
-            b"GET /svc/1/op/2 HTTP/1.1\r\nHost: x\r\n\r\n",
-        )
-        .unwrap();
+        p.feed(Nanos(100), b"GET /svc/1/op/2 HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
         let m = p.next_message().unwrap();
         assert_eq!(m.path(), Some("/svc/1/op/2"));
         assert!(m.is_request());
@@ -564,8 +564,11 @@ mod tests {
     #[test]
     fn parses_content_length_body_across_chunks() {
         let mut p = HttpParser::new();
-        p.feed(Nanos(1), b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\n12345")
-            .unwrap();
+        p.feed(
+            Nanos(1),
+            b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\n12345",
+        )
+        .unwrap();
         assert!(p.next_message().is_none(), "body incomplete");
         p.feed(Nanos(5), b"67890").unwrap();
         let m = p.next_message().unwrap();
@@ -644,8 +647,10 @@ mod tests {
             .unwrap();
         a.feed(&seg(2, Direction::C2S, b"GET /svc/1/op/1 HTTP/1.1\r\n\r\n"))
             .unwrap();
-        a.feed(&seg(5, Direction::S2C, b"HTTP/1.1 200 OK\r\n\r\n")).unwrap();
-        a.feed(&seg(9, Direction::S2C, b"HTTP/1.1 500 ERR\r\n\r\n")).unwrap();
+        a.feed(&seg(5, Direction::S2C, b"HTTP/1.1 200 OK\r\n\r\n"))
+            .unwrap();
+        a.feed(&seg(9, Direction::S2C, b"HTTP/1.1 500 ERR\r\n\r\n"))
+            .unwrap();
         let first = a.next_exchange().unwrap();
         assert_eq!(first.request.path(), Some("/svc/1/op/0"));
         assert_eq!(first.response.status(), Some(200));

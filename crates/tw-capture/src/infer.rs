@@ -72,6 +72,7 @@ pub fn infer_dependency_spec(examples: &[Vec<ChildObs>]) -> DependencySpec {
     // request (e.g. exclusive A/B variants): there is no ordering
     // evidence either way, and a genuine completes-before dependency
     // cannot be symmetric — treat the pair as unordered.
+    #[allow(clippy::needless_range_loop)] // symmetric (i, j)/(j, i) matrix scan
     for i in 0..n {
         for j in (i + 1)..n {
             if edge[i][j] && edge[j][i] {

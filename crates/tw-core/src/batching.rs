@@ -20,11 +20,7 @@ use std::ops::Range;
 ///
 /// Spans must already be sorted by (start, end). Returns consecutive index
 /// ranges covering `0..n`.
-pub fn make_batches(
-    feasible: &[Vec<usize>],
-    ends: &[u64],
-    batch_size: usize,
-) -> Vec<Range<usize>> {
+pub fn make_batches(feasible: &[Vec<usize>], ends: &[u64], batch_size: usize) -> Vec<Range<usize>> {
     let n = feasible.len();
     assert_eq!(n, ends.len());
     if n == 0 {
@@ -41,8 +37,7 @@ pub fn make_batches(
             j = i;
         }
         let size = i + 1 - batch_start;
-        let perfect =
-            ends[j] <= ends[i + 1] && !sorted_intersects(&feasible[j], &feasible[i + 1]);
+        let perfect = ends[j] <= ends[i + 1] && !sorted_intersects(&feasible[j], &feasible[i + 1]);
         if size >= b || perfect {
             batches.push(batch_start..i + 1);
             batch_start = i + 1;

@@ -79,9 +79,10 @@ impl Candidate {
 
     /// True if the two candidates claim any common outgoing span.
     pub fn conflicts_with(&self, other: &Candidate) -> bool {
-        self.children.iter().flatten().any(|i| {
-            other.children.iter().flatten().any(|j| i == j)
-        })
+        self.children
+            .iter()
+            .flatten()
+            .any(|i| other.children.iter().flatten().any(|j| i == j))
     }
 }
 
@@ -252,7 +253,7 @@ fn dfs_stage(
                     parent.start,
                     parent.end,
                     params.max_children_per_slot,
-                    &thread_ok,
+                    thread_ok,
                 )
                 .into_iter()
                 .map(Some)
@@ -371,18 +372,14 @@ mod tests {
         let layout = SlotLayout::from_spec(&DependencySpec::leaf(), true);
         let pool = OutgoingPool::new(&[]);
         let parent = span(0, ep(0), 0, 100);
-        let cands =
-            enumerate_candidates(0, &parent, &layout, &pool, &Params::default(), false);
+        let cands = enumerate_candidates(0, &parent, &layout, &pool, &Params::default(), false);
         assert_eq!(cands.len(), 1);
         assert!(cands[0].children.is_empty());
     }
 
     #[test]
     fn nesting_constraint_enforced() {
-        let layout = SlotLayout::from_spec(
-            &DependencySpec::new(vec![Stage::single(ep(1))]),
-            true,
-        );
+        let layout = SlotLayout::from_spec(&DependencySpec::new(vec![Stage::single(ep(1))]), true);
         // One fits, one starts too early, one ends too late.
         let outgoing = vec![
             span(1, ep(1), 10, 90),  // fits parent [0, 100]
@@ -391,8 +388,7 @@ mod tests {
         ];
         let pool = OutgoingPool::new(&outgoing);
         let parent = span(0, ep(0), 0, 100);
-        let cands =
-            enumerate_candidates(0, &parent, &layout, &pool, &Params::default(), false);
+        let cands = enumerate_candidates(0, &parent, &layout, &pool, &Params::default(), false);
         let picked: Vec<usize> = cands.iter().map(|c| c.children[0].unwrap()).collect();
         assert!(picked.contains(&0));
         assert!(picked.contains(&1));
@@ -411,8 +407,7 @@ mod tests {
         ];
         let pool = OutgoingPool::new(&outgoing);
         let parent = span(0, ep(0), 0, 100);
-        let cands =
-            enumerate_candidates(0, &parent, &layout, &pool, &Params::default(), false);
+        let cands = enumerate_candidates(0, &parent, &layout, &pool, &Params::default(), false);
         assert_eq!(cands.len(), 1);
         assert_eq!(cands[0].children, vec![Some(0), Some(2)]);
 
@@ -444,8 +439,7 @@ mod tests {
         let outgoing = vec![span(1, ep(1), 10, 40), span(2, ep(1), 20, 60)];
         let pool = OutgoingPool::new(&outgoing);
         let parent = span(0, ep(0), 0, 100);
-        let cands =
-            enumerate_candidates(0, &parent, &layout, &pool, &Params::default(), false);
+        let cands = enumerate_candidates(0, &parent, &layout, &pool, &Params::default(), false);
         for c in &cands {
             assert_ne!(c.children[0], c.children[1], "same span used twice");
         }
@@ -456,13 +450,13 @@ mod tests {
     fn fanout_cap_respected() {
         let spec = DependencySpec::new(vec![Stage::single(ep(1))]);
         let layout = SlotLayout::from_spec(&spec, true);
-        let outgoing: Vec<ObservedSpan> = (0..50)
-            .map(|i| span(i, ep(1), 10 + i, 90))
-            .collect();
+        let outgoing: Vec<ObservedSpan> = (0..50).map(|i| span(i, ep(1), 10 + i, 90)).collect();
         let pool = OutgoingPool::new(&outgoing);
         let parent = span(99, ep(0), 0, 100);
-        let mut params = Params::default();
-        params.max_children_per_slot = 4;
+        let params = Params {
+            max_children_per_slot: 4,
+            ..Params::default()
+        };
         let cands = enumerate_candidates(0, &parent, &layout, &pool, &params, false);
         assert_eq!(cands.len(), 4);
         // Closest-first: the 4 earliest feasible spans.
@@ -488,8 +482,10 @@ mod tests {
         let plain = enumerate_candidates(0, &parent, &layout, &pool, &Params::default(), false);
         assert_eq!(plain.len(), 2);
         // With hints: only the same-thread child survives.
-        let mut params = Params::default();
-        params.use_thread_hints = true;
+        let params = Params {
+            use_thread_hints: true,
+            ..Params::default()
+        };
         let hinted = enumerate_candidates(0, &parent, &layout, &pool, &params, false);
         assert_eq!(hinted.len(), 1);
         assert_eq!(hinted[0].children, vec![Some(0)]);

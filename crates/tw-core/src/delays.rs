@@ -43,9 +43,17 @@ pub struct DelayModel {
 /// don't produce degenerate densities.
 const SEED_SIGMA_FLOOR_US: f64 = 1.0;
 
+/// Common log-density floor for candidate scoring. Unmodeled edges and
+/// modeled-but-extremely-unlikely gaps both clamp here: with separate
+/// scales (the unmodeled fallback was -20 while modeled densities clamped
+/// at -1e6), a single implausible gap under a *modeled* edge could be
+/// penalized five orders of magnitude harder than having no model at all,
+/// making skips/unmodeled candidates spuriously attractive.
+pub const SCORE_LOG_FLOOR: f64 = -20.0;
+
 /// Log-density charged when an edge has no model at all (should only
 /// happen for edges never observed; keeps scores finite).
-const UNMODELED_LOG_DENSITY: f64 = -20.0;
+const UNMODELED_LOG_DENSITY: f64 = SCORE_LOG_FLOOR;
 
 impl DelayModel {
     /// Number of modeled edges.
@@ -68,7 +76,7 @@ impl DelayModel {
     /// Log density of a gap under the edge's model.
     pub fn log_pdf(&self, key: &EdgeKey, gap_us: f64) -> f64 {
         match self.edges.get(key) {
-            Some(gmm) => gmm.log_pdf(gap_us).max(-1e6),
+            Some(gmm) => gmm.log_pdf(gap_us).max(SCORE_LOG_FLOOR),
             None => UNMODELED_LOG_DENSITY,
         }
     }
@@ -200,8 +208,16 @@ pub fn seed_gaussian(from: &[f64], to: &[f64], buckets: usize) -> Gaussian {
     let per_b = b.len() / buckets;
     let mut diffs = Vec::with_capacity(buckets);
     for r in 0..buckets {
-        let sa = &a[r * per_a..if r == buckets - 1 { a.len() } else { (r + 1) * per_a }];
-        let sb = &b[r * per_b..if r == buckets - 1 { b.len() } else { (r + 1) * per_b }];
+        let sa = &a[r * per_a..if r == buckets - 1 {
+            a.len()
+        } else {
+            (r + 1) * per_a
+        }];
+        let sb = &b[r * per_b..if r == buckets - 1 {
+            b.len()
+        } else {
+            (r + 1) * per_b
+        }];
         diffs.push(tw_stats::mean(sb) - tw_stats::mean(sa));
     }
     let bucket_size = (n / buckets).max(1) as f64;
@@ -377,7 +393,10 @@ mod tests {
         let p = Params::default();
         let s1 = score_candidate(served, &parent, &layout, &typical, &pool, &model, &p);
         let s2 = score_candidate(served, &parent, &layout, &atypical, &pool, &model, &p);
-        assert!(s1 > s2, "gap-10 candidate must outscore gap-40: {s1} vs {s2}");
+        assert!(
+            s1 > s2,
+            "gap-10 candidate must outscore gap-40: {s1} vs {s2}"
+        );
     }
 
     #[test]
@@ -408,7 +427,13 @@ mod tests {
         // Bimodal gaps: the refit should discover both modes.
         let mut gaps = HashMap::new();
         let samples: Vec<f64> = (0..200)
-            .map(|i| if i % 2 == 0 { 10.0 + (i % 5) as f64 * 0.1 } else { 80.0 + (i % 5) as f64 * 0.1 })
+            .map(|i| {
+                if i % 2 == 0 {
+                    10.0 + (i % 5) as f64 * 0.1
+                } else {
+                    80.0 + (i % 5) as f64 * 0.1
+                }
+            })
             .collect();
         gaps.insert(key, samples);
         let refit = model.refit(&gaps, &Params::default());
@@ -425,5 +450,22 @@ mod tests {
             model.log_pdf(&EdgeKey::Final { served: ep(9) }, 5.0),
             UNMODELED_LOG_DENSITY
         );
+    }
+
+    #[test]
+    fn modeled_unlikely_clamps_to_unmodeled_floor() {
+        // Regression: a modeled edge scoring an absurd gap must clamp to
+        // the same floor as an unmodeled edge, not five orders of
+        // magnitude below it.
+        let served = ep(0);
+        let key = EdgeKey::Call { served, slot: 0 };
+        let mut model = DelayModel::default();
+        model.insert(key, Gmm::single(Gaussian::new(10.0, 0.5)));
+        let absurd = model.log_pdf(&key, 1e9);
+        let unmodeled = model.log_pdf(&EdgeKey::Final { served: ep(9) }, 1e9);
+        assert_eq!(absurd, SCORE_LOG_FLOOR);
+        assert_eq!(absurd, unmodeled);
+        // Plausible gaps still score strictly above the floor.
+        assert!(model.log_pdf(&key, 10.0) > SCORE_LOG_FLOOR);
     }
 }

@@ -26,9 +26,9 @@ use std::collections::HashMap;
 use std::ops::Range;
 use tw_model::ids::Endpoint;
 use tw_model::span::ObservedSpan;
+use tw_solver::water_fill;
 use tw_stats::gaussian::Gaussian;
 use tw_stats::gmm::Gmm;
-use tw_solver::water_fill;
 
 /// Per-endpoint skip budget for one reconstruction task.
 #[derive(Debug, Clone, Default)]
@@ -136,10 +136,7 @@ pub fn batch_exclusive_counts(
 ///
 /// Both slices must be sorted by start time. Returns, per parent, the
 /// outgoing-span indices assigned to it (in start order).
-pub fn wap5_assignment(
-    incoming: &[ObservedSpan],
-    outgoing: &[ObservedSpan],
-) -> Vec<Vec<usize>> {
+pub fn wap5_assignment(incoming: &[ObservedSpan], outgoing: &[ObservedSpan]) -> Vec<Vec<usize>> {
     let mut assigned: Vec<Vec<usize>> = vec![Vec::new(); incoming.len()];
     for (o_idx, o) in outgoing.iter().enumerate() {
         // Last parent starting at or before the child's start.
@@ -243,7 +240,9 @@ mod tests {
         );
         // 3 parents expect 3 calls each to svc1 and svc2; only 2 to svc1
         // and 3 to svc2 observed.
-        let incoming: Vec<_> = (0..3).map(|i| span(i, served, i * 100, i * 100 + 90)).collect();
+        let incoming: Vec<_> = (0..3)
+            .map(|i| span(i, served, i * 100, i * 100 + 90))
+            .collect();
         let outgoing = vec![
             span(10, ep(1), 5, 20),
             span(11, ep(1), 105, 120),
@@ -283,12 +282,7 @@ mod tests {
     fn exclusive_counts() {
         let batches = vec![0..2, 2..4];
         // Outgoing spans 0,1 feasible only in batch 0; span 2 shared.
-        let feasible = vec![
-            vec![0, 2],
-            vec![1],
-            vec![2, 3],
-            vec![3],
-        ];
+        let feasible = vec![vec![0, 2], vec![1], vec![2, 3], vec![3]];
         let counts = batch_exclusive_counts(&batches, &feasible, 4);
         assert_eq!(counts, vec![2, 1]); // spans {0,1} excl. to b0; {3} to b1
     }
@@ -298,10 +292,7 @@ mod tests {
         let served = ep(0);
         // Two overlapping parents; child fits both, starts inside the
         // second → assigned to the second (most recent).
-        let incoming = vec![
-            span(0, served, 0, 200),
-            span(1, served, 50, 250),
-        ];
+        let incoming = vec![span(0, served, 0, 200), span(1, served, 50, 250)];
         let outgoing = vec![span(10, ep(1), 60, 100)];
         let a = wap5_assignment(&incoming, &outgoing);
         assert!(a[0].is_empty());
@@ -312,10 +303,7 @@ mod tests {
     fn wap5_skips_non_containing_parent() {
         let served = ep(0);
         // Most recent parent ends too early; the earlier one contains it.
-        let incoming = vec![
-            span(0, served, 0, 300),
-            span(1, served, 50, 80),
-        ];
+        let incoming = vec![span(0, served, 0, 300), span(1, served, 50, 80)];
         let outgoing = vec![span(10, ep(1), 60, 200)];
         let a = wap5_assignment(&incoming, &outgoing);
         assert_eq!(a[0], vec![0]);

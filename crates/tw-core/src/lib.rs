@@ -49,10 +49,12 @@ pub mod batching;
 pub mod candidates;
 pub mod delays;
 pub mod dynamism;
+pub mod executor;
 pub mod optimize;
 pub mod params;
 pub mod task;
 
+pub use executor::Executor;
 pub use params::Params;
 pub use task::{ReconstructionTask, TaskReport};
 
@@ -157,21 +159,14 @@ impl TraceWeaver {
     }
 
     /// Reconstruct from per-process span views.
+    ///
+    /// Per-container tasks are independent (paper §4.1), so they fan out
+    /// across the work-stealing [`Executor`] configured by
+    /// [`Params::threads`]. The output is identical for every thread
+    /// count: tasks own disjoint parents, results merge in sorted key
+    /// order, and `threads = 1` runs inline on the calling thread.
     pub fn reconstruct(&self, views: &HashMap<ProcessKey, SpanView>) -> Reconstruction {
-        let mut result = Reconstruction::default();
-        // Deterministic task order.
-        let mut keys: Vec<&ProcessKey> = views.keys().collect();
-        keys.sort();
-        for key in keys {
-            let view = &views[key];
-            if view.incoming.is_empty() {
-                continue;
-            }
-            let task = ReconstructionTask::new(&self.call_graph, &self.params, view);
-            let report = task.run(&mut result.mapping, &mut result.ranked);
-            result.reports.push((*key, report));
-        }
-        result
+        self.reconstruct_on(views, &Executor::from_params(&self.params))
     }
 
     /// Convenience: split raw records into per-process views and
@@ -180,58 +175,14 @@ impl TraceWeaver {
         self.reconstruct(&split_by_process(records))
     }
 
-    /// Parallel reconstruction: per-container tasks are independent
-    /// (paper §4.1), so they shard across `threads` worker threads. The
-    /// result is identical to [`TraceWeaver::reconstruct`] — determinism
-    /// is preserved because merging is order-independent (each task owns
-    /// disjoint parents).
+    /// [`TraceWeaver::reconstruct`] with an explicit thread count,
+    /// overriding [`Params::threads`].
     pub fn reconstruct_parallel(
         &self,
         views: &HashMap<ProcessKey, SpanView>,
         threads: usize,
     ) -> Reconstruction {
-        let threads = threads.max(1);
-        let mut keys: Vec<&ProcessKey> = views.keys().collect();
-        keys.sort();
-        let shards: Vec<Vec<&ProcessKey>> = (0..threads)
-            .map(|t| keys.iter().skip(t).step_by(threads).copied().collect())
-            .collect();
-
-        let partials: Vec<Reconstruction> = std::thread::scope(|scope| {
-            let handles: Vec<_> = shards
-                .into_iter()
-                .map(|shard| {
-                    scope.spawn(move || {
-                        let mut partial = Reconstruction::default();
-                        for key in shard {
-                            let view = &views[key];
-                            if view.incoming.is_empty() {
-                                continue;
-                            }
-                            let task =
-                                ReconstructionTask::new(&self.call_graph, &self.params, view);
-                            let report =
-                                task.run(&mut partial.mapping, &mut partial.ranked);
-                            partial.reports.push((*key, report));
-                        }
-                        partial
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("reconstruction worker panicked"))
-                .collect()
-        });
-
-        let mut result = Reconstruction::default();
-        for p in partials {
-            result.mapping.merge(p.mapping);
-            result.ranked.merge(p.ranked);
-            result.reports.extend(p.reports);
-        }
-        result.reports.sort_by_key(|(k, _)| *k);
-        result
+        self.reconstruct_on(views, &Executor::new(threads))
     }
 
     /// Parallel variant of [`TraceWeaver::reconstruct_records`].
@@ -241,6 +192,34 @@ impl TraceWeaver {
         threads: usize,
     ) -> Reconstruction {
         self.reconstruct_parallel(&split_by_process(records), threads)
+    }
+
+    /// Reconstruct on a caller-supplied executor.
+    pub fn reconstruct_on(
+        &self,
+        views: &HashMap<ProcessKey, SpanView>,
+        exec: &Executor,
+    ) -> Reconstruction {
+        // Deterministic task order.
+        let mut keys: Vec<&ProcessKey> = views.keys().collect();
+        keys.sort();
+        keys.retain(|k| !views[*k].incoming.is_empty());
+
+        let partials = exec.map(keys, |key| {
+            let task = ReconstructionTask::new(&self.call_graph, &self.params, &views[key]);
+            let mut mapping = Mapping::new();
+            let mut ranked = RankedMapping::new();
+            let report = task.run(&mut mapping, &mut ranked);
+            (*key, mapping, ranked, report)
+        });
+
+        let mut result = Reconstruction::default();
+        for (key, mapping, ranked, report) in partials {
+            result.mapping.merge(mapping);
+            result.ranked.merge(ranked);
+            result.reports.push((key, report));
+        }
+        result
     }
 }
 

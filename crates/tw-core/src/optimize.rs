@@ -55,9 +55,7 @@ fn optimize_mis(per_parent: &[Vec<Candidate>], params: &Params) -> Vec<Option<us
         for v in (u + 1)..n {
             let (pu, cu) = vertex_owner[u];
             let (pv, cv) = vertex_owner[v];
-            if pu == pv
-                || per_parent[pu][cu].conflicts_with(&per_parent[pv][cv])
-            {
+            if pu == pv || per_parent[pu][cu].conflicts_with(&per_parent[pv][cv]) {
                 g.add_edge(u, v);
             }
         }
@@ -135,10 +133,7 @@ mod tests {
         // child 0 (score -2). Greedy in order would starve parent 1; the
         // MIS must instead give parent 0 its second choice so both map.
         let per_parent = vec![
-            vec![
-                cand(0, vec![Some(0)], -1.0),
-                cand(0, vec![Some(1)], -3.0),
-            ],
+            vec![cand(0, vec![Some(0)], -1.0), cand(0, vec![Some(1)], -3.0)],
             vec![cand(1, vec![Some(0)], -2.0)],
         ];
         let out = optimize_batch(&per_parent, &Params::default());
@@ -148,10 +143,7 @@ mod tests {
     #[test]
     fn greedy_mode_starves_later_parent() {
         let per_parent = vec![
-            vec![
-                cand(0, vec![Some(0)], -1.0),
-                cand(0, vec![Some(1)], -3.0),
-            ],
+            vec![cand(0, vec![Some(0)], -1.0), cand(0, vec![Some(1)], -3.0)],
             vec![cand(1, vec![Some(0)], -2.0)],
         ];
         let params = Params::default().ablate_joint_optimization();
@@ -175,14 +167,8 @@ mod tests {
         // Both assignments cover both parents; the higher-scoring pairing
         // must win.
         let per_parent = vec![
-            vec![
-                cand(0, vec![Some(0)], -1.0),
-                cand(0, vec![Some(1)], -10.0),
-            ],
-            vec![
-                cand(1, vec![Some(1)], -1.0),
-                cand(1, vec![Some(0)], -10.0),
-            ],
+            vec![cand(0, vec![Some(0)], -1.0), cand(0, vec![Some(1)], -10.0)],
+            vec![cand(1, vec![Some(1)], -1.0), cand(1, vec![Some(0)], -10.0)],
         ];
         let out = optimize_batch(&per_parent, &Params::default());
         assert_eq!(out, vec![Some(0), Some(0)]);

@@ -31,6 +31,12 @@ pub struct Params {
     pub skip_log_penalty: f64,
     /// Branch-and-bound node budget for the MIS solver.
     pub mis_node_budget: u64,
+    /// Worker threads for the reconstruction executor: per-service tasks
+    /// fan out across threads, and candidate scoring parallelizes across
+    /// optimization batches within a task. `1` (the default) runs fully
+    /// sequential; values are clamped to at least 1. Output is identical
+    /// for every value — threads change wall time only.
+    pub threads: usize,
     /// Enable dynamism handling (skip spans). Off by default: the static
     /// algorithm is the paper's §4.1; turn on for workloads with caching /
     /// failures / A-B subsetting.
@@ -67,6 +73,7 @@ impl Default for Params {
             max_candidates_per_span: 128,
             skip_log_penalty: -14.0,
             mis_node_budget: 500_000,
+            threads: 1,
             handle_dynamism: false,
             use_thread_hints: false,
             use_order_constraints: true,
@@ -90,6 +97,15 @@ impl Params {
     pub fn with_thread_hints() -> Self {
         Params {
             use_thread_hints: true,
+            ..Params::default()
+        }
+    }
+
+    /// Paper defaults with a parallel reconstruction executor of
+    /// `threads` workers.
+    pub fn with_threads(threads: usize) -> Self {
+        Params {
+            threads,
             ..Params::default()
         }
     }
@@ -133,6 +149,14 @@ mod tests {
         assert_eq!(p.top_k, 5);
         assert_eq!(p.max_gmm_components, 5);
         assert_eq!(p.seed_buckets, 10);
+        assert_eq!(p.threads, 1, "default must stay sequential");
+    }
+
+    #[test]
+    fn with_threads_builder() {
+        let p = Params::with_threads(8);
+        assert_eq!(p.threads, 8);
+        assert_eq!(p.batch_size, Params::default().batch_size);
     }
 
     #[test]
@@ -147,8 +171,10 @@ mod tests {
 
     #[test]
     fn effective_iterations_floor() {
-        let mut p = Params::default();
-        p.iterations = 0;
+        let p = Params {
+            iterations: 0,
+            ..Params::default()
+        };
         assert_eq!(p.effective_iterations(), 1);
     }
 }

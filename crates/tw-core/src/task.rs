@@ -4,6 +4,7 @@ use crate::batching::make_batches;
 use crate::candidates::{enumerate_candidates, Candidate, OutgoingPool, SlotLayout};
 use crate::delays::{edge_gaps, score_candidate, DelayModel, EdgeKey};
 use crate::dynamism::{allocate_skips, batch_exclusive_counts, seed_from_wap5, SkipBudget};
+use crate::executor::Executor;
 use crate::optimize::optimize_batch;
 use crate::params::Params;
 use std::collections::{HashMap, HashSet};
@@ -61,7 +62,32 @@ impl<'a> ReconstructionTask<'a> {
     }
 
     /// Run the pipeline, writing results into `mapping` / `ranked`.
+    ///
+    /// `make_batches` requires incoming spans sorted by `(start, end)`;
+    /// out-of-order ingestion (network reordering, merged shards) is
+    /// detected here and handled by reconstructing over a sorted copy.
+    /// Results are keyed by `RpcId`, so the caller sees identical output
+    /// either way.
     pub fn run(&self, mapping: &mut Mapping, ranked: &mut RankedMapping) -> TaskReport {
+        let sorted = |spans: &[tw_model::span::ObservedSpan]| {
+            spans
+                .windows(2)
+                .all(|w| (w[0].start, w[0].end) <= (w[1].start, w[1].end))
+        };
+        if !sorted(&self.view.incoming) || !sorted(&self.view.outgoing) {
+            let mut view = self.view.clone();
+            view.sort();
+            let task = ReconstructionTask {
+                call_graph: self.call_graph,
+                params: self.params,
+                view: &view,
+            };
+            return task.run_sorted(mapping, ranked);
+        }
+        self.run_sorted(mapping, ranked)
+    }
+
+    fn run_sorted(&self, mapping: &mut Mapping, ranked: &mut RankedMapping) -> TaskReport {
         let params = self.params;
         let incoming = &self.view.incoming;
         let outgoing = &self.view.outgoing;
@@ -118,8 +144,9 @@ impl<'a> ReconstructionTask<'a> {
             })
             .collect();
 
-        // Batching.
+        // Batching. Without joint optimization everything is one batch.
         let ends: Vec<u64> = incoming.iter().map(|s| s.end.0).collect();
+        #[allow(clippy::single_range_in_vec_init)] // one batch spanning 0..n, not a range collect
         let batches: Vec<Range<usize>> = if params.use_joint_optimization {
             make_batches(&feasible, &ends, params.batch_size)
         } else {
@@ -150,17 +177,34 @@ impl<'a> ReconstructionTask<'a> {
         };
 
         let iterations = params.effective_iterations();
+        let exec = Executor::from_params(params);
         let mut assignment: Vec<Option<Candidate>> = vec![None; n];
         for iter in 0..iterations {
-            // Score and rank candidates under the current model.
-            for (i, cands) in candidates.iter_mut().enumerate() {
-                let p = &incoming[i];
-                let layout = &layouts[&p.endpoint];
-                for c in cands.iter_mut() {
-                    c.score = score_candidate(p.endpoint, p, layout, c, &pool, &model, params);
-                }
-                cands.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+            // Score and rank candidates under the current model. Scoring
+            // only reads the shared model, so batches score concurrently
+            // (§4.1 step 5(v): only the `used`-span commit below stays
+            // sequential). `make_batches` returns contiguous ranges
+            // covering 0..n, so the candidate table splits into disjoint
+            // mutable slices, one per batch.
+            let mut slices: Vec<(usize, &mut [Vec<Candidate>])> = Vec::new();
+            let mut rest: &mut [Vec<Candidate>] = &mut candidates;
+            let mut offset = 0usize;
+            for r in &batches {
+                let (head, tail) = rest.split_at_mut(r.end - offset);
+                slices.push((r.start, head));
+                rest = tail;
+                offset = r.end;
             }
+            exec.map(slices, |(start, slice)| {
+                for (j, cands) in slice.iter_mut().enumerate() {
+                    let p = &incoming[start + j];
+                    let layout = &layouts[&p.endpoint];
+                    for c in cands.iter_mut() {
+                        c.score = score_candidate(p.endpoint, p, layout, c, &pool, &model, params);
+                    }
+                    cands.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+                }
+            });
 
             // Optimize batch by batch; spans claimed by earlier batches are
             // deleted from later ones (§4.1 step 5 (v)).
@@ -392,10 +436,7 @@ mod tests {
         let mut g = CallGraph::new();
         g.insert(ep(0), DependencySpec::new(vec![Stage::single(ep(1))]));
         let view = SpanView {
-            incoming: vec![
-                span(0, ep(0), 0, 1_000),
-                span(1, ep(0), 100, 1_100),
-            ],
+            incoming: vec![span(0, ep(0), 0, 1_000), span(1, ep(0), 100, 1_100)],
             // One child only, timed to match parent 0's profile (sent
             // 50us after parent 0 arrived).
             outgoing: vec![span(10, ep(1), 50, 700)],
@@ -421,10 +462,7 @@ mod tests {
         let mut g = CallGraph::new();
         g.insert(ep(0), DependencySpec::new(vec![Stage::single(ep(1))]));
         let view = SpanView {
-            incoming: vec![
-                span(0, ep(0), 0, 1_000),
-                span(1, ep(0), 2_000, 3_000),
-            ],
+            incoming: vec![span(0, ep(0), 0, 1_000), span(1, ep(0), 2_000, 3_000)],
             outgoing: vec![span(10, ep(1), 2_100, 2_700)],
         };
         let params = Params::default();
@@ -436,6 +474,54 @@ mod tests {
         assert!(!mapping.contains(RpcId(0)));
         assert_eq!(mapping.children(RpcId(1)), &[RpcId(10)]);
         assert!(report.confidence() < 100.0);
+    }
+
+    /// Out-of-order ingestion: shuffled span order must produce the same
+    /// mapping as sorted input (the task sorts internally; `make_batches`
+    /// requires it).
+    #[test]
+    fn out_of_order_ingestion_matches_sorted() {
+        let mut g = CallGraph::new();
+        g.insert(ep(0), DependencySpec::new(vec![Stage::single(ep(1))]));
+        let mut incoming = Vec::new();
+        let mut outgoing = Vec::new();
+        for i in 0..40u64 {
+            let t0 = i * 300;
+            incoming.push(span(i, ep(0), t0, t0 + 1_000));
+            outgoing.push(span(100 + i, ep(1), t0 + 100, t0 + 600));
+        }
+        let sorted_view = SpanView {
+            incoming: incoming.clone(),
+            outgoing: outgoing.clone(),
+        };
+        // Deterministic shuffle: reverse, then interleave halves.
+        let shuffle = |mut v: Vec<ObservedSpan>| -> Vec<ObservedSpan> {
+            v.reverse();
+            let half = v.split_off(v.len() / 2);
+            half.into_iter().zip(v).flat_map(|(a, b)| [a, b]).collect()
+        };
+        let shuffled_view = SpanView {
+            incoming: shuffle(incoming),
+            outgoing: shuffle(outgoing),
+        };
+        let params = Params::default();
+        let run = |view: &SpanView| {
+            let task = ReconstructionTask::new(&g, &params, view);
+            let mut mapping = Mapping::new();
+            let mut ranked = RankedMapping::new();
+            let report = task.run(&mut mapping, &mut ranked);
+            (mapping, report)
+        };
+        let (m_sorted, r_sorted) = run(&sorted_view);
+        let (m_shuffled, r_shuffled) = run(&shuffled_view);
+        assert_eq!(r_sorted, r_shuffled);
+        for i in 0..40u64 {
+            assert_eq!(
+                m_sorted.children(RpcId(i)),
+                m_shuffled.children(RpcId(i)),
+                "parent {i} mapped differently under shuffled ingestion"
+            );
+        }
     }
 
     /// Ranked output contains the truth within top-K even under ambiguity.
@@ -460,4 +546,3 @@ mod tests {
         assert!(cands.len() <= params.top_k);
     }
 }
-

@@ -4,9 +4,7 @@
 //! reports ~93% across the DeathStarBench apps).
 
 use tw_core::{Params, TraceWeaver};
-use tw_model::metrics::{
-    end_to_end_accuracy_all_roots, per_service_accuracy, top_k_accuracy,
-};
+use tw_model::metrics::{end_to_end_accuracy_all_roots, per_service_accuracy, top_k_accuracy};
 use tw_model::time::Nanos;
 use tw_sim::apps::{
     hotel_reservation, hotel_reservation_with, media_microservices, nodejs_app, HotelOptions,
@@ -151,7 +149,9 @@ fn confidence_tracks_accuracy_direction() {
 #[test]
 fn gmm_iterations_help_on_bimodal_gaps() {
     use tw_model::ids::Endpoint;
-    use tw_sim::{AppConfig, CallBehavior, EndpointBehavior, ServiceConfig, StageBehavior, ThreadingModel};
+    use tw_sim::{
+        AppConfig, CallBehavior, EndpointBehavior, ServiceConfig, StageBehavior, ThreadingModel,
+    };
     use tw_stats::sampler::DelayDistribution;
 
     let mut catalog = tw_model::Catalog::new();
@@ -215,8 +215,10 @@ fn gmm_iterations_help_on_bimodal_gaps() {
     let out = sim.run(&Workload::poisson(root, 900.0, Nanos::from_millis(1_000)));
 
     let acc = |iters: usize| {
-        let mut p = Params::default();
-        p.iterations = iters;
+        let mut p = Params {
+            iterations: iters,
+            ..Params::default()
+        };
         if iters == 1 {
             p = p.ablate_iteration();
         }

@@ -272,14 +272,8 @@ mod tests {
     #[test]
     fn validate_rejects_self_call() {
         let mut g = CallGraph::new();
-        g.insert(
-            ep(0, 0),
-            DependencySpec::new(vec![Stage::single(ep(0, 1))]),
-        );
-        assert!(matches!(
-            g.validate(),
-            Err(CallGraphError::SelfCall { .. })
-        ));
+        g.insert(ep(0, 0), DependencySpec::new(vec![Stage::single(ep(0, 1))]));
+        assert!(matches!(g.validate(), Err(CallGraphError::SelfCall { .. })));
     }
 
     #[test]

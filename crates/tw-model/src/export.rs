@@ -94,11 +94,9 @@ pub fn to_jaeger(
             };
             let service = catalog.service_name(rec.callee.service).to_string();
             let pid = format!("p{}", rec.callee.service.0);
-            processes
-                .entry(pid.clone())
-                .or_insert(JaegerProcess {
-                    service_name: service,
-                });
+            processes.entry(pid.clone()).or_insert(JaegerProcess {
+                service_name: service,
+            });
             let references = parent_of
                 .get(&rpc)
                 .map(|p| {
@@ -131,7 +129,7 @@ pub fn to_jaeger(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ids::{Endpoint, OperationId, ServiceId};
+    use crate::ids::Endpoint;
     use crate::span::EXTERNAL;
     use crate::time::Nanos;
 

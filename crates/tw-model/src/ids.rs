@@ -5,17 +5,13 @@ use std::collections::HashMap;
 use std::fmt;
 
 /// A microservice (e.g. `frontend`, `search`, `geo`).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ServiceId(pub u32);
 
 /// An API operation within a service (e.g. `GET /hotels`). The paper calls
 /// this the API endpoint; together with the callee service it identifies a
 /// span's target.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct OperationId(pub u32);
 
 /// One RPC (request-response exchange) on the wire. Both the caller-side
@@ -24,15 +20,11 @@ pub struct OperationId(pub u32);
 /// the 5-tuple without any application cooperation (paper §4.1: "the
 /// outgoing R2 at A and the incoming R2 at B are the same and can be
 /// linked"). It does NOT leak parent-child information.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct RpcId(pub u64);
 
 /// The callee side of a call: which operation on which service.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Endpoint {
     pub service: ServiceId,
     pub op: OperationId,

@@ -227,10 +227,7 @@ mod tests {
         m.assign(r(1), [r(2), r(3)]);
         m.assign(r(2), [r(4)]);
         let t = m.assemble(r(1));
-        assert_eq!(
-            t.nodes,
-            vec![(r(1), 0), (r(2), 1), (r(4), 2), (r(3), 1)]
-        );
+        assert_eq!(t.nodes, vec![(r(1), 0), (r(2), 1), (r(4), 2), (r(3), 1)]);
         assert_eq!(t.len(), 4);
     }
 

@@ -19,9 +19,7 @@ pub const EXTERNAL: ServiceId = ServiceId(u32::MAX);
 /// The unit of reconstruction: one container (replica) of one service.
 /// Requests arriving at container A only spawn backend requests out of the
 /// same container (paper §6.6), so reconstruction never crosses this key.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ProcessKey {
     pub service: ServiceId,
     pub replica: u16,
@@ -176,12 +174,7 @@ mod tests {
     use super::*;
     use crate::ids::OperationId;
 
-    fn rec(
-        rpc: u64,
-        caller: ServiceId,
-        callee: ServiceId,
-        t: [u64; 4],
-    ) -> RpcRecord {
+    fn rec(rpc: u64, caller: ServiceId, callee: ServiceId, t: [u64; 4]) -> RpcRecord {
         RpcRecord {
             rpc: RpcId(rpc),
             caller,

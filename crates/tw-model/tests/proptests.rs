@@ -19,25 +19,23 @@ fn record_strategy() -> impl Strategy<Value = RpcRecord> {
         0u64..1_000_000,
         0u64..1_000,
     )
-        .prop_map(
-            |(rpc, caller, callee, op, t0, d1, d2, d3)| RpcRecord {
-                rpc: RpcId(rpc),
-                caller: if caller == 0 {
-                    EXTERNAL
-                } else {
-                    ServiceId(caller)
-                },
-                caller_replica: 0,
-                callee: Endpoint::new(ServiceId(callee), OperationId(op)),
-                callee_replica: 0,
-                send_req: Nanos(t0),
-                recv_req: Nanos(t0 + d1),
-                send_resp: Nanos(t0 + d1 + d2),
-                recv_resp: Nanos(t0 + d1 + d2 + d3),
-                caller_thread: None,
-                callee_thread: None,
+        .prop_map(|(rpc, caller, callee, op, t0, d1, d2, d3)| RpcRecord {
+            rpc: RpcId(rpc),
+            caller: if caller == 0 {
+                EXTERNAL
+            } else {
+                ServiceId(caller)
             },
-        )
+            caller_replica: 0,
+            callee: Endpoint::new(ServiceId(callee), OperationId(op)),
+            callee_replica: 0,
+            send_req: Nanos(t0),
+            recv_req: Nanos(t0 + d1),
+            send_resp: Nanos(t0 + d1 + d2),
+            recv_resp: Nanos(t0 + d1 + d2 + d3),
+            caller_thread: None,
+            callee_thread: None,
+        })
 }
 
 proptest! {

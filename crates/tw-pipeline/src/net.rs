@@ -8,6 +8,7 @@
 //! per connection — span export is a low-fan-in workload (one agent per
 //! node), so thread-per-connection is the robust, simple choice.
 
+use crate::online::{OnlineConfig, OnlineEngine};
 use crossbeam::channel::Sender;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -15,6 +16,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use tw_capture::wire::{encode_records, FrameDecoder};
+use tw_core::TraceWeaver;
 use tw_model::span::RpcRecord;
 
 /// A running span-ingestion server.
@@ -37,17 +39,38 @@ impl IngestServer {
         let stop2 = stop.clone();
         let accept_thread = std::thread::spawn(move || {
             let mut workers: Vec<JoinHandle<()>> = Vec::new();
+            let serve = |stream: TcpStream, workers: &mut Vec<JoinHandle<()>>| {
+                let sink = sink.clone();
+                workers.push(std::thread::spawn(move || {
+                    let _ = serve_connection(stream, sink);
+                }));
+            };
             for conn in listener.incoming() {
                 if stop2.load(Ordering::SeqCst) {
+                    // Drain the accept backlog before exiting: exports
+                    // that connected before shutdown may still be queued
+                    // behind the wake-up connection (which carries no
+                    // frames and EOFs immediately — serving it is
+                    // harmless). This keeps the shutdown contract: every
+                    // connection established before `shutdown()` is
+                    // served to EOF.
+                    if let Ok(stream) = conn {
+                        serve(stream, &mut workers);
+                    }
+                    let _ = listener.set_nonblocking(true);
+                    for conn in listener.incoming() {
+                        match conn {
+                            Ok(stream) => {
+                                let _ = stream.set_nonblocking(false);
+                                serve(stream, &mut workers);
+                            }
+                            Err(_) => break, // WouldBlock: backlog empty
+                        }
+                    }
                     break;
                 }
                 match conn {
-                    Ok(stream) => {
-                        let sink = sink.clone();
-                        workers.push(std::thread::spawn(move || {
-                            let _ = serve_connection(stream, sink);
-                        }));
-                    }
+                    Ok(stream) => serve(stream, &mut workers),
                     Err(_) => break,
                 }
             }
@@ -115,6 +138,22 @@ fn serve_connection(mut stream: TcpStream, sink: Sender<RpcRecord>) -> std::io::
             }
         }
     }
+}
+
+/// The full online deployment topology (§5.3) in one call: start a
+/// pipelined [`OnlineEngine`] and bind an [`IngestServer`] feeding it, so
+/// capture agents export wire frames straight into windowed
+/// reconstruction. `config.threads` sets the engine's reconstruction
+/// worker pool; shut down the server before the engine so in-flight
+/// connections drain into the final window.
+pub fn serve_online(
+    addr: &str,
+    tw: TraceWeaver,
+    config: OnlineConfig,
+) -> std::io::Result<(IngestServer, OnlineEngine)> {
+    let engine = OnlineEngine::start(tw, config);
+    let server = IngestServer::bind(addr, engine.ingest_handle())?;
+    Ok((server, engine))
 }
 
 /// Client side: connect and export a batch of records as wire frames.
@@ -211,6 +250,40 @@ mod tests {
         }
         assert_eq!(received, records);
         server.shutdown();
+    }
+
+    #[test]
+    fn serve_online_wires_tcp_into_windows() {
+        use tw_core::Params;
+        use tw_model::time::Nanos as N;
+        let app = tw_sim::apps::two_service_chain(54);
+        let call_graph = app.config.call_graph();
+        let root = app.roots[0];
+        let sim = tw_sim::Simulator::new(app.config).unwrap();
+        let out = sim.run(&tw_sim::Workload::poisson(root, 200.0, N::from_millis(400)));
+
+        let tw = TraceWeaver::new(call_graph, Params::default());
+        let (server, engine) = serve_online(
+            "127.0.0.1:0",
+            tw,
+            crate::online::OnlineConfig {
+                window: N::from_millis(100),
+                grace: N::from_millis(50),
+                channel_capacity: 4_096,
+                threads: 2,
+            },
+        )
+        .unwrap();
+        export_records(server.local_addr(), &out.records).unwrap();
+        // Server first: its connections must drain into the engine
+        // before ingestion closes.
+        server.shutdown();
+        let windows = engine.shutdown();
+        let total: usize = windows.iter().map(|w| w.records.len()).sum();
+        assert_eq!(total, out.records.len());
+        for pair in windows.windows(2) {
+            assert!(pair[0].index < pair[1].index, "windows must emit in order");
+        }
     }
 
     #[test]

@@ -10,9 +10,26 @@
 //! be chosen based on the known response latency distribution of the app":
 //! records of one trace always land in the same window because a trace's
 //! root response is its last event.
+//!
+//! The engine is a three-stage pipeline so window *k+1* ingests and
+//! reconstructs while window *k* finalizes:
+//!
+//! ```text
+//! ingest ─▶ windower ─▶ work queue ─▶ workers (×threads) ─▶ collector ─▶ results
+//! ```
+//!
+//! The windower cuts windows at the watermark and enqueues them; each
+//! worker reconstructs whole windows (windows are independent, like
+//! per-service tasks within one); the collector reorders completed
+//! windows back into window order before emitting, so the result stream
+//! is identical for every `threads` value — with `threads = 1` the single
+//! worker processes windows in order and the collector passes them
+//! straight through.
 
 use crossbeam::channel::{bounded, Receiver, Sender};
+use std::collections::HashMap;
 use std::thread::JoinHandle;
+use std::time::Duration;
 use tw_core::{Reconstruction, TraceWeaver};
 use tw_model::span::RpcRecord;
 use tw_model::time::Nanos;
@@ -27,6 +44,11 @@ pub struct OnlineConfig {
     pub grace: Nanos,
     /// Channel capacity for ingestion back-pressure.
     pub channel_capacity: usize,
+    /// Reconstruction workers: how many windows reconstruct concurrently
+    /// (clamped to at least 1). Results are always emitted in window
+    /// order, identical for every value; `1` keeps today's sequential
+    /// behavior with the windower still overlapping ingestion.
+    pub threads: usize,
 }
 
 impl Default for OnlineConfig {
@@ -35,6 +57,7 @@ impl Default for OnlineConfig {
             window: Nanos::from_secs(1),
             grace: Nanos::from_millis(200),
             channel_capacity: 65_536,
+            threads: 1,
         }
     }
 }
@@ -49,6 +72,12 @@ pub struct WindowResult {
     /// Records processed in this window.
     pub records: Vec<RpcRecord>,
     pub reconstruction: Reconstruction,
+    /// Windows still waiting in the work queue when this one was picked
+    /// up — a live back-pressure signal (persistently > 0 means
+    /// reconstruction can't keep up with ingest at this thread count).
+    pub queue_depth: usize,
+    /// Wall-clock time the reconstruction of this window took.
+    pub latency: Duration,
 }
 
 impl WindowResult {
@@ -70,27 +99,58 @@ impl WindowResult {
     }
 }
 
-/// The online engine: a worker thread owning a [`TraceWeaver`] instance.
+/// A cut window waiting for reconstruction.
+struct WindowJob {
+    /// Dense sequence number for in-order emission (window indices can
+    /// have gaps: empty windows are never enqueued).
+    seq: u64,
+    index: u64,
+    end: Nanos,
+    records: Vec<RpcRecord>,
+}
+
+/// The online engine: a windower thread cutting windows, a pool of
+/// reconstruction workers, and a collector restoring window order.
 ///
 /// Dropping / closing the ingest sender flushes all remaining records as a
-/// final window and shuts the worker down.
+/// final window and shuts the pipeline down stage by stage.
 pub struct OnlineEngine {
     ingest: Option<Sender<RpcRecord>>,
     results: Receiver<WindowResult>,
-    worker: Option<JoinHandle<()>>,
+    threads: Option<Vec<JoinHandle<()>>>,
 }
 
 impl OnlineEngine {
     pub fn start(tw: TraceWeaver, config: OnlineConfig) -> Self {
+        let workers = config.threads.max(1);
         let (tx, rx) = bounded::<RpcRecord>(config.channel_capacity);
+        // Work queue sized to the pool: back-pressure propagates to the
+        // windower (and from there to ingest) when workers fall behind.
+        let (work_tx, work_rx) = bounded::<WindowJob>(workers * 2);
+        let (done_tx, done_rx) = bounded::<(u64, WindowResult)>(1024);
         let (res_tx, res_rx) = bounded::<WindowResult>(1024);
-        let worker = std::thread::spawn(move || {
-            run_worker(tw, config, rx, res_tx);
-        });
+
+        let mut threads = Vec::with_capacity(workers + 2);
+        threads.push(std::thread::spawn(move || {
+            run_windower(config, rx, work_tx);
+        }));
+        for _ in 0..workers {
+            let tw = tw.clone();
+            let work_rx = work_rx.clone();
+            let done_tx = done_tx.clone();
+            threads.push(std::thread::spawn(move || {
+                run_reconstruction_worker(tw, work_rx, done_tx);
+            }));
+        }
+        drop(done_tx); // collector exits when the last worker drops its clone
+        threads.push(std::thread::spawn(move || {
+            run_collector(done_rx, res_tx);
+        }));
+
         OnlineEngine {
             ingest: Some(tx),
             results: res_rx,
-            worker: Some(worker),
+            threads: Some(threads),
         }
     }
 
@@ -100,17 +160,19 @@ impl OnlineEngine {
         self.ingest.as_ref().expect("engine running").clone()
     }
 
-    /// Receiver of reconstructed windows.
+    /// Receiver of reconstructed windows, emitted in window order.
     pub fn results(&self) -> &Receiver<WindowResult> {
         &self.results
     }
 
-    /// Close ingestion, flush, and wait for the worker. Returns any
-    /// remaining window results.
+    /// Close ingestion, flush, and wait for the pipeline to drain.
+    /// Returns any remaining window results.
     pub fn shutdown(mut self) -> Vec<WindowResult> {
         self.ingest.take(); // close the channel
-        if let Some(h) = self.worker.take() {
-            h.join().expect("worker panicked");
+        if let Some(handles) = self.threads.take() {
+            for h in handles {
+                h.join().expect("pipeline thread panicked");
+            }
         }
         self.results.try_iter().collect()
     }
@@ -119,28 +181,28 @@ impl OnlineEngine {
 impl Drop for OnlineEngine {
     fn drop(&mut self) {
         self.ingest.take();
-        if let Some(h) = self.worker.take() {
-            let _ = h.join();
+        if let Some(handles) = self.threads.take() {
+            for h in handles {
+                let _ = h.join();
+            }
         }
     }
 }
 
-fn run_worker(
-    tw: TraceWeaver,
-    config: OnlineConfig,
-    rx: Receiver<RpcRecord>,
-    out: Sender<WindowResult>,
-) {
+/// Stage 1: buffer records, cut windows at the watermark, enqueue
+/// non-empty windows for reconstruction.
+fn run_windower(config: OnlineConfig, rx: Receiver<RpcRecord>, out: Sender<WindowJob>) {
     let mut buffer: Vec<RpcRecord> = Vec::new();
     let mut watermark = Nanos::ZERO;
     let mut window_index: u64 = 0;
     let mut window_end = config.window;
+    let mut seq: u64 = 0;
 
     let flush = |index: u64,
                  end: Nanos,
                  buffer: &mut Vec<RpcRecord>,
-                 out: &Sender<WindowResult>,
-                 tw: &TraceWeaver,
+                 seq: &mut u64,
+                 out: &Sender<WindowJob>,
                  everything: bool| {
         let (ready, rest): (Vec<_>, Vec<_>) = buffer
             .drain(..)
@@ -149,28 +211,69 @@ fn run_worker(
         if ready.is_empty() {
             return;
         }
-        let reconstruction = tw.reconstruct_records(&ready);
-        // Receiver may have been dropped; reconstruction results are then
-        // discarded, which is fine for shutdown paths.
-        let _ = out.send(WindowResult {
+        // Downstream may have shut down; dropping the window is fine on
+        // shutdown paths.
+        let _ = out.send(WindowJob {
+            seq: *seq,
             index,
             end,
             records: ready,
-            reconstruction,
         });
+        *seq += 1;
     };
 
     for rec in rx.iter() {
         watermark = watermark.max(rec.recv_resp);
         buffer.push(rec);
         while watermark >= window_end + config.grace {
-            flush(window_index, window_end, &mut buffer, &out, &tw, false);
+            flush(window_index, window_end, &mut buffer, &mut seq, &out, false);
             window_index += 1;
             window_end += config.window;
         }
     }
     // Channel closed: flush whatever is left as the final window.
-    flush(window_index, watermark, &mut buffer, &out, &tw, true);
+    flush(window_index, watermark, &mut buffer, &mut seq, &out, true);
+}
+
+/// Stage 2: reconstruct whole windows; windows are independent, so any
+/// number of these run concurrently off the shared work queue.
+fn run_reconstruction_worker(
+    tw: TraceWeaver,
+    work: Receiver<WindowJob>,
+    done: Sender<(u64, WindowResult)>,
+) {
+    for job in work.iter() {
+        let queue_depth = work.len();
+        let t0 = std::time::Instant::now();
+        let reconstruction = tw.reconstruct_records(&job.records);
+        let latency = t0.elapsed();
+        let result = WindowResult {
+            index: job.index,
+            end: job.end,
+            records: job.records,
+            reconstruction,
+            queue_depth,
+            latency,
+        };
+        if done.send((job.seq, result)).is_err() {
+            return;
+        }
+    }
+}
+
+/// Stage 3: restore window order (workers finish out of order) and emit.
+fn run_collector(done: Receiver<(u64, WindowResult)>, out: Sender<WindowResult>) {
+    let mut pending: HashMap<u64, WindowResult> = HashMap::new();
+    let mut next: u64 = 0;
+    for (seq, result) in done.iter() {
+        pending.insert(seq, result);
+        while let Some(ready) = pending.remove(&next) {
+            if out.send(ready).is_err() {
+                return;
+            }
+            next += 1;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -196,6 +299,7 @@ mod tests {
                 window: Nanos::from_millis(500),
                 grace: Nanos::from_millis(100),
                 channel_capacity: 1024,
+                threads: 1,
             },
         );
         let ingest = engine.ingest_handle();
@@ -213,7 +317,11 @@ mod tests {
         windows.extend(engine.shutdown());
         windows.extend(engine_results.try_iter());
 
-        assert!(windows.len() >= 4, "expected several windows, got {}", windows.len());
+        assert!(
+            windows.len() >= 4,
+            "expected several windows, got {}",
+            windows.len()
+        );
         // Merge all window mappings and compare against truth.
         let mut merged = tw_model::Mapping::new();
         for w in &windows {
@@ -229,6 +337,64 @@ mod tests {
             let f = w.mapped_fraction();
             assert!((0.0..=1.0).contains(&f));
             assert!(f > 0.8, "window {} mapped only {f}", w.index);
+        }
+    }
+
+    /// A multi-worker pipeline must emit the same windows, in the same
+    /// order, with the same mappings as the single-worker engine — the
+    /// collector restores order, workers only change wall time.
+    #[test]
+    fn pipelined_workers_match_sequential() {
+        let app = two_service_chain(53);
+        let call_graph = app.config.call_graph();
+        let root = app.roots[0];
+        let sim = Simulator::new(app.config).unwrap();
+        let out = sim.run(&Workload::poisson(root, 400.0, Nanos::from_secs(2)));
+        let mut records = out.records.clone();
+        records.sort_by_key(|r| r.send_req);
+
+        let run = |threads: usize| -> Vec<WindowResult> {
+            let tw = TraceWeaver::new(call_graph.clone(), Params::default());
+            let engine = OnlineEngine::start(
+                tw,
+                OnlineConfig {
+                    window: Nanos::from_millis(250),
+                    grace: Nanos::from_millis(50),
+                    channel_capacity: 1024,
+                    threads,
+                },
+            );
+            let ingest = engine.ingest_handle();
+            for r in &records {
+                ingest.send(*r).unwrap();
+            }
+            drop(ingest);
+            engine.shutdown()
+        };
+
+        let seq = run(1);
+        let par = run(4);
+        assert!(
+            seq.len() >= 4,
+            "expected several windows, got {}",
+            seq.len()
+        );
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.index, b.index, "window order must be restored");
+            assert_eq!(a.end, b.end);
+            assert_eq!(a.records, b.records);
+            for r in &a.records {
+                assert_eq!(
+                    a.reconstruction.mapping.children(r.rpc),
+                    b.reconstruction.mapping.children(r.rpc),
+                    "mapping diverged in window {}",
+                    a.index
+                );
+            }
+            // Worker metrics are populated.
+            assert!(a.latency.as_nanos() > 0);
+            assert!(b.queue_depth <= seq.len());
         }
     }
 
@@ -267,6 +433,7 @@ mod tests {
                 window: Nanos::from_millis(250),
                 grace: Nanos::from_millis(50),
                 channel_capacity: 1024,
+                threads: 1,
             },
         );
         let ingest = engine.ingest_handle();

@@ -101,15 +101,12 @@ mod tests {
         assert!(!kept.is_empty() && kept.len() < records.len());
         // Every kept non-root record's mapped parent must also be kept:
         // trees are sampled atomically.
-        let kept_ids: std::collections::HashSet<RpcId> =
-            kept.iter().map(|r| r.rpc).collect();
+        let kept_ids: std::collections::HashSet<RpcId> = kept.iter().map(|r| r.rpc).collect();
         for r in &kept {
             if r.caller != EXTERNAL {
-                let has_parent = kept.iter().any(|p| {
-                    rec.mapping
-                        .children(p.rpc)
-                        .contains(&r.rpc)
-                });
+                let has_parent = kept
+                    .iter()
+                    .any(|p| rec.mapping.children(p.rpc).contains(&r.rpc));
                 assert!(
                     has_parent && !kept_ids.is_empty(),
                     "orphan record {:?} in sample",

@@ -45,12 +45,7 @@ impl OfflineStore {
     /// Reconstruct traces for a time range on demand (the paper's offline
     /// workflow: "TraceWeaver can selectively run the algorithm on spans
     /// from that period").
-    pub fn reconstruct_range(
-        &self,
-        tw: &TraceWeaver,
-        from: Nanos,
-        to: Nanos,
-    ) -> Reconstruction {
+    pub fn reconstruct_range(&self, tw: &TraceWeaver, from: Nanos, to: Nanos) -> Reconstruction {
         tw.reconstruct_records(&self.query(from, to))
     }
 

@@ -16,11 +16,7 @@ fn tcp_to_engine_to_sampler() {
     let app = hotel_reservation(401);
     let call_graph = app.config.call_graph();
     let sim = Simulator::new(app.config).unwrap();
-    let out = sim.run(&Workload::poisson(
-        app.roots[0],
-        250.0,
-        Nanos::from_secs(2),
-    ));
+    let out = sim.run(&Workload::poisson(app.roots[0], 250.0, Nanos::from_secs(2)));
 
     // Online engine fed by a TCP ingestion server.
     let tw = TraceWeaver::new(call_graph, Params::default());
@@ -30,6 +26,7 @@ fn tcp_to_engine_to_sampler() {
             window: Nanos::from_millis(500),
             grace: Nanos::from_millis(100),
             channel_capacity: 16_384,
+            threads: 2,
         },
     );
     let server = IngestServer::bind("127.0.0.1:0", engine.ingest_handle()).unwrap();
@@ -52,7 +49,11 @@ fn tcp_to_engine_to_sampler() {
     windows.extend(results.try_iter());
 
     let total: usize = windows.iter().map(|w| w.records.len()).sum();
-    assert_eq!(total, out.records.len(), "every span processed exactly once");
+    assert_eq!(
+        total,
+        out.records.len(),
+        "every span processed exactly once"
+    );
 
     // Accuracy holds across the network hop.
     let mut merged = tw_model::Mapping::new();

@@ -16,8 +16,7 @@
 //! dynamism.
 
 use crate::config::{
-    AppConfig, CallBehavior, DiskIo, EndpointBehavior, ServiceConfig, StageBehavior,
-    ThreadingModel,
+    AppConfig, CallBehavior, DiskIo, EndpointBehavior, ServiceConfig, StageBehavior, ThreadingModel,
 };
 use tw_model::ids::{Catalog, Endpoint};
 use tw_stats::sampler::DelayDistribution;
@@ -363,14 +362,8 @@ pub fn media_microservices(seed: u64) -> BenchApp {
                                     Endpoint::new(movie_id, op_mid),
                                     lognorm(10.0, 0.3),
                                 ),
-                                CallBehavior::new(
-                                    Endpoint::new(text, op_text),
-                                    lognorm(10.0, 0.3),
-                                ),
-                                CallBehavior::new(
-                                    Endpoint::new(user, op_user),
-                                    lognorm(10.0, 0.3),
-                                ),
+                                CallBehavior::new(Endpoint::new(text, op_text), lognorm(10.0, 0.3)),
+                                CallBehavior::new(Endpoint::new(user, op_user), lognorm(10.0, 0.3)),
                             ],
                         ),
                         StageBehavior::new(
@@ -449,7 +442,10 @@ pub fn media_microservices(seed: u64) -> BenchApp {
             id: review_store,
             replicas: 2,
             threading: thrift,
-            endpoints: vec![(op_store, leaf(520.0, 0.5)), (op_read_reviews, leaf(380.0, 0.5))],
+            endpoints: vec![
+                (op_store, leaf(520.0, 0.5)),
+                (op_read_reviews, leaf(380.0, 0.5)),
+            ],
         },
         ServiceConfig {
             id: user_review,
@@ -479,10 +475,7 @@ pub fn media_microservices(seed: u64) -> BenchApp {
                                     Endpoint::new(movie_info, op_minfo),
                                     lognorm(10.0, 0.3),
                                 ),
-                                CallBehavior::new(
-                                    Endpoint::new(plot, op_plot),
-                                    lognorm(10.0, 0.3),
-                                ),
+                                CallBehavior::new(Endpoint::new(plot, op_plot), lognorm(10.0, 0.3)),
                                 CallBehavior::new(
                                     Endpoint::new(cast_info, op_cast),
                                     lognorm(10.0, 0.3),
@@ -529,10 +522,7 @@ pub fn media_microservices(seed: u64) -> BenchApp {
             network_delay: lognorm(120.0, 0.3),
             seed,
         },
-        roots: vec![
-            Endpoint::new(nginx, op_post),
-            Endpoint::new(nginx, op_get),
-        ],
+        roots: vec![Endpoint::new(nginx, op_post), Endpoint::new(nginx, op_get)],
         capacity_rps: 1_500.0,
     }
 }
@@ -649,14 +639,8 @@ pub fn nodejs_app_with(opts: NodejsOptions) -> BenchApp {
                     vec![StageBehavior::new(
                         us(0.0),
                         vec![
-                            CallBehavior::new(
-                                Endpoint::new(inventory, op_inv),
-                                lognorm(10.0, 0.3),
-                            ),
-                            CallBehavior::new(
-                                Endpoint::new(pricing, op_price),
-                                lognorm(10.0, 0.3),
-                            ),
+                            CallBehavior::new(Endpoint::new(inventory, op_inv), lognorm(10.0, 0.3)),
+                            CallBehavior::new(Endpoint::new(pricing, op_price), lognorm(10.0, 0.3)),
                         ],
                     )],
                     lognorm(40.0, 0.4),
@@ -782,7 +766,10 @@ pub fn social_network(seed: u64) -> BenchApp {
                     op_home_http,
                     EndpointBehavior::with_stages(
                         lognorm(50.0, 0.4),
-                        vec![StageBehavior::new(us(0.0), vec![call(home_timeline, op_ht_read)])],
+                        vec![StageBehavior::new(
+                            us(0.0),
+                            vec![call(home_timeline, op_ht_read)],
+                        )],
                         lognorm(30.0, 0.4),
                     ),
                 ),
@@ -790,7 +777,10 @@ pub fn social_network(seed: u64) -> BenchApp {
                     op_user_http,
                     EndpointBehavior::with_stages(
                         lognorm(50.0, 0.4),
-                        vec![StageBehavior::new(us(0.0), vec![call(user_timeline, op_ut_read)])],
+                        vec![StageBehavior::new(
+                            us(0.0),
+                            vec![call(user_timeline, op_ut_read)],
+                        )],
                         lognorm(30.0, 0.4),
                     ),
                 ),
@@ -887,7 +877,10 @@ pub fn social_network(seed: u64) -> BenchApp {
             id: post_storage,
             replicas: 2,
             threading: thrift,
-            endpoints: vec![(op_store, leaf(480.0, 0.5)), (op_read_posts, leaf(350.0, 0.5))],
+            endpoints: vec![
+                (op_store, leaf(480.0, 0.5)),
+                (op_read_posts, leaf(350.0, 0.5)),
+            ],
         },
         ServiceConfig {
             id: user_timeline,
@@ -980,7 +973,10 @@ pub fn two_service_chain(seed: u64) -> BenchApp {
                     lognorm(100.0, 0.4),
                     vec![StageBehavior::new(
                         us(0.0),
-                        vec![CallBehavior::new(Endpoint::new(back, op_b), lognorm(10.0, 0.3))],
+                        vec![CallBehavior::new(
+                            Endpoint::new(back, op_b),
+                            lognorm(10.0, 0.3),
+                        )],
                     )],
                     lognorm(60.0, 0.4),
                 ),

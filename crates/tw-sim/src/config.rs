@@ -183,7 +183,10 @@ pub struct ServiceConfig {
 
 impl ServiceConfig {
     pub fn behavior(&self, op: OperationId) -> Option<&EndpointBehavior> {
-        self.endpoints.iter().find(|(o, _)| *o == op).map(|(_, b)| b)
+        self.endpoints
+            .iter()
+            .find(|(o, _)| *o == op)
+            .map(|(_, b)| b)
     }
 }
 

@@ -194,13 +194,8 @@ impl Simulator {
         // Inject the full arrival schedule.
         for a in &arrivals {
             let rpc = st.new_rpc(
-                EXTERNAL,
-                0,
-                a.root,
-                a.at, // client-side send time
-                None,
-                None,
-                a.slow,
+                EXTERNAL, 0, a.root, a.at, // client-side send time
+                None, None, a.slow,
             );
             let net = st.net_delay();
             let container = st.pick_replica(a.root.service);
@@ -236,9 +231,9 @@ impl Simulator {
             .containers
             .iter()
             .filter_map(|c| {
-                c.threading.concurrency_limit().map(|w| {
-                    c.busy_ns as f64 / (horizon as f64 * w.max(1) as f64)
-                })
+                c.threading
+                    .concurrency_limit()
+                    .map(|w| c.busy_ns as f64 / (horizon as f64 * w.max(1) as f64))
             })
             .fold(0.0f64, f64::max);
         let mean_queue_wait_us = if st.dispatches == 0 {
@@ -471,8 +466,15 @@ impl<'a> RunState<'a> {
     /// all stages are done.
     fn schedule_stage_entry(&mut self, hid: HandlerId) {
         enum Next {
-            Stage { gap: DD, pre: Option<DD> },
-            Respond { post: DD, pre: Option<DD>, extra: Nanos },
+            Stage {
+                gap: DD,
+                pre: Option<DD>,
+            },
+            Respond {
+                post: DD,
+                pre: Option<DD>,
+                extra: Nanos,
+            },
         }
         use tw_stats::sampler::DelayDistribution as DD;
 
@@ -484,8 +486,7 @@ impl<'a> RunState<'a> {
                 // processing then respond. A leaf's pre-delay still counts.
                 Next::Respond {
                     post: h.behavior.post_delay,
-                    pre: (entering && h.behavior.stages.is_empty())
-                        .then_some(h.behavior.pre_delay),
+                    pre: (entering && h.behavior.stages.is_empty()).then_some(h.behavior.pre_delay),
                     extra: if h.slow && h.behavior.slow_tag_extra_us > 0.0 {
                         Nanos::from_micros_f64(h.behavior.slow_tag_extra_us)
                     } else {
@@ -936,7 +937,11 @@ mod tests {
             1_000.0,
             Nanos::from_millis(100),
         ));
-        assert!(out.stats.peak_queue > 5, "peak queue {}", out.stats.peak_queue);
+        assert!(
+            out.stats.peak_queue > 5,
+            "peak queue {}",
+            out.stats.peak_queue
+        );
         // All requests still complete (drain after arrivals stop).
         assert_eq!(out.stats.completed_roots, out.stats.arrivals);
         // Spans must serialize: with one worker, recv_req of request k+1
@@ -963,11 +968,7 @@ mod tests {
         ));
         let b = ServiceId(1);
         let roots = out.truth.roots().len();
-        let b_calls = out
-            .records
-            .iter()
-            .filter(|r| r.callee.service == b)
-            .count();
+        let b_calls = out.records.iter().filter(|r| r.callee.service == b).count();
         let frac = b_calls as f64 / roots as f64;
         assert!((frac - 0.5).abs() < 0.1, "B call fraction {frac}");
     }
@@ -1070,11 +1071,7 @@ mod tests {
             Nanos::from_secs(1),
         ));
         let roots = out.truth.roots().len();
-        let c_calls = out
-            .records
-            .iter()
-            .filter(|r| r.callee.service == c)
-            .count();
+        let c_calls = out.records.iter().filter(|r| r.callee.service == c).count();
         let ratio = c_calls as f64 / roots as f64;
         assert!((ratio - 1.5).abs() < 0.1, "C calls per request {ratio}");
         // Both copies are ground-truth children of the same parent.

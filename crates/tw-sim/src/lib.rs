@@ -28,8 +28,8 @@ pub mod output;
 pub mod workload;
 
 pub use config::{
-    AppConfig, CallBehavior, ConfigError, DiskIo, EndpointBehavior, ServiceConfig,
-    StageBehavior, ThreadingModel,
+    AppConfig, CallBehavior, ConfigError, DiskIo, EndpointBehavior, ServiceConfig, StageBehavior,
+    ThreadingModel,
 };
 pub use engine::Simulator;
 pub use output::SimOutput;

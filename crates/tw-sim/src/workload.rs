@@ -170,8 +170,7 @@ mod tests {
 
     #[test]
     fn slow_fraction_tagging() {
-        let w = Workload::constant(ep(0), 10_000.0, Nanos::from_secs(1))
-            .with_slow_fraction(0.1);
+        let w = Workload::constant(ep(0), 10_000.0, Nanos::from_secs(1)).with_slow_fraction(0.1);
         let mut s = Sampler::new(5);
         let arrivals = w.generate(&mut s);
         let slow = arrivals.iter().filter(|a| a.slow).count();

@@ -79,7 +79,10 @@ impl BitSet {
 
     /// True if the two sets share any element.
     pub fn intersects(&self, other: &BitSet) -> bool {
-        self.blocks.iter().zip(&other.blocks).any(|(a, b)| a & b != 0)
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .any(|(a, b)| a & b != 0)
     }
 
     /// Index of the lowest element, if any.

@@ -132,7 +132,7 @@ impl ConflictGraph {
                     }
                 }
                 let score = self.weights[v] / (1.0 + live_deg as f64);
-                if best.map_or(true, |(s, _)| score > s) {
+                if best.is_none_or(|(s, _)| score > s) {
                     best = Some((score, v));
                 }
             }
@@ -383,7 +383,9 @@ mod tests {
         // Deterministic pseudo-random graphs via a simple LCG.
         let mut state = 12345u64;
         let mut rand = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as f64 / (u32::MAX as f64 / 2.0)
         };
         for trial in 0..20 {
@@ -417,7 +419,9 @@ mod tests {
     fn exact_matches_brute_force_small() {
         let mut state = 999u64;
         let mut rand = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as f64 / (u32::MAX as f64 / 2.0)
         };
         for _ in 0..30 {

@@ -121,9 +121,10 @@ impl Summary {
 ///
 /// Splits `xs` into `buckets` contiguous buckets, computes each bucket's
 /// mean, takes the sample standard deviation across those means and scales
-/// by sqrt(buckets) per the central limit theorem. This is the only way to
-/// estimate spread when individual (parent, child) pairings are unknown but
-/// the two marginal timestamp populations are.
+/// by sqrt(bucket size): the CLT gives sd(bucket mean) = sigma / sqrt(m)
+/// for buckets of m points, so multiplying by sqrt(m) recovers sigma. This
+/// is the only way to estimate spread when individual (parent, child)
+/// pairings are unknown but the two marginal timestamp populations are.
 pub fn bucketed_std_estimate(xs: &[f64], buckets: usize) -> f64 {
     if xs.len() < 2 || buckets < 2 {
         return std_dev(xs);
@@ -136,11 +137,15 @@ pub fn bucketed_std_estimate(xs: &[f64], buckets: usize) -> f64 {
     let bucket_means: Vec<f64> = (0..buckets)
         .map(|b| {
             let start = b * per;
-            let end = if b == buckets - 1 { xs.len() } else { start + per };
+            let end = if b == buckets - 1 {
+                xs.len()
+            } else {
+                start + per
+            };
             mean(&xs[start..end])
         })
         .collect();
-    std_dev(&bucket_means) * (buckets as f64).sqrt()
+    std_dev(&bucket_means) * (xs.len() as f64 / buckets as f64).sqrt()
 }
 
 #[cfg(test)]

@@ -308,8 +308,7 @@ mod tests {
             ],
         };
         let x = 2.0;
-        let manual =
-            0.3 * Gaussian::new(0.0, 1.0).pdf(x) + 0.7 * Gaussian::new(5.0, 2.0).pdf(x);
+        let manual = 0.3 * Gaussian::new(0.0, 1.0).pdf(x) + 0.7 * Gaussian::new(5.0, 2.0).pdf(x);
         assert!((gmm.pdf(x) - manual).abs() < 1e-12);
     }
 

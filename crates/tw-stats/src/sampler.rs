@@ -128,12 +128,28 @@ impl Sampler {
 /// Times are in microseconds throughout the simulator.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum DelayDistribution {
-    Constant { value: f64 },
-    Uniform { lo: f64, hi: f64 },
-    Normal { mu: f64, sigma: f64 },
-    LogNormal { mu: f64, sigma: f64 },
-    Exponential { mean: f64 },
-    Pareto { xm: f64, alpha: f64 },
+    Constant {
+        value: f64,
+    },
+    Uniform {
+        lo: f64,
+        hi: f64,
+    },
+    Normal {
+        mu: f64,
+        sigma: f64,
+    },
+    LogNormal {
+        mu: f64,
+        sigma: f64,
+    },
+    Exponential {
+        mean: f64,
+    },
+    Pareto {
+        xm: f64,
+        alpha: f64,
+    },
     /// Mixture of two normals; `p2` is the probability of the second mode.
     /// Exercises the GMM fitting path (a single Gaussian cannot model it).
     Bimodal {
@@ -207,9 +223,7 @@ impl DelayDistribution {
                     f64::INFINITY
                 }
             }
-            DelayDistribution::Bimodal {
-                mu1, mu2, p2, ..
-            } => mu1 * (1.0 - p2) + mu2 * p2,
+            DelayDistribution::Bimodal { mu1, mu2, p2, .. } => mu1 * (1.0 - p2) + mu2 * p2,
         }
     }
 }
@@ -264,7 +278,10 @@ mod tests {
     #[test]
     fn lognormal_mean_matches_formula() {
         let mut s = Sampler::new(10);
-        let d = DelayDistribution::LogNormal { mu: 1.0, sigma: 0.5 };
+        let d = DelayDistribution::LogNormal {
+            mu: 1.0,
+            sigma: 0.5,
+        };
         let xs: Vec<f64> = (0..50_000).map(|_| s.delay(&d)).collect();
         assert!((mean(&xs) - d.mean()).abs() / d.mean() < 0.05);
     }
@@ -288,7 +305,10 @@ mod tests {
     #[test]
     fn delay_is_non_negative() {
         let mut s = Sampler::new(12);
-        let d = DelayDistribution::Normal { mu: 0.5, sigma: 10.0 };
+        let d = DelayDistribution::Normal {
+            mu: 0.5,
+            sigma: 10.0,
+        };
         for _ in 0..1000 {
             assert!(s.delay(&d) >= 0.0);
         }
@@ -328,7 +348,10 @@ mod tests {
         let d = DelayDistribution::Constant { value: 3.0 }.scaled(2.0);
         assert_eq!(s.delay(&d), 6.0);
         // Log-normal scaling shifts the mean multiplicatively.
-        let base = DelayDistribution::LogNormal { mu: 2.0, sigma: 0.4 };
+        let base = DelayDistribution::LogNormal {
+            mu: 2.0,
+            sigma: 0.4,
+        };
         let scaled = base.scaled(3.0);
         assert!((scaled.mean() / base.mean() - 3.0).abs() < 1e-9);
         // Empirical check for exponential.
@@ -348,7 +371,11 @@ mod tests {
         assert_eq!(DelayDistribution::Constant { value: 4.0 }.mean(), 4.0);
         assert_eq!(DelayDistribution::Uniform { lo: 2.0, hi: 6.0 }.mean(), 4.0);
         assert_eq!(
-            DelayDistribution::Pareto { xm: 1.0, alpha: 0.5 }.mean(),
+            DelayDistribution::Pareto {
+                xm: 1.0,
+                alpha: 0.5
+            }
+            .mean(),
             f64::INFINITY
         );
     }

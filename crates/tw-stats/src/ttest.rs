@@ -42,8 +42,7 @@ pub fn welch_t_test(a: &[f64], b: &[f64]) -> Option<TTestResult> {
         return None;
     }
     let t = (ma - mb) / se2.sqrt();
-    let df = se2 * se2
-        / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
+    let df = se2 * se2 / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
     Some(TTestResult {
         t,
         df,

@@ -14,20 +14,19 @@ pub fn render_boxplots(rows: &[(String, Summary)], width: usize) -> String {
     if rows.is_empty() {
         return "<no data>\n".to_string();
     }
-    let lo = rows
-        .iter()
-        .map(|(_, s)| s.p5)
-        .fold(f64::INFINITY, f64::min);
+    let lo = rows.iter().map(|(_, s)| s.p5).fold(f64::INFINITY, f64::min);
     let hi = rows
         .iter()
         .map(|(_, s)| s.p95)
         .fold(f64::NEG_INFINITY, f64::max);
     let span = (hi - lo).max(f64::EPSILON);
-    let label_width = rows.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    let label_width = rows
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
 
-    let col = |v: f64| -> usize {
-        (((v - lo) / span) * (width - 1) as f64).round() as usize
-    };
+    let col = |v: f64| -> usize { (((v - lo) / span) * (width - 1) as f64).round() as usize };
 
     let mut out = String::new();
     for (label, s) in rows {

@@ -1,11 +1,14 @@
 //! ASCII scatter / line charts for evaluation series (e.g. accuracy vs
 //! load, one mark per algorithm).
 
+/// One named series: (name, mark character, points).
+type Series = (String, char, Vec<(f64, f64)>);
+
 /// A chart with one or more named series over a shared x-axis.
 #[derive(Debug, Clone, Default)]
 pub struct Chart {
     title: String,
-    series: Vec<(String, char, Vec<(f64, f64)>)>,
+    series: Vec<Series>,
     y_label: String,
     x_label: String,
 }
@@ -85,11 +88,7 @@ impl Chart {
             };
             out.push_str(&format!("{margin} │{}\n", row.iter().collect::<String>()));
         }
-        out.push_str(&format!(
-            "{} └{}\n",
-            " ".repeat(8),
-            "─".repeat(width)
-        ));
+        out.push_str(&format!("{} └{}\n", " ".repeat(8), "─".repeat(width)));
         out.push_str(&format!(
             "{}   {:<width$.1}{:>.1}\n",
             " ".repeat(8),
@@ -145,11 +144,7 @@ mod tests {
 
     #[test]
     fn higher_values_render_higher() {
-        let chart = Chart::new("slope").series(
-            "s",
-            '#',
-            vec![(0.0, 0.0), (10.0, 10.0)],
-        );
+        let chart = Chart::new("slope").series("s", '#', vec![(0.0, 0.0), (10.0, 10.0)]);
         let text = chart.render(20, 10);
         let rows: Vec<&str> = text.lines().collect();
         // Find row indices of the two marks; the (10,10) mark must be in

@@ -73,7 +73,11 @@ pub fn render_waterfall(
             )
         })
         .collect();
-    let label_width = rows.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    let label_width = rows
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
 
     let mut out = String::new();
     for (label, rpc) in rows {
@@ -81,11 +85,14 @@ pub fn render_waterfall(
         let rel_start = rec.recv_req.0.saturating_sub(t0.0) as f64 / span_total;
         let rel_end = rec.send_resp.0.saturating_sub(t0.0) as f64 / span_total;
         let col_start = (rel_start * width as f64).floor() as usize;
-        let col_end = ((rel_end * width as f64).ceil() as usize)
-            .clamp(col_start + 1, width);
+        let col_end = ((rel_end * width as f64).ceil() as usize).clamp(col_start + 1, width);
         let mut bar = String::with_capacity(width);
         for c in 0..width {
-            bar.push(if c >= col_start && c < col_end { '█' } else { ' ' });
+            bar.push(if c >= col_start && c < col_end {
+                '█'
+            } else {
+                ' '
+            });
         }
         let dur_us = rec.send_resp.micros_since(rec.recv_req);
         let pad = label_width - label.chars().count();
@@ -101,7 +108,7 @@ pub fn render_waterfall(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tw_model::ids::{Endpoint, OperationId, ServiceId};
+    use tw_model::ids::Endpoint;
     use tw_model::span::EXTERNAL;
     use tw_model::time::Nanos;
 

@@ -22,7 +22,10 @@ use traceweaver::stats::welch_t_test;
 const B_EFFECT: f64 = 4.0;
 
 fn main() {
-    println!("{:>6} | {:>12} | {:>12}", "x %", "p (no traces)", "p (traces)");
+    println!(
+        "{:>6} | {:>12} | {:>12}",
+        "x %", "p (no traces)", "p (traces)"
+    );
     println!("{}", "-".repeat(40));
     for &x in &[0.01, 0.02, 0.05, 0.10, 0.20] {
         let (p_without, p_with) = run_ab(x, 11);
@@ -50,11 +53,7 @@ fn run_ab(x: f64, seed: u64) -> (f64, f64) {
     let rec_b = catalog.lookup_service("recommend-b").expect("B exists");
     let call_graph = app.config.call_graph();
     let sim = Simulator::new(app.config).expect("valid config");
-    let out = sim.run(&Workload::poisson(
-        app.roots[0],
-        400.0,
-        Nanos::from_secs(3),
-    ));
+    let out = sim.run(&Workload::poisson(app.roots[0], 400.0, Nanos::from_secs(3)));
 
     // Ground-truth satisfaction per request (end-to-end signal: the
     // operator can see the score per request but NOT which version served

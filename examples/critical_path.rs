@@ -27,11 +27,17 @@ fn main() {
     let records = out.records_by_id();
     let roots: Vec<RpcId> = out.truth.roots().to_vec();
     let mapping = result.mapping.clone();
-    let breakdown =
-        critical_path_breakdown(roots.iter().copied(), |r| mapping.children(r).to_vec(), &records);
+    let breakdown = critical_path_breakdown(
+        roots.iter().copied(),
+        |r| mapping.children(r).to_vec(),
+        &records,
+    );
 
     println!("critical-path self-time per service (reconstructed traces):");
-    println!("{:<16} {:>8} {:>10} {:>10}", "service", "traces", "mean (us)", "p95 (us)");
+    println!(
+        "{:<16} {:>8} {:>10} {:>10}",
+        "service", "traces", "mean (us)", "p95 (us)"
+    );
     let mut rows: Vec<_> = breakdown.into_iter().collect();
     rows.sort_by(|a, b| {
         traceweaver::stats::mean(&b.1)

@@ -36,15 +36,16 @@ fn main() {
             .stages
             .iter()
             .map(|st| {
-                let calls: Vec<String> = st
-                    .calls
-                    .iter()
-                    .map(|&e| catalog.endpoint_name(e))
-                    .collect();
+                let calls: Vec<String> =
+                    st.calls.iter().map(|&e| catalog.endpoint_name(e)).collect();
                 format!("[{}]", calls.join(" || "))
             })
             .collect();
-        println!("  {:<32} -> {}", catalog.endpoint_name(served), stages.join(" ; "));
+        println!(
+            "  {:<32} -> {}",
+            catalog.endpoint_name(served),
+            stages.join(" ; ")
+        );
     }
 
     // 3. Sanity: the learned graph matches the configured one.

@@ -17,11 +17,7 @@ fn main() {
     let app = traceweaver::sim::apps::nodejs_app(17);
     let call_graph = app.config.call_graph();
     let sim = Simulator::new(app.config).expect("valid config");
-    let out = sim.run(&Workload::poisson(
-        app.roots[0],
-        400.0,
-        Nanos::from_secs(3),
-    ));
+    let out = sim.run(&Workload::poisson(app.roots[0], 400.0, Nanos::from_secs(3)));
 
     // Ship the records through the binary wire format, as a capture agent
     // would across the network.
@@ -42,6 +38,7 @@ fn main() {
             window: Nanos::from_millis(500),
             grace: Nanos::from_millis(100),
             channel_capacity: 8_192,
+            threads: 1,
         },
     );
     let ingest = engine.ingest_handle();
@@ -63,7 +60,12 @@ fn main() {
     println!("{}", "-".repeat(48));
     for w in &windows {
         let kept = sampler.sample(&w.records, &w.reconstruction);
-        println!("{:>7} | {:>6} | {:>6}", w.index, w.records.len(), kept.len());
+        println!(
+            "{:>7} | {:>6} | {:>6}",
+            w.index,
+            w.records.len(),
+            kept.len()
+        );
         kept_total += kept.len();
         span_total += w.records.len();
     }

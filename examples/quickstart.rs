@@ -17,11 +17,7 @@ fn main() {
     // Drive it with an open-loop Poisson workload and capture spans —
     // the only signal a real eBPF/sidecar layer would see.
     let sim = Simulator::new(app.config).expect("valid app config");
-    let out = sim.run(&Workload::poisson(
-        app.roots[0],
-        300.0,
-        Nanos::from_secs(2),
-    ));
+    let out = sim.run(&Workload::poisson(app.roots[0], 300.0, Nanos::from_secs(2)));
     println!(
         "simulated {} requests -> {} spans across {} services",
         out.stats.arrivals,

@@ -11,8 +11,8 @@
 //! ```
 
 use std::collections::HashMap;
-use traceweaver::model::metrics::exclusive_time_per_service;
 use traceweaver::model::ids::ServiceId;
+use traceweaver::model::metrics::exclusive_time_per_service;
 use traceweaver::prelude::*;
 use traceweaver::sim::apps::{hotel_reservation_with, HotelOptions};
 
@@ -25,9 +25,8 @@ fn main() {
     let catalog = app.config.catalog.clone();
     let call_graph = app.config.call_graph();
     let sim = Simulator::new(app.config).expect("valid config");
-    let out = sim.run(
-        &Workload::poisson(app.roots[0], 250.0, Nanos::from_secs(3)).with_slow_fraction(0.10),
-    );
+    let out = sim
+        .run(&Workload::poisson(app.roots[0], 250.0, Nanos::from_secs(3)).with_slow_fraction(0.10));
 
     let tw = TraceWeaver::new(call_graph, Params::default());
     let result = tw.reconstruct_records(&out.records);
@@ -56,8 +55,7 @@ fn main() {
                 rpcs.extend(kids);
                 i += 1;
             }
-            let times =
-                exclusive_time_per_service(rpcs.iter().copied(), |r| children_of(r), &records);
+            let times = exclusive_time_per_service(rpcs.iter().copied(), children_of, &records);
             for (svc, t) in times {
                 per_service.entry(svc).or_default().push(t / 1_000.0);
             }

@@ -21,8 +21,7 @@ use traceweaver::model::export::to_jaeger;
 use traceweaver::model::span::EXTERNAL;
 use traceweaver::prelude::*;
 use traceweaver::sim::apps::{
-    hotel_reservation, media_microservices, nodejs_app, social_network, two_service_chain,
-    BenchApp,
+    hotel_reservation, media_microservices, nodejs_app, social_network, two_service_chain, BenchApp,
 };
 
 fn main() -> ExitCode {
@@ -118,7 +117,9 @@ fn app_by_name(name: &str, seed: u64) -> Result<BenchApp, String> {
         "nodejs" => Ok(nodejs_app(seed)),
         "social" => Ok(social_network(seed)),
         "chain" => Ok(two_service_chain(seed)),
-        other => Err(format!("unknown app `{other}` (hotel|media|nodejs|social|chain)")),
+        other => Err(format!(
+            "unknown app `{other}` (hotel|media|nodejs|social|chain)"
+        )),
     }
 }
 
@@ -293,10 +294,14 @@ fn cmd_evaluate(flags: &Flags) -> Result<(), String> {
     let result = tw.reconstruct_records(&records);
 
     let e2e = end_to_end_accuracy_all_roots(&result.mapping, &truth);
-    let per_span =
-        per_service_accuracy(&result.mapping, &truth, records.iter().map(|r| r.rpc));
+    let per_span = per_service_accuracy(&result.mapping, &truth, records.iter().map(|r| r.rpc));
     let top5 = top_k_accuracy(&result.ranked, &truth, records.iter().map(|r| r.rpc), 5);
-    println!("end-to-end accuracy: {:.2}% ({}/{})", e2e.percent(), e2e.correct, e2e.total);
+    println!(
+        "end-to-end accuracy: {:.2}% ({}/{})",
+        e2e.percent(),
+        e2e.correct,
+        e2e.total
+    );
     println!("per-span accuracy:   {:.2}%", per_span.percent());
     println!("top-5 accuracy:      {:.2}%", top5.percent());
     Ok(())

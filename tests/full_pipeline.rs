@@ -3,7 +3,9 @@
 //! reconstruction → evaluation — plus the production-dataset path.
 
 use traceweaver::alibaba;
-use traceweaver::capture::{decode_records, encode_records, generate_test_traces, infer_call_graph};
+use traceweaver::capture::{
+    decode_records, encode_records, generate_test_traces, infer_call_graph,
+};
 use traceweaver::prelude::*;
 
 #[test]
@@ -50,7 +52,11 @@ fn degraded_capture_still_works() {
     let tw = TraceWeaver::new(call_graph, Params::default());
     let result = tw.reconstruct_records(&observed);
     let acc = end_to_end_accuracy_all_roots(&result.mapping, &out.truth);
-    assert!(acc.ratio() > 0.8, "degraded-capture accuracy {}", acc.ratio());
+    assert!(
+        acc.ratio() > 0.8,
+        "degraded-capture accuracy {}",
+        acc.ratio()
+    );
 }
 
 #[test]
@@ -71,8 +77,7 @@ fn alibaba_compression_pipeline() {
 
         // Heavy compression raises concurrency and lowers accuracy, but
         // the algorithm must not collapse.
-        let compressed =
-            alibaba::compress_traces(&case.base.records, &case.base.truth, 50.0);
+        let compressed = alibaba::compress_traces(&case.base.records, &case.base.truth, 50.0);
         let hard = tw.reconstruct_records(&compressed);
         let hard_acc = end_to_end_accuracy_all_roots(&hard.mapping, &case.base.truth);
         assert!(
@@ -134,11 +139,65 @@ fn offline_store_range_reconstruction() {
 }
 
 #[test]
+fn parallel_reconstruction_is_deterministic() {
+    // The executor must be invisible in the output: across thread counts
+    // the Mapping AND the RankedMapping (candidate sets and scores) are
+    // identical, bit for bit. Scheduling may only change wall time.
+    let app = traceweaver::sim::apps::hotel_reservation(307);
+    let call_graph = app.config.call_graph();
+    let sim = Simulator::new(app.config).unwrap();
+    let out = sim.run(&Workload::poisson(app.roots[0], 400.0, Nanos::from_secs(1)));
+
+    let reference =
+        TraceWeaver::new(call_graph.clone(), Params::default()).reconstruct_records(&out.records);
+    for threads in [1usize, 2, 8] {
+        let tw = TraceWeaver::new(call_graph.clone(), Params::with_threads(threads));
+        let result = tw.reconstruct_records(&out.records);
+        assert_eq!(
+            reference.reports.len(),
+            result.reports.len(),
+            "{threads} threads: task count diverged"
+        );
+        for rec in &out.records {
+            assert_eq!(
+                reference.mapping.children(rec.rpc),
+                result.mapping.children(rec.rpc),
+                "{threads} threads: mapping diverged at {:?}",
+                rec.rpc
+            );
+            assert_eq!(
+                reference.ranked.candidates(rec.rpc),
+                result.ranked.candidates(rec.rpc),
+                "{threads} threads: ranked candidates diverged at {:?}",
+                rec.rpc
+            );
+            let (a, b) = (
+                reference.ranked.scores(rec.rpc),
+                result.ranked.scores(rec.rpc),
+            );
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "{threads} threads: score bits diverged at {:?}",
+                    rec.rpc
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn ablations_do_not_beat_full_system() {
     let app = traceweaver::sim::apps::hotel_reservation(305);
     let call_graph = app.config.call_graph();
     let sim = Simulator::new(app.config).unwrap();
-    let out = sim.run(&Workload::poisson(app.roots[0], 700.0, Nanos::from_millis(800)));
+    let out = sim.run(&Workload::poisson(
+        app.roots[0],
+        700.0,
+        Nanos::from_millis(800),
+    ));
 
     let accuracy = |p: Params| {
         let tw = TraceWeaver::new(call_graph.clone(), p);
@@ -148,6 +207,12 @@ fn ablations_do_not_beat_full_system() {
     let full = accuracy(Params::default());
     let no_order = accuracy(Params::default().ablate_order_constraints());
     let no_joint = accuracy(Params::default().ablate_joint_optimization());
-    assert!(full >= no_order - 0.02, "full {full} vs no_order {no_order}");
-    assert!(full >= no_joint - 0.02, "full {full} vs no_joint {no_joint}");
+    assert!(
+        full >= no_order - 0.02,
+        "full {full} vs no_order {no_order}"
+    );
+    assert!(
+        full >= no_joint - 0.02,
+        "full {full} vs no_joint {no_joint}"
+    );
 }

@@ -1,0 +1,188 @@
+//! Vendored, offline criterion shim.
+//!
+//! Provides the API shape the workspace's benches use (`Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`/`iter_batched`,
+//! `criterion_group!`/`criterion_main!`). Measurement is simple
+//! wall-clock timing over a fixed iteration budget — adequate for
+//! relative comparisons, with none of upstream's statistical machinery.
+
+// Vendored stand-in code: keep it lint-quiet rather than idiomatic.
+#![allow(clippy::all)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(500);
+
+/// Set when the binary runs under `cargo test` (libtest passes `--test`
+/// to `harness = false` targets). Each routine then runs exactly once as
+/// a smoke test instead of being measured.
+static TEST_MODE: AtomicBool = AtomicBool::new(false);
+
+#[doc(hidden)]
+pub fn __init_from_args() {
+    if std::env::args().any(|a| a == "--test") {
+        TEST_MODE.store(true, Ordering::Relaxed);
+    }
+}
+
+fn test_mode() -> bool {
+    TEST_MODE.load(Ordering::Relaxed)
+}
+
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&name.into(), f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+
+    pub fn final_summary(self) {}
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.name, name.into()), f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// How batched-setup inputs are sized; accepted for API parity only.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Bencher {
+    /// Total time spent in measured routines.
+    elapsed: Duration,
+    /// Number of measured routine invocations.
+    iterations: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up once, then measure for the budget.
+        std::hint::black_box(routine());
+        if test_mode() {
+            self.iterations = 1;
+            return;
+        }
+        let start = Instant::now();
+        while start.elapsed() < MEASURE_BUDGET {
+            std::hint::black_box(routine());
+            self.iterations += 1;
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup()));
+        if test_mode() {
+            self.iterations = 1;
+            return;
+        }
+        let start = Instant::now();
+        let mut measured = Duration::ZERO;
+        while start.elapsed() < MEASURE_BUDGET {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            measured += t.elapsed();
+            self.iterations += 1;
+        }
+        self.elapsed = measured;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
+    let mut bencher = Bencher {
+        elapsed: Duration::ZERO,
+        iterations: 0,
+    };
+    f(&mut bencher);
+    if bencher.iterations > 0 {
+        let per_iter = bencher.elapsed / bencher.iterations as u32;
+        println!(
+            "bench {name}: {per_iter:?}/iter ({} iters in {:?})",
+            bencher.iterations, bencher.elapsed
+        );
+    } else {
+        println!("bench {name}: no iterations recorded");
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $crate::__init_from_args();
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+}

@@ -1,0 +1,264 @@
+//! Work-stealing deques with the crossbeam-deque API shape.
+//!
+//! An [`Injector`] is a shared FIFO for task injection; each worker thread
+//! owns a [`Worker`] deque (LIFO pop for locality) and hands out
+//! [`Stealer`] handles that take from the opposite end (FIFO steal).
+//! Mutex-backed rather than lock-free: steals serialize on a per-deque
+//! lock, which is more than adequate at reconstruction-task granularity
+//! (each task is milliseconds of work).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The deque was empty.
+    Empty,
+    /// A task was stolen.
+    Success(T),
+    /// A race was lost; the caller may retry.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    pub fn is_success(&self) -> bool {
+        matches!(self, Steal::Success(_))
+    }
+
+    pub fn is_retry(&self) -> bool {
+        matches!(self, Steal::Retry)
+    }
+
+    /// If this is `Success`, keep it; otherwise evaluate `f`. A `Retry`
+    /// on either side survives an `Empty` on the other, so callers know
+    /// to try again.
+    pub fn or_else<F: FnOnce() -> Steal<T>>(self, f: F) -> Steal<T> {
+        match self {
+            Steal::Success(v) => Steal::Success(v),
+            Steal::Empty => f(),
+            Steal::Retry => match f() {
+                Steal::Success(v) => Steal::Success(v),
+                _ => Steal::Retry,
+            },
+        }
+    }
+}
+
+/// Folds steal attempts: the first `Success` short-circuits; otherwise
+/// any `Retry` wins over all-`Empty`.
+impl<T> FromIterator<Steal<T>> for Steal<T> {
+    fn from_iter<I: IntoIterator<Item = Steal<T>>>(iter: I) -> Steal<T> {
+        let mut saw_retry = false;
+        for s in iter {
+            match s {
+                Steal::Success(v) => return Steal::Success(v),
+                Steal::Retry => saw_retry = true,
+                Steal::Empty => {}
+            }
+        }
+        if saw_retry {
+            Steal::Retry
+        } else {
+            Steal::Empty
+        }
+    }
+}
+
+/// Shared FIFO task injector.
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Injector::new()
+    }
+}
+
+impl<T> Injector<T> {
+    pub fn new() -> Self {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    pub fn push(&self, task: T) {
+        self.queue.lock().unwrap().push_back(task);
+    }
+
+    pub fn steal(&self) -> Steal<T> {
+        match self.queue.lock().unwrap().pop_front() {
+            Some(v) => Steal::Success(v),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Steal a batch into `dest`, returning the first stolen task.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut queue = self.queue.lock().unwrap();
+        let n = queue.len();
+        if n == 0 {
+            return Steal::Empty;
+        }
+        // Take up to half the queue (at least one).
+        let take = n.div_ceil(2);
+        let first = queue.pop_front().expect("non-empty");
+        let mut dest_q = dest.inner.lock().unwrap();
+        for _ in 1..take {
+            if let Some(v) = queue.pop_front() {
+                dest_q.push_back(v);
+            }
+        }
+        Steal::Success(first)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().unwrap().is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.queue.lock().unwrap().len()
+    }
+}
+
+/// A worker-owned deque. `pop` takes from the back (LIFO); stealers take
+/// from the front (FIFO).
+pub struct Worker<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Default for Worker<T> {
+    fn default() -> Self {
+        Worker::new_fifo()
+    }
+}
+
+impl<T> Worker<T> {
+    pub fn new_fifo() -> Self {
+        Worker {
+            inner: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    pub fn new_lifo() -> Self {
+        // The shim's pop is always LIFO; construction parity only.
+        Worker::new_fifo()
+    }
+
+    pub fn push(&self, task: T) {
+        self.inner.lock().unwrap().push_back(task);
+    }
+
+    pub fn pop(&self) -> Option<T> {
+        self.inner.lock().unwrap().pop_back()
+    }
+
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: self.inner.clone(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().unwrap().is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+}
+
+/// Handle for stealing from another worker's deque.
+pub struct Stealer<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    pub fn steal(&self) -> Steal<T> {
+        match self.inner.lock().unwrap().pop_front() {
+            Some(v) => Steal::Success(v),
+            None => Steal::Empty,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().unwrap().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_pops_lifo_stealer_takes_fifo() {
+        let w = Worker::new_fifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn injector_batch_steal_moves_half() {
+        let inj = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let w = Worker::new_fifo();
+        let first = inj.steal_batch_and_pop(&w);
+        assert_eq!(first, Steal::Success(0));
+        assert_eq!(w.len(), 4); // half of 10 minus the popped one
+        assert_eq!(inj.len(), 5);
+    }
+
+    #[test]
+    fn concurrent_stealing_delivers_each_task_once() {
+        let inj = Arc::new(Injector::new());
+        for i in 0..1000 {
+            inj.push(i);
+        }
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let inj = inj.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Steal::Success(v) = inj.steal() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        let mut all: Vec<i32> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..1000).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,18 @@
+//! Vendored, offline subset of the `crossbeam` crate API.
+//!
+//! Provides the two pieces this workspace uses:
+//!
+//! * [`channel`] — MPMC channels with the crossbeam API shape (cloneable
+//!   senders *and* receivers, bounded back-pressure, disconnect on last
+//!   sender drop). Implemented over `Mutex<VecDeque>` + condvars rather
+//!   than upstream's lock-free internals: same semantics, adequate
+//!   throughput for span-ingestion workloads.
+//! * [`deque`] — work-stealing deques (`Worker`/`Stealer`/`Injector`)
+//!   with the crossbeam-deque API shape, used by the reconstruction
+//!   executor. Mutex-backed; steals are coarse-grained but correct.
+
+// Vendored stand-in code: keep it lint-quiet rather than idiomatic.
+#![allow(clippy::all)]
+
+pub mod channel;
+pub mod deque;

@@ -1,0 +1,641 @@
+//! Vendored, offline serde look-alike.
+//!
+//! The build environment cannot reach crates.io, so this workspace ships
+//! its own minimal (de)serialization framework under the `serde` name.
+//! The public surface mirrors what the workspace uses — `Serialize` /
+//! `Deserialize` traits, `#[derive(Serialize, Deserialize)]`, and the
+//! `rename` / `skip` / `with` field attributes — but the data model is a
+//! simple owned [`Value`] tree rather than upstream's visitor machinery:
+//!
+//! * `Serialize` produces a [`Value`];
+//! * `Deserialize` consumes a [`Value`];
+//! * `Serializer` / `Deserializer` are thin adapters so hand-written
+//!   `with`-style modules (`fn serialize<S: Serializer>(..)`) keep their
+//!   upstream signatures.
+//!
+//! `serde_json` (also vendored) renders `Value` to JSON text and parses
+//! it back.
+
+// Vendored stand-in code: keep it lint-quiet rather than idiomatic.
+#![allow(clippy::all)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+
+/// The owned data-model tree every type (de)serializes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    /// Insertion-ordered map (JSON object).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up and remove a key from a map value.
+    pub fn take_entry(&mut self, key: &str) -> Option<Value> {
+        if let Value::Map(entries) = self {
+            let idx = entries.iter().position(|(k, _)| k == key)?;
+            Some(entries.remove(idx).1)
+        } else {
+            None
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        DeError(msg.to_string())
+    }
+
+    fn expected(what: &str, got: &Value) -> Self {
+        DeError(format!("expected {what}, found {}", got.kind()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialize: convert a value into the [`Value`] data model.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+
+    /// Upstream-shaped entry point used by `with`-modules.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.to_value())
+    }
+}
+
+/// Deserialize: reconstruct a value from the [`Value`] data model.
+pub trait Deserialize<'de>: Sized {
+    fn from_value(value: Value) -> Result<Self, DeError>;
+
+    /// Upstream-shaped entry point used by `with`-modules.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.take_value()?;
+        Self::from_value(value).map_err(D::lift_error)
+    }
+}
+
+/// Deserialize without borrowed data (all our types are owned).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Upstream module-path parity (`serde::de::DeserializeOwned`, ...).
+pub mod de {
+    pub use crate::{DeError, Deserialize, DeserializeOwned, Deserializer};
+}
+
+/// Upstream module-path parity (`serde::ser::Serializer`, ...).
+pub mod ser {
+    pub use crate::{Serialize, Serializer};
+}
+
+/// A sink accepting one [`Value`] tree.
+pub trait Serializer: Sized {
+    type Ok;
+    type Error;
+
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A source yielding one [`Value`] tree.
+pub trait Deserializer<'de>: Sized {
+    type Error;
+
+    fn take_value(self) -> Result<Value, Self::Error>;
+    fn lift_error(e: DeError) -> Self::Error;
+}
+
+/// Serializer that just hands back the [`Value`] (used by derive code for
+/// `with`-modules).
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = DeError;
+
+    fn serialize_value(self, value: Value) -> Result<Value, DeError> {
+        Ok(value)
+    }
+}
+
+/// Deserializer over an owned [`Value`] (used by derive code for
+/// `with`-modules and by `serde_json`).
+pub struct ValueDeserializer(pub Value);
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = DeError;
+
+    fn take_value(self) -> Result<Value, DeError> {
+        Ok(self.0)
+    }
+
+    fn lift_error(e: DeError) -> DeError {
+        e
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_int_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+    )*};
+}
+macro_rules! ser_int_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+    )*};
+}
+ser_int_signed!(i8, i16, i32, i64, isize);
+ser_int_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(|v| v.to_value()).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(|v| v.to_value()).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(|v| v.to_value()).collect())
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+/// Map keys must render as JSON strings. Numeric keys stringify (matching
+/// upstream serde_json's integer-key behavior); numeric [`Deserialize`]
+/// impls accept digit strings back, closing the round trip.
+fn key_string(v: Value) -> String {
+    match v {
+        Value::Str(s) => s,
+        Value::U64(n) => n.to_string(),
+        Value::I64(n) => n.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => panic!(
+            "map key must serialize to a string or integer, got {}",
+            other.kind()
+        ),
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (key_string(k.to_value()), v.to_value()))
+            .collect();
+        // HashMap iteration order is unstable; sort for deterministic
+        // output (upstream leaves this to the map type, but deterministic
+        // JSON makes golden files and tests reproducible).
+        entries.sort_by(|(a, _), (b, _)| a.cmp(b));
+        Value::Map(entries)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (key_string(k.to_value()), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+/// Total order over [`Value`] used to emit sets deterministically
+/// (HashSet iteration order is unstable across runs).
+fn value_cmp(a: &Value, b: &Value) -> Ordering {
+    fn rank(v: &Value) -> u8 {
+        match v {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::I64(_) | Value::U64(_) | Value::F64(_) => 2,
+            Value::Str(_) => 3,
+            Value::Seq(_) => 4,
+            Value::Map(_) => 5,
+        }
+    }
+    fn as_f64(v: &Value) -> f64 {
+        match v {
+            Value::I64(n) => *n as f64,
+            Value::U64(n) => *n as f64,
+            Value::F64(f) => *f,
+            _ => 0.0,
+        }
+    }
+    match (a, b) {
+        (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
+        (Value::Str(x), Value::Str(y)) => x.cmp(y),
+        (Value::Seq(x), Value::Seq(y)) => {
+            for (xa, ya) in x.iter().zip(y.iter()) {
+                let c = value_cmp(xa, ya);
+                if c != Ordering::Equal {
+                    return c;
+                }
+            }
+            x.len().cmp(&y.len())
+        }
+        (Value::Map(x), Value::Map(y)) => x.len().cmp(&y.len()),
+        (x, y) if rank(x) == 2 && rank(y) == 2 => {
+            as_f64(x).partial_cmp(&as_f64(y)).unwrap_or(Ordering::Equal)
+        }
+        (x, y) => rank(x).cmp(&rank(y)),
+    }
+}
+
+impl<T: Serialize, S> Serialize for HashSet<T, S> {
+    fn to_value(&self) -> Value {
+        let mut items: Vec<Value> = self.iter().map(|v| v.to_value()).collect();
+        items.sort_by(value_cmp);
+        Value::Seq(items)
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(|v| v.to_value()).collect())
+    }
+}
+
+impl<'de, T, S> Deserialize<'de> for HashSet<T, S>
+where
+    T: Deserialize<'de> + Eq + Hash,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(v: Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.into_iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("sequence", &other)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn from_value(v: Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.into_iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("sequence", &other)),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------------
+
+fn int_from_value(v: Value) -> Result<i128, DeError> {
+    match v {
+        Value::I64(n) => Ok(n as i128),
+        Value::U64(n) => Ok(n as i128),
+        Value::F64(f) if f.fract() == 0.0 => Ok(f as i128),
+        // Integer map keys arrive as strings; accept digit strings.
+        Value::Str(s) => s
+            .parse::<i128>()
+            .map_err(|_| DeError(format!("invalid integer string {s:?}"))),
+        other => Err(DeError::expected("integer", &other)),
+    }
+}
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: Value) -> Result<Self, DeError> {
+                let wide = int_from_value(v)?;
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError(format!("integer {wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_value(v: Value) -> Result<Self, DeError> {
+        match v {
+            Value::F64(f) => Ok(f),
+            Value::I64(n) => Ok(n as f64),
+            Value::U64(n) => Ok(n as f64),
+            other => Err(DeError::expected("float", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_value(v: Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(v: Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(b),
+            other => Err(DeError::expected("bool", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(v: Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s),
+            other => Err(DeError::expected("string", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn from_value(v: Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(()),
+            other => Err(DeError::expected("null", &other)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(v: Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(v: Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.into_iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("sequence", &other)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Default + Copy, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_value(v: Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_value(v)?;
+        if items.len() != N {
+            return Err(DeError(format!(
+                "expected array of length {N}, got {}",
+                items.len()
+            )));
+        }
+        let mut out = [T::default(); N];
+        out.copy_from_slice(&items);
+        Ok(out)
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:literal; $($n:tt $t:ident),+))*) => {$(
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn from_value(v: Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Seq(items) if items.len() == $len => {
+                        let mut it = items.into_iter();
+                        Ok(($( {
+                            let _ = $n; // positional marker
+                            $t::from_value(it.next().expect("length checked"))?
+                        } ,)+))
+                    }
+                    Value::Seq(items) => Err(DeError(format!(
+                        "expected tuple of length {}, got sequence of {}",
+                        $len,
+                        items.len()
+                    ))),
+                    other => Err(DeError::expected("sequence", &other)),
+                }
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (1; 0 A)
+    (2; 0 A, 1 B)
+    (3; 0 A, 1 B, 2 C)
+    (4; 0 A, 1 B, 2 C, 3 D)
+    (5; 0 A, 1 B, 2 C, 3 D, 4 E)
+    (6; 0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+impl<'de, K, V, S> Deserialize<'de> for HashMap<K, V, S>
+where
+    K: Deserialize<'de> + Eq + Hash,
+    V: Deserialize<'de>,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(v: Value) -> Result<Self, DeError> {
+        match v {
+            Value::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| Ok((K::from_value(Value::Str(k))?, V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::expected("map", &other)),
+        }
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    fn from_value(v: Value) -> Result<Self, DeError> {
+        match v {
+            Value::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| Ok((K::from_value(Value::Str(k))?, V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::expected("map", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(v: Value) -> Result<Self, DeError> {
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(u32::from_value(42u32.to_value()), Ok(42));
+        assert_eq!(i64::from_value((-7i64).to_value()), Ok(-7));
+        assert_eq!(f64::from_value(1.5f64.to_value()), Ok(1.5));
+        assert_eq!(bool::from_value(true.to_value()), Ok(true));
+        assert_eq!(
+            String::from_value("hi".to_string().to_value()),
+            Ok("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn option_null_round_trip() {
+        let none: Option<u32> = None;
+        assert_eq!(none.to_value(), Value::Null);
+        assert_eq!(Option::<u32>::from_value(Value::Null), Ok(None));
+        assert_eq!(Option::<u32>::from_value(Value::U64(3)), Ok(Some(3)));
+    }
+
+    #[test]
+    fn numeric_map_keys_round_trip() {
+        let mut m: HashMap<u64, String> = HashMap::new();
+        m.insert(5, "five".into());
+        let v = m.to_value();
+        let back = HashMap::<u64, String>::from_value(v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn tuples_and_vecs() {
+        let x = vec![(1u32, "a".to_string()), (2, "b".to_string())];
+        let back = Vec::<(u32, String)>::from_value(x.to_value()).unwrap();
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn fixed_arrays() {
+        let a = [1u64, 2, 3, 4];
+        let back = <[u64; 4]>::from_value(a.to_value()).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn out_of_range_integer_rejected() {
+        assert!(u8::from_value(Value::U64(300)).is_err());
+    }
+}

@@ -1,0 +1,638 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! serde shim.
+//!
+//! Implemented directly over `proc_macro::TokenStream` (the offline build
+//! has no `syn`/`quote`). Supports the shapes this workspace uses:
+//!
+//! * structs with named fields, tuple structs (newtype and wider), unit
+//!   structs;
+//! * enums with unit, newtype, tuple and struct variants (externally
+//!   tagged, as upstream);
+//! * field attributes `#[serde(rename = "...")]`, `#[serde(skip)]`,
+//!   `#[serde(with = "module")]`.
+//!
+//! Generics on the deriving type are not supported (nothing in the
+//! workspace derives on a generic type).
+
+// Vendored stand-in code: keep it lint-quiet rather than idiomatic.
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default, Clone)]
+struct FieldAttrs {
+    rename: Option<String>,
+    skip: bool,
+    with: Option<String>,
+}
+
+#[derive(Debug)]
+struct Field {
+    /// Field name (named structs/variants) or index (tuple).
+    name: String,
+    attrs: FieldAttrs,
+}
+
+impl Field {
+    fn key(&self) -> &str {
+        self.attrs.rename.as_deref().unwrap_or(&self.name)
+    }
+}
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    /// Tuple struct/variant with N fields (attrs per position).
+    Tuple(Vec<FieldAttrs>),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Parser {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(stream: TokenStream) -> Self {
+        Parser {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    fn at_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    /// Collect attributes (`# [ ... ]`) in front of the cursor, returning
+    /// the parsed serde attrs (other attributes are skipped).
+    fn take_attrs(&mut self) -> FieldAttrs {
+        let mut attrs = FieldAttrs::default();
+        while self.at_punct('#') {
+            self.next(); // '#'
+            let Some(TokenTree::Group(g)) = self.next() else {
+                panic!("expected [...] after #");
+            };
+            parse_serde_attr(&g.stream(), &mut attrs);
+        }
+        attrs
+    }
+
+    /// Skip a visibility qualifier if present.
+    fn skip_vis(&mut self) {
+        if self.at_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next(); // pub(crate) / pub(super)
+            }
+        }
+    }
+
+    /// Skip tokens of a type expression until a top-level comma (or end).
+    fn skip_type(&mut self) {
+        let mut angle: i32 = 0;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+/// Parse the contents of one `#[...]` attribute group; record
+/// serde-relevant keys.
+fn parse_serde_attr(stream: &TokenStream, out: &mut FieldAttrs) {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    // Expect: serde ( ... )
+    let [TokenTree::Ident(tag), TokenTree::Group(inner)] = &tokens[..] else {
+        return; // #[doc = ...], #[derive(...)] leftovers, etc.
+    };
+    if tag.to_string() != "serde" {
+        return;
+    }
+    let inner: Vec<TokenTree> = inner.stream().into_iter().collect();
+    let mut i = 0;
+    while i < inner.len() {
+        match &inner[i] {
+            TokenTree::Ident(word) => {
+                let word = word.to_string();
+                // `key = "value"` or bare `key`
+                let value = match (inner.get(i + 1), inner.get(i + 2)) {
+                    (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                        if eq.as_char() == '=' =>
+                    {
+                        i += 2;
+                        Some(unquote(&lit.to_string()))
+                    }
+                    _ => None,
+                };
+                match (word.as_str(), value) {
+                    ("rename", Some(v)) => out.rename = Some(v),
+                    ("with", Some(v)) => out.with = Some(v),
+                    ("skip", None) => out.skip = true,
+                    ("skip_serializing", None) | ("skip_deserializing", None) => {
+                        out.skip = true;
+                    }
+                    (other, _) => {
+                        panic!("vendored serde_derive does not support #[serde({other} ...)]")
+                    }
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            other => panic!("unexpected token in #[serde(...)]: {other}"),
+        }
+        i += 1;
+    }
+}
+
+fn unquote(lit: &str) -> String {
+    let s = lit.trim();
+    if s.len() >= 2 && s.starts_with('"') && s.ends_with('"') {
+        s[1..s.len() - 1].to_string()
+    } else {
+        panic!("expected string literal in serde attribute, got {lit}");
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut p = Parser::new(input);
+    // Skip container attributes and visibility.
+    let _container_attrs = p.take_attrs();
+    p.skip_vis();
+
+    let Some(TokenTree::Ident(kw)) = p.next() else {
+        panic!("expected struct/enum keyword");
+    };
+    let kw = kw.to_string();
+    let Some(TokenTree::Ident(name)) = p.next() else {
+        panic!("expected type name after {kw}");
+    };
+    let name = name.to_string();
+    if p.at_punct('<') {
+        panic!("vendored serde_derive does not support generic type {name}");
+    }
+
+    match kw.as_str() {
+        "struct" => {
+            let shape = match p.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_named_fields(g.stream())
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    parse_tuple_fields(g.stream())
+                }
+                Some(TokenTree::Punct(p2)) if p2.as_char() == ';' => Shape::Unit,
+                other => panic!("unexpected token after struct {name}: {other:?}"),
+            };
+            Item::Struct { name, shape }
+        }
+        "enum" => {
+            let Some(TokenTree::Group(g)) = p.next() else {
+                panic!("expected {{...}} after enum {name}");
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            }
+        }
+        other => panic!("derive target must be a struct or enum, found {other}"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Shape {
+    let mut p = Parser::new(stream);
+    let mut fields = Vec::new();
+    while p.peek().is_some() {
+        let attrs = p.take_attrs();
+        p.skip_vis();
+        let Some(TokenTree::Ident(fname)) = p.next() else {
+            panic!("expected field name");
+        };
+        let Some(TokenTree::Punct(colon)) = p.next() else {
+            panic!("expected : after field {fname}");
+        };
+        assert_eq!(colon.as_char(), ':', "expected : after field {fname}");
+        p.skip_type();
+        if p.at_punct(',') {
+            p.next();
+        }
+        fields.push(Field {
+            name: fname.to_string(),
+            attrs,
+        });
+    }
+    Shape::Named(fields)
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Shape {
+    let mut p = Parser::new(stream);
+    let mut attrs_per_field = Vec::new();
+    while p.peek().is_some() {
+        let attrs = p.take_attrs();
+        p.skip_vis();
+        p.skip_type();
+        if p.at_punct(',') {
+            p.next();
+        }
+        attrs_per_field.push(attrs);
+    }
+    Shape::Tuple(attrs_per_field)
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut p = Parser::new(stream);
+    let mut variants = Vec::new();
+    while p.peek().is_some() {
+        let _attrs = p.take_attrs();
+        let Some(TokenTree::Ident(vname)) = p.next() else {
+            panic!("expected variant name");
+        };
+        let shape = match p.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let s = parse_named_fields(g.stream());
+                p.next();
+                s
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let s = parse_tuple_fields(g.stream());
+                p.next();
+                s
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an optional discriminant `= expr`.
+        if p.at_punct('=') {
+            while p.peek().is_some() && !p.at_punct(',') {
+                p.next();
+            }
+        }
+        if p.at_punct(',') {
+            p.next();
+        }
+        variants.push(Variant {
+            name: vname.to_string(),
+            shape,
+        });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation: Serialize
+// ---------------------------------------------------------------------------
+
+/// Expression serializing `&expr` under the field's attrs.
+fn ser_expr(expr: &str, attrs: &FieldAttrs) -> String {
+    match &attrs.with {
+        Some(path) => format!(
+            "{path}::serialize(&{expr}, ::serde::ValueSerializer)\
+             .expect(\"ValueSerializer is infallible\")"
+        ),
+        None => format!("::serde::Serialize::to_value(&{expr})"),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = ser_shape_expr(shape, &|i, f| match f {
+                Some(field) => format!("self.{}", field.name),
+                None => format!("self.{i}"),
+            });
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                        ));
+                    }
+                    Shape::Tuple(attrs) => {
+                        let binds: Vec<String> =
+                            (0..attrs.len()).map(|i| format!("__f{i}")).collect();
+                        let inner = if attrs.len() == 1 {
+                            ser_expr("*__f0", &attrs[0])
+                        } else {
+                            let elems: Vec<String> = attrs
+                                .iter()
+                                .enumerate()
+                                .map(|(i, a)| ser_expr(&format!("*__f{i}"), a))
+                                .collect();
+                            format!("::serde::Value::Seq(vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Map(vec![(\
+                                 \"{vn}\".to_string(), {inner})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut entries = String::new();
+                        for f in fields {
+                            if f.attrs.skip {
+                                continue;
+                            }
+                            entries.push_str(&format!(
+                                "(\"{}\".to_string(), {}),",
+                                f.key(),
+                                ser_expr(&format!("*{}", f.name), &f.attrs)
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Map(vec![(\
+                                 \"{vn}\".to_string(), \
+                                 ::serde::Value::Map(vec![{entries}]))]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+/// Serialize expression for a struct-shaped payload; `access` maps a field
+/// position/definition to the Rust expression reading it.
+fn ser_shape_expr(shape: &Shape, access: &dyn Fn(usize, Option<&Field>) -> String) -> String {
+    match shape {
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Tuple(attrs) if attrs.len() == 1 => ser_expr(&access(0, None), &attrs[0]),
+        Shape::Tuple(attrs) => {
+            let elems: Vec<String> = attrs
+                .iter()
+                .enumerate()
+                .map(|(i, a)| ser_expr(&access(i, None), a))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", elems.join(", "))
+        }
+        Shape::Named(fields) => {
+            let mut entries = String::new();
+            for (i, f) in fields.iter().enumerate() {
+                if f.attrs.skip {
+                    continue;
+                }
+                entries.push_str(&format!(
+                    "(\"{}\".to_string(), {}),",
+                    f.key(),
+                    ser_expr(&access(i, Some(f)), &f.attrs)
+                ));
+            }
+            format!("::serde::Value::Map(vec![{entries}])")
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation: Deserialize
+// ---------------------------------------------------------------------------
+
+/// Expression deserializing owned `serde::Value` expression `vexpr` under
+/// the field's attrs; evaluates to `Result<T, DeError>`-unwrapped via `?`.
+fn de_expr(vexpr: &str, attrs: &FieldAttrs) -> String {
+    match &attrs.with {
+        Some(path) => format!("{path}::deserialize(::serde::ValueDeserializer({vexpr}))?"),
+        None => format!("::serde::Deserialize::from_value({vexpr})?"),
+    }
+}
+
+/// Field initializer for a named field taken out of map `__map`.
+fn named_field_init(owner: &str, f: &Field) -> String {
+    if f.attrs.skip {
+        return format!("{}: ::core::default::Default::default(),", f.name);
+    }
+    let key = f.key();
+    // Missing keys fall back to `Value::Null` so `Option` fields read as
+    // `None` (upstream behavior); non-optional fields then report a clear
+    // error from their own `from_value`.
+    let fetch = format!(
+        "__map.take_entry(\"{key}\")\
+         .unwrap_or(::serde::Value::Null)"
+    );
+    format!(
+        "{}: {}.map_err(|e| ::serde::DeError::custom(\
+             format!(\"{owner}.{key}: {{e}}\")))?,",
+        f.name,
+        de_result_expr(&fetch, &f.attrs)
+    )
+}
+
+/// Like [`de_expr`] but evaluating to the `Result` (no `?`).
+fn de_result_expr(vexpr: &str, attrs: &FieldAttrs) -> String {
+    match &attrs.with {
+        Some(path) => format!("{path}::deserialize(::serde::ValueDeserializer({vexpr}))"),
+        None => format!("::serde::Deserialize::from_value({vexpr})"),
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => format!(
+                    "match value {{\n\
+                         ::serde::Value::Null => Ok({name}),\n\
+                         other => Err(::serde::DeError::custom(format!(\
+                             \"expected null for unit struct {name}, got {{other:?}}\"))),\n\
+                     }}"
+                ),
+                Shape::Tuple(attrs) if attrs.len() == 1 => {
+                    format!("Ok({name}({}))", de_expr("value", &attrs[0]))
+                }
+                Shape::Tuple(attrs) => {
+                    let n = attrs.len();
+                    let elems: Vec<String> = attrs
+                        .iter()
+                        .map(|a| de_expr("__it.next().expect(\"length checked\")", a))
+                        .collect();
+                    format!(
+                        "match value {{\n\
+                             ::serde::Value::Seq(__items) if __items.len() == {n} => {{\n\
+                                 let mut __it = __items.into_iter();\n\
+                                 Ok({name}({}))\n\
+                             }}\n\
+                             other => Err(::serde::DeError::custom(format!(\
+                                 \"expected sequence of {n} for {name}, got {{other:?}}\"))),\n\
+                         }}",
+                        elems.join(", ")
+                    )
+                }
+                Shape::Named(fields) => {
+                    let inits: String = fields.iter().map(|f| named_field_init(name, f)).collect();
+                    format!(
+                        "{{\n\
+                             let mut __map = value;\n\
+                             if !matches!(__map, ::serde::Value::Map(_)) {{\n\
+                                 return Err(::serde::DeError::custom(format!(\
+                                     \"expected map for struct {name}, got {{__map:?}}\")));\n\
+                             }}\n\
+                             Ok({name} {{ {inits} }})\n\
+                         }}"
+                    )
+                }
+            };
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn from_value(value: ::serde::Value) -> \
+                         ::core::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            // Unit variants match on strings; payload variants match on a
+            // single-entry map keyed by the variant name.
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                    }
+                    Shape::Tuple(attrs) if attrs.len() == 1 => {
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => Ok({name}::{vn}({})),\n",
+                            de_expr("__payload", &attrs[0])
+                        ));
+                    }
+                    Shape::Tuple(attrs) => {
+                        let n = attrs.len();
+                        let elems: Vec<String> = attrs
+                            .iter()
+                            .map(|a| de_expr("__it.next().expect(\"length checked\")", a))
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => match __payload {{\n\
+                                 ::serde::Value::Seq(__items) if __items.len() == {n} => {{\n\
+                                     let mut __it = __items.into_iter();\n\
+                                     Ok({name}::{vn}({}))\n\
+                                 }}\n\
+                                 other => Err(::serde::DeError::custom(format!(\
+                                     \"expected sequence of {n} for {name}::{vn}, \
+                                      got {{other:?}}\"))),\n\
+                             }},\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let inits: String = fields
+                            .iter()
+                            .map(|f| named_field_init(&format!("{name}::{vn}"), f))
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                                 let mut __map = __payload;\n\
+                                 if !matches!(__map, ::serde::Value::Map(_)) {{\n\
+                                     return Err(::serde::DeError::custom(format!(\
+                                         \"expected map for {name}::{vn}, got {{__map:?}}\")));\n\
+                                 }}\n\
+                                 Ok({name}::{vn} {{ {inits} }})\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn from_value(value: ::serde::Value) -> \
+                         ::core::result::Result<Self, ::serde::DeError> {{\n\
+                         match value {{\n\
+                             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => Err(::serde::DeError::custom(format!(\
+                                     \"unknown unit variant {{other}} for {name}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                                 let (__tag, __payload) = __entries.into_iter().next()\
+                                     .expect(\"length checked\");\n\
+                                 match __tag.as_str() {{\n\
+                                     {payload_arms}\n\
+                                     other => Err(::serde::DeError::custom(format!(\
+                                         \"unknown variant {{other}} for {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => Err(::serde::DeError::custom(format!(\
+                                 \"expected variant of {name}, got {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
