@@ -1,0 +1,193 @@
+//! Warm-start registry benchmark: cold vs warm windowed reconstruction.
+//!
+//! The online engine's window-sizing tension (§5.3): small windows bound
+//! latency but starve the delay estimator — every cold window re-derives
+//! its GMMs from scratch via the seed bootstrap. The warm path carries a
+//! `DelayRegistry` across windows instead, so window *k+1* starts EM from
+//! window *k*'s posterior, skips seeding, and runs fewer refit passes.
+//!
+//! For each window size this binary reconstructs the same workload twice —
+//! cold (independent windows) and warm (registry chained through the
+//! stream) — and reports end-to-end accuracy plus per-window wall time
+//! (first window excluded: it is a cold start in both modes). It also
+//! replays the warm chain with a multi-threaded executor and checks the
+//! output is bit-identical, the determinism invariant warm mode must keep.
+
+use std::time::Instant;
+use tw_bench::Table;
+use tw_core::{DelayRegistry, Params, Reconstruction, TraceWeaver};
+use tw_model::metrics::end_to_end_accuracy_all_roots;
+use tw_model::span::RpcRecord;
+use tw_model::time::Nanos;
+use tw_model::Mapping;
+use tw_sim::{Simulator, Workload};
+
+const WINDOW_MS: [u64; 2] = [250, 500];
+const REPEATS: usize = 3;
+
+/// Cut records into windows of `window` by request start time.
+fn cut_windows(records: &[RpcRecord], window: Nanos) -> Vec<Vec<RpcRecord>> {
+    let mut sorted = records.to_vec();
+    sorted.sort_by_key(|r| (r.send_req, r.rpc));
+    let mut windows: Vec<Vec<RpcRecord>> = Vec::new();
+    let Some(first) = sorted.first() else {
+        return windows;
+    };
+    let mut end = first.send_req + window;
+    let mut current = Vec::new();
+    for rec in sorted {
+        while rec.send_req >= end {
+            if !current.is_empty() {
+                windows.push(std::mem::take(&mut current));
+            }
+            end += window;
+        }
+        current.push(rec);
+    }
+    if !current.is_empty() {
+        windows.push(current);
+    }
+    windows
+}
+
+struct ChainRun {
+    recs: Vec<Reconstruction>,
+    /// Per-window wall seconds, windows ≥ 1 (window 0 is cold either way).
+    steady_walls: Vec<f64>,
+}
+
+fn run_chain(tw: &TraceWeaver, windows: &[Vec<RpcRecord>], warm: bool) -> ChainRun {
+    let mut registry = DelayRegistry::new();
+    let mut recs = Vec::with_capacity(windows.len());
+    let mut steady_walls = Vec::new();
+    for (i, win) in windows.iter().enumerate() {
+        let t0 = Instant::now();
+        let rec = if warm {
+            let (rec, posterior) = tw.reconstruct_records_with_registry(win, &registry);
+            registry = posterior;
+            rec
+        } else {
+            tw.reconstruct_records(win)
+        };
+        let wall = t0.elapsed().as_secs_f64();
+        if i > 0 {
+            steady_walls.push(wall);
+        }
+        recs.push(rec);
+    }
+    ChainRun { recs, steady_walls }
+}
+
+fn merged_mapping(recs: &[Reconstruction]) -> Mapping {
+    let mut merged = Mapping::new();
+    for r in recs {
+        merged.merge(r.mapping.clone());
+    }
+    merged
+}
+
+fn main() {
+    let quick = tw_bench::quick_mode();
+    let (rps, millis) = if quick {
+        (200.0, 1_000)
+    } else {
+        (350.0, 3_000)
+    };
+    let app = tw_sim::apps::hotel_reservation(411);
+    let call_graph = app.config.call_graph();
+    let root = app.roots[0];
+    let sim = Simulator::new(app.config).unwrap();
+    let out = sim.run(&Workload::poisson(root, rps, Nanos::from_millis(millis)));
+
+    let mut table = Table::new(
+        "warm-start registry: cold vs warm windowed reconstruction (best of 3)",
+        &[
+            "window-ms",
+            "mode",
+            "windows",
+            "spans",
+            "e2e-acc",
+            "mean-window-ms",
+            "total-ms",
+            "par-identical",
+        ],
+    );
+
+    for &window_ms in &WINDOW_MS {
+        let windows = cut_windows(&out.records, Nanos::from_millis(window_ms));
+        let spans: usize = windows.iter().map(Vec::len).sum();
+        let tw = TraceWeaver::new(call_graph.clone(), Params::default());
+
+        for warm in [false, true] {
+            // Best-of-N on wall time; outputs are identical across repeats.
+            let mut best: Option<ChainRun> = None;
+            for _ in 0..REPEATS {
+                let run = run_chain(&tw, &windows, warm);
+                let faster = best
+                    .as_ref()
+                    .is_none_or(|b| sum(&run.steady_walls) < sum(&b.steady_walls));
+                if faster {
+                    best = Some(run);
+                }
+            }
+            let run = best.unwrap();
+            let acc = end_to_end_accuracy_all_roots(&merged_mapping(&run.recs), &out.truth);
+            let mean_ms = sum(&run.steady_walls) / run.steady_walls.len() as f64 * 1_000.0;
+            let total_ms = sum(&run.steady_walls) * 1_000.0;
+
+            // Warm determinism across executor thread counts: the merged
+            // mapping and every ranked score must be bit-identical.
+            let par_identical = if warm {
+                let tw_par = TraceWeaver::new(call_graph.clone(), Params::with_threads(4));
+                let par = run_chain(&tw_par, &windows, true);
+                identical(&run.recs, &par.recs).to_string()
+            } else {
+                "-".to_string()
+            };
+
+            table.row(vec![
+                window_ms.to_string(),
+                if warm { "warm" } else { "cold" }.to_string(),
+                windows.len().to_string(),
+                spans.to_string(),
+                format!("{:.4}", acc.ratio()),
+                format!("{mean_ms:.1}"),
+                format!("{total_ms:.1}"),
+                par_identical,
+            ]);
+        }
+    }
+
+    table.print();
+    table.save_json("warm_windows").expect("write artifact");
+}
+
+fn sum(xs: &[f64]) -> f64 {
+    xs.iter().sum()
+}
+
+/// Bit-level equality of two reconstruction chains: mappings, ranked
+/// candidate sets, and score bits.
+fn identical(a: &[Reconstruction], b: &[Reconstruction]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    a.iter().zip(b).all(|(x, y)| {
+        let same_mapping = x.mapping.len() == y.mapping.len()
+            && x.mapping
+                .iter()
+                .all(|(parent, children)| y.mapping.children(parent) == children);
+        let (ra, rb) = (&x.ranked, &y.ranked);
+        same_mapping
+            && ra.len() == rb.len()
+            && ra.parents().all(|rpc| {
+                ra.candidates(rpc) == rb.candidates(rpc)
+                    && ra.scores(rpc).len() == rb.scores(rpc).len()
+                    && ra
+                        .scores(rpc)
+                        .iter()
+                        .zip(rb.scores(rpc))
+                        .all(|(s, t)| s.to_bits() == t.to_bits())
+            })
+    })
+}

@@ -16,6 +16,7 @@
 
 use crate::candidates::{Candidate, OutgoingPool, SlotLayout};
 use crate::params::Params;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use tw_model::ids::Endpoint;
 use tw_model::span::ObservedSpan;
@@ -23,7 +24,10 @@ use tw_stats::gaussian::Gaussian;
 use tw_stats::gmm::{Gmm, GmmFitOptions};
 
 /// One dependency edge at a service.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// `Ord` + serde: edges key the persistent [`crate::registry::DelayRegistry`],
+/// which iterates in sorted order (determinism) and round-trips to JSON.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum EdgeKey {
     /// Gap before the call filling slot `slot` of requests served at
     /// `served` (reference: parent arrival for stage-0 slots, previous

@@ -52,10 +52,12 @@ pub mod dynamism;
 pub mod executor;
 pub mod optimize;
 pub mod params;
+pub mod registry;
 pub mod task;
 
 pub use executor::Executor;
 pub use params::Params;
+pub use registry::DelayRegistry;
 pub use task::{ReconstructionTask, TaskReport};
 
 use std::collections::HashMap;
@@ -200,26 +202,88 @@ impl TraceWeaver {
         views: &HashMap<ProcessKey, SpanView>,
         exec: &Executor,
     ) -> Reconstruction {
+        self.reconstruct_inner(views, exec, None).0
+    }
+
+    /// Warm-path reconstruction: tasks whose process appears in `prior`
+    /// skip the seed bootstrap and start EM from the registry's models
+    /// (running [`Params::warm_iterations`] passes); the others seed cold.
+    /// Returns the reconstruction plus the *posterior* registry — `prior`
+    /// advanced by one absorb round with every task's final edge gaps
+    /// (decayed reservoirs, weighted refit).
+    ///
+    /// Like [`TraceWeaver::reconstruct`], the output (including the
+    /// posterior registry) is byte-identical for every thread count:
+    /// tasks are pure, results return in input order, and absorption
+    /// iterates processes and edges in sorted order.
+    pub fn reconstruct_with_registry(
+        &self,
+        views: &HashMap<ProcessKey, SpanView>,
+        prior: &DelayRegistry,
+    ) -> (Reconstruction, DelayRegistry) {
+        let (result, posterior) =
+            self.reconstruct_inner(views, &Executor::from_params(&self.params), Some(prior));
+        (result, posterior.expect("posterior present on warm path"))
+    }
+
+    /// Convenience: split raw records into per-process views and run
+    /// [`TraceWeaver::reconstruct_with_registry`].
+    pub fn reconstruct_records_with_registry(
+        &self,
+        records: &[RpcRecord],
+        prior: &DelayRegistry,
+    ) -> (Reconstruction, DelayRegistry) {
+        self.reconstruct_with_registry(&split_by_process(records), prior)
+    }
+
+    fn reconstruct_inner(
+        &self,
+        views: &HashMap<ProcessKey, SpanView>,
+        exec: &Executor,
+        prior: Option<&DelayRegistry>,
+    ) -> (Reconstruction, Option<DelayRegistry>) {
         // Deterministic task order.
         let mut keys: Vec<&ProcessKey> = views.keys().collect();
         keys.sort();
         keys.retain(|k| !views[*k].incoming.is_empty());
 
+        // Per-process warm priors materialized up front so task closures
+        // stay read-only.
+        let priors: HashMap<ProcessKey, delays::DelayModel> = match prior {
+            Some(reg) => keys
+                .iter()
+                .filter_map(|&&k| reg.model_for(&k).map(|m| (k, m)))
+                .collect(),
+            None => HashMap::new(),
+        };
+
         let partials = exec.map(keys, |key| {
-            let task = ReconstructionTask::new(&self.call_graph, &self.params, &views[key]);
+            let mut task = ReconstructionTask::new(&self.call_graph, &self.params, &views[key]);
+            if let Some(model) = priors.get(key) {
+                task = task.with_prior(model);
+            }
             let mut mapping = Mapping::new();
             let mut ranked = RankedMapping::new();
-            let report = task.run(&mut mapping, &mut ranked);
-            (*key, mapping, ranked, report)
+            let (report, gaps) = task.run_with_gaps(&mut mapping, &mut ranked);
+            (*key, mapping, ranked, report, gaps)
         });
 
+        let mut posterior = prior.cloned();
         let mut result = Reconstruction::default();
-        for (key, mapping, ranked, report) in partials {
+        // Partials arrive in input (sorted-key) order, so absorption is
+        // deterministic regardless of executor scheduling.
+        for (key, mapping, ranked, report, gaps) in partials {
             result.mapping.merge(mapping);
             result.ranked.merge(ranked);
             result.reports.push((key, report));
+            if let Some(reg) = posterior.as_mut() {
+                reg.absorb(key, &gaps, &self.params);
+            }
         }
-        result
+        if let Some(reg) = posterior.as_mut() {
+            reg.finish_round();
+        }
+        (result, posterior)
     }
 }
 
@@ -271,6 +335,36 @@ mod tests {
         assert!(s.mapped_fraction() > 0.95);
         assert!(s.batches >= s.tasks);
         assert_eq!(s.skip_budget, 0);
+    }
+
+    #[test]
+    fn warm_registry_round_trip() {
+        let app = tw_sim::apps::two_service_chain(81);
+        let call_graph = app.config.call_graph();
+        let root = app.roots[0];
+        let sim = tw_sim::Simulator::new(app.config).unwrap();
+        let out = sim.run(&tw_sim::Workload::poisson(
+            root,
+            300.0,
+            tw_model::time::Nanos::from_millis(400),
+        ));
+        let tw = TraceWeaver::new(call_graph, Params::default());
+
+        // Round 1: cold (empty registry) — tasks seed, posterior learned.
+        let empty = DelayRegistry::new();
+        let (cold, learned) = tw.reconstruct_records_with_registry(&out.records, &empty);
+        assert!(cold.reports.iter().all(|(_, r)| !r.warm_start));
+        assert!(!learned.is_empty());
+        assert_eq!(learned.rounds(), 1);
+
+        // Round 2: warm — every task with a known process skips the seed.
+        let (warm, posterior) = tw.reconstruct_records_with_registry(&out.records, &learned);
+        assert!(warm.reports.iter().any(|(_, r)| r.warm_start));
+        assert_eq!(posterior.rounds(), 2);
+        assert!(
+            warm.summary().mapped_spans >= cold.summary().mapped_spans,
+            "warm prior must not lose mappings on an identical workload"
+        );
     }
 
     #[test]

@@ -48,6 +48,22 @@ pub struct Params {
     /// deployment when that is known to hold. Off by default.
     pub use_thread_hints: bool,
 
+    // --- Warm-start delay registry ---
+    /// Multiplicative down-weighting applied to every delay-registry
+    /// reservoir sample per absorb round: fresh gaps enter at weight 1,
+    /// a sample from `k` rounds ago counts `delay_decay^k`. Lower values
+    /// track load shifts / deploys faster; 1.0 never forgets.
+    pub delay_decay: f64,
+    /// Maximum gap samples retained per registry edge; the oldest are
+    /// evicted first. Bounds absorb cost independent of uptime.
+    pub reservoir_capacity: usize,
+    /// Iterations of steps 3–5 when a task starts from a warm prior. The
+    /// prior already encodes cross-window evidence, so a single
+    /// score-and-optimize pass suffices by default — model refinement
+    /// happens in the registry's absorb step instead of inside the task.
+    /// Clamped to at least 1; ignored on cold starts.
+    pub warm_iterations: usize,
+
     // --- Ablation toggles (Figure 5) ---
     /// Use the dependency order to constrain candidates (line 3 of the
     /// ablation: "using invocation order to apply constraints").
@@ -76,6 +92,9 @@ impl Default for Params {
             threads: 1,
             handle_dynamism: false,
             use_thread_hints: false,
+            delay_decay: 0.5,
+            reservoir_capacity: 512,
+            warm_iterations: 1,
             use_order_constraints: true,
             use_iteration: true,
             use_joint_optimization: true,
@@ -136,6 +155,13 @@ impl Params {
             1
         }
     }
+
+    /// Iteration count for warm-started tasks: the prior replaces the seed
+    /// pass, so fewer refit rounds are needed. Respects the iteration
+    /// ablation and never exceeds the cold count.
+    pub fn effective_warm_iterations(&self) -> usize {
+        self.warm_iterations.max(1).min(self.effective_iterations())
+    }
 }
 
 #[cfg(test)]
@@ -167,6 +193,25 @@ mod tests {
         assert_eq!(p.effective_iterations(), 1);
         let p = Params::default().ablate_joint_optimization();
         assert!(!p.use_joint_optimization);
+    }
+
+    #[test]
+    fn warm_iterations_clamped() {
+        let p = Params::default();
+        assert!(p.delay_decay > 0.0 && p.delay_decay <= 1.0);
+        assert!(p.reservoir_capacity > 0);
+        assert_eq!(p.effective_warm_iterations(), 1);
+        let p = Params {
+            warm_iterations: 10,
+            ..Params::default()
+        };
+        assert_eq!(
+            p.effective_warm_iterations(),
+            p.effective_iterations(),
+            "warm count never exceeds cold"
+        );
+        let p = Params::default().ablate_iteration();
+        assert_eq!(p.effective_warm_iterations(), 1);
     }
 
     #[test]

@@ -1,0 +1,373 @@
+//! Persistent per-edge delay models: the warm-start registry.
+//!
+//! The paper's chicken-and-egg step (§4.1 step 3) bootstraps delay
+//! distributions from scratch inside every reconstruction task. That is
+//! the right thing exactly once: in steady state the same `(process,
+//! edge)` pairs recur window after window, and re-seeding from marginal
+//! statistics every 250–1000ms both wastes work and starves the estimator
+//! when windows are small (§5.3's window-sizing tension).
+//!
+//! A [`DelayRegistry`] carries the learned state across reconstruction
+//! rounds: for every `(ProcessKey, EdgeKey)` it keeps the current GMM and
+//! a bounded reservoir of the gap samples that produced it. After each
+//! round the caller feeds the round's inferred gaps back via
+//! [`DelayRegistry::absorb`]: existing reservoir samples are decayed by
+//! [`crate::Params::delay_decay`], fresh samples enter at weight 1, the
+//! reservoir is truncated to [`crate::Params::reservoir_capacity`], and
+//! the edge's GMM is refit with a *weighted* EM (BIC-selected component
+//! count over the effective sample size). Exponential decay means the
+//! model tracks load shifts and redeploys instead of averaging over them;
+//! the bound keeps absorb cost independent of uptime.
+//!
+//! Everything here is deterministic: maps are `BTreeMap`s, absorb order
+//! is sorted, and the weighted EM is the same deterministic fit used
+//! everywhere else — so warm-started reconstruction preserves the
+//! byte-identical-across-thread-counts invariant.
+
+use crate::delays::{DelayModel, EdgeKey};
+use crate::params::Params;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use tw_model::span::ProcessKey;
+use tw_stats::gmm::{Gmm, GmmFitOptions};
+
+/// Decayed samples below this weight are evicted: with the default decay
+/// of 0.5 a sample survives ~7 absorb rounds before falling out, bounding
+/// how long a dead delay regime can linger.
+const MIN_RESERVOIR_WEIGHT: f64 = 1e-2;
+
+/// A bounded reservoir of gap samples with exponentially decayed weights.
+///
+/// Samples are stored oldest-first; every [`GapReservoir::absorb`] call
+/// multiplies existing weights by the decay factor, appends the new
+/// window's samples at weight 1, and evicts from the front (oldest) when
+/// over capacity or below the weight floor.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GapReservoir {
+    /// `(gap_us, weight)`, oldest first.
+    samples: Vec<(f64, f64)>,
+}
+
+impl GapReservoir {
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Total effective weight (the reservoir's effective sample size).
+    pub fn total_weight(&self) -> f64 {
+        self.samples.iter().map(|(_, w)| w).sum()
+    }
+
+    /// Decay existing samples, append `fresh` at weight 1, truncate to
+    /// `capacity` by evicting the oldest.
+    pub fn absorb(&mut self, fresh: &[f64], decay: f64, capacity: usize) {
+        for (_, w) in self.samples.iter_mut() {
+            *w *= decay;
+        }
+        self.samples.retain(|&(_, w)| w >= MIN_RESERVOIR_WEIGHT);
+        self.samples.extend(fresh.iter().map(|&g| (g, 1.0)));
+        let cap = capacity.max(1);
+        if self.samples.len() > cap {
+            self.samples.drain(..self.samples.len() - cap);
+        }
+    }
+
+    /// Split into parallel sample/weight slices for the weighted fit.
+    fn columns(&self) -> (Vec<f64>, Vec<f64>) {
+        self.samples.iter().copied().unzip()
+    }
+}
+
+/// Learned state of one `(process, edge)` pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EdgeState {
+    /// Current delay mixture, refit on every absorb.
+    pub model: Gmm,
+    /// The decayed samples backing the model.
+    pub reservoir: GapReservoir,
+}
+
+/// Serialized form: nested maps flatten to entry lists because JSON maps
+/// need string keys.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct RegistryDoc {
+    /// Absorb rounds applied so far.
+    rounds: u64,
+    processes: Vec<ProcessDoc>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ProcessDoc {
+    process: ProcessKey,
+    edges: Vec<EdgeDoc>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct EdgeDoc {
+    edge: EdgeKey,
+    state: EdgeState,
+}
+
+/// Per-`(ProcessKey, EdgeKey)` delay models with bounded, decayed sample
+/// reservoirs — the unit of warm-start state threaded through
+/// [`crate::TraceWeaver::reconstruct_with_registry`], the online engine,
+/// and `twctl learn-delays`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DelayRegistry {
+    edges: BTreeMap<ProcessKey, BTreeMap<EdgeKey, EdgeState>>,
+    rounds: u64,
+}
+
+// JSON maps need string keys, so the registry round-trips through the
+// entry-list [`RegistryDoc`] form (the vendored serde lacks
+// `#[serde(from/into)]`, hence the manual impls).
+impl Serialize for DelayRegistry {
+    fn to_value(&self) -> serde::Value {
+        RegistryDoc::from(self.clone()).to_value()
+    }
+}
+
+impl<'de> Deserialize<'de> for DelayRegistry {
+    fn from_value(value: serde::Value) -> Result<Self, serde::DeError> {
+        RegistryDoc::from_value(value).map(DelayRegistry::from)
+    }
+}
+
+impl From<RegistryDoc> for DelayRegistry {
+    fn from(doc: RegistryDoc) -> Self {
+        let mut edges: BTreeMap<ProcessKey, BTreeMap<EdgeKey, EdgeState>> = BTreeMap::new();
+        for p in doc.processes {
+            let slot = edges.entry(p.process).or_default();
+            for e in p.edges {
+                slot.insert(e.edge, e.state);
+            }
+        }
+        DelayRegistry {
+            edges,
+            rounds: doc.rounds,
+        }
+    }
+}
+
+impl From<DelayRegistry> for RegistryDoc {
+    fn from(reg: DelayRegistry) -> Self {
+        RegistryDoc {
+            rounds: reg.rounds,
+            processes: reg
+                .edges
+                .into_iter()
+                .map(|(process, edges)| ProcessDoc {
+                    process,
+                    edges: edges
+                        .into_iter()
+                        .map(|(edge, state)| EdgeDoc { edge, state })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl DelayRegistry {
+    pub fn new() -> Self {
+        DelayRegistry::default()
+    }
+
+    /// Total modeled `(process, edge)` pairs.
+    pub fn len(&self) -> usize {
+        self.edges.values().map(|m| m.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Processes with at least one modeled edge.
+    pub fn processes(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Absorb rounds (windows) applied so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    pub fn get(&self, process: &ProcessKey, edge: &EdgeKey) -> Option<&EdgeState> {
+        self.edges.get(process)?.get(edge)
+    }
+
+    /// Materialize the warm-start prior for one process: a [`DelayModel`]
+    /// holding the current GMM of every modeled edge at that process.
+    /// `None` when the process has never been absorbed — the task then
+    /// falls back to cold seeding.
+    pub fn model_for(&self, process: &ProcessKey) -> Option<DelayModel> {
+        let edges = self.edges.get(process)?;
+        if edges.is_empty() {
+            return None;
+        }
+        let mut model = DelayModel::default();
+        for (key, state) in edges {
+            model.insert(*key, state.model.clone());
+        }
+        Some(model)
+    }
+
+    /// Fold one process's round of inferred gaps into the registry: decay,
+    /// insert, refit. Edge iteration is sorted for determinism; edges with
+    /// no fresh samples still decay (their models keep serving until the
+    /// reservoir empties).
+    pub fn absorb(
+        &mut self,
+        process: ProcessKey,
+        gaps: &HashMap<EdgeKey, Vec<f64>>,
+        params: &Params,
+    ) {
+        // Registry fits are warm-start priors, not final scoring models:
+        // each gets refined again inside the next task's EM loop, so a
+        // looser tolerance and iteration cap keep absorb cheap (it runs
+        // once per window over up to `reservoir_capacity` samples/edge)
+        // without hurting downstream accuracy.
+        let opts = GmmFitOptions {
+            max_components: params.max_gmm_components,
+            max_iters: 40,
+            tol: 1e-5,
+        };
+        let slot = self.edges.entry(process).or_default();
+        let mut keys: Vec<&EdgeKey> = gaps.keys().collect();
+        keys.sort_unstable();
+        for key in keys {
+            let fresh = &gaps[key];
+            if fresh.is_empty() {
+                continue;
+            }
+            let known = slot.contains_key(key);
+            let state = slot.entry(*key).or_insert_with(|| EdgeState {
+                model: Gmm::single(tw_stats::gaussian::Gaussian::new(0.0, 1.0)),
+                reservoir: GapReservoir::default(),
+            });
+            state
+                .reservoir
+                .absorb(fresh, params.delay_decay, params.reservoir_capacity);
+            let (xs, ws) = state.reservoir.columns();
+            if xs.is_empty() {
+                continue;
+            }
+            // First sight of an edge: full BIC sweep. After that the
+            // component count evolves slowly, so sweep only around the
+            // current model's count.
+            state.model = if known {
+                Gmm::fit_auto_weighted_near(&xs, &ws, &opts, state.model.len())
+            } else {
+                Gmm::fit_auto_weighted(&xs, &ws, &opts)
+            };
+        }
+    }
+
+    /// Mark the end of one absorb round (one window / one reconstruction
+    /// pass over many processes).
+    pub fn finish_round(&mut self) {
+        self.rounds += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tw_model::ids::{Endpoint, OperationId, ServiceId};
+
+    fn pkey(s: u32) -> ProcessKey {
+        ProcessKey::new(ServiceId(s), 0)
+    }
+
+    fn ekey(s: u32, slot: usize) -> EdgeKey {
+        EdgeKey::Call {
+            served: Endpoint::new(ServiceId(s), OperationId(0)),
+            slot,
+        }
+    }
+
+    #[test]
+    fn absorb_builds_models_and_prior() {
+        let mut reg = DelayRegistry::new();
+        assert!(reg.model_for(&pkey(0)).is_none());
+        let mut gaps = HashMap::new();
+        gaps.insert(ekey(0, 0), vec![10.0; 50]);
+        reg.absorb(pkey(0), &gaps, &Params::default());
+        reg.finish_round();
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.rounds(), 1);
+        let model = reg.model_for(&pkey(0)).expect("prior available");
+        assert!(model.log_pdf(&ekey(0, 0), 10.0) > model.log_pdf(&ekey(0, 0), 100.0));
+    }
+
+    #[test]
+    fn decay_shifts_model_toward_fresh_regime() {
+        let mut reg = DelayRegistry::new();
+        let p = Params {
+            delay_decay: 0.2,
+            ..Params::default()
+        };
+        let key = ekey(0, 0);
+        // Old regime at 10us for 3 rounds, then a deploy moves it to 80us.
+        let mut old = HashMap::new();
+        old.insert(key, vec![10.0; 100]);
+        for _ in 0..3 {
+            reg.absorb(pkey(0), &old, &p);
+            reg.finish_round();
+        }
+        let mut new = HashMap::new();
+        new.insert(key, vec![80.0; 100]);
+        for _ in 0..3 {
+            reg.absorb(pkey(0), &new, &p);
+            reg.finish_round();
+        }
+        let model = reg.model_for(&pkey(0)).unwrap();
+        assert!(
+            model.log_pdf(&key, 80.0) > model.log_pdf(&key, 10.0),
+            "model should track the new regime"
+        );
+    }
+
+    #[test]
+    fn reservoir_is_bounded() {
+        let mut res = GapReservoir::default();
+        for _ in 0..20 {
+            res.absorb(&vec![1.0; 100], 0.9, 256);
+        }
+        assert!(res.len() <= 256);
+        assert!(res.total_weight() <= 256.0 + 1e-9);
+    }
+
+    #[test]
+    fn reservoir_evicts_fully_decayed_samples() {
+        let mut res = GapReservoir::default();
+        res.absorb(&[5.0, 6.0], 0.5, 1024);
+        // 8 empty rounds: 0.5^8 ≈ 0.004 < floor, so the originals vanish.
+        for _ in 0..8 {
+            res.absorb(&[], 0.5, 1024);
+        }
+        assert!(res.is_empty());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut reg = DelayRegistry::new();
+        let mut gaps = HashMap::new();
+        gaps.insert(ekey(3, 1), vec![12.0, 14.0, 13.0, 12.5, 13.5]);
+        gaps.insert(
+            EdgeKey::Final {
+                served: Endpoint::new(ServiceId(3), OperationId(0)),
+            },
+            vec![4.0, 5.0, 4.5, 5.5, 4.2],
+        );
+        reg.absorb(pkey(3), &gaps, &Params::default());
+        reg.finish_round();
+        let json = serde_json::to_string(&reg).unwrap();
+        let back: DelayRegistry = serde_json::from_str(&json).unwrap();
+        assert_eq!(reg, back);
+    }
+}

@@ -31,6 +31,9 @@ pub struct TaskReport {
     pub skip_budget: usize,
     /// Iterations executed.
     pub iterations: usize,
+    /// True when iteration 1 started from a warm prior instead of the
+    /// seed distribution.
+    pub warm_start: bool,
 }
 
 impl TaskReport {
@@ -50,6 +53,10 @@ pub struct ReconstructionTask<'a> {
     call_graph: &'a CallGraph,
     params: &'a Params,
     view: &'a SpanView,
+    /// Warm-start prior (typically from a
+    /// [`crate::registry::DelayRegistry`]): when present and non-empty,
+    /// iteration 1 uses it directly and the seed pass is skipped.
+    prior: Option<&'a DelayModel>,
 }
 
 impl<'a> ReconstructionTask<'a> {
@@ -58,7 +65,17 @@ impl<'a> ReconstructionTask<'a> {
             call_graph,
             params,
             view,
+            prior: None,
         }
+    }
+
+    /// Provide a warm-start prior delay model. The task skips the
+    /// seed-Gaussian / WAP5 bootstrap, starts EM from the prior, and runs
+    /// [`Params::effective_warm_iterations`] passes instead of the cold
+    /// count. An empty prior is ignored (cold behavior).
+    pub fn with_prior(mut self, prior: &'a DelayModel) -> Self {
+        self.prior = Some(prior);
+        self
     }
 
     /// Run the pipeline, writing results into `mapping` / `ranked`.
@@ -69,6 +86,18 @@ impl<'a> ReconstructionTask<'a> {
     /// Results are keyed by `RpcId`, so the caller sees identical output
     /// either way.
     pub fn run(&self, mapping: &mut Mapping, ranked: &mut RankedMapping) -> TaskReport {
+        self.run_with_gaps(mapping, ranked).0
+    }
+
+    /// [`ReconstructionTask::run`], additionally returning the edge gaps
+    /// of the final assignment — the task's *posterior* delay evidence,
+    /// which callers feed into a [`crate::registry::DelayRegistry`] to
+    /// warm-start later rounds.
+    pub fn run_with_gaps(
+        &self,
+        mapping: &mut Mapping,
+        ranked: &mut RankedMapping,
+    ) -> (TaskReport, HashMap<EdgeKey, Vec<f64>>) {
         let sorted = |spans: &[tw_model::span::ObservedSpan]| {
             spans
                 .windows(2)
@@ -81,19 +110,24 @@ impl<'a> ReconstructionTask<'a> {
                 call_graph: self.call_graph,
                 params: self.params,
                 view: &view,
+                prior: self.prior,
             };
             return task.run_sorted(mapping, ranked);
         }
         self.run_sorted(mapping, ranked)
     }
 
-    fn run_sorted(&self, mapping: &mut Mapping, ranked: &mut RankedMapping) -> TaskReport {
+    fn run_sorted(
+        &self,
+        mapping: &mut Mapping,
+        ranked: &mut RankedMapping,
+    ) -> (TaskReport, HashMap<EdgeKey, Vec<f64>>) {
         let params = self.params;
         let incoming = &self.view.incoming;
         let outgoing = &self.view.outgoing;
         let n = incoming.len();
         if n == 0 {
-            return TaskReport::default();
+            return (TaskReport::default(), HashMap::new());
         }
 
         // Slot layouts per served endpoint.
@@ -169,14 +203,22 @@ impl<'a> ReconstructionTask<'a> {
             vec![0; batches.len()]
         };
 
-        // Iteration-1 delay model.
-        let mut model = if allow_skips {
-            seed_from_wap5(incoming, outgoing, &pool, &layouts, params)
-        } else {
-            DelayModel::seed(incoming, &pool, &layouts, outgoing, params)
+        // Iteration-1 delay model: the warm prior when one is supplied
+        // (skipping the seed bootstrap entirely — the §4.1 step-3
+        // chicken-and-egg is already solved by earlier rounds), the seed
+        // distribution otherwise.
+        let warm = self.prior.is_some_and(|m| !m.is_empty());
+        let mut model = match self.prior.filter(|m| !m.is_empty()) {
+            Some(prior) => prior.clone(),
+            None if allow_skips => seed_from_wap5(incoming, outgoing, &pool, &layouts, params),
+            None => DelayModel::seed(incoming, &pool, &layouts, outgoing, params),
         };
 
-        let iterations = params.effective_iterations();
+        let iterations = if warm {
+            params.effective_warm_iterations()
+        } else {
+            params.effective_iterations()
+        };
         let exec = Executor::from_params(params);
         let mut assignment: Vec<Option<Candidate>> = vec![None; n];
         for iter in 0..iterations {
@@ -272,18 +314,14 @@ impl<'a> ReconstructionTask<'a> {
 
             // Refit distributions from this iteration's mapping.
             if iter + 1 < iterations {
-                let mut gaps: HashMap<EdgeKey, Vec<f64>> = HashMap::new();
-                for (i, a) in assignment.iter().enumerate() {
-                    let Some(cand) = a else { continue };
-                    let p = &incoming[i];
-                    let layout = &layouts[&p.endpoint];
-                    for (key, gap) in edge_gaps(p.endpoint, p, layout, cand, &pool) {
-                        gaps.entry(key).or_default().push(gap);
-                    }
-                }
+                let gaps = collect_gaps(incoming, &layouts, &pool, &assignment);
                 model = model.refit(&gaps, params);
             }
         }
+
+        // The final assignment's gaps: the task's posterior delay
+        // evidence, returned for registry absorption.
+        let posterior_gaps = collect_gaps(incoming, &layouts, &pool, &assignment);
 
         // Emit results.
         let mut report = TaskReport {
@@ -291,6 +329,7 @@ impl<'a> ReconstructionTask<'a> {
             batches: batches.len(),
             skip_budget: budget.total(),
             iterations,
+            warm_start: warm,
             ..TaskReport::default()
         };
         for (i, a) in assignment.iter().enumerate() {
@@ -330,8 +369,27 @@ impl<'a> ReconstructionTask<'a> {
                 mapping.assign(parent_rpc, children);
             }
         }
-        report
+        (report, posterior_gaps)
     }
+}
+
+/// Edge gaps of every assigned candidate, grouped by edge.
+fn collect_gaps(
+    incoming: &[tw_model::span::ObservedSpan],
+    layouts: &HashMap<Endpoint, SlotLayout>,
+    pool: &OutgoingPool,
+    assignment: &[Option<Candidate>],
+) -> HashMap<EdgeKey, Vec<f64>> {
+    let mut gaps: HashMap<EdgeKey, Vec<f64>> = HashMap::new();
+    for (i, a) in assignment.iter().enumerate() {
+        let Some(cand) = a else { continue };
+        let p = &incoming[i];
+        let layout = &layouts[&p.endpoint];
+        for (key, gap) in edge_gaps(p.endpoint, p, layout, cand, pool) {
+            gaps.entry(key).or_default().push(gap);
+        }
+    }
+    gaps
 }
 
 #[cfg(test)]

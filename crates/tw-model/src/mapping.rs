@@ -164,6 +164,11 @@ impl RankedMapping {
         self.ranked.get(&parent).map(Vec::as_slice).unwrap_or(&[])
     }
 
+    /// Parents that have ranked candidates recorded (arbitrary order).
+    pub fn parents(&self) -> impl Iterator<Item = RpcId> + '_ {
+        self.ranked.keys().copied()
+    }
+
     pub fn len(&self) -> usize {
         self.ranked.len()
     }

@@ -18,7 +18,7 @@ pub mod online;
 pub mod sampling;
 pub mod store;
 
-pub use net::{export_records, IngestServer};
+pub use net::{export_records, IngestServer, IngestStats};
 pub use online::{OnlineConfig, OnlineEngine, WindowResult};
 pub use sampling::TailSampler;
-pub use store::OfflineStore;
+pub use store::{load_registry, save_registry, OfflineStore};

@@ -12,22 +12,47 @@ use crate::online::{OnlineConfig, OnlineEngine};
 use crossbeam::channel::Sender;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use tw_capture::wire::{encode_records, FrameDecoder};
 use tw_core::TraceWeaver;
 use tw_model::span::RpcRecord;
 
+/// Counters shared between the server handle and connection threads.
+#[derive(Debug, Default)]
+struct StatsInner {
+    connections: AtomicU64,
+    decode_errors: AtomicU64,
+    bytes_discarded: AtomicU64,
+}
+
+/// Point-in-time snapshot of a server's ingestion counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Connections served (including ones that later failed to decode).
+    pub connections: u64,
+    /// Connections closed because their frame stream failed to decode.
+    pub decode_errors: u64,
+    /// Bytes that were buffered but undecodable when a stream failed —
+    /// the data discarded along with the connection. Bytes the client had
+    /// not yet transmitted at error time are not observable and not
+    /// counted.
+    pub bytes_discarded: u64,
+}
+
 /// A running span-ingestion server.
 ///
 /// Incoming frames are decoded and forwarded to the sink channel (e.g.
 /// an [`crate::OnlineEngine`]'s ingest handle). Malformed streams close
-/// their connection; other connections are unaffected.
+/// their connection; other connections are unaffected. [`stats`]
+/// (IngestServer::stats) reports how many streams failed and how much
+/// data they took with them.
 pub struct IngestServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    stats: Arc<StatsInner>,
 }
 
 impl IngestServer {
@@ -37,12 +62,15 @@ impl IngestServer {
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = stop.clone();
+        let stats = Arc::new(StatsInner::default());
+        let stats2 = stats.clone();
         let accept_thread = std::thread::spawn(move || {
             let mut workers: Vec<JoinHandle<()>> = Vec::new();
             let serve = |stream: TcpStream, workers: &mut Vec<JoinHandle<()>>| {
                 let sink = sink.clone();
+                let stats = stats2.clone();
                 workers.push(std::thread::spawn(move || {
-                    let _ = serve_connection(stream, sink);
+                    let _ = serve_connection(stream, sink, &stats);
                 }));
             };
             for conn in listener.incoming() {
@@ -82,12 +110,26 @@ impl IngestServer {
             addr,
             stop,
             accept_thread: Some(accept_thread),
+            stats,
         })
     }
 
     /// The bound address (useful with port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Snapshot of the ingestion counters. Counters update as connection
+    /// threads make progress, so a snapshot taken while a stream is
+    /// mid-failure may not reflect it yet; after [`shutdown`]
+    /// (IngestServer::shutdown) the counts are final (but the handle is
+    /// consumed — snapshot first if you need post-drain numbers, or poll).
+    pub fn stats(&self) -> IngestStats {
+        IngestStats {
+            connections: self.stats.connections.load(Ordering::SeqCst),
+            decode_errors: self.stats.decode_errors.load(Ordering::SeqCst),
+            bytes_discarded: self.stats.bytes_discarded.load(Ordering::SeqCst),
+        }
     }
 
     /// Stop accepting and wait for in-flight connections to drain.
@@ -112,7 +154,12 @@ impl Drop for IngestServer {
 }
 
 /// Decode one connection's frame stream into the sink until EOF or error.
-fn serve_connection(mut stream: TcpStream, sink: Sender<RpcRecord>) -> std::io::Result<()> {
+fn serve_connection(
+    mut stream: TcpStream,
+    sink: Sender<RpcRecord>,
+    stats: &StatsInner,
+) -> std::io::Result<()> {
+    stats.connections.fetch_add(1, Ordering::SeqCst);
     let mut decoder = FrameDecoder::new();
     let mut buf = [0u8; 16 * 1024];
     loop {
@@ -130,6 +177,13 @@ fn serve_connection(mut stream: TcpStream, sink: Sender<RpcRecord>) -> std::io::
                 }
                 Ok(None) => break,
                 Err(e) => {
+                    // Everything still buffered is lost with the
+                    // connection; count it so operators can see how much
+                    // data a misbehaving agent is costing.
+                    stats
+                        .bytes_discarded
+                        .fetch_add(decoder.pending_bytes() as u64, Ordering::SeqCst);
+                    stats.decode_errors.fetch_add(1, Ordering::SeqCst);
                     return Err(std::io::Error::new(
                         std::io::ErrorKind::InvalidData,
                         format!("wire error: {e}"),
@@ -236,7 +290,7 @@ mod tests {
         let (tx, rx) = unbounded();
         let server = IngestServer::bind("127.0.0.1:0", tx).unwrap();
         let addr = server.local_addr();
-        // Garbage connection.
+        // Garbage connection: 0xFF… decodes as an absurd frame length.
         {
             let mut s = TcpStream::connect(addr).unwrap();
             s.write_all(&[0xFF; 64]).unwrap();
@@ -249,6 +303,41 @@ mod tests {
             received.push(rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap());
         }
         assert_eq!(received, records);
+        // The failed stream shows up in the counters (its thread runs
+        // concurrently, so poll briefly).
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let stats = loop {
+            let s = server.stats();
+            if s.decode_errors >= 1 || std::time::Instant::now() >= deadline {
+                break s;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        };
+        assert_eq!(stats.decode_errors, 1, "exactly one stream failed");
+        // The decoder errors as soon as the bogus 4-byte length is
+        // buffered; depending on TCP chunking, 4–64 of the garbage bytes
+        // were buffered (and thus counted) at that moment.
+        assert!(
+            (4..=64).contains(&stats.bytes_discarded),
+            "bytes_discarded = {}",
+            stats.bytes_discarded
+        );
+        assert!(stats.connections >= 2, "garbage + healthy connections");
+        server.shutdown();
+    }
+
+    #[test]
+    fn healthy_streams_leave_error_counters_at_zero() {
+        let (tx, rx) = unbounded();
+        let server = IngestServer::bind("127.0.0.1:0", tx).unwrap();
+        let records: Vec<RpcRecord> = (0..20).map(rec).collect();
+        export_records(server.local_addr(), &records).unwrap();
+        for _ in 0..records.len() {
+            rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+        }
+        let stats = server.stats();
+        assert_eq!(stats.decode_errors, 0);
+        assert_eq!(stats.bytes_discarded, 0);
         server.shutdown();
     }
 
@@ -271,6 +360,7 @@ mod tests {
                 grace: N::from_millis(50),
                 channel_capacity: 4_096,
                 threads: 2,
+                ..crate::online::OnlineConfig::default()
             },
         )
         .unwrap();

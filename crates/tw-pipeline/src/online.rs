@@ -25,12 +25,22 @@
 //! is identical for every `threads` value — with `threads = 1` the single
 //! worker processes windows in order and the collector passes them
 //! straight through.
+//!
+//! **Warm-start mode** ([`OnlineConfig::warm_start`]) threads a
+//! [`DelayRegistry`] through the window stream: window *k*'s posterior is
+//! published — in window order — before window *k+1* is reconstructed, so
+//! every window after the first skips the seed bootstrap and starts EM
+//! from accumulated cross-window evidence. Windows gain a sequential
+//! model dependency in this mode, so the warm path runs one window at a
+//! time (the registry chain *is* the order); use [`tw_core::Params::threads`]
+//! for intra-window parallelism instead of `OnlineConfig::threads`. The
+//! emitted stream stays byte-identical for every thread count.
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use std::collections::HashMap;
 use std::thread::JoinHandle;
 use std::time::Duration;
-use tw_core::{Reconstruction, TraceWeaver};
+use tw_core::{DelayRegistry, Reconstruction, TraceWeaver};
 use tw_model::span::RpcRecord;
 use tw_model::time::Nanos;
 
@@ -47,8 +57,19 @@ pub struct OnlineConfig {
     /// Reconstruction workers: how many windows reconstruct concurrently
     /// (clamped to at least 1). Results are always emitted in window
     /// order, identical for every value; `1` keeps today's sequential
-    /// behavior with the windower still overlapping ingestion.
+    /// behavior with the windower still overlapping ingestion. Ignored in
+    /// warm-start mode (the registry chain serializes windows).
     pub threads: usize,
+    /// Carry a [`DelayRegistry`] across windows: each window warm-starts
+    /// from the posterior published by the previous window, decoupling
+    /// estimation quality from window size (§5.3's window-sizing
+    /// tension).
+    pub warm_start: bool,
+    /// Starting registry for warm mode — e.g. loaded from a previous
+    /// run's posterior or `twctl learn-delays` output. `None` starts
+    /// empty (the first window seeds cold and publishes the first
+    /// posterior).
+    pub initial_registry: Option<DelayRegistry>,
 }
 
 impl Default for OnlineConfig {
@@ -58,6 +79,8 @@ impl Default for OnlineConfig {
             grace: Nanos::from_millis(200),
             channel_capacity: 65_536,
             threads: 1,
+            warm_start: false,
+            initial_registry: None,
         }
     }
 }
@@ -78,6 +101,9 @@ pub struct WindowResult {
     pub queue_depth: usize,
     /// Wall-clock time the reconstruction of this window took.
     pub latency: Duration,
+    /// Delay-registry edges this window warm-started from (0 = cold
+    /// start: no prior, or warm mode disabled).
+    pub warm_edges: usize,
 }
 
 impl WindowResult {
@@ -118,11 +144,16 @@ pub struct OnlineEngine {
     ingest: Option<Sender<RpcRecord>>,
     results: Receiver<WindowResult>,
     threads: Option<Vec<JoinHandle<()>>>,
+    registry: Option<Receiver<DelayRegistry>>,
 }
 
 impl OnlineEngine {
-    pub fn start(tw: TraceWeaver, config: OnlineConfig) -> Self {
-        let workers = config.threads.max(1);
+    pub fn start(tw: TraceWeaver, mut config: OnlineConfig) -> Self {
+        let warm = config.warm_start;
+        // Warm windows chain through the registry (k+1 starts from k's
+        // posterior), so the warm path is a single ordered worker.
+        let workers = if warm { 1 } else { config.threads.max(1) };
+        let initial_registry = config.initial_registry.take().unwrap_or_default();
         let (tx, rx) = bounded::<RpcRecord>(config.channel_capacity);
         // Work queue sized to the pool: back-pressure propagates to the
         // windower (and from there to ingest) when workers fall behind.
@@ -134,15 +165,24 @@ impl OnlineEngine {
         threads.push(std::thread::spawn(move || {
             run_windower(config, rx, work_tx);
         }));
-        for _ in 0..workers {
-            let tw = tw.clone();
-            let work_rx = work_rx.clone();
-            let done_tx = done_tx.clone();
+        let registry = if warm {
+            let (reg_tx, reg_rx) = bounded::<DelayRegistry>(1);
             threads.push(std::thread::spawn(move || {
-                run_reconstruction_worker(tw, work_rx, done_tx);
+                run_warm_worker(tw, work_rx, done_tx, initial_registry, reg_tx);
             }));
-        }
-        drop(done_tx); // collector exits when the last worker drops its clone
+            Some(reg_rx)
+        } else {
+            for _ in 0..workers {
+                let tw = tw.clone();
+                let work_rx = work_rx.clone();
+                let done_tx = done_tx.clone();
+                threads.push(std::thread::spawn(move || {
+                    run_reconstruction_worker(tw, work_rx, done_tx);
+                }));
+            }
+            drop(done_tx); // collector exits when the last worker drops its clone
+            None
+        };
         threads.push(std::thread::spawn(move || {
             run_collector(done_rx, res_tx);
         }));
@@ -151,6 +191,7 @@ impl OnlineEngine {
             ingest: Some(tx),
             results: res_rx,
             threads: Some(threads),
+            registry,
         }
     }
 
@@ -167,14 +208,23 @@ impl OnlineEngine {
 
     /// Close ingestion, flush, and wait for the pipeline to drain.
     /// Returns any remaining window results.
-    pub fn shutdown(mut self) -> Vec<WindowResult> {
+    pub fn shutdown(self) -> Vec<WindowResult> {
+        self.shutdown_with_registry().0
+    }
+
+    /// Like [`shutdown`](Self::shutdown), but also returns the final
+    /// delay registry — the last window's posterior — when the engine ran
+    /// in warm-start mode (`None` in cold mode). Persist it (see
+    /// `save_registry`) to warm-start the next engine across restarts.
+    pub fn shutdown_with_registry(mut self) -> (Vec<WindowResult>, Option<DelayRegistry>) {
         self.ingest.take(); // close the channel
         if let Some(handles) = self.threads.take() {
             for h in handles {
                 h.join().expect("pipeline thread panicked");
             }
         }
-        self.results.try_iter().collect()
+        let registry = self.registry.take().and_then(|rx| rx.try_recv().ok());
+        (self.results.try_iter().collect(), registry)
     }
 }
 
@@ -254,11 +304,50 @@ fn run_reconstruction_worker(
             reconstruction,
             queue_depth,
             latency,
+            warm_edges: 0,
         };
         if done.send((job.seq, result)).is_err() {
             return;
         }
     }
+}
+
+/// Stage 2, warm variant: a single worker carries the [`DelayRegistry`]
+/// through the window stream. Jobs arrive from the windower already in
+/// window order, so publishing window k's posterior before picking up
+/// window k+1 is exactly "publish in window order" — the emitted stream
+/// is byte-identical for every `Params::threads` value because the
+/// registry each window sees depends only on the window sequence.
+fn run_warm_worker(
+    tw: TraceWeaver,
+    work: Receiver<WindowJob>,
+    done: Sender<(u64, WindowResult)>,
+    initial: DelayRegistry,
+    registry_out: Sender<DelayRegistry>,
+) {
+    let mut registry = initial;
+    for job in work.iter() {
+        let queue_depth = work.len();
+        let warm_edges = registry.len();
+        let t0 = std::time::Instant::now();
+        let (reconstruction, posterior) =
+            tw.reconstruct_records_with_registry(&job.records, &registry);
+        registry = posterior;
+        let latency = t0.elapsed();
+        let result = WindowResult {
+            index: job.index,
+            end: job.end,
+            records: job.records,
+            reconstruction,
+            queue_depth,
+            latency,
+            warm_edges,
+        };
+        if done.send((job.seq, result)).is_err() {
+            break;
+        }
+    }
+    let _ = registry_out.send(registry);
 }
 
 /// Stage 3: restore window order (workers finish out of order) and emit.
@@ -300,6 +389,7 @@ mod tests {
                 grace: Nanos::from_millis(100),
                 channel_capacity: 1024,
                 threads: 1,
+                ..OnlineConfig::default()
             },
         );
         let ingest = engine.ingest_handle();
@@ -362,6 +452,7 @@ mod tests {
                     grace: Nanos::from_millis(50),
                     channel_capacity: 1024,
                     threads,
+                    ..OnlineConfig::default()
                 },
             );
             let ingest = engine.ingest_handle();
@@ -434,6 +525,7 @@ mod tests {
                 grace: Nanos::from_millis(50),
                 channel_capacity: 1024,
                 threads: 1,
+                ..OnlineConfig::default()
             },
         );
         let ingest = engine.ingest_handle();
@@ -449,6 +541,56 @@ mod tests {
         windows.sort_by_key(|w| w.index);
         for pair in windows.windows(2) {
             assert!(pair[0].end <= pair[1].end);
+        }
+    }
+
+    /// Warm mode publishes posteriors in window order: every window after
+    /// the first starts from a non-empty prior, and shutdown hands back
+    /// the final registry for persistence.
+    #[test]
+    fn warm_engine_carries_registry_across_windows() {
+        let app = two_service_chain(54);
+        let call_graph = app.config.call_graph();
+        let root = app.roots[0];
+        let sim = Simulator::new(app.config).unwrap();
+        let out = sim.run(&Workload::poisson(root, 400.0, Nanos::from_secs(2)));
+        let tw = TraceWeaver::new(call_graph, Params::default());
+        let engine = OnlineEngine::start(
+            tw,
+            OnlineConfig {
+                window: Nanos::from_millis(250),
+                grace: Nanos::from_millis(50),
+                channel_capacity: 1024,
+                warm_start: true,
+                ..OnlineConfig::default()
+            },
+        );
+        let ingest = engine.ingest_handle();
+        let mut records = out.records.clone();
+        records.sort_by_key(|r| r.send_req);
+        for r in records {
+            ingest.send(r).unwrap();
+        }
+        drop(ingest);
+        let (windows, registry) = engine.shutdown_with_registry();
+        assert!(windows.len() >= 4, "got {} windows", windows.len());
+        assert_eq!(windows[0].warm_edges, 0, "first window is cold");
+        for w in &windows[1..] {
+            assert!(w.warm_edges > 0, "window {} did not warm-start", w.index);
+        }
+        // warm_edges reflects the prior *before* the window was absorbed,
+        // so it only grows along the stream.
+        for pair in windows.windows(2) {
+            assert!(pair[0].warm_edges <= pair[1].warm_edges);
+        }
+        let registry = registry.expect("warm engine returns its registry");
+        assert!(!registry.is_empty());
+        assert_eq!(registry.rounds(), windows.len() as u64);
+        // Every record still processed exactly once, in window order.
+        let total: usize = windows.iter().map(|w| w.records.len()).sum();
+        assert_eq!(total, out.records.len());
+        for pair in windows.windows(2) {
+            assert!(pair[0].index < pair[1].index);
         }
     }
 }

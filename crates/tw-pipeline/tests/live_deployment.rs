@@ -27,6 +27,7 @@ fn tcp_to_engine_to_sampler() {
             grace: Nanos::from_millis(100),
             channel_capacity: 16_384,
             threads: 2,
+            ..OnlineConfig::default()
         },
     );
     let server = IngestServer::bind("127.0.0.1:0", engine.ingest_handle()).unwrap();

@@ -112,12 +112,24 @@ impl Gmm {
     /// uniform. Returns a single-component fit if the sample is too small to
     /// support `c` components.
     pub fn fit(xs: &[f64], c: usize, opts: &GmmFitOptions) -> Self {
+        Gmm::fit_weighted(xs, &vec![1.0; xs.len()], c, opts)
+    }
+
+    /// Weighted EM fit: each sample `xs[i]` counts with weight `ws[i]`.
+    ///
+    /// This is the reservoir-refit path of the warm-start delay registry:
+    /// gap samples from older windows are exponentially down-weighted, so
+    /// the mixture tracks the *current* delay regime while still smoothing
+    /// over many windows. With unit weights this is exactly [`Gmm::fit`].
+    pub fn fit_weighted(xs: &[f64], ws: &[f64], c: usize, opts: &GmmFitOptions) -> Self {
         assert!(c >= 1, "component count must be >= 1");
+        assert_eq!(xs.len(), ws.len(), "one weight per sample");
         if xs.is_empty() {
             return Gmm::single(Gaussian::new(0.0, 1.0));
         }
-        if c == 1 || xs.len() < 2 * c {
-            return Gmm::single(Gaussian::fit(xs));
+        let total_w: f64 = ws.iter().sum();
+        if c == 1 || xs.len() < 2 * c || total_w <= 0.0 {
+            return Gmm::single(Gaussian::fit_weighted(xs, ws));
         }
 
         let overall_sigma = population_variance(xs).sqrt().max(SIGMA_FLOOR);
@@ -144,15 +156,15 @@ impl Gmm {
                     .map(|cm| cm.weight.max(f64::MIN_POSITIVE).ln() + cm.gaussian.log_pdf(x))
                     .collect();
                 let lse = log_sum_exp(&logs);
-                ll += lse;
+                ll += ws[i] * lse;
                 for (j, &lj) in logs.iter().enumerate() {
                     resp[i * c + j] = (lj - lse).exp();
                 }
             }
 
-            // M-step.
+            // M-step (responsibilities scaled by sample weights).
             for j in 0..c {
-                let nj: f64 = (0..n).map(|i| resp[i * c + j]).sum();
+                let nj: f64 = (0..n).map(|i| ws[i] * resp[i * c + j]).sum();
                 if nj < 1e-12 {
                     // Dead component: re-seed at the sample mean so it can
                     // recover, with a tiny weight.
@@ -162,22 +174,22 @@ impl Gmm {
                     };
                     continue;
                 }
-                let mu: f64 = (0..n).map(|i| resp[i * c + j] * xs[i]).sum::<f64>() / nj;
+                let mu: f64 = (0..n).map(|i| ws[i] * resp[i * c + j] * xs[i]).sum::<f64>() / nj;
                 let var: f64 = (0..n)
                     .map(|i| {
                         let d = xs[i] - mu;
-                        resp[i * c + j] * d * d
+                        ws[i] * resp[i * c + j] * d * d
                     })
                     .sum::<f64>()
                     / nj;
                 comps[j] = GmmComponent {
-                    weight: nj / n as f64,
+                    weight: nj / total_w,
                     gaussian: Gaussian::new(mu, var.sqrt()),
                 };
             }
             normalize_weights(&mut comps);
 
-            if (ll - prev_ll).abs() / n as f64 <= opts.tol {
+            if (ll - prev_ll).abs() / total_w <= opts.tol {
                 break;
             }
             prev_ll = ll;
@@ -205,6 +217,64 @@ impl Gmm {
         for c in 1..=opts.max_components.max(1) {
             let gmm = Gmm::fit(xs, c, opts);
             let bic = gmm.bic(xs);
+            match &best {
+                Some((b, _)) if *b <= bic => {}
+                _ => best = Some((bic, gmm)),
+            }
+        }
+        best.expect("at least one candidate model").1
+    }
+
+    /// Weighted log-likelihood of a sample under this mixture.
+    pub fn log_likelihood_weighted(&self, xs: &[f64], ws: &[f64]) -> f64 {
+        xs.iter().zip(ws).map(|(&x, &w)| w * self.log_pdf(x)).sum()
+    }
+
+    /// BIC over a weighted sample: the effective sample size is the total
+    /// weight, so heavily decayed reservoirs prefer simpler models.
+    pub fn bic_weighted(&self, xs: &[f64], ws: &[f64]) -> f64 {
+        let k = (3 * self.components.len() - 1) as f64;
+        let n_eff = ws.iter().sum::<f64>().max(1.0);
+        k * n_eff.ln() - 2.0 * self.log_likelihood_weighted(xs, ws)
+    }
+
+    /// [`Gmm::fit_auto`] over a weighted sample: sweep `C` and keep the
+    /// weighted-BIC minimizer.
+    pub fn fit_auto_weighted(xs: &[f64], ws: &[f64], opts: &GmmFitOptions) -> Self {
+        let mut best: Option<(f64, Gmm)> = None;
+        for c in 1..=opts.max_components.max(1) {
+            let gmm = Gmm::fit_weighted(xs, ws, c, opts);
+            let bic = gmm.bic_weighted(xs, ws);
+            match &best {
+                Some((b, _)) if *b <= bic => {}
+                _ => best = Some((bic, gmm)),
+            }
+        }
+        best.expect("at least one candidate model").1
+    }
+
+    /// Weighted BIC selection over a *narrowed* sweep: only component
+    /// counts within one of `near` (plus the single-Gaussian fallback) are
+    /// tried. When a model is refit round after round on a slowly-evolving
+    /// sample set — the delay registry's absorb loop — the optimal count
+    /// rarely jumps, so sweeping `{1, near-1, near, near+1}` instead of
+    /// `1..=C_max` buys back most of the sweep cost without giving up the
+    /// ability to grow or shrink by one per round.
+    pub fn fit_auto_weighted_near(
+        xs: &[f64],
+        ws: &[f64],
+        opts: &GmmFitOptions,
+        near: usize,
+    ) -> Self {
+        let max = opts.max_components.max(1);
+        let near = near.clamp(1, max);
+        let mut counts = vec![1, near.saturating_sub(1).max(1), near, (near + 1).min(max)];
+        counts.sort_unstable();
+        counts.dedup();
+        let mut best: Option<(f64, Gmm)> = None;
+        for c in counts {
+            let gmm = Gmm::fit_weighted(xs, ws, c, opts);
+            let bic = gmm.bic_weighted(xs, ws);
             match &best {
                 Some((b, _)) if *b <= bic => {}
                 _ => best = Some((bic, gmm)),
@@ -347,6 +417,54 @@ mod tests {
         let one = Gmm::fit(&xs, 1, &GmmFitOptions::default());
         let two = Gmm::fit(&xs, 2, &GmmFitOptions::default());
         assert!(two.log_likelihood(&xs) > one.log_likelihood(&xs));
+    }
+
+    #[test]
+    fn unit_weights_match_unweighted_fit() {
+        let xs = bimodal();
+        let ws = vec![1.0; xs.len()];
+        for c in 1..=3 {
+            let a = Gmm::fit(&xs, c, &GmmFitOptions::default());
+            let b = Gmm::fit_weighted(&xs, &ws, c, &GmmFitOptions::default());
+            assert_eq!(a, b, "unit-weight fit diverged at c={c}");
+        }
+        let a = Gmm::fit_auto(&xs, &GmmFitOptions::default());
+        let b = Gmm::fit_auto_weighted(&xs, &ws, &GmmFitOptions::default());
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn down_weighted_mode_loses_mass() {
+        // Two modes, but the high mode's samples carry tiny weight: the
+        // weighted fit must put most mixing weight on the low mode.
+        let mut xs = Vec::new();
+        let mut ws = Vec::new();
+        for i in 0..200 {
+            let jitter = (i % 7) as f64 * 0.3 - 0.9;
+            if i % 2 == 0 {
+                xs.push(10.0 + jitter);
+                ws.push(1.0);
+            } else {
+                xs.push(50.0 + jitter);
+                ws.push(0.05);
+            }
+        }
+        let gmm = Gmm::fit_weighted(&xs, &ws, 2, &GmmFitOptions::default());
+        let low_weight: f64 = gmm
+            .components
+            .iter()
+            .filter(|c| c.gaussian.mu < 30.0)
+            .map(|c| c.weight)
+            .sum();
+        assert!(low_weight > 0.8, "low mode weight {low_weight}");
+    }
+
+    #[test]
+    fn weighted_gaussian_fit_tracks_heavy_samples() {
+        let g = Gaussian::fit_weighted(&[0.0, 10.0], &[3.0, 1.0]);
+        assert!((g.mu - 2.5).abs() < 1e-12);
+        let empty = Gaussian::fit_weighted(&[], &[]);
+        assert!(empty.sigma > 0.0);
     }
 
     #[test]

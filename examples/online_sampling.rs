@@ -39,6 +39,7 @@ fn main() {
             grace: Nanos::from_millis(100),
             channel_capacity: 8_192,
             threads: 1,
+            ..OnlineConfig::default()
         },
     );
     let ingest = engine.ingest_handle();

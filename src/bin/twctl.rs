@@ -40,6 +40,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "simulate" => cmd_simulate(&flags),
         "learn-graph" => cmd_learn_graph(&flags),
+        "learn-delays" => cmd_learn_delays(&flags),
         "reconstruct" => cmd_reconstruct(&flags),
         "evaluate" => cmd_evaluate(&flags),
         "waterfall" => cmd_waterfall(&flags),
@@ -62,12 +63,18 @@ const USAGE: &str = "\
 twctl — non-intrusive request tracing toolkit
 
 USAGE:
-  twctl simulate    --app <hotel|media|nodejs|social|chain> [--rps N] [--millis N] [--seed N] --out-dir DIR
-  twctl learn-graph --app <hotel|media|nodejs|social|chain> [--seed N] [--replays N] --out FILE
-  twctl reconstruct --spans FILE --graph FILE [--dynamism] [--jaeger FILE]
-  twctl evaluate    --spans FILE --graph FILE --truth FILE [--dynamism]
-  twctl waterfall   --spans FILE --graph FILE [--trace N] [--width N]
-  twctl help";
+  twctl simulate     --app <hotel|media|nodejs|social|chain> [--rps N] [--millis N] [--seed N] --out-dir DIR
+  twctl learn-graph  --app <hotel|media|nodejs|social|chain> [--seed N] [--replays N] --out FILE
+  twctl learn-delays --spans FILE --graph FILE [--window-ms N] [--dynamism] --out FILE
+  twctl reconstruct  --spans FILE --graph FILE [--delay-model FILE] [--dynamism] [--jaeger FILE]
+  twctl evaluate     --spans FILE --graph FILE --truth FILE [--delay-model FILE] [--dynamism]
+  twctl waterfall    --spans FILE --graph FILE [--trace N] [--width N]
+  twctl help
+
+`learn-delays` replays recorded spans through warm-started windows and
+writes the learned per-process delay registry as JSON; pass it back via
+--delay-model to warm-start later reconstructions (skips the seed
+bootstrap, fewer EM passes).";
 
 type Flags = HashMap<String, String>;
 
@@ -199,11 +206,53 @@ fn params_from(flags: &Flags) -> Params {
     }
 }
 
+/// Load the `--delay-model` registry when the flag is present.
+fn delay_model_from(flags: &Flags) -> Result<Option<DelayRegistry>, String> {
+    match flags.get("delay-model") {
+        None => Ok(None),
+        Some(path) => {
+            let registry = load_registry(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+            println!(
+                "loaded delay model: {} edges across {} processes ({} rounds)",
+                registry.len(),
+                registry.processes(),
+                registry.rounds()
+            );
+            Ok(Some(registry))
+        }
+    }
+}
+
+fn cmd_learn_delays(flags: &Flags) -> Result<(), String> {
+    let records = load_spans(flag(flags, "spans")?)?;
+    let graph: CallGraph = read_json(flag(flags, "graph")?)?;
+    let window_ms: u64 = num(flags, "window-ms", 500u64)?;
+    let out = PathBuf::from(flag(flags, "out")?);
+
+    let store = OfflineStore::new();
+    store.ingest(&records);
+    let tw = TraceWeaver::new(graph, params_from(flags));
+    let registry = store.learn_delays(&tw, Nanos::from_millis(window_ms));
+    println!(
+        "learned {} delay edges across {} processes from {} spans ({} windows)",
+        registry.len(),
+        registry.processes(),
+        records.len(),
+        registry.rounds()
+    );
+    save_registry(&out, &registry).map_err(|e| format!("{}: {e}", out.display()))?;
+    println!("wrote {}", out.display());
+    Ok(())
+}
+
 fn cmd_reconstruct(flags: &Flags) -> Result<(), String> {
     let records = load_spans(flag(flags, "spans")?)?;
     let graph: CallGraph = read_json(flag(flags, "graph")?)?;
     let tw = TraceWeaver::new(graph, params_from(flags));
-    let result = tw.reconstruct_records(&records);
+    let result = match delay_model_from(flags)? {
+        Some(registry) => tw.reconstruct_records_with_registry(&records, &registry).0,
+        None => tw.reconstruct_records(&records),
+    };
     let s = result.summary();
     println!(
         "reconstructed {}/{} spans across {} tasks ({} batches, {:.1}% mapped)",
@@ -291,7 +340,10 @@ fn cmd_evaluate(flags: &Flags) -> Result<(), String> {
     let graph: CallGraph = read_json(flag(flags, "graph")?)?;
     let truth: TruthIndex = read_json(flag(flags, "truth")?)?;
     let tw = TraceWeaver::new(graph, params_from(flags));
-    let result = tw.reconstruct_records(&records);
+    let result = match delay_model_from(flags)? {
+        Some(registry) => tw.reconstruct_records_with_registry(&records, &registry).0,
+        None => tw.reconstruct_records(&records),
+    };
 
     let e2e = end_to_end_accuracy_all_roots(&result.mapping, &truth);
     let per_span = per_service_accuracy(&result.mapping, &truth, records.iter().map(|r| r.rpc));

@@ -61,12 +61,14 @@ pub use tw_viz as viz;
 pub mod prelude {
     pub use tw_baselines::{Fcfs, Tracer, VPath, Wap5};
     pub use tw_capture::{generate_test_traces, infer_call_graph, CaptureLayer};
-    pub use tw_core::{Params, Reconstruction, TraceWeaver};
+    pub use tw_core::{DelayRegistry, Params, Reconstruction, TraceWeaver};
     pub use tw_model::metrics::{
         end_to_end_accuracy_all_roots, per_service_accuracy, top_k_accuracy,
     };
     pub use tw_model::time::Nanos;
     pub use tw_model::{CallGraph, Catalog, Endpoint, Mapping, RpcId, TruthIndex};
-    pub use tw_pipeline::{OfflineStore, OnlineConfig, OnlineEngine, TailSampler};
+    pub use tw_pipeline::{
+        load_registry, save_registry, OfflineStore, OnlineConfig, OnlineEngine, TailSampler,
+    };
     pub use tw_sim::{AppConfig, SimOutput, Simulator, Workload};
 }

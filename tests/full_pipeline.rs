@@ -189,6 +189,126 @@ fn parallel_reconstruction_is_deterministic() {
 }
 
 #[test]
+fn warm_reconstruction_is_deterministic_across_threads() {
+    // Warm starts must preserve the executor-invisibility invariant: with
+    // the same prior registry, every thread count produces bit-identical
+    // mappings, ranked candidates, and score bits — and an identical
+    // posterior registry.
+    let app = traceweaver::sim::apps::hotel_reservation(308);
+    let call_graph = app.config.call_graph();
+    let sim = Simulator::new(app.config).unwrap();
+    let out = sim.run(&Workload::poisson(app.roots[0], 400.0, Nanos::from_secs(1)));
+    let mid = Nanos::from_millis(500);
+    let first: Vec<_> = out
+        .records
+        .iter()
+        .filter(|r| r.send_req < mid)
+        .copied()
+        .collect();
+    let second: Vec<_> = out
+        .records
+        .iter()
+        .filter(|r| r.send_req >= mid)
+        .copied()
+        .collect();
+    assert!(!first.is_empty() && !second.is_empty());
+
+    // Build a prior from the first half, warm-reconstruct the second.
+    let (reference, ref_posterior) = {
+        let tw = TraceWeaver::new(call_graph.clone(), Params::default());
+        let (_, prior) = tw.reconstruct_records_with_registry(&first, &DelayRegistry::new());
+        assert!(!prior.is_empty(), "first half must produce a prior");
+        tw.reconstruct_records_with_registry(&second, &prior)
+    };
+    for threads in [1usize, 2, 8] {
+        let tw = TraceWeaver::new(call_graph.clone(), Params::with_threads(threads));
+        let (_, prior) = tw.reconstruct_records_with_registry(&first, &DelayRegistry::new());
+        let (result, posterior) = tw.reconstruct_records_with_registry(&second, &prior);
+        assert_eq!(
+            posterior.len(),
+            ref_posterior.len(),
+            "{threads} threads: posterior edge count diverged"
+        );
+        for rec in &second {
+            assert_eq!(
+                reference.mapping.children(rec.rpc),
+                result.mapping.children(rec.rpc),
+                "{threads} threads: warm mapping diverged at {:?}",
+                rec.rpc
+            );
+            assert_eq!(
+                reference.ranked.candidates(rec.rpc),
+                result.ranked.candidates(rec.rpc),
+                "{threads} threads: warm ranked candidates diverged at {:?}",
+                rec.rpc
+            );
+            let (a, b) = (
+                reference.ranked.scores(rec.rpc),
+                result.ranked.scores(rec.rpc),
+            );
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "{threads} threads: warm score bits diverged at {:?}",
+                    rec.rpc
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn warm_second_window_matches_cold_on_stationary_workload() {
+    // On a stationary workload the warm path's prior describes exactly the
+    // delays the second window will see, so warm reconstruction must map
+    // at least as many spans as a cold start on the same window.
+    let app = traceweaver::sim::apps::hotel_reservation(309);
+    let call_graph = app.config.call_graph();
+    let sim = Simulator::new(app.config).unwrap();
+    let out = sim.run(&Workload::poisson(app.roots[0], 400.0, Nanos::from_secs(2)));
+    let mid = Nanos::from_secs(1);
+    let first: Vec<_> = out
+        .records
+        .iter()
+        .filter(|r| r.send_req < mid)
+        .copied()
+        .collect();
+    let second: Vec<_> = out
+        .records
+        .iter()
+        .filter(|r| r.send_req >= mid)
+        .copied()
+        .collect();
+
+    let tw = TraceWeaver::new(call_graph, Params::default());
+    let (first_rec, prior) = tw.reconstruct_records_with_registry(&first, &DelayRegistry::new());
+    let (warm, _) = tw.reconstruct_records_with_registry(&second, &prior);
+    let cold = tw.reconstruct_records(&second);
+    let mapped = |r: &Reconstruction| r.summary().mapped_spans;
+    assert!(
+        mapped(&warm) >= mapped(&cold),
+        "warm window mapped {} spans, cold mapped {}",
+        mapped(&warm),
+        mapped(&cold)
+    );
+    // And end-to-end accuracy over the whole run (both windows merged)
+    // holds up against ground truth. Traces straddling the split point
+    // lose children to the other window, so the bar allows for a handful
+    // of boundary casualties.
+    let mut merged = Mapping::new();
+    merged.merge(first_rec.mapping.clone());
+    merged.merge(warm.mapping.clone());
+    let warm_acc = end_to_end_accuracy_all_roots(&merged, &out.truth);
+    assert!(
+        warm_acc.ratio() > 0.85,
+        "warm accuracy {}",
+        warm_acc.ratio()
+    );
+}
+
+#[test]
 fn ablations_do_not_beat_full_system() {
     let app = traceweaver::sim::apps::hotel_reservation(305);
     let call_graph = app.config.call_graph();
