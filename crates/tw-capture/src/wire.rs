@@ -142,6 +142,20 @@ impl FrameDecoder {
         self.buf.len()
     }
 
+    /// Drop one buffered byte and return how many were dropped (0 when
+    /// the buffer is empty). Used by resynchronizing consumers after a
+    /// decode error that consumed nothing (e.g. a corrupt length
+    /// prefix): sliding the window one byte at a time searches for the
+    /// next plausible frame boundary.
+    pub fn resync(&mut self) -> usize {
+        if self.buf.is_empty() {
+            0
+        } else {
+            self.buf.advance(1);
+            1
+        }
+    }
+
     /// Try to decode the next complete record; `Ok(None)` means more bytes
     /// are needed.
     pub fn next_record(&mut self) -> Result<Option<RpcRecord>, WireError> {

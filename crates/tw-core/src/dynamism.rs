@@ -39,16 +39,31 @@ pub struct SkipBudget {
 impl SkipBudget {
     /// Discrepancy between what the call graph predicts and what was
     /// observed (§4.2 step 1).
+    ///
+    /// Two signals, combined per endpoint by `max`:
+    ///
+    /// * **count discrepancy** — predicted calls minus observed spans,
+    ///   the paper's dynamism signal;
+    /// * **forced skips** — parent slots whose time window contains *no*
+    ///   feasible span. Count discrepancy alone goes blind under
+    ///   telemetry loss (DESIGN.md §9): a dropped *parent* leaves orphan
+    ///   children inflating "observed" by as much as dropped children
+    ///   deflate it, so uniform span drops cancel to a zero budget and
+    ///   every parent missing a child would go entirely unassigned.
     pub fn compute(
         incoming: &[ObservedSpan],
         layouts: &HashMap<Endpoint, SlotLayout>,
         pool: &OutgoingPool,
     ) -> Self {
         let mut expected: HashMap<Endpoint, usize> = HashMap::new();
+        let mut forced: HashMap<Endpoint, usize> = HashMap::new();
         for s in incoming {
             if let Some(layout) = layouts.get(&s.endpoint) {
                 for (_, _, e) in layout.slots() {
                     *expected.entry(e).or_default() += 1;
+                    if pool.feasible_for_window(e, s.start, s.end).is_empty() {
+                        *forced.entry(e).or_default() += 1;
+                    }
                 }
             }
         }
@@ -56,7 +71,10 @@ impl SkipBudget {
             .into_iter()
             .filter_map(|(e, exp)| {
                 let obs = pool.count_for(e);
-                exp.checked_sub(obs).filter(|&d| d > 0).map(|d| (e, d))
+                let need = exp
+                    .saturating_sub(obs)
+                    .max(forced.get(&e).copied().unwrap_or(0));
+                (need > 0).then_some((e, need))
             })
             .collect();
         SkipBudget { per_endpoint }
@@ -267,6 +285,60 @@ mod tests {
         let pool = OutgoingPool::new(&outgoing);
         let budget = SkipBudget::compute(&incoming, &layouts, &pool);
         assert!(budget.is_empty());
+    }
+
+    #[test]
+    fn budget_under_heavy_drop_stays_within_window_totals() {
+        let served = ep(0);
+        let layouts = layouts_for(
+            served,
+            DependencySpec::new(vec![Stage::single(ep(1)), Stage::single(ep(2))]),
+        );
+        // 10 parents expect 10 calls to each backend, but 35% of the
+        // children were dropped: 7 of 10 to svc1 and 6 of 10 to svc2
+        // survive (DESIGN.md §9 heavy-discrepancy regime).
+        let incoming: Vec<_> = (0..10)
+            .map(|i| span(i, served, i * 100, i * 100 + 90))
+            .collect();
+        let mut outgoing = Vec::new();
+        for i in 0..7 {
+            outgoing.push(span(100 + i, ep(1), i * 100 + 5, i * 100 + 20));
+        }
+        for i in 0..6 {
+            outgoing.push(span(200 + i, ep(2), i * 100 + 30, i * 100 + 50));
+        }
+        let pool = OutgoingPool::new(&outgoing);
+        let budget = SkipBudget::compute(&incoming, &layouts, &pool);
+        assert_eq!(budget.for_endpoint(ep(1)), 3);
+        assert_eq!(budget.for_endpoint(ep(2)), 4);
+        assert_eq!(budget.total(), 7);
+        // The budget never exceeds what the window expected in total —
+        // a skip slot only exists where a predicted call is missing.
+        let expected_total = 10 * 2;
+        assert!(budget.total() <= expected_total - outgoing.len());
+    }
+
+    #[test]
+    fn water_fill_never_over_allocates_a_batch() {
+        // Budget of 9 skips across batches whose quotas sum to 7:
+        // allocation must cap at each batch's quota and at the total
+        // quota — water-filling never invents skips.
+        let needs = [6usize, 5, 8, 3];
+        let exclusive = [4usize, 4, 5, 2]; // quotas 2, 1, 3, 1
+        let quotas: Vec<usize> = needs.iter().zip(&exclusive).map(|(&x, &y)| x - y).collect();
+        let alloc = allocate_skips(9, &needs, &exclusive);
+        for (a, q) in alloc.iter().zip(&quotas) {
+            assert!(a <= q);
+        }
+        assert_eq!(alloc.iter().sum::<usize>(), 7);
+
+        // Budget below the total quota is spent exactly, still without
+        // overflowing any single batch.
+        let alloc = allocate_skips(4, &needs, &exclusive);
+        for (a, q) in alloc.iter().zip(&quotas) {
+            assert!(a <= q);
+        }
+        assert_eq!(alloc.iter().sum::<usize>(), 4);
     }
 
     #[test]

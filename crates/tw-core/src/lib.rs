@@ -93,6 +93,9 @@ pub struct ReconstructionSummary {
     pub top_choice_spans: usize,
     pub batches: usize,
     pub skip_budget: usize,
+    /// Batches that shipped a degraded greedy-incumbent solve (node
+    /// budget or wall-clock deadline exhausted; DESIGN.md §9).
+    pub inexact_batches: usize,
 }
 
 impl ReconstructionSummary {
@@ -119,6 +122,7 @@ impl Reconstruction {
             s.top_choice_spans += r.top_choice_spans;
             s.batches += r.batches;
             s.skip_budget += r.skip_budget;
+            s.inexact_batches += r.inexact_batches;
         }
         s
     }
@@ -257,8 +261,14 @@ impl TraceWeaver {
             None => HashMap::new(),
         };
 
+        // One wall-clock cutoff for the whole pass: every task's MIS
+        // solves share it, so total solve time — not per-task time — is
+        // bounded by `Params::solver_deadline_us` (None when 0).
+        let deadline = self.params.solver_deadline();
+
         let partials = exec.map(keys, |key| {
-            let mut task = ReconstructionTask::new(&self.call_graph, &self.params, &views[key]);
+            let mut task = ReconstructionTask::new(&self.call_graph, &self.params, &views[key])
+                .with_deadline(deadline);
             if let Some(model) = priors.get(key) {
                 task = task.with_prior(model);
             }

@@ -13,21 +13,46 @@ use crate::candidates::Candidate;
 use crate::params::Params;
 use tw_solver::mis::{ConflictGraph, SolveOptions};
 
+/// Result of optimizing one batch: the per-parent candidate picks plus
+/// whether the joint solve was exact. `exact = false` only when the MIS
+/// solver degraded to its greedy incumbent (node budget or wall-clock
+/// deadline exhausted) — the deliberate greedy ablation reports `true`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchAssignment {
+    /// Per parent, the index into its candidate list (or `None` if the
+    /// parent went unassigned).
+    pub picks: Vec<Option<usize>>,
+    /// False when the solver shipped a degraded (greedy-incumbent) answer.
+    pub exact: bool,
+}
+
 /// Assign one candidate per parent (if possible) in a batch.
 ///
 /// `per_parent[i]` holds parent `i`'s scored candidates, best first and
-/// already truncated to top-K. Returns, per parent, the index into its
-/// candidate list (or `None` if the parent went unassigned).
-pub fn optimize_batch(per_parent: &[Vec<Candidate>], params: &Params) -> Vec<Option<usize>> {
+/// already truncated to top-K. `deadline` is the reconstruction pass's
+/// shared wall-clock cutoff (degradation ladder, DESIGN.md §9); `None`
+/// leaves the solve bounded only by [`Params::mis_node_budget`].
+pub fn optimize_batch(
+    per_parent: &[Vec<Candidate>],
+    params: &Params,
+    deadline: Option<std::time::Instant>,
+) -> BatchAssignment {
     if params.use_joint_optimization {
-        optimize_mis(per_parent, params)
+        optimize_mis(per_parent, params, deadline)
     } else {
-        optimize_greedy(per_parent)
+        BatchAssignment {
+            picks: optimize_greedy(per_parent),
+            exact: true,
+        }
     }
 }
 
 /// Exact MIS-based joint optimization.
-fn optimize_mis(per_parent: &[Vec<Candidate>], params: &Params) -> Vec<Option<usize>> {
+fn optimize_mis(
+    per_parent: &[Vec<Candidate>],
+    params: &Params,
+    deadline: Option<std::time::Instant>,
+) -> BatchAssignment {
     // Flatten vertices.
     let mut vertex_owner: Vec<(usize, usize)> = Vec::new(); // (parent, cand idx)
     let mut raw_scores: Vec<f64> = Vec::new();
@@ -39,7 +64,10 @@ fn optimize_mis(per_parent: &[Vec<Candidate>], params: &Params) -> Vec<Option<us
     }
     let n = vertex_owner.len();
     if n == 0 {
-        return vec![None; per_parent.len()];
+        return BatchAssignment {
+            picks: vec![None; per_parent.len()],
+            exact: true,
+        };
     }
 
     // Shift scores positive; add a coverage bonus larger than the total
@@ -62,6 +90,7 @@ fn optimize_mis(per_parent: &[Vec<Candidate>], params: &Params) -> Vec<Option<us
     }
     let solution = g.solve(&SolveOptions {
         node_budget: params.mis_node_budget,
+        deadline,
     });
 
     let mut out = vec![None; per_parent.len()];
@@ -70,7 +99,10 @@ fn optimize_mis(per_parent: &[Vec<Candidate>], params: &Params) -> Vec<Option<us
         debug_assert!(out[p].is_none(), "solver assigned a span twice");
         out[p] = Some(c);
     }
-    out
+    BatchAssignment {
+        picks: out,
+        exact: solution.exact,
+    }
 }
 
 /// Ablation: greedy per-span assignment in span order — each span takes
@@ -111,10 +143,12 @@ mod tests {
 
     #[test]
     fn empty_batch() {
-        let out = optimize_batch(&[], &Params::default());
-        assert!(out.is_empty());
-        let out = optimize_batch(&[vec![]], &Params::default());
-        assert_eq!(out, vec![None]);
+        let out = optimize_batch(&[], &Params::default(), None);
+        assert!(out.picks.is_empty());
+        assert!(out.exact);
+        let out = optimize_batch(&[vec![]], &Params::default(), None);
+        assert_eq!(out.picks, vec![None]);
+        assert!(out.exact);
     }
 
     #[test]
@@ -123,8 +157,9 @@ mod tests {
             cand(0, vec![Some(0)], -1.0),
             cand(0, vec![Some(1)], -5.0),
         ]];
-        let out = optimize_batch(&per_parent, &Params::default());
-        assert_eq!(out, vec![Some(0)]);
+        let out = optimize_batch(&per_parent, &Params::default(), None);
+        assert_eq!(out.picks, vec![Some(0)]);
+        assert!(out.exact);
     }
 
     #[test]
@@ -136,8 +171,8 @@ mod tests {
             vec![cand(0, vec![Some(0)], -1.0), cand(0, vec![Some(1)], -3.0)],
             vec![cand(1, vec![Some(0)], -2.0)],
         ];
-        let out = optimize_batch(&per_parent, &Params::default());
-        assert_eq!(out, vec![Some(1), Some(0)], "coverage beats greed");
+        let out = optimize_batch(&per_parent, &Params::default(), None);
+        assert_eq!(out.picks, vec![Some(1), Some(0)], "coverage beats greed");
     }
 
     #[test]
@@ -147,8 +182,9 @@ mod tests {
             vec![cand(1, vec![Some(0)], -2.0)],
         ];
         let params = Params::default().ablate_joint_optimization();
-        let out = optimize_batch(&per_parent, &params);
-        assert_eq!(out, vec![Some(0), None]);
+        let out = optimize_batch(&per_parent, &params, None);
+        assert_eq!(out.picks, vec![Some(0), None]);
+        assert!(out.exact, "deliberate greedy ablation is not 'inexact'");
     }
 
     #[test]
@@ -157,8 +193,8 @@ mod tests {
             vec![cand(0, vec![Some(5), Some(6)], -1.0)],
             vec![cand(1, vec![Some(6), Some(7)], -1.0)],
         ];
-        let out = optimize_batch(&per_parent, &Params::default());
-        let assigned = out.iter().flatten().count();
+        let out = optimize_batch(&per_parent, &Params::default(), None);
+        let assigned = out.picks.iter().flatten().count();
         assert_eq!(assigned, 1, "conflicting candidates can't both win");
     }
 
@@ -170,8 +206,8 @@ mod tests {
             vec![cand(0, vec![Some(0)], -1.0), cand(0, vec![Some(1)], -10.0)],
             vec![cand(1, vec![Some(1)], -1.0), cand(1, vec![Some(0)], -10.0)],
         ];
-        let out = optimize_batch(&per_parent, &Params::default());
-        assert_eq!(out, vec![Some(0), Some(0)]);
+        let out = optimize_batch(&per_parent, &Params::default(), None);
+        assert_eq!(out.picks, vec![Some(0), Some(0)]);
     }
 
     #[test]
@@ -182,7 +218,20 @@ mod tests {
             vec![cand(0, vec![None], -20.0)],
             vec![cand(1, vec![None], -20.0)],
         ];
-        let out = optimize_batch(&per_parent, &Params::default());
-        assert_eq!(out, vec![Some(0), Some(0)]);
+        let out = optimize_batch(&per_parent, &Params::default(), None);
+        assert_eq!(out.picks, vec![Some(0), Some(0)]);
+    }
+
+    #[test]
+    fn expired_deadline_marks_batch_inexact() {
+        let past = std::time::Instant::now() - std::time::Duration::from_secs(1);
+        let per_parent = vec![
+            vec![cand(0, vec![Some(0)], -1.0), cand(0, vec![Some(1)], -3.0)],
+            vec![cand(1, vec![Some(0)], -2.0)],
+        ];
+        let out = optimize_batch(&per_parent, &Params::default(), Some(past));
+        assert!(!out.exact, "deadline-hit batches are flagged inexact");
+        // The greedy incumbent still assigns every non-conflicting parent.
+        assert!(out.picks.iter().flatten().count() >= 1);
     }
 }

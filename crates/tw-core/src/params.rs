@@ -31,6 +31,13 @@ pub struct Params {
     pub skip_log_penalty: f64,
     /// Branch-and-bound node budget for the MIS solver.
     pub mis_node_budget: u64,
+    /// Wall-clock budget, in microseconds, shared by all MIS solves of one
+    /// reconstruction pass (0 = unbounded). When the deadline expires each
+    /// remaining batch ships its greedy incumbent and is counted in
+    /// [`crate::TaskReport::inexact_batches`]. NOTE: a nonzero deadline
+    /// makes results timing-dependent — paths that guarantee bit-identical
+    /// output across thread counts must leave it 0.
+    pub solver_deadline_us: u64,
     /// Worker threads for the reconstruction executor: per-service tasks
     /// fan out across threads, and candidate scoring parallelizes across
     /// optimization batches within a task. `1` (the default) runs fully
@@ -89,6 +96,7 @@ impl Default for Params {
             max_candidates_per_span: 128,
             skip_log_penalty: -14.0,
             mis_node_budget: 500_000,
+            solver_deadline_us: 0,
             threads: 1,
             handle_dynamism: false,
             use_thread_hints: false,
@@ -145,6 +153,15 @@ impl Params {
     pub fn ablate_joint_optimization(mut self) -> Self {
         self.use_joint_optimization = false;
         self
+    }
+
+    /// Materialize [`Params::solver_deadline_us`] as an absolute instant,
+    /// anchored at the moment of the call (reconstruction-pass start).
+    /// `None` when the budget is 0 (unbounded).
+    pub fn solver_deadline(&self) -> Option<std::time::Instant> {
+        (self.solver_deadline_us > 0).then(|| {
+            std::time::Instant::now() + std::time::Duration::from_micros(self.solver_deadline_us)
+        })
     }
 
     /// Effective iteration count after the ablation toggle.

@@ -36,6 +36,13 @@ use tw_stats::gmm::{Gmm, GmmFitOptions};
 /// how long a dead delay regime can linger.
 const MIN_RESERVOIR_WEIGHT: f64 = 1e-2;
 
+/// Largest gap magnitude (µs) accepted into a reservoir: one minute.
+/// Real processing/network gaps are micro- to milliseconds; anything this
+/// large is a skew artifact or a corrupted timestamp, and a single such
+/// sample would drag a fitted component arbitrarily far from the real
+/// delay regime (DESIGN.md §9 quarantine).
+const MAX_ABS_GAP_US: f64 = 60.0e6;
+
 /// A bounded reservoir of gap samples with exponentially decayed weights.
 ///
 /// Samples are stored oldest-first; every [`GapReservoir::absorb`] call
@@ -120,6 +127,11 @@ struct EdgeDoc {
 pub struct DelayRegistry {
     edges: BTreeMap<ProcessKey, BTreeMap<EdgeKey, EdgeState>>,
     rounds: u64,
+    /// Degenerate inputs rejected by [`DelayRegistry::absorb`]: non-finite
+    /// or absurd-magnitude gap samples, plus one count per refit rolled
+    /// back because it produced a non-finite / zero-variance model.
+    /// Runtime diagnostic only — not persisted.
+    quarantined: u64,
 }
 
 // JSON maps need string keys, so the registry round-trips through the
@@ -149,6 +161,7 @@ impl From<RegistryDoc> for DelayRegistry {
         DelayRegistry {
             edges,
             rounds: doc.rounds,
+            quarantined: 0,
         }
     }
 }
@@ -170,6 +183,24 @@ impl From<DelayRegistry> for RegistryDoc {
                 .collect(),
         }
     }
+}
+
+/// A mixture is servable as a warm-start prior only if every component has
+/// finite, positive parameters and the mixing weights still form a
+/// distribution. EM on a poisoned reservoir can emit NaN means or zero
+/// weights; such a model scores every candidate at `-inf`/NaN and must
+/// never replace a working one. (Exactly-constant gaps are fine: the fit
+/// floors sigma at `tw_stats::gaussian::SIGMA_FLOOR`, which passes.)
+fn gmm_is_sane(model: &Gmm) -> bool {
+    !model.is_empty()
+        && model.components.iter().all(|c| {
+            c.weight.is_finite()
+                && c.weight > 0.0
+                && c.gaussian.mu.is_finite()
+                && c.gaussian.sigma.is_finite()
+                && c.gaussian.sigma > 0.0
+        })
+        && (model.components.iter().map(|c| c.weight).sum::<f64>() - 1.0).abs() < 1e-6
 }
 
 impl DelayRegistry {
@@ -194,6 +225,12 @@ impl DelayRegistry {
     /// Absorb rounds (windows) applied so far.
     pub fn rounds(&self) -> u64 {
         self.rounds
+    }
+
+    /// Degenerate samples rejected and degenerate refits rolled back
+    /// since this registry was created (not persisted across save/load).
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined
     }
 
     pub fn get(&self, process: &ProcessKey, edge: &EdgeKey) -> Option<&EdgeState> {
@@ -236,11 +273,22 @@ impl DelayRegistry {
             max_iters: 40,
             tol: 1e-5,
         };
+        let mut quarantined = 0u64;
         let slot = self.edges.entry(process).or_default();
         let mut keys: Vec<&EdgeKey> = gaps.keys().collect();
         keys.sort_unstable();
         for key in keys {
-            let fresh = &gaps[key];
+            // Quarantine degenerate samples before they touch the
+            // reservoir: NaN/infinite gaps (arithmetic on corrupted
+            // timestamps) and skew-scale outliers. The rest of the batch
+            // is still absorbed.
+            let raw = &gaps[key];
+            let fresh: Vec<f64> = raw
+                .iter()
+                .copied()
+                .filter(|g| g.is_finite() && g.abs() <= MAX_ABS_GAP_US)
+                .collect();
+            quarantined += (raw.len() - fresh.len()) as u64;
             if fresh.is_empty() {
                 continue;
             }
@@ -251,7 +299,7 @@ impl DelayRegistry {
             });
             state
                 .reservoir
-                .absorb(fresh, params.delay_decay, params.reservoir_capacity);
+                .absorb(&fresh, params.delay_decay, params.reservoir_capacity);
             let (xs, ws) = state.reservoir.columns();
             if xs.is_empty() {
                 continue;
@@ -259,12 +307,21 @@ impl DelayRegistry {
             // First sight of an edge: full BIC sweep. After that the
             // component count evolves slowly, so sweep only around the
             // current model's count.
-            state.model = if known {
+            let refit = if known {
                 Gmm::fit_auto_weighted_near(&xs, &ws, &opts, state.model.len())
             } else {
                 Gmm::fit_auto_weighted(&xs, &ws, &opts)
             };
+            // Quarantine degenerate posteriors: a refit that collapsed to
+            // non-finite parameters or vanishing variance would poison
+            // every later warm start, so the previous model keeps serving.
+            if gmm_is_sane(&refit) {
+                state.model = refit;
+            } else {
+                quarantined += 1;
+            }
         }
+        self.quarantined += quarantined;
     }
 
     /// Mark the end of one absorb round (one window / one reconstruction
@@ -351,6 +408,51 @@ mod tests {
             res.absorb(&[], 0.5, 1024);
         }
         assert!(res.is_empty());
+    }
+
+    #[test]
+    fn absorb_quarantines_degenerate_samples() {
+        let mut reg = DelayRegistry::new();
+        let key = ekey(0, 0);
+        let mut gaps = HashMap::new();
+        // Clean samples around 10µs, plus a NaN, an infinity, and a
+        // skew-scale outlier (an hour). The clean ones must still land.
+        let mut xs = vec![10.0, 11.0, 9.5, 10.5, 10.2];
+        xs.push(f64::NAN);
+        xs.push(f64::INFINITY);
+        xs.push(3.6e9);
+        gaps.insert(key, xs);
+        reg.absorb(pkey(0), &gaps, &Params::default());
+        reg.finish_round();
+        assert_eq!(reg.quarantined(), 3);
+        let state = reg.get(&pkey(0), &key).expect("edge modeled");
+        assert_eq!(state.reservoir.len(), 5, "clean samples absorbed");
+        let model = reg.model_for(&pkey(0)).unwrap();
+        assert!(model.log_pdf(&key, 10.0) > model.log_pdf(&key, 1_000.0));
+    }
+
+    #[test]
+    fn absorb_all_degenerate_leaves_edge_unmodeled() {
+        let mut reg = DelayRegistry::new();
+        let mut gaps = HashMap::new();
+        gaps.insert(ekey(0, 0), vec![f64::NAN, f64::NEG_INFINITY, -7.0e7]);
+        reg.absorb(pkey(0), &gaps, &Params::default());
+        assert_eq!(reg.quarantined(), 3);
+        assert!(reg.model_for(&pkey(0)).is_none(), "no model from garbage");
+    }
+
+    #[test]
+    fn constant_gaps_survive_quarantine() {
+        // Exactly-deterministic delays hit the sigma floor but are a
+        // legitimate regime — they must not be quarantined.
+        let mut reg = DelayRegistry::new();
+        let key = ekey(0, 0);
+        let mut gaps = HashMap::new();
+        gaps.insert(key, vec![25.0; 40]);
+        reg.absorb(pkey(0), &gaps, &Params::default());
+        assert_eq!(reg.quarantined(), 0);
+        let model = reg.model_for(&pkey(0)).unwrap();
+        assert!(model.log_pdf(&key, 25.0).is_finite());
     }
 
     #[test]

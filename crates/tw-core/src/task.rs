@@ -34,6 +34,10 @@ pub struct TaskReport {
     /// True when iteration 1 started from a warm prior instead of the
     /// seed distribution.
     pub warm_start: bool,
+    /// Batches whose final-iteration joint solve shipped a degraded
+    /// greedy incumbent (node budget or wall-clock deadline exhausted)
+    /// instead of the exact MIS optimum (DESIGN.md §9).
+    pub inexact_batches: usize,
 }
 
 impl TaskReport {
@@ -57,6 +61,12 @@ pub struct ReconstructionTask<'a> {
     /// [`crate::registry::DelayRegistry`]): when present and non-empty,
     /// iteration 1 uses it directly and the seed pass is skipped.
     prior: Option<&'a DelayModel>,
+    /// Shared wall-clock cutoff for every MIS solve in this task. When
+    /// unset, [`Params::solver_deadline_us`] is materialized at the start
+    /// of `run` (per-task anchor); orchestrators that run many tasks in
+    /// one pass should compute one instant and spread it via
+    /// [`ReconstructionTask::with_deadline`] instead.
+    deadline: Option<std::time::Instant>,
 }
 
 impl<'a> ReconstructionTask<'a> {
@@ -66,6 +76,7 @@ impl<'a> ReconstructionTask<'a> {
             params,
             view,
             prior: None,
+            deadline: None,
         }
     }
 
@@ -75,6 +86,14 @@ impl<'a> ReconstructionTask<'a> {
     /// count. An empty prior is ignored (cold behavior).
     pub fn with_prior(mut self, prior: &'a DelayModel) -> Self {
         self.prior = Some(prior);
+        self
+    }
+
+    /// Set the shared wall-clock deadline for this task's MIS solves
+    /// (degradation ladder, DESIGN.md §9). `None` falls back to a
+    /// per-task anchor derived from [`Params::solver_deadline_us`].
+    pub fn with_deadline(mut self, deadline: Option<std::time::Instant>) -> Self {
+        self.deadline = deadline;
         self
     }
 
@@ -111,6 +130,7 @@ impl<'a> ReconstructionTask<'a> {
                 params: self.params,
                 view: &view,
                 prior: self.prior,
+                deadline: self.deadline,
             };
             return task.run_sorted(mapping, ranked);
         }
@@ -220,7 +240,12 @@ impl<'a> ReconstructionTask<'a> {
             params.effective_iterations()
         };
         let exec = Executor::from_params(params);
+        // Wall-clock cutoff shared by every MIS solve below: an explicit
+        // orchestrator-supplied instant wins; otherwise the per-task
+        // budget knob anchors here.
+        let deadline = self.deadline.or_else(|| params.solver_deadline());
         let mut assignment: Vec<Option<Candidate>> = vec![None; n];
+        let mut inexact_batches = 0usize;
         for iter in 0..iterations {
             // Score and rank candidates under the current model. Scoring
             // only reads the shared model, so batches score concurrently
@@ -252,6 +277,7 @@ impl<'a> ReconstructionTask<'a> {
             // deleted from later ones (§4.1 step 5 (v)).
             let mut used: HashSet<usize> = HashSet::new();
             assignment = vec![None; n];
+            inexact_batches = 0;
             for (b, range) in batches.iter().enumerate() {
                 let parents: Vec<usize> = range.clone().collect();
                 let per_parent: Vec<Vec<Candidate>> = parents
@@ -265,7 +291,11 @@ impl<'a> ReconstructionTask<'a> {
                             .collect()
                     })
                     .collect();
-                let picks = optimize_batch(&per_parent, params);
+                let outcome = optimize_batch(&per_parent, params, deadline);
+                if !outcome.exact {
+                    inexact_batches += 1;
+                }
+                let picks = outcome.picks;
 
                 // Enforce the batch's skip allocation: unassign the
                 // lowest-scoring skip users beyond the allocation.
@@ -330,6 +360,7 @@ impl<'a> ReconstructionTask<'a> {
             skip_budget: budget.total(),
             iterations,
             warm_start: warm,
+            inexact_batches,
             ..TaskReport::default()
         };
         for (i, a) in assignment.iter().enumerate() {

@@ -7,6 +7,9 @@
 //!   `tw_capture::wire`) that reconstructs tumbling windows in real time;
 //! * [`net`] — a TCP span transport: agents export wire frames to an
 //!   ingestion server feeding the engine;
+//! * [`sanitize`] — a defensive stage between ingestion and the engine:
+//!   bounded dedup, non-causal rejection, clock-skew correction, and
+//!   late-arrival accounting (DESIGN.md §9);
 //! * [`sampling`] — **tail-based sampling** on reconstructed traces: once
 //!   a window is mapped, a configured fraction of complete traces is kept
 //!   and the rest dropped — the sampling style head-based tracing cannot
@@ -16,9 +19,11 @@
 pub mod net;
 pub mod online;
 pub mod sampling;
+pub mod sanitize;
 pub mod store;
 
 pub use net::{export_records, IngestServer, IngestStats};
-pub use online::{OnlineConfig, OnlineEngine, WindowResult};
+pub use online::{DegradationLevel, OnlineConfig, OnlineEngine, ShedPolicy, WindowResult};
 pub use sampling::TailSampler;
+pub use sanitize::{SanitizeConfig, SanitizeStats, Sanitizer, SanitizerStage};
 pub use store::{load_registry, save_registry, OfflineStore};

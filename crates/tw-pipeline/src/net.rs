@@ -19,10 +19,17 @@ use tw_capture::wire::{encode_records, FrameDecoder};
 use tw_core::TraceWeaver;
 use tw_model::span::RpcRecord;
 
+/// Consecutive decode failures tolerated on one connection before the
+/// server stops resynchronizing and drops it: a stream that keeps failing
+/// this many times in a row is garbage, not a glitch, and scanning it
+/// byte by byte forever would burn a thread on an adversarial client.
+pub const MAX_CONSECUTIVE_DECODE_ERRORS: u32 = 32;
+
 /// Counters shared between the server handle and connection threads.
 #[derive(Debug, Default)]
 struct StatsInner {
     connections: AtomicU64,
+    connections_dropped: AtomicU64,
     decode_errors: AtomicU64,
     bytes_discarded: AtomicU64,
 }
@@ -32,12 +39,16 @@ struct StatsInner {
 pub struct IngestStats {
     /// Connections served (including ones that later failed to decode).
     pub connections: u64,
-    /// Connections closed because their frame stream failed to decode.
+    /// Connections dropped after [`MAX_CONSECUTIVE_DECODE_ERRORS`]
+    /// failures in a row exhausted resynchronization.
+    pub connections_dropped: u64,
+    /// Individual frame decode failures. A connection survives a failure
+    /// (the decoder resynchronizes and scans for the next frame
+    /// boundary) until the consecutive-failure limit is hit.
     pub decode_errors: u64,
-    /// Bytes that were buffered but undecodable when a stream failed —
-    /// the data discarded along with the connection. Bytes the client had
-    /// not yet transmitted at error time are not observable and not
-    /// counted.
+    /// Bytes skipped or consumed by failed decodes, plus anything still
+    /// buffered when a connection is dropped. Bytes the client had not
+    /// yet transmitted at drop time are not observable and not counted.
     pub bytes_discarded: u64,
 }
 
@@ -127,6 +138,7 @@ impl IngestServer {
     pub fn stats(&self) -> IngestStats {
         IngestStats {
             connections: self.stats.connections.load(Ordering::SeqCst),
+            connections_dropped: self.stats.connections_dropped.load(Ordering::SeqCst),
             decode_errors: self.stats.decode_errors.load(Ordering::SeqCst),
             bytes_discarded: self.stats.bytes_discarded.load(Ordering::SeqCst),
         }
@@ -153,7 +165,16 @@ impl Drop for IngestServer {
     }
 }
 
-/// Decode one connection's frame stream into the sink until EOF or error.
+/// Decode one connection's frame stream into the sink until EOF.
+///
+/// A decode failure no longer kills the connection outright: the decoder
+/// resynchronizes (skipping a byte when the failed parse consumed
+/// nothing, e.g. a corrupt length prefix) and keeps scanning for the
+/// next frame boundary, so one mangled frame costs one frame, not the
+/// whole stream. Only [`MAX_CONSECUTIVE_DECODE_ERRORS`] failures in a
+/// row — a stream that is garbage, not glitched — drop the connection.
+/// The frame length itself is bounded by `tw_capture::wire::MAX_FRAME`,
+/// so a corrupt prefix can never trigger a huge allocation.
 fn serve_connection(
     mut stream: TcpStream,
     sink: Sender<RpcRecord>,
@@ -162,6 +183,7 @@ fn serve_connection(
     stats.connections.fetch_add(1, Ordering::SeqCst);
     let mut decoder = FrameDecoder::new();
     let mut buf = [0u8; 16 * 1024];
+    let mut consecutive_errors: u32 = 0;
     loop {
         let n = stream.read(&mut buf)?;
         if n == 0 {
@@ -169,25 +191,40 @@ fn serve_connection(
         }
         decoder.feed(&buf[..n]);
         loop {
+            let pending_before = decoder.pending_bytes();
             match decoder.next_record() {
                 Ok(Some(rec)) => {
+                    consecutive_errors = 0;
                     if sink.send(rec).is_err() {
                         return Ok(()); // sink closed: drop the rest
                     }
                 }
                 Ok(None) => break,
                 Err(e) => {
-                    // Everything still buffered is lost with the
-                    // connection; count it so operators can see how much
-                    // data a misbehaving agent is costing.
-                    stats
-                        .bytes_discarded
-                        .fetch_add(decoder.pending_bytes() as u64, Ordering::SeqCst);
                     stats.decode_errors.fetch_add(1, Ordering::SeqCst);
-                    return Err(std::io::Error::new(
-                        std::io::ErrorKind::InvalidData,
-                        format!("wire error: {e}"),
-                    ));
+                    consecutive_errors += 1;
+                    if consecutive_errors >= MAX_CONSECUTIVE_DECODE_ERRORS {
+                        // Still-buffered bytes are lost with the
+                        // connection; count them so operators can see
+                        // how much data a misbehaving agent is costing.
+                        stats
+                            .bytes_discarded
+                            .fetch_add(decoder.pending_bytes() as u64, Ordering::SeqCst);
+                        stats.connections_dropped.fetch_add(1, Ordering::SeqCst);
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            format!("dropping connection after {consecutive_errors} consecutive wire errors: {e}"),
+                        ));
+                    }
+                    // Resynchronize: bytes the failed parse consumed are
+                    // gone either way; if it consumed nothing (corrupt
+                    // length prefix), slide one byte to search for the
+                    // next boundary.
+                    let mut discarded = (pending_before - decoder.pending_bytes()) as u64;
+                    if discarded == 0 {
+                        discarded = decoder.resync() as u64;
+                    }
+                    stats.bytes_discarded.fetch_add(discarded, Ordering::SeqCst);
                 }
             }
         }
@@ -208,6 +245,25 @@ pub fn serve_online(
     let engine = OnlineEngine::start(tw, config);
     let server = IngestServer::bind(addr, engine.ingest_handle())?;
     Ok((server, engine))
+}
+
+/// [`serve_online`] with a [`Sanitizer`](crate::Sanitizer) between the
+/// server and the engine: decoded records are deduplicated, causality-
+/// checked, skew-corrected and late-filtered before they reach the
+/// windower (DESIGN.md §9). Shut down in pipeline order — server, then
+/// `stage.join()`, then engine — so every stage drains into the next.
+pub fn serve_online_sanitized(
+    addr: &str,
+    tw: TraceWeaver,
+    config: OnlineConfig,
+    sanitize: crate::SanitizeConfig,
+) -> std::io::Result<(IngestServer, OnlineEngine, crate::SanitizerStage)> {
+    let capacity = config.channel_capacity;
+    let engine = OnlineEngine::start(tw, config);
+    let (clean_tx, stage) =
+        crate::SanitizerStage::spawn(sanitize, engine.ingest_handle(), capacity);
+    let server = IngestServer::bind(addr, clean_tx)?;
+    Ok((server, engine, stage))
 }
 
 /// Client side: connect and export a batch of records as wire frames.
@@ -286,11 +342,13 @@ mod tests {
     }
 
     #[test]
-    fn malformed_stream_only_kills_its_connection() {
+    fn garbage_stream_dropped_after_consecutive_errors() {
         let (tx, rx) = unbounded();
         let server = IngestServer::bind("127.0.0.1:0", tx).unwrap();
         let addr = server.local_addr();
-        // Garbage connection: 0xFF… decodes as an absurd frame length.
+        // Pure-garbage connection: every window of 0xFF… decodes as an
+        // absurd frame length, so resync never finds a boundary and the
+        // consecutive-error limit fires.
         {
             let mut s = TcpStream::connect(addr).unwrap();
             s.write_all(&[0xFF; 64]).unwrap();
@@ -303,8 +361,53 @@ mod tests {
             received.push(rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap());
         }
         assert_eq!(received, records);
-        // The failed stream shows up in the counters (its thread runs
+        // The garbage stream shows up in the counters (its thread runs
         // concurrently, so poll briefly).
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let stats = loop {
+            let s = server.stats();
+            if s.connections_dropped >= 1 || std::time::Instant::now() >= deadline {
+                break s;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        };
+        assert_eq!(stats.connections_dropped, 1, "garbage stream dropped");
+        assert_eq!(
+            stats.decode_errors, MAX_CONSECUTIVE_DECODE_ERRORS as u64,
+            "errors counted up to the drop limit"
+        );
+        // 31 single-byte resyncs + everything still buffered at drop
+        // time; with all 64 bytes buffered that totals the whole stream.
+        assert!(
+            (MAX_CONSECUTIVE_DECODE_ERRORS as u64..=64).contains(&stats.bytes_discarded),
+            "bytes_discarded = {}",
+            stats.bytes_discarded
+        );
+        assert!(stats.connections >= 2, "garbage + healthy connections");
+        server.shutdown();
+    }
+
+    #[test]
+    fn single_corrupt_frame_resyncs_without_dropping_connection() {
+        let (tx, rx) = unbounded();
+        let server = IngestServer::bind("127.0.0.1:0", tx).unwrap();
+        let addr = server.local_addr();
+        // One frame with a bad version byte, then healthy frames, all on
+        // the SAME connection: the decoder consumes the bad frame, the
+        // error is counted, and the stream keeps flowing.
+        let records: Vec<RpcRecord> = (0..10).map(rec).collect();
+        let mut payload = encode_records(&[rec(999)]).to_vec();
+        payload[4] = 77; // corrupt the version byte
+        payload.extend_from_slice(&encode_records(&records));
+        {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&payload).unwrap();
+        }
+        let mut received = Vec::new();
+        for _ in 0..records.len() {
+            received.push(rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap());
+        }
+        assert_eq!(received, records, "frames after the corrupt one survive");
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
         let stats = loop {
             let s = server.stats();
@@ -313,16 +416,9 @@ mod tests {
             }
             std::thread::sleep(std::time::Duration::from_millis(5));
         };
-        assert_eq!(stats.decode_errors, 1, "exactly one stream failed");
-        // The decoder errors as soon as the bogus 4-byte length is
-        // buffered; depending on TCP chunking, 4–64 of the garbage bytes
-        // were buffered (and thus counted) at that moment.
-        assert!(
-            (4..=64).contains(&stats.bytes_discarded),
-            "bytes_discarded = {}",
-            stats.bytes_discarded
-        );
-        assert!(stats.connections >= 2, "garbage + healthy connections");
+        assert_eq!(stats.decode_errors, 1);
+        assert_eq!(stats.connections_dropped, 0, "connection survived");
+        assert!(stats.bytes_discarded >= 4, "bad frame counted as discarded");
         server.shutdown();
     }
 

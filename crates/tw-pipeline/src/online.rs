@@ -44,6 +44,74 @@ use tw_core::{DelayRegistry, Reconstruction, TraceWeaver};
 use tw_model::span::RpcRecord;
 use tw_model::time::Nanos;
 
+/// How much of the reconstruction pipeline a window ran through — the
+/// load-shedding ladder of DESIGN.md §9, ordered lightest to heaviest
+/// degradation. Levels are strictly ordered: a deeper queue never picks a
+/// lighter level than a shallower one.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DegradationLevel {
+    /// Normal operation: full batch size, exact joint optimization.
+    #[default]
+    Full,
+    /// Batch size halved: smaller MIS instances, bounded solve cost.
+    ShrinkBatch,
+    /// Joint optimization disabled: greedy per-span assignment only.
+    Greedy,
+    /// Window not reconstructed at all; its records are carried through
+    /// with explicit accounting ([`WindowResult::shed_records`]).
+    Skip,
+}
+
+/// When to shed load, keyed on work-queue depth (windows waiting when a
+/// worker picks up a job). Thresholds default to `usize::MAX` — **never**
+/// — because queue depth is timing-dependent: enabling any threshold
+/// forfeits the byte-identical-across-thread-counts guarantee. `forced`
+/// pins every window to one level regardless of queue depth, which is
+/// both the deterministic escape hatch for tests/benchmarks and a manual
+/// operator override.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShedPolicy {
+    /// Queue depth at which batch size is halved.
+    pub shrink_batch_at: usize,
+    /// Queue depth at which joint optimization is dropped.
+    pub greedy_at: usize,
+    /// Queue depth at which whole windows are skipped.
+    pub skip_at: usize,
+    /// Pin every window to this level (ignores queue depth entirely).
+    pub forced: Option<DegradationLevel>,
+}
+
+impl Default for ShedPolicy {
+    fn default() -> Self {
+        ShedPolicy {
+            shrink_batch_at: usize::MAX,
+            greedy_at: usize::MAX,
+            skip_at: usize::MAX,
+            forced: None,
+        }
+    }
+}
+
+impl ShedPolicy {
+    /// The ladder rung for a window picked up at `queue_depth`. The
+    /// heaviest threshold reached wins, so thresholds need not be ordered
+    /// (though `shrink ≤ greedy ≤ skip` is the sensible configuration).
+    pub fn level_for(&self, queue_depth: usize) -> DegradationLevel {
+        if let Some(level) = self.forced {
+            return level;
+        }
+        if queue_depth >= self.skip_at {
+            DegradationLevel::Skip
+        } else if queue_depth >= self.greedy_at {
+            DegradationLevel::Greedy
+        } else if queue_depth >= self.shrink_batch_at {
+            DegradationLevel::ShrinkBatch
+        } else {
+            DegradationLevel::Full
+        }
+    }
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct OnlineConfig {
@@ -70,6 +138,9 @@ pub struct OnlineConfig {
     /// empty (the first window seeds cold and publishes the first
     /// posterior).
     pub initial_registry: Option<DelayRegistry>,
+    /// Back-pressure load shedding (DESIGN.md §9). Disabled by default to
+    /// preserve determinism across thread counts.
+    pub shed: ShedPolicy,
 }
 
 impl Default for OnlineConfig {
@@ -81,6 +152,7 @@ impl Default for OnlineConfig {
             threads: 1,
             warm_start: false,
             initial_registry: None,
+            shed: ShedPolicy::default(),
         }
     }
 }
@@ -104,12 +176,24 @@ pub struct WindowResult {
     /// Delay-registry edges this window warm-started from (0 = cold
     /// start: no prior, or warm mode disabled).
     pub warm_edges: usize,
+    /// Ladder rung this window ran at (DESIGN.md §9). Anything but
+    /// [`DegradationLevel::Full`] means the engine was shedding load.
+    pub degradation: DegradationLevel,
+    /// Records carried through *without* reconstruction because the
+    /// window was shed at [`DegradationLevel::Skip`] (0 otherwise). The
+    /// sum of `records.len()` across windows still equals the ingested
+    /// record count — skipping never silently drops data.
+    pub shed_records: usize,
 }
 
 impl WindowResult {
     /// Fraction of this window's incoming spans that received a mapping —
-    /// a cheap live health signal for the deployment.
+    /// a cheap live health signal for the deployment. A shed (skipped)
+    /// window mapped nothing, so it reports 0.
     pub fn mapped_fraction(&self) -> f64 {
+        if self.shed_records > 0 {
+            return 0.0;
+        }
         let (mapped, total) = self
             .reconstruction
             .reports
@@ -150,6 +234,7 @@ pub struct OnlineEngine {
 impl OnlineEngine {
     pub fn start(tw: TraceWeaver, mut config: OnlineConfig) -> Self {
         let warm = config.warm_start;
+        let shed = config.shed;
         // Warm windows chain through the registry (k+1 starts from k's
         // posterior), so the warm path is a single ordered worker.
         let workers = if warm { 1 } else { config.threads.max(1) };
@@ -168,7 +253,7 @@ impl OnlineEngine {
         let registry = if warm {
             let (reg_tx, reg_rx) = bounded::<DelayRegistry>(1);
             threads.push(std::thread::spawn(move || {
-                run_warm_worker(tw, work_rx, done_tx, initial_registry, reg_tx);
+                run_warm_worker(tw, shed, work_rx, done_tx, initial_registry, reg_tx);
             }));
             Some(reg_rx)
         } else {
@@ -177,7 +262,7 @@ impl OnlineEngine {
                 let work_rx = work_rx.clone();
                 let done_tx = done_tx.clone();
                 threads.push(std::thread::spawn(move || {
-                    run_reconstruction_worker(tw, work_rx, done_tx);
+                    run_reconstruction_worker(tw, shed, work_rx, done_tx);
                 }));
             }
             drop(done_tx); // collector exits when the last worker drops its clone
@@ -285,17 +370,61 @@ fn run_windower(config: OnlineConfig, rx: Receiver<RpcRecord>, out: Sender<Windo
     flush(window_index, watermark, &mut buffer, &mut seq, &out, true);
 }
 
+/// The configured engine plus its pre-built degraded variants, one per
+/// shedding rung: halving `batch_size` and dropping joint optimization
+/// are `Params` changes, so each rung is just the same call graph under
+/// different parameters, built once per worker instead of per window.
+struct LadderedWeaver {
+    full: TraceWeaver,
+    shrink: TraceWeaver,
+    greedy: TraceWeaver,
+}
+
+impl LadderedWeaver {
+    fn new(full: TraceWeaver) -> Self {
+        let mut shrunk = *full.params();
+        shrunk.batch_size = (shrunk.batch_size / 2).max(1);
+        let shrink = TraceWeaver::new(full.call_graph().clone(), shrunk);
+        let greedy = TraceWeaver::new(
+            full.call_graph().clone(),
+            full.params().ablate_joint_optimization(),
+        );
+        LadderedWeaver {
+            full,
+            shrink,
+            greedy,
+        }
+    }
+
+    /// Engine to reconstruct with at `level`; `None` means skip the
+    /// window entirely.
+    fn for_level(&self, level: DegradationLevel) -> Option<&TraceWeaver> {
+        match level {
+            DegradationLevel::Full => Some(&self.full),
+            DegradationLevel::ShrinkBatch => Some(&self.shrink),
+            DegradationLevel::Greedy => Some(&self.greedy),
+            DegradationLevel::Skip => None,
+        }
+    }
+}
+
 /// Stage 2: reconstruct whole windows; windows are independent, so any
 /// number of these run concurrently off the shared work queue.
 fn run_reconstruction_worker(
     tw: TraceWeaver,
+    shed: ShedPolicy,
     work: Receiver<WindowJob>,
     done: Sender<(u64, WindowResult)>,
 ) {
+    let ladder = LadderedWeaver::new(tw);
     for job in work.iter() {
         let queue_depth = work.len();
+        let level = shed.level_for(queue_depth);
         let t0 = std::time::Instant::now();
-        let reconstruction = tw.reconstruct_records(&job.records);
+        let (reconstruction, shed_records) = match ladder.for_level(level) {
+            Some(tw) => (tw.reconstruct_records(&job.records), 0),
+            None => (Reconstruction::default(), job.records.len()),
+        };
         let latency = t0.elapsed();
         let result = WindowResult {
             index: job.index,
@@ -305,6 +434,8 @@ fn run_reconstruction_worker(
             queue_depth,
             latency,
             warm_edges: 0,
+            degradation: level,
+            shed_records,
         };
         if done.send((job.seq, result)).is_err() {
             return;
@@ -320,19 +451,30 @@ fn run_reconstruction_worker(
 /// registry each window sees depends only on the window sequence.
 fn run_warm_worker(
     tw: TraceWeaver,
+    shed: ShedPolicy,
     work: Receiver<WindowJob>,
     done: Sender<(u64, WindowResult)>,
     initial: DelayRegistry,
     registry_out: Sender<DelayRegistry>,
 ) {
+    let ladder = LadderedWeaver::new(tw);
     let mut registry = initial;
     for job in work.iter() {
         let queue_depth = work.len();
+        let level = shed.level_for(queue_depth);
         let warm_edges = registry.len();
         let t0 = std::time::Instant::now();
-        let (reconstruction, posterior) =
-            tw.reconstruct_records_with_registry(&job.records, &registry);
-        registry = posterior;
+        // A skipped window contributes no posterior: the registry carries
+        // the last reconstructed window's models forward unchanged.
+        let (reconstruction, shed_records) = match ladder.for_level(level) {
+            Some(tw) => {
+                let (reconstruction, posterior) =
+                    tw.reconstruct_records_with_registry(&job.records, &registry);
+                registry = posterior;
+                (reconstruction, 0)
+            }
+            None => (Reconstruction::default(), job.records.len()),
+        };
         let latency = t0.elapsed();
         let result = WindowResult {
             index: job.index,
@@ -342,6 +484,8 @@ fn run_warm_worker(
             queue_depth,
             latency,
             warm_edges,
+            degradation: level,
+            shed_records,
         };
         if done.send((job.seq, result)).is_err() {
             break;
@@ -541,6 +685,134 @@ mod tests {
         windows.sort_by_key(|w| w.index);
         for pair in windows.windows(2) {
             assert!(pair[0].end <= pair[1].end);
+        }
+    }
+
+    #[test]
+    fn shed_policy_ladder_order() {
+        let p = ShedPolicy {
+            shrink_batch_at: 2,
+            greedy_at: 4,
+            skip_at: 8,
+            forced: None,
+        };
+        assert_eq!(p.level_for(0), DegradationLevel::Full);
+        assert_eq!(p.level_for(1), DegradationLevel::Full);
+        assert_eq!(p.level_for(2), DegradationLevel::ShrinkBatch);
+        assert_eq!(p.level_for(4), DegradationLevel::Greedy);
+        assert_eq!(p.level_for(100), DegradationLevel::Skip);
+        assert_eq!(
+            ShedPolicy::default().level_for(usize::MAX - 1),
+            DegradationLevel::Full,
+            "default policy never sheds"
+        );
+        let forced = ShedPolicy {
+            forced: Some(DegradationLevel::Greedy),
+            ..ShedPolicy::default()
+        };
+        assert_eq!(forced.level_for(0), DegradationLevel::Greedy);
+        assert!(DegradationLevel::Full < DegradationLevel::Skip);
+    }
+
+    /// A forced degradation level must shed identically at every worker
+    /// count — the deterministic half of the ladder (queue-depth-driven
+    /// shedding is inherently timing-dependent and defaults off).
+    #[test]
+    fn forced_degradation_is_deterministic_across_threads() {
+        let app = two_service_chain(57);
+        let call_graph = app.config.call_graph();
+        let root = app.roots[0];
+        let sim = Simulator::new(app.config).unwrap();
+        let out = sim.run(&Workload::poisson(root, 400.0, Nanos::from_secs(2)));
+        let mut records = out.records.clone();
+        records.sort_by_key(|r| r.send_req);
+
+        let run = |threads: usize, level: DegradationLevel| -> Vec<WindowResult> {
+            let tw = TraceWeaver::new(call_graph.clone(), Params::default());
+            let engine = OnlineEngine::start(
+                tw,
+                OnlineConfig {
+                    window: Nanos::from_millis(250),
+                    grace: Nanos::from_millis(50),
+                    channel_capacity: 1024,
+                    threads,
+                    shed: ShedPolicy {
+                        forced: Some(level),
+                        ..ShedPolicy::default()
+                    },
+                    ..OnlineConfig::default()
+                },
+            );
+            let ingest = engine.ingest_handle();
+            for r in &records {
+                ingest.send(*r).unwrap();
+            }
+            drop(ingest);
+            engine.shutdown()
+        };
+
+        for level in [DegradationLevel::ShrinkBatch, DegradationLevel::Greedy] {
+            let runs: Vec<Vec<WindowResult>> = [1, 2, 8].iter().map(|&t| run(t, level)).collect();
+            assert!(runs[0].len() >= 4, "got {} windows", runs[0].len());
+            for other in &runs[1..] {
+                assert_eq!(runs[0].len(), other.len());
+                for (a, b) in runs[0].iter().zip(other) {
+                    assert_eq!(a.index, b.index);
+                    assert_eq!(a.records, b.records);
+                    assert_eq!(a.degradation, level);
+                    assert_eq!(b.degradation, level);
+                    for r in &a.records {
+                        assert_eq!(
+                            a.reconstruction.mapping.children(r.rpc),
+                            b.reconstruction.mapping.children(r.rpc),
+                            "degraded mapping diverged in window {} at {level:?}",
+                            a.index
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Forced Skip sheds every window with explicit accounting: nothing
+    /// reconstructed, nothing silently lost.
+    #[test]
+    fn forced_skip_accounts_for_all_records() {
+        let app = two_service_chain(58);
+        let call_graph = app.config.call_graph();
+        let root = app.roots[0];
+        let sim = Simulator::new(app.config).unwrap();
+        let out = sim.run(&Workload::poisson(root, 300.0, Nanos::from_secs(1)));
+        let tw = TraceWeaver::new(call_graph, Params::default());
+        let engine = OnlineEngine::start(
+            tw,
+            OnlineConfig {
+                window: Nanos::from_millis(250),
+                grace: Nanos::from_millis(50),
+                channel_capacity: 1024,
+                shed: ShedPolicy {
+                    forced: Some(DegradationLevel::Skip),
+                    ..ShedPolicy::default()
+                },
+                ..OnlineConfig::default()
+            },
+        );
+        let ingest = engine.ingest_handle();
+        let mut records = out.records.clone();
+        records.sort_by_key(|r| r.send_req);
+        for r in records {
+            ingest.send(r).unwrap();
+        }
+        drop(ingest);
+        let windows = engine.shutdown();
+        assert!(!windows.is_empty());
+        let total: usize = windows.iter().map(|w| w.records.len()).sum();
+        assert_eq!(total, out.records.len(), "skip must not lose records");
+        for w in &windows {
+            assert_eq!(w.degradation, DegradationLevel::Skip);
+            assert_eq!(w.shed_records, w.records.len());
+            assert!(w.reconstruction.mapping.is_empty());
+            assert_eq!(w.mapped_fraction(), 0.0);
         }
     }
 

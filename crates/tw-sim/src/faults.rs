@@ -1,0 +1,431 @@
+//! Telemetry fault injection: perturb an [`RpcRecord`] stream the way a
+//! real eBPF/sidecar capture layer does.
+//!
+//! The reconstruction pipeline assumes complete, clock-consistent span
+//! streams; production capture violates every part of that assumption —
+//! agents drop records under load (often in bursts when one host's ring
+//! buffer overflows), retransmit duplicates, deliver late beyond the
+//! windower's grace period, observe skewed clocks, and emit truncated
+//! records when a response is never seen. A [`FaultPlan`] composes any
+//! subset of these perturbations deterministically from a seed, so
+//! robustness experiments are reproducible and the sanitizer/degradation
+//! ladder can be tested against a known fault mix.
+//!
+//! The plan operates on *arrival order*: records are first ordered by the
+//! time the capture layer could have emitted them (`recv_resp`, when the
+//! caller-side observation completes), faults are applied in one seeded
+//! pass, and the perturbed stream is re-sorted by its (possibly delayed)
+//! arrival times. Identical plan + seed ⇒ byte-identical output.
+
+use rand::{Rng, SeedableRng, StdRng};
+use tw_model::ids::ServiceId;
+use tw_model::span::RpcRecord;
+use tw_model::time::Nanos;
+
+/// One kind of telemetry perturbation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// Drop each record independently with probability `rate`.
+    Drop { rate: f64 },
+    /// Bursty loss at one service's capture agent: records served by
+    /// `service` are dropped in runs of `burst_len`, entered with
+    /// probability `rate / burst_len` so the long-run loss fraction for
+    /// that service is ≈ `rate`.
+    BurstDrop {
+        service: ServiceId,
+        rate: f64,
+        burst_len: usize,
+    },
+    /// Emit each record twice with probability `rate`; the duplicate
+    /// arrives up to `max_lag` later (not necessarily adjacent).
+    Duplicate { rate: f64, max_lag: Nanos },
+    /// Delay each record's *arrival* (not its timestamps) by up to
+    /// `max_delay` with probability `rate` — models reordering and
+    /// late delivery beyond the windower's grace period.
+    Reorder { rate: f64, max_delay: Nanos },
+    /// Clock skew at `service`'s host: every timestamp recorded by that
+    /// host is shifted by `offset_ns` plus a drift of `drift_ppm`
+    /// microseconds per second of simulated time (parts-per-million).
+    ClockSkew {
+        service: ServiceId,
+        offset_ns: i64,
+        drift_ppm: f64,
+    },
+    /// With probability `rate`, the response is never observed: both
+    /// response timestamps are zeroed, leaving a request-only record.
+    Truncate { rate: f64 },
+}
+
+/// Per-kind counts of injected faults, returned by [`FaultPlan::apply`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultLog {
+    pub input: usize,
+    pub emitted: usize,
+    pub dropped: usize,
+    pub burst_dropped: usize,
+    pub duplicated: usize,
+    pub reordered: usize,
+    pub skewed: usize,
+    pub truncated: usize,
+}
+
+impl FaultLog {
+    /// Total records affected by any fault.
+    pub fn total_faulted(&self) -> usize {
+        self.dropped
+            + self.burst_dropped
+            + self.duplicated
+            + self.reordered
+            + self.skewed
+            + self.truncated
+    }
+}
+
+/// A composable, seeded sequence of faults applied to a record stream.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Builder: append one fault to the plan.
+    pub fn with(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Apply the plan, returning the perturbed stream in arrival order
+    /// plus per-kind fault counts.
+    pub fn apply(&self, records: &[RpcRecord]) -> (Vec<RpcRecord>, FaultLog) {
+        let mut log = FaultLog {
+            input: records.len(),
+            ..FaultLog::default()
+        };
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // Arrival order: when the caller-side observation completes.
+        let mut ordered = records.to_vec();
+        ordered.sort_by_key(|r| (r.recv_resp, r.rpc));
+
+        // Remaining burst length per bursty service.
+        let mut burst_left: Vec<(ServiceId, usize)> = self
+            .faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::BurstDrop { service, .. } => Some((*service, 0usize)),
+                _ => None,
+            })
+            .collect();
+
+        // (arrival, tie-break, record); tie-break keeps duplicates after
+        // their original at equal arrival times.
+        let mut out: Vec<(Nanos, u64, RpcRecord)> = Vec::with_capacity(ordered.len());
+
+        'rec: for rec in ordered {
+            let arrival = rec.recv_resp;
+            let mut rec = rec;
+
+            // Phase 1: clock skew (timestamp rewrite, record survives).
+            let mut skewed = false;
+            for fault in &self.faults {
+                if let Fault::ClockSkew {
+                    service,
+                    offset_ns,
+                    drift_ppm,
+                } = fault
+                {
+                    if rec.callee.service == *service {
+                        rec.recv_req = shift(rec.recv_req, *offset_ns, *drift_ppm);
+                        rec.send_resp = shift(rec.send_resp, *offset_ns, *drift_ppm);
+                        skewed = true;
+                    }
+                    if rec.caller == *service {
+                        rec.send_req = shift(rec.send_req, *offset_ns, *drift_ppm);
+                        rec.recv_resp = shift(rec.recv_resp, *offset_ns, *drift_ppm);
+                        skewed = true;
+                    }
+                }
+            }
+            if skewed {
+                log.skewed += 1;
+            }
+
+            // Phase 2: loss (bursty first — a dead agent sees nothing).
+            for fault in &self.faults {
+                if let Fault::BurstDrop {
+                    service,
+                    rate,
+                    burst_len,
+                } = fault
+                {
+                    if rec.callee.service != *service {
+                        continue;
+                    }
+                    let slot = burst_left
+                        .iter_mut()
+                        .find(|(s, _)| s == service)
+                        .expect("burst state registered for every BurstDrop fault");
+                    if slot.1 > 0 {
+                        slot.1 -= 1;
+                        log.burst_dropped += 1;
+                        continue 'rec;
+                    }
+                    let enter = *rate / (*burst_len).max(1) as f64;
+                    if rng.gen_bool(enter.min(1.0)) {
+                        slot.1 = burst_len.saturating_sub(1);
+                        log.burst_dropped += 1;
+                        continue 'rec;
+                    }
+                }
+            }
+            for fault in &self.faults {
+                if let Fault::Drop { rate } = fault {
+                    if rng.gen_bool(*rate) {
+                        log.dropped += 1;
+                        continue 'rec;
+                    }
+                }
+            }
+
+            // Phase 3: truncation (record survives without a response).
+            for fault in &self.faults {
+                if let Fault::Truncate { rate } = fault {
+                    if rng.gen_bool(*rate) {
+                        rec.send_resp = Nanos::ZERO;
+                        rec.recv_resp = Nanos::ZERO;
+                        log.truncated += 1;
+                        break;
+                    }
+                }
+            }
+
+            // Phase 4: duplication (copy arrives up to max_lag later).
+            for fault in &self.faults {
+                if let Fault::Duplicate { rate, max_lag } = fault {
+                    if rng.gen_bool(*rate) {
+                        let lag = Nanos(rng.gen_range(1..=max_lag.0.max(1)));
+                        out.push((arrival + lag, 1, rec));
+                        log.duplicated += 1;
+                    }
+                }
+            }
+
+            // Phase 5: reorder / late arrival of the original.
+            let mut final_arrival = arrival;
+            for fault in &self.faults {
+                if let Fault::Reorder { rate, max_delay } = fault {
+                    if rng.gen_bool(*rate) {
+                        final_arrival += Nanos(rng.gen_range(1..=max_delay.0.max(1)));
+                        log.reordered += 1;
+                    }
+                }
+            }
+            out.push((final_arrival, 0, rec));
+        }
+
+        out.sort_by_key(|(arrival, dup, rec)| (*arrival, rec.rpc, *dup));
+        log.emitted = out.len();
+        (out.into_iter().map(|(_, _, rec)| rec).collect(), log)
+    }
+}
+
+/// Shift a timestamp by a constant offset plus time-proportional drift,
+/// clamping at zero (clocks can run behind the epoch only so far).
+fn shift(ts: Nanos, offset_ns: i64, drift_ppm: f64) -> Nanos {
+    let drift_ns = ts.0 as f64 * drift_ppm * 1e-6;
+    let shifted = ts.0 as i128 + offset_ns as i128 + drift_ns as i128;
+    Nanos(shifted.clamp(0, u64::MAX as i128) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tw_model::ids::{Endpoint, OperationId, RpcId};
+    use tw_model::span::EXTERNAL;
+
+    fn rec(rpc: u64, svc: u32, at_us: u64) -> RpcRecord {
+        RpcRecord {
+            rpc: RpcId(rpc),
+            caller: EXTERNAL,
+            caller_replica: 0,
+            callee: Endpoint::new(ServiceId(svc), OperationId(0)),
+            callee_replica: 0,
+            send_req: Nanos::from_micros(at_us),
+            recv_req: Nanos::from_micros(at_us + 10),
+            send_resp: Nanos::from_micros(at_us + 100),
+            recv_resp: Nanos::from_micros(at_us + 110),
+            caller_thread: None,
+            callee_thread: None,
+        }
+    }
+
+    fn stream(n: u64) -> Vec<RpcRecord> {
+        (0..n).map(|i| rec(i, (i % 3) as u32, i * 500)).collect()
+    }
+
+    #[test]
+    fn empty_plan_is_identity_in_arrival_order() {
+        let input = stream(50);
+        let (out, log) = FaultPlan::new(7).apply(&input);
+        assert_eq!(out.len(), 50);
+        assert_eq!(log.total_faulted(), 0);
+        assert!(out.windows(2).all(|w| w[0].recv_resp <= w[1].recv_resp));
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let input = stream(200);
+        let plan = FaultPlan::new(42)
+            .with(Fault::Drop { rate: 0.1 })
+            .with(Fault::Duplicate {
+                rate: 0.1,
+                max_lag: Nanos::from_millis(1),
+            })
+            .with(Fault::Reorder {
+                rate: 0.1,
+                max_delay: Nanos::from_millis(2),
+            });
+        let (a, la) = plan.apply(&input);
+        let (b, lb) = plan.apply(&input);
+        assert_eq!(a, b);
+        assert_eq!(la, lb);
+
+        let (c, _) = FaultPlan::new(43)
+            .with(Fault::Drop { rate: 0.1 })
+            .apply(&input);
+        let (d, _) = FaultPlan::new(42)
+            .with(Fault::Drop { rate: 0.1 })
+            .apply(&input);
+        assert_ne!(c, d, "different seeds perturb differently");
+    }
+
+    #[test]
+    fn uniform_drop_rate_is_plausible() {
+        let input = stream(2000);
+        let (out, log) = FaultPlan::new(1)
+            .with(Fault::Drop { rate: 0.2 })
+            .apply(&input);
+        assert_eq!(out.len() + log.dropped, 2000);
+        assert!(
+            (250..=550).contains(&log.dropped),
+            "20% of 2000 ± slack, got {}",
+            log.dropped
+        );
+    }
+
+    #[test]
+    fn burst_drop_hits_only_the_target_service_in_runs() {
+        let input = stream(3000);
+        let target = ServiceId(1);
+        let (out, log) = FaultPlan::new(3)
+            .with(Fault::BurstDrop {
+                service: target,
+                rate: 0.3,
+                burst_len: 10,
+            })
+            .apply(&input);
+        assert!(log.burst_dropped > 0);
+        let before = input.iter().filter(|r| r.callee.service == target).count();
+        let after = out.iter().filter(|r| r.callee.service == target).count();
+        assert_eq!(before - after, log.burst_dropped);
+        let others_before = input.len() - before;
+        let others_after = out.len() - after;
+        assert_eq!(others_before, others_after, "other services untouched");
+    }
+
+    #[test]
+    fn duplicates_share_ids_and_arrive_later() {
+        let input = stream(500);
+        let (out, log) = FaultPlan::new(9)
+            .with(Fault::Duplicate {
+                rate: 0.2,
+                max_lag: Nanos::from_millis(5),
+            })
+            .apply(&input);
+        assert_eq!(out.len(), 500 + log.duplicated);
+        assert!(log.duplicated > 50);
+        let mut seen = std::collections::HashMap::new();
+        for r in &out {
+            *seen.entry(r.rpc).or_insert(0usize) += 1;
+        }
+        let dups = seen.values().filter(|&&c| c > 1).count();
+        assert_eq!(dups, log.duplicated);
+    }
+
+    #[test]
+    fn reorder_breaks_arrival_monotonicity_but_keeps_timestamps() {
+        let input = stream(500);
+        let (out, log) = FaultPlan::new(11)
+            .with(Fault::Reorder {
+                rate: 0.3,
+                max_delay: Nanos::from_millis(10),
+            })
+            .apply(&input);
+        assert_eq!(out.len(), 500);
+        assert!(log.reordered > 50);
+        // Timestamps untouched: same multiset of records.
+        let mut a = input.clone();
+        let mut b = out.clone();
+        a.sort_by_key(|r| r.rpc);
+        b.sort_by_key(|r| r.rpc);
+        assert_eq!(a, b);
+        // But recv_resp order is no longer monotone.
+        assert!(out.windows(2).any(|w| w[0].recv_resp > w[1].recv_resp));
+    }
+
+    #[test]
+    fn clock_skew_shifts_only_the_skewed_host_side() {
+        let input = vec![rec(0, 1, 1_000_000)];
+        let (out, log) = FaultPlan::new(5)
+            .with(Fault::ClockSkew {
+                service: ServiceId(1),
+                offset_ns: 2_000_000,
+                drift_ppm: 0.0,
+            })
+            .apply(&input);
+        assert_eq!(log.skewed, 1);
+        // Callee-side timestamps shifted; caller-side (EXTERNAL) untouched.
+        assert_eq!(out[0].send_req, input[0].send_req);
+        assert_eq!(out[0].recv_resp, input[0].recv_resp);
+        assert_eq!(out[0].recv_req, input[0].recv_req + Nanos(2_000_000));
+        assert_eq!(out[0].send_resp, input[0].send_resp + Nanos(2_000_000));
+    }
+
+    #[test]
+    fn drift_grows_with_time() {
+        let early = shift(Nanos::from_secs(1), 0, 100.0);
+        let late = shift(Nanos::from_secs(100), 0, 100.0);
+        let early_err = early.0 - Nanos::from_secs(1).0;
+        let late_err = late.0 - Nanos::from_secs(100).0;
+        assert!(late_err > early_err * 50, "{late_err} vs {early_err}");
+        // Negative offset clamps at zero instead of wrapping.
+        assert_eq!(shift(Nanos(5), -1_000, 0.0), Nanos::ZERO);
+    }
+
+    #[test]
+    fn truncate_zeroes_responses() {
+        let input = stream(400);
+        let (out, log) = FaultPlan::new(13)
+            .with(Fault::Truncate { rate: 0.25 })
+            .apply(&input);
+        assert_eq!(out.len(), 400);
+        let truncated = out
+            .iter()
+            .filter(|r| r.send_resp == Nanos::ZERO && r.recv_resp == Nanos::ZERO)
+            .count();
+        assert_eq!(truncated, log.truncated);
+        assert!(truncated > 50);
+    }
+}

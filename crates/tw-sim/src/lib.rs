@@ -24,6 +24,7 @@
 pub mod apps;
 pub mod config;
 pub mod engine;
+pub mod faults;
 pub mod output;
 pub mod workload;
 
@@ -32,5 +33,6 @@ pub use config::{
     ThreadingModel,
 };
 pub use engine::Simulator;
+pub use faults::{Fault, FaultLog, FaultPlan};
 pub use output::SimOutput;
 pub use workload::Workload;

@@ -36,12 +36,25 @@ pub struct SolveOptions {
     /// Maximum branch-and-bound nodes explored before giving up on
     /// optimality (the incumbent is still returned).
     pub node_budget: u64,
+    /// Wall-clock deadline: once `Instant::now()` passes it, the search
+    /// halts and the incumbent (at least as good as greedy) is returned
+    /// flagged inexact. Checked every [`DEADLINE_CHECK_INTERVAL`] nodes
+    /// so the clock read does not dominate small solves. `None` means no
+    /// time bound. NOTE: a deadline makes results timing-dependent —
+    /// engines that guarantee cross-thread determinism must leave it
+    /// `None` (see DESIGN.md §9).
+    pub deadline: Option<std::time::Instant>,
 }
+
+/// How many branch nodes are explored between deadline checks. Bounds
+/// deadline overshoot to the time of ~1k cheap node expansions.
+pub const DEADLINE_CHECK_INTERVAL: u64 = 1024;
 
 impl Default for SolveOptions {
     fn default() -> Self {
         SolveOptions {
             node_budget: 2_000_000,
+            deadline: None,
         }
     }
 }
@@ -198,18 +211,26 @@ impl ConflictGraph {
 
         let mut nodes_left = opts.node_budget;
         let mut current: Vec<usize> = Vec::new();
-        let exact = Self::branch(
-            &weights,
-            &adj,
-            &suffix,
-            &BitSet::full(n),
-            0,
-            0.0,
-            &mut current,
-            &mut best_weight,
-            &mut best_set,
-            &mut nodes_left,
-        );
+        let exact = if opts
+            .deadline
+            .is_some_and(|d| std::time::Instant::now() >= d)
+        {
+            false // deadline already passed: ship the greedy incumbent
+        } else {
+            Self::branch(
+                &weights,
+                &adj,
+                &suffix,
+                &BitSet::full(n),
+                0,
+                0.0,
+                &mut current,
+                &mut best_weight,
+                &mut best_set,
+                &mut nodes_left,
+                opts.deadline,
+            )
+        };
 
         // Map rank-space solution back to caller vertex ids.
         let mut chosen: Vec<usize> = best_set.iter().map(|&r| order[r]).collect();
@@ -222,7 +243,7 @@ impl ConflictGraph {
     }
 
     /// Recursive branch step over rank-space indices `from..n` restricted
-    /// to `avail`. Returns false if the node budget ran out.
+    /// to `avail`. Returns false if the node budget or deadline ran out.
     #[allow(clippy::too_many_arguments)]
     fn branch(
         weights: &[f64],
@@ -235,8 +256,17 @@ impl ConflictGraph {
         best_weight: &mut f64,
         best_set: &mut Vec<usize>,
         nodes_left: &mut u64,
+        deadline: Option<std::time::Instant>,
     ) -> bool {
         if *nodes_left == 0 {
+            return false;
+        }
+        // Sparse deadline check; zeroing the budget halts every pending
+        // sibling call the same way budget exhaustion does.
+        if (*nodes_left).is_multiple_of(DEADLINE_CHECK_INTERVAL)
+            && deadline.is_some_and(|d| std::time::Instant::now() >= d)
+        {
+            *nodes_left = 0;
             return false;
         }
         *nodes_left -= 1;
@@ -275,6 +305,7 @@ impl ConflictGraph {
             best_weight,
             best_set,
             nodes_left,
+            deadline,
         );
         current.pop();
 
@@ -292,6 +323,7 @@ impl ConflictGraph {
             best_weight,
             best_set,
             nodes_left,
+            deadline,
         );
         ok1 && ok2
     }
@@ -459,10 +491,45 @@ mod tests {
                 }
             }
         }
-        let s = g.solve(&SolveOptions { node_budget: 10 });
+        let s = g.solve(&SolveOptions {
+            node_budget: 10,
+            ..SolveOptions::default()
+        });
         assert!(!s.exact);
         assert!(g.is_independent(&s.chosen));
         assert!(s.weight > 0.0);
+    }
+
+    #[test]
+    fn expired_deadline_returns_greedy_incumbent() {
+        let mut g = ConflictGraph::new(vec![3.0, 2.0, 2.0, 3.0]);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        let past = std::time::Instant::now() - std::time::Duration::from_millis(1);
+        let s = g.solve(&SolveOptions {
+            deadline: Some(past),
+            ..SolveOptions::default()
+        });
+        assert!(!s.exact, "deadline-hit solves are flagged inexact");
+        assert!(g.is_independent(&s.chosen));
+        let greedy = g.solve_greedy();
+        assert!(s.weight >= greedy.weight, "incumbent at least greedy");
+    }
+
+    #[test]
+    fn generous_deadline_stays_exact() {
+        let mut g = ConflictGraph::new(vec![1.0; 12]);
+        for i in 0..11 {
+            g.add_edge(i, i + 1);
+        }
+        let far = std::time::Instant::now() + std::time::Duration::from_secs(60);
+        let s = g.solve(&SolveOptions {
+            deadline: Some(far),
+            ..SolveOptions::default()
+        });
+        assert!(s.exact);
+        assert_eq!(s.weight, 6.0); // alternating vertices of a 12-path
     }
 
     #[test]

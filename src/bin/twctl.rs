@@ -158,7 +158,10 @@ fn cmd_simulate(flags: &Flags) -> Result<(), String> {
     std::fs::create_dir_all(&out_dir).map_err(|e| e.to_string())?;
 
     let graph = app.config.call_graph();
-    let root = app.roots[0];
+    let root = *app
+        .roots
+        .first()
+        .ok_or_else(|| format!("app `{}` has no root endpoints", app.name))?;
     let sim = Simulator::new(app.config).map_err(|e| e.to_string())?;
     let out = sim.run(&Workload::poisson(root, rps, Nanos::from_millis(millis)));
     println!(
