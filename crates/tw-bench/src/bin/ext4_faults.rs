@@ -170,6 +170,7 @@ fn run_pipeline(
             shed,
             warm_start: warm.is_some(),
             initial_registry: warm.cloned(),
+            ..OnlineConfig::default()
         },
     );
     let ingest = engine.ingest_handle();

@@ -23,7 +23,7 @@ pub mod harness;
 pub mod report;
 
 pub use harness::{bench_threads, e2e_accuracy, reconstruct_with, sim_app, Algo};
-pub use report::Table;
+pub use report::{RunMeta, Table};
 
 /// True when quick mode is requested (CI / smoke runs).
 pub fn quick_mode() -> bool {

@@ -3,10 +3,41 @@
 use serde::Serialize;
 use std::path::PathBuf;
 
+/// Provenance stamped into every JSON artifact, so a results file is
+/// interpretable without the shell session that produced it: which
+/// commit, how many reconstruction threads, whether self-telemetry was
+/// live, and whether workloads were shrunk by quick mode.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunMeta {
+    pub git_sha: String,
+    pub threads: usize,
+    pub telemetry_enabled: bool,
+    pub quick: bool,
+}
+
+impl RunMeta {
+    pub fn capture() -> Self {
+        let git_sha = std::process::Command::new("git")
+            .args(["rev-parse", "--short=12", "HEAD"])
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+            .unwrap_or_else(|| "unknown".to_string());
+        RunMeta {
+            git_sha,
+            threads: crate::bench_threads(),
+            telemetry_enabled: tw_telemetry::global().is_enabled(),
+            quick: crate::quick_mode(),
+        }
+    }
+}
+
 /// A printable, persistable results table.
 #[derive(Debug, Clone, Serialize)]
 pub struct Table {
     pub title: String,
+    pub meta: RunMeta,
     pub headers: Vec<String>,
     pub rows: Vec<Vec<String>>,
 }
@@ -15,6 +46,7 @@ impl Table {
     pub fn new(title: &str, headers: &[&str]) -> Self {
         Table {
             title: title.to_string(),
+            meta: RunMeta::capture(),
             headers: headers.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
         }
@@ -105,6 +137,16 @@ mod tests {
         let path = t.save_json("test-artifact").unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
         assert!(content.contains("\"demo\""));
+        // Run metadata rides along in every artifact.
+        for key in [
+            "\"meta\"",
+            "\"git_sha\"",
+            "\"threads\"",
+            "\"telemetry_enabled\"",
+            "\"quick\"",
+        ] {
+            assert!(content.contains(key), "missing {key} in artifact");
+        }
         std::fs::remove_file(path).ok();
     }
 }

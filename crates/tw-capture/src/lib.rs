@@ -18,6 +18,7 @@
 pub mod capture;
 pub mod http;
 pub mod infer;
+mod telemetry;
 pub mod testenv;
 pub mod wire;
 

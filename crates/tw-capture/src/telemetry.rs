@@ -1,0 +1,40 @@
+//! Process-global `tw_capture_*` instrumentation (DESIGN.md §10).
+//!
+//! Counts wire-codec activity on both directions of the span transport.
+//! Handles live in a `OnceLock`; each frame costs two relaxed atomic ops
+//! when the global registry is enabled, one relaxed load otherwise.
+
+use std::sync::OnceLock;
+use tw_telemetry::Counter;
+
+/// Cached handles for every `tw_capture_*` series.
+pub(crate) struct CaptureMetrics {
+    /// `tw_capture_frames_encoded_total`: records serialized to the wire.
+    pub frames_encoded: Counter,
+    /// `tw_capture_bytes_encoded_total`: bytes produced by the encoder.
+    pub bytes_encoded: Counter,
+    /// `tw_capture_frames_decoded_total`: records decoded from the wire.
+    pub frames_decoded: Counter,
+}
+
+/// The process-global handle set, built on first use.
+pub(crate) fn metrics() -> &'static CaptureMetrics {
+    static METRICS: OnceLock<CaptureMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = tw_telemetry::global();
+        CaptureMetrics {
+            frames_encoded: r.counter(
+                "tw_capture_frames_encoded_total",
+                "RPC records serialized into wire frames.",
+            ),
+            bytes_encoded: r.counter(
+                "tw_capture_bytes_encoded_total",
+                "Bytes produced by the wire encoder (length prefixes included).",
+            ),
+            frames_decoded: r.counter(
+                "tw_capture_frames_decoded_total",
+                "RPC records decoded from wire frames.",
+            ),
+        }
+    })
+}

@@ -181,10 +181,13 @@ impl DelayModel {
             max_components: params.max_gmm_components,
             ..GmmFitOptions::default()
         };
+        let telemetry = crate::telemetry::metrics();
         let mut next = self.clone();
         for (key, samples) in gaps {
             if samples.len() >= 3 {
-                next.insert(*key, Gmm::fit_auto(samples, &opts));
+                let gmm = Gmm::fit_auto(samples, &opts);
+                telemetry.gmm_components.observe(gmm.len() as f64);
+                next.insert(*key, gmm);
             }
         }
         next

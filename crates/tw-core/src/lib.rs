@@ -54,6 +54,7 @@ pub mod optimize;
 pub mod params;
 pub mod registry;
 pub mod task;
+mod telemetry;
 
 pub use executor::Executor;
 pub use params::Params;

@@ -322,6 +322,9 @@ impl DelayRegistry {
             }
         }
         self.quarantined += quarantined;
+        let telemetry = crate::telemetry::metrics();
+        telemetry.registry_quarantined.add(quarantined);
+        telemetry.registry_edges.set(self.len() as f64);
     }
 
     /// Mark the end of one absorb round (one window / one reconstruction

@@ -149,6 +149,9 @@ impl<'a> ReconstructionTask<'a> {
         if n == 0 {
             return (TaskReport::default(), HashMap::new());
         }
+        let telemetry = crate::telemetry::metrics();
+        telemetry.tasks.inc();
+        telemetry.spans.add(n as u64);
 
         // Slot layouts per served endpoint.
         let mut layouts: HashMap<Endpoint, SlotLayout> = HashMap::new();
@@ -190,6 +193,7 @@ impl<'a> ReconstructionTask<'a> {
 
         // Candidate enumeration (constraints don't change across
         // iterations, only scores do).
+        let enum_timer = telemetry.stage_candidates.start_timer();
         let mut candidates: Vec<Vec<Candidate>> = incoming
             .iter()
             .enumerate()
@@ -197,6 +201,11 @@ impl<'a> ReconstructionTask<'a> {
                 enumerate_candidates(i, p, &layouts[&p.endpoint], &pool, params, allow_skips)
             })
             .collect();
+        drop(enum_timer);
+        for cands in &candidates {
+            telemetry.candidates.add(cands.len() as u64);
+            telemetry.candidates_per_span.observe(cands.len() as f64);
+        }
 
         // Batching. Without joint optimization everything is one batch.
         let ends: Vec<u64> = incoming.iter().map(|s| s.end.0).collect();
@@ -228,11 +237,21 @@ impl<'a> ReconstructionTask<'a> {
         // chicken-and-egg is already solved by earlier rounds), the seed
         // distribution otherwise.
         let warm = self.prior.is_some_and(|m| !m.is_empty());
+        let seed_timer = telemetry.stage_seed.start_timer();
         let mut model = match self.prior.filter(|m| !m.is_empty()) {
             Some(prior) => prior.clone(),
             None if allow_skips => seed_from_wap5(incoming, outgoing, &pool, &layouts, params),
             None => DelayModel::seed(incoming, &pool, &layouts, outgoing, params),
         };
+        drop(seed_timer);
+        if warm {
+            telemetry.warm_tasks.inc();
+        }
+        telemetry.batches.add(batches.len() as u64);
+        for r in &batches {
+            telemetry.batch_size.observe(r.len() as f64);
+        }
+        telemetry.skip_budget.add(budget.total() as u64);
 
         let iterations = if warm {
             params.effective_warm_iterations()
@@ -244,6 +263,8 @@ impl<'a> ReconstructionTask<'a> {
         // orchestrator-supplied instant wins; otherwise the per-task
         // budget knob anchors here.
         let deadline = self.deadline.or_else(|| params.solver_deadline());
+        telemetry.em_iterations.add(iterations as u64);
+        let optimize_timer = telemetry.stage_optimize.start_timer();
         let mut assignment: Vec<Option<Candidate>> = vec![None; n];
         let mut inexact_batches = 0usize;
         for iter in 0..iterations {
@@ -349,6 +370,8 @@ impl<'a> ReconstructionTask<'a> {
             }
         }
 
+        drop(optimize_timer);
+
         // The final assignment's gaps: the task's posterior delay
         // evidence, returned for registry absorption.
         let posterior_gaps = collect_gaps(incoming, &layouts, &pool, &assignment);
@@ -400,6 +423,7 @@ impl<'a> ReconstructionTask<'a> {
                 mapping.assign(parent_rpc, children);
             }
         }
+        telemetry.spans_mapped.add(report.mapped_spans as u64);
         (report, posterior_gaps)
     }
 }

@@ -15,6 +15,11 @@
 //!   and the rest dropped — the sampling style head-based tracing cannot
 //!   provide without context propagation (§6.6 discusses why head-based
 //!   sampling is unsupported).
+//!
+//! Every stage reports into a [`tw_telemetry::Registry`] (DESIGN.md §10):
+//! pass one registry to the server/sanitizer/engine and serve it over
+//! HTTP with [`MetricsServer`] for a Prometheus-scrapeable view of the
+//! whole pipeline.
 
 pub mod net;
 pub mod online;
@@ -22,7 +27,7 @@ pub mod sampling;
 pub mod sanitize;
 pub mod store;
 
-pub use net::{export_records, IngestServer, IngestStats};
+pub use net::{export_records, fetch_metrics, IngestServer, IngestStats, MetricsServer};
 pub use online::{DegradationLevel, OnlineConfig, OnlineEngine, ShedPolicy, WindowResult};
 pub use sampling::TailSampler;
 pub use sanitize::{SanitizeConfig, SanitizeStats, Sanitizer, SanitizerStage};

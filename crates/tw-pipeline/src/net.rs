@@ -12,12 +12,13 @@ use crate::online::{OnlineConfig, OnlineEngine};
 use crossbeam::channel::Sender;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use tw_capture::wire::{encode_records, FrameDecoder};
 use tw_core::TraceWeaver;
 use tw_model::span::RpcRecord;
+use tw_telemetry::{Counter, Registry};
 
 /// Consecutive decode failures tolerated on one connection before the
 /// server stops resynchronizing and drops it: a stream that keeps failing
@@ -25,13 +26,43 @@ use tw_model::span::RpcRecord;
 /// byte by byte forever would burn a thread on an adversarial client.
 pub const MAX_CONSECUTIVE_DECODE_ERRORS: u32 = 32;
 
-/// Counters shared between the server handle and connection threads.
-#[derive(Debug, Default)]
-struct StatsInner {
-    connections: AtomicU64,
-    connections_dropped: AtomicU64,
-    decode_errors: AtomicU64,
-    bytes_discarded: AtomicU64,
+/// Registry-backed ingestion counters, shared between the server handle
+/// and connection threads. [`IngestStats`] snapshots are views over these
+/// series (DESIGN.md §10).
+#[derive(Debug, Clone)]
+struct IngestMetrics {
+    connections: Counter,
+    connections_dropped: Counter,
+    frames: Counter,
+    decode_errors: Counter,
+    bytes_discarded: Counter,
+}
+
+impl IngestMetrics {
+    fn new(registry: &Registry) -> Self {
+        IngestMetrics {
+            connections: registry.counter(
+                "tw_ingest_connections_total",
+                "Capture-agent TCP connections served (including ones later dropped).",
+            ),
+            connections_dropped: registry.counter(
+                "tw_ingest_connections_dropped_total",
+                "Connections dropped after consecutive decode failures exhausted resync.",
+            ),
+            frames: registry.counter(
+                "tw_ingest_frames_total",
+                "Wire frames decoded into records and forwarded to the pipeline.",
+            ),
+            decode_errors: registry.counter(
+                "tw_ingest_decode_errors_total",
+                "Individual frame decode failures (the stream resynchronizes and survives).",
+            ),
+            bytes_discarded: registry.counter(
+                "tw_ingest_bytes_discarded_total",
+                "Bytes consumed by failed decodes or abandoned when a connection dropped.",
+            ),
+        }
+    }
 }
 
 /// Point-in-time snapshot of a server's ingestion counters.
@@ -63,17 +94,31 @@ pub struct IngestServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
-    stats: Arc<StatsInner>,
+    metrics: IngestMetrics,
 }
 
 impl IngestServer {
     /// Bind and start accepting. Use `"127.0.0.1:0"` to pick a free port.
+    ///
+    /// Counters go to a private registry; use [`bind_in`]
+    /// (IngestServer::bind_in) to share one with the rest of a pipeline
+    /// (and a [`MetricsServer`] scrape endpoint).
     pub fn bind(addr: &str, sink: Sender<RpcRecord>) -> std::io::Result<IngestServer> {
+        Self::bind_in(addr, sink, &Registry::new())
+    }
+
+    /// [`bind`](IngestServer::bind) with an explicit telemetry registry:
+    /// the `tw_ingest_*` series land there.
+    pub fn bind_in(
+        addr: &str,
+        sink: Sender<RpcRecord>,
+        registry: &Registry,
+    ) -> std::io::Result<IngestServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = stop.clone();
-        let stats = Arc::new(StatsInner::default());
+        let stats = IngestMetrics::new(registry);
         let stats2 = stats.clone();
         let accept_thread = std::thread::spawn(move || {
             let mut workers: Vec<JoinHandle<()>> = Vec::new();
@@ -121,7 +166,7 @@ impl IngestServer {
             addr,
             stop,
             accept_thread: Some(accept_thread),
-            stats,
+            metrics: stats,
         })
     }
 
@@ -137,10 +182,10 @@ impl IngestServer {
     /// consumed — snapshot first if you need post-drain numbers, or poll).
     pub fn stats(&self) -> IngestStats {
         IngestStats {
-            connections: self.stats.connections.load(Ordering::SeqCst),
-            connections_dropped: self.stats.connections_dropped.load(Ordering::SeqCst),
-            decode_errors: self.stats.decode_errors.load(Ordering::SeqCst),
-            bytes_discarded: self.stats.bytes_discarded.load(Ordering::SeqCst),
+            connections: self.metrics.connections.get(),
+            connections_dropped: self.metrics.connections_dropped.get(),
+            decode_errors: self.metrics.decode_errors.get(),
+            bytes_discarded: self.metrics.bytes_discarded.get(),
         }
     }
 
@@ -178,9 +223,9 @@ impl Drop for IngestServer {
 fn serve_connection(
     mut stream: TcpStream,
     sink: Sender<RpcRecord>,
-    stats: &StatsInner,
+    stats: &IngestMetrics,
 ) -> std::io::Result<()> {
-    stats.connections.fetch_add(1, Ordering::SeqCst);
+    stats.connections.inc();
     let mut decoder = FrameDecoder::new();
     let mut buf = [0u8; 16 * 1024];
     let mut consecutive_errors: u32 = 0;
@@ -195,22 +240,21 @@ fn serve_connection(
             match decoder.next_record() {
                 Ok(Some(rec)) => {
                     consecutive_errors = 0;
+                    stats.frames.inc();
                     if sink.send(rec).is_err() {
                         return Ok(()); // sink closed: drop the rest
                     }
                 }
                 Ok(None) => break,
                 Err(e) => {
-                    stats.decode_errors.fetch_add(1, Ordering::SeqCst);
+                    stats.decode_errors.inc();
                     consecutive_errors += 1;
                     if consecutive_errors >= MAX_CONSECUTIVE_DECODE_ERRORS {
                         // Still-buffered bytes are lost with the
                         // connection; count them so operators can see
                         // how much data a misbehaving agent is costing.
-                        stats
-                            .bytes_discarded
-                            .fetch_add(decoder.pending_bytes() as u64, Ordering::SeqCst);
-                        stats.connections_dropped.fetch_add(1, Ordering::SeqCst);
+                        stats.bytes_discarded.add(decoder.pending_bytes() as u64);
+                        stats.connections_dropped.inc();
                         return Err(std::io::Error::new(
                             std::io::ErrorKind::InvalidData,
                             format!("dropping connection after {consecutive_errors} consecutive wire errors: {e}"),
@@ -224,7 +268,7 @@ fn serve_connection(
                     if discarded == 0 {
                         discarded = decoder.resync() as u64;
                     }
-                    stats.bytes_discarded.fetch_add(discarded, Ordering::SeqCst);
+                    stats.bytes_discarded.add(discarded);
                 }
             }
         }
@@ -242,8 +286,9 @@ pub fn serve_online(
     tw: TraceWeaver,
     config: OnlineConfig,
 ) -> std::io::Result<(IngestServer, OnlineEngine)> {
+    let registry = config.telemetry.clone();
     let engine = OnlineEngine::start(tw, config);
-    let server = IngestServer::bind(addr, engine.ingest_handle())?;
+    let server = IngestServer::bind_in(addr, engine.ingest_handle(), &registry)?;
     Ok((server, engine))
 }
 
@@ -259,10 +304,11 @@ pub fn serve_online_sanitized(
     sanitize: crate::SanitizeConfig,
 ) -> std::io::Result<(IngestServer, OnlineEngine, crate::SanitizerStage)> {
     let capacity = config.channel_capacity;
+    let registry = config.telemetry.clone();
     let engine = OnlineEngine::start(tw, config);
     let (clean_tx, stage) =
-        crate::SanitizerStage::spawn(sanitize, engine.ingest_handle(), capacity);
-    let server = IngestServer::bind(addr, clean_tx)?;
+        crate::SanitizerStage::spawn_in(sanitize, engine.ingest_handle(), capacity, &registry);
+    let server = IngestServer::bind_in(addr, clean_tx, &registry)?;
     Ok((server, engine, stage))
 }
 
@@ -272,6 +318,136 @@ pub fn export_records(addr: SocketAddr, records: &[RpcRecord]) -> std::io::Resul
     let frames = encode_records(records);
     stream.write_all(&frames)?;
     stream.flush()
+}
+
+/// A minimal HTTP scrape endpoint serving `GET /metrics` in Prometheus
+/// text exposition format v0.0.4.
+///
+/// Hand-rolled on a blocking accept loop, like [`IngestServer`]: scrapes
+/// are rare and tiny, so one connection at a time with a short socket
+/// timeout is robust and dependency-free. The served document is
+/// [`Registry::render_multi`] over `sources` — pass the pipeline's
+/// registry plus [`tw_telemetry::global()`] to cover all five stages
+/// (ingest, sanitize, engine, core task, solver) in one scrape.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind and start serving. Use `"127.0.0.1:0"` to pick a free port.
+    pub fn bind(addr: &str, sources: Vec<Registry>) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let accept_thread = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if stop2.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { break };
+                let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(2)));
+                let _ = stream.set_write_timeout(Some(std::time::Duration::from_secs(2)));
+                let _ = serve_scrape(stream, &sources);
+            }
+        });
+        Ok(MetricsServer {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the accept thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr); // wake the accept loop
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Answer one HTTP request on `stream`: `GET /metrics` gets the rendered
+/// exposition, anything else a 404.
+fn serve_scrape(mut stream: TcpStream, sources: &[Registry]) -> std::io::Result<()> {
+    // Read the request head (we never need a body; 4 KiB bounds it).
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 1024];
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&buf[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() >= 4096 {
+            break;
+        }
+    }
+    let request = String::from_utf8_lossy(&head);
+    let mut parts = request.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) =
+        if method == "GET" && (path == "/metrics" || path.starts_with("/metrics?")) {
+            let refs: Vec<&Registry> = sources.iter().collect();
+            (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                Registry::render_multi(&refs),
+            )
+        } else {
+            (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "not found\n".to_string(),
+            )
+        };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Scrape a [`MetricsServer`] (or any `/metrics` endpoint) and return the
+/// exposition body. Errors on connect failure or a non-200 status.
+pub fn fetch_metrics(addr: SocketAddr) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
+    write!(
+        stream,
+        "GET /metrics HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response.split_once("\r\n\r\n").ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed HTTP response")
+    })?;
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains(" 200 ") {
+        return Err(std::io::Error::other(format!("scrape failed: {status}")));
+    }
+    Ok(body.to_string())
 }
 
 #[cfg(test)]

@@ -43,6 +43,7 @@ use std::time::Duration;
 use tw_core::{DelayRegistry, Reconstruction, TraceWeaver};
 use tw_model::span::RpcRecord;
 use tw_model::time::Nanos;
+use tw_telemetry::{Buckets, Counter, Gauge, Histogram, Registry};
 
 /// How much of the reconstruction pipeline a window ran through — the
 /// load-shedding ladder of DESIGN.md §9, ordered lightest to heaviest
@@ -141,6 +142,13 @@ pub struct OnlineConfig {
     /// Back-pressure load shedding (DESIGN.md §9). Disabled by default to
     /// preserve determinism across thread counts.
     pub shed: ShedPolicy,
+    /// Registry for the engine's `tw_engine_*` series (window latency and
+    /// queue-depth histograms, per-rung window counts, shed-ladder
+    /// transitions). Defaults to a private registry; share one across the
+    /// server/sanitizer/engine (and a `MetricsServer`) to scrape the whole
+    /// pipeline. Telemetry never feeds back into reconstruction, so
+    /// results stay byte-identical with or without observers.
+    pub telemetry: Registry,
 }
 
 impl Default for OnlineConfig {
@@ -153,6 +161,112 @@ impl Default for OnlineConfig {
             warm_start: false,
             initial_registry: None,
             shed: ShedPolicy::default(),
+            telemetry: Registry::new(),
+        }
+    }
+}
+
+/// Registry-backed engine instrumentation, cloned into every worker. The
+/// previous per-window latency/queue-depth fields on [`WindowResult`]
+/// remain as per-window snapshots; these series are their cumulative view.
+#[derive(Debug, Clone)]
+struct EngineMetrics {
+    windows_full: Counter,
+    windows_shrink: Counter,
+    windows_greedy: Counter,
+    windows_skip: Counter,
+    /// Per-worker ladder movements, labeled by the rung moved to.
+    transitions: [Counter; 4],
+    latency: Histogram,
+    pickup_queue_depth: Histogram,
+    queue_depth: Gauge,
+    records: Counter,
+    shed_records: Counter,
+    warm_edges: Gauge,
+}
+
+impl EngineMetrics {
+    fn new(registry: &Registry) -> Self {
+        let windows = |level: &str| {
+            registry.counter_with(
+                "tw_engine_windows_total",
+                "Windows reconstructed, by shed-ladder rung (DESIGN.md §9).",
+                &[("shed_level", level)],
+            )
+        };
+        let transition = |level: &str| {
+            registry.counter_with(
+                "tw_engine_shed_transitions_total",
+                "Shed-ladder rung changes between consecutive windows of one worker.",
+                &[("shed_level", level)],
+            )
+        };
+        EngineMetrics {
+            windows_full: windows("full"),
+            windows_shrink: windows("shrink_batch"),
+            windows_greedy: windows("greedy"),
+            windows_skip: windows("skip"),
+            transitions: [
+                transition("full"),
+                transition("shrink_batch"),
+                transition("greedy"),
+                transition("skip"),
+            ],
+            latency: registry.histogram(
+                "tw_engine_window_latency_seconds",
+                "Wall-clock reconstruction time per window.",
+                Buckets::exponential(1e-4, 4.0, 12),
+            ),
+            pickup_queue_depth: registry.histogram(
+                "tw_engine_pickup_queue_depth",
+                "Windows waiting in the work queue when a worker picked one up.",
+                Buckets::fixed(&[0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0]),
+            ),
+            queue_depth: registry.gauge(
+                "tw_engine_queue_depth",
+                "Work-queue depth at the most recent window pickup.",
+            ),
+            records: registry.counter(
+                "tw_engine_records_total",
+                "Records processed through windows (reconstructed or shed).",
+            ),
+            shed_records: registry.counter(
+                "tw_engine_shed_records_total",
+                "Records carried through unreconstructed because their window was skipped.",
+            ),
+            warm_edges: registry.gauge(
+                "tw_engine_warm_edges",
+                "Delay-registry edges the most recent warm window started from.",
+            ),
+        }
+    }
+
+    fn window_counter(&self, level: DegradationLevel) -> &Counter {
+        match level {
+            DegradationLevel::Full => &self.windows_full,
+            DegradationLevel::ShrinkBatch => &self.windows_shrink,
+            DegradationLevel::Greedy => &self.windows_greedy,
+            DegradationLevel::Skip => &self.windows_skip,
+        }
+    }
+
+    /// Record one finished window. `last_level` is the worker-local
+    /// previous rung, used to count ladder transitions.
+    fn observe_window(&self, result: &WindowResult, last_level: &mut Option<DegradationLevel>) {
+        self.window_counter(result.degradation).inc();
+        if *last_level != Some(result.degradation) {
+            if last_level.is_some() {
+                self.transitions[result.degradation as usize].inc();
+            }
+            *last_level = Some(result.degradation);
+        }
+        self.latency.observe(result.latency.as_secs_f64());
+        self.pickup_queue_depth.observe(result.queue_depth as f64);
+        self.queue_depth.set(result.queue_depth as f64);
+        self.records.add(result.records.len() as u64);
+        self.shed_records.add(result.shed_records as u64);
+        if result.warm_edges > 0 {
+            self.warm_edges.set(result.warm_edges as f64);
         }
     }
 }
@@ -235,6 +349,7 @@ impl OnlineEngine {
     pub fn start(tw: TraceWeaver, mut config: OnlineConfig) -> Self {
         let warm = config.warm_start;
         let shed = config.shed;
+        let metrics = EngineMetrics::new(&config.telemetry);
         // Warm windows chain through the registry (k+1 starts from k's
         // posterior), so the warm path is a single ordered worker.
         let workers = if warm { 1 } else { config.threads.max(1) };
@@ -253,7 +368,15 @@ impl OnlineEngine {
         let registry = if warm {
             let (reg_tx, reg_rx) = bounded::<DelayRegistry>(1);
             threads.push(std::thread::spawn(move || {
-                run_warm_worker(tw, shed, work_rx, done_tx, initial_registry, reg_tx);
+                run_warm_worker(
+                    tw,
+                    shed,
+                    metrics,
+                    work_rx,
+                    done_tx,
+                    initial_registry,
+                    reg_tx,
+                );
             }));
             Some(reg_rx)
         } else {
@@ -261,8 +384,9 @@ impl OnlineEngine {
                 let tw = tw.clone();
                 let work_rx = work_rx.clone();
                 let done_tx = done_tx.clone();
+                let metrics = metrics.clone();
                 threads.push(std::thread::spawn(move || {
-                    run_reconstruction_worker(tw, shed, work_rx, done_tx);
+                    run_reconstruction_worker(tw, shed, metrics, work_rx, done_tx);
                 }));
             }
             drop(done_tx); // collector exits when the last worker drops its clone
@@ -413,10 +537,12 @@ impl LadderedWeaver {
 fn run_reconstruction_worker(
     tw: TraceWeaver,
     shed: ShedPolicy,
+    metrics: EngineMetrics,
     work: Receiver<WindowJob>,
     done: Sender<(u64, WindowResult)>,
 ) {
     let ladder = LadderedWeaver::new(tw);
+    let mut last_level = None;
     for job in work.iter() {
         let queue_depth = work.len();
         let level = shed.level_for(queue_depth);
@@ -437,6 +563,7 @@ fn run_reconstruction_worker(
             degradation: level,
             shed_records,
         };
+        metrics.observe_window(&result, &mut last_level);
         if done.send((job.seq, result)).is_err() {
             return;
         }
@@ -452,6 +579,7 @@ fn run_reconstruction_worker(
 fn run_warm_worker(
     tw: TraceWeaver,
     shed: ShedPolicy,
+    metrics: EngineMetrics,
     work: Receiver<WindowJob>,
     done: Sender<(u64, WindowResult)>,
     initial: DelayRegistry,
@@ -459,6 +587,7 @@ fn run_warm_worker(
 ) {
     let ladder = LadderedWeaver::new(tw);
     let mut registry = initial;
+    let mut last_level = None;
     for job in work.iter() {
         let queue_depth = work.len();
         let level = shed.level_for(queue_depth);
@@ -487,6 +616,7 @@ fn run_warm_worker(
             degradation: level,
             shed_records,
         };
+        metrics.observe_window(&result, &mut last_level);
         if done.send((job.seq, result)).is_err() {
             break;
         }

@@ -41,12 +41,11 @@
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use std::collections::{BTreeMap, HashSet, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 use std::thread::JoinHandle;
 use tw_model::ids::{RpcId, ServiceId};
 use tw_model::span::{RpcRecord, EXTERNAL};
 use tw_model::time::Nanos;
+use tw_telemetry::{Counter, Gauge, Registry};
 
 /// Sanitizer configuration.
 #[derive(Debug, Clone)]
@@ -107,6 +106,74 @@ impl SanitizeStats {
     }
 }
 
+/// Registry-backed counters for one sanitizer. [`SanitizeStats`] is a
+/// snapshot view over these series; the drop reasons share one family
+/// under a `reason` label so dashboards can stack them.
+#[derive(Debug, Clone)]
+struct SanitizeMetrics {
+    /// Kept for lazily registering per-service skew gauges.
+    registry: Registry,
+    received: Counter,
+    passed: Counter,
+    dropped_duplicate: Counter,
+    dropped_truncated: Counter,
+    dropped_non_causal: Counter,
+    dropped_late: Counter,
+    skew_corrected: Counter,
+}
+
+impl SanitizeMetrics {
+    fn new(registry: &Registry) -> Self {
+        let dropped = |reason: &str| {
+            registry.counter_with(
+                "tw_sanitize_dropped_total",
+                "Records rejected by the sanitizer, by reason (DESIGN.md §9).",
+                &[("reason", reason)],
+            )
+        };
+        SanitizeMetrics {
+            registry: registry.clone(),
+            received: registry.counter(
+                "tw_sanitize_received_total",
+                "Records entering the sanitizer.",
+            ),
+            passed: registry.counter(
+                "tw_sanitize_passed_total",
+                "Records forwarded downstream (possibly skew-corrected).",
+            ),
+            dropped_duplicate: dropped("duplicate"),
+            dropped_truncated: dropped("truncated"),
+            dropped_non_causal: dropped("non_causal"),
+            dropped_late: dropped("late"),
+            skew_corrected: registry.counter(
+                "tw_sanitize_skew_corrected_total",
+                "Records passed with timestamps shifted into the anchor clock frame.",
+            ),
+        }
+    }
+
+    fn snapshot(&self) -> SanitizeStats {
+        SanitizeStats {
+            received: self.received.get(),
+            passed: self.passed.get(),
+            duplicates: self.dropped_duplicate.get(),
+            truncated: self.dropped_truncated.get(),
+            non_causal: self.dropped_non_causal.get(),
+            late: self.dropped_late.get(),
+            skew_corrected: self.skew_corrected.get(),
+        }
+    }
+}
+
+/// Label value for a per-service series.
+fn service_label(svc: ServiceId) -> String {
+    if svc == EXTERNAL {
+        "external".to_string()
+    } else {
+        svc.0.to_string()
+    }
+}
+
 /// One per-edge EWMA offset estimate (ns, callee minus caller).
 #[derive(Debug, Clone, Copy)]
 struct EdgeSkew {
@@ -118,7 +185,10 @@ struct EdgeSkew {
 #[derive(Debug)]
 pub struct Sanitizer {
     cfg: SanitizeConfig,
-    stats: SanitizeStats,
+    metrics: SanitizeMetrics,
+    /// Per-service `tw_sanitize_skew_offset_ns` gauges, registered lazily
+    /// as services appear in resolved offsets.
+    skew_gauges: BTreeMap<ServiceId, Gauge>,
     seen: HashSet<RpcId>,
     ring: VecDeque<RpcId>,
     /// EWMA offset per (caller service, callee service) edge.
@@ -132,10 +202,20 @@ pub struct Sanitizer {
 }
 
 impl Sanitizer {
+    /// New sanitizer counting into a private registry; use
+    /// [`new_in`](Sanitizer::new_in) to share one with the pipeline.
     pub fn new(cfg: SanitizeConfig) -> Self {
+        Self::new_in(cfg, &Registry::new())
+    }
+
+    /// [`new`](Sanitizer::new) with an explicit telemetry registry: the
+    /// `tw_sanitize_*` series land there. One sanitizer per registry —
+    /// two sanitizers sharing a registry would sum into the same series.
+    pub fn new_in(cfg: SanitizeConfig, registry: &Registry) -> Self {
         Sanitizer {
             cfg,
-            stats: SanitizeStats::default(),
+            metrics: SanitizeMetrics::new(registry),
+            skew_gauges: BTreeMap::new(),
             seen: HashSet::new(),
             ring: VecDeque::new(),
             edges: BTreeMap::new(),
@@ -146,7 +226,7 @@ impl Sanitizer {
     }
 
     pub fn stats(&self) -> SanitizeStats {
-        self.stats
+        self.metrics.snapshot()
     }
 
     /// Current offset estimate (ns, callee minus caller) for one service
@@ -158,18 +238,18 @@ impl Sanitizer {
     /// Process one record: `Some(clean)` to forward, `None` if rejected
     /// (the reason is counted in [`SanitizeStats`]).
     pub fn sanitize(&mut self, rec: RpcRecord) -> Option<RpcRecord> {
-        self.stats.received += 1;
+        self.metrics.received.inc();
 
         // 1. Truncated: the capture layer never saw a response. Without
         // response timestamps the record cannot form an interval.
         if rec.send_resp == Nanos::ZERO || rec.recv_resp == Nanos::ZERO {
-            self.stats.truncated += 1;
+            self.metrics.dropped_truncated.inc();
             return None;
         }
 
         // 2. Bounded-memory dedup.
         if self.seen.contains(&rec.rpc) {
-            self.stats.duplicates += 1;
+            self.metrics.dropped_duplicate.inc();
             return None;
         }
         self.seen.insert(rec.rpc);
@@ -184,7 +264,7 @@ impl Sanitizer {
         // be non-negative on its own clock. These checks are immune to
         // cross-host skew, so a violation means corruption, not skew.
         if rec.recv_resp < rec.send_req || rec.send_resp < rec.recv_req {
-            self.stats.non_causal += 1;
+            self.metrics.dropped_non_causal.inc();
             return None;
         }
 
@@ -202,20 +282,20 @@ impl Sanitizer {
                 self.records_since_resolve = 0;
             }
             if self.correct(&mut rec) {
-                self.stats.skew_corrected += 1;
+                self.metrics.skew_corrected.inc();
             }
         }
 
         // 5. Late arrival beyond the horizon.
         if let Some(horizon) = self.cfg.late_horizon {
             if rec.recv_resp + horizon < self.watermark {
-                self.stats.late += 1;
+                self.metrics.dropped_late.inc();
                 return None;
             }
         }
         self.watermark = self.watermark.max(rec.recv_resp);
 
-        self.stats.passed += 1;
+        self.metrics.passed.inc();
         Some(rec)
     }
 
@@ -295,6 +375,18 @@ impl Sanitizer {
                 }
             }
         }
+        // Publish the resolved offsets as per-service gauges (registered
+        // lazily the first time a service appears).
+        for (&svc, &offset) in &offsets {
+            let gauge = self.skew_gauges.entry(svc).or_insert_with(|| {
+                self.metrics.registry.gauge_with(
+                    "tw_sanitize_skew_offset_ns",
+                    "Resolved per-service clock offset (ns) relative to the anchor frame.",
+                    &[("service", &service_label(svc))],
+                )
+            });
+            gauge.set(offset);
+        }
         self.offsets = offsets;
     }
 
@@ -329,47 +421,14 @@ fn unshift(ts: Nanos, offset_ns: f64) -> Nanos {
     Nanos(shifted.clamp(0, u64::MAX as i128) as u64)
 }
 
-/// Atomic mirror of [`SanitizeStats`] for the threaded stage.
-#[derive(Debug, Default)]
-struct StageStats {
-    received: AtomicU64,
-    passed: AtomicU64,
-    duplicates: AtomicU64,
-    truncated: AtomicU64,
-    non_causal: AtomicU64,
-    late: AtomicU64,
-    skew_corrected: AtomicU64,
-}
-
-impl StageStats {
-    fn publish(&self, s: &SanitizeStats) {
-        self.received.store(s.received, Ordering::Relaxed);
-        self.passed.store(s.passed, Ordering::Relaxed);
-        self.duplicates.store(s.duplicates, Ordering::Relaxed);
-        self.truncated.store(s.truncated, Ordering::Relaxed);
-        self.non_causal.store(s.non_causal, Ordering::Relaxed);
-        self.late.store(s.late, Ordering::Relaxed);
-        self.skew_corrected
-            .store(s.skew_corrected, Ordering::Relaxed);
-    }
-
-    fn snapshot(&self) -> SanitizeStats {
-        SanitizeStats {
-            received: self.received.load(Ordering::Relaxed),
-            passed: self.passed.load(Ordering::Relaxed),
-            duplicates: self.duplicates.load(Ordering::Relaxed),
-            truncated: self.truncated.load(Ordering::Relaxed),
-            non_causal: self.non_causal.load(Ordering::Relaxed),
-            late: self.late.load(Ordering::Relaxed),
-            skew_corrected: self.skew_corrected.load(Ordering::Relaxed),
-        }
-    }
-}
-
 /// Handle to a running sanitizer thread (see [`SanitizerStage::spawn`]).
+///
+/// The stage's counters are ordinary registry series (no parallel
+/// bookkeeping): [`stats`](SanitizerStage::stats) reads the same
+/// `tw_sanitize_*` counters a scrape endpoint would.
 pub struct SanitizerStage {
     thread: Option<JoinHandle<SanitizeStats>>,
-    stats: Arc<StageStats>,
+    metrics: SanitizeMetrics,
 }
 
 impl SanitizerStage {
@@ -379,39 +438,50 @@ impl SanitizerStage {
     /// and an [`crate::OnlineEngine`]'s ingest handle. Closing the
     /// returned sender drains and stops the stage; `out` is dropped with
     /// it, propagating shutdown downstream.
+    ///
+    /// Counters go to a private registry; use
+    /// [`spawn_in`](SanitizerStage::spawn_in) to share one.
     pub fn spawn(
         cfg: SanitizeConfig,
         out: Sender<RpcRecord>,
         capacity: usize,
     ) -> (Sender<RpcRecord>, SanitizerStage) {
+        Self::spawn_in(cfg, out, capacity, &Registry::new())
+    }
+
+    /// [`spawn`](SanitizerStage::spawn) with an explicit telemetry
+    /// registry: the `tw_sanitize_*` series land there.
+    pub fn spawn_in(
+        cfg: SanitizeConfig,
+        out: Sender<RpcRecord>,
+        capacity: usize,
+        registry: &Registry,
+    ) -> (Sender<RpcRecord>, SanitizerStage) {
         let (tx, rx): (Sender<RpcRecord>, Receiver<RpcRecord>) = bounded(capacity.max(1));
-        let stats = Arc::new(StageStats::default());
-        let shared = stats.clone();
+        let mut sanitizer = Sanitizer::new_in(cfg, registry);
+        let metrics = sanitizer.metrics.clone();
         let thread = std::thread::spawn(move || {
-            let mut sanitizer = Sanitizer::new(cfg);
             for rec in rx.iter() {
                 if let Some(clean) = sanitizer.sanitize(rec) {
                     if out.send(clean).is_err() {
                         break; // downstream gone: drain and exit
                     }
                 }
-                shared.publish(&sanitizer.stats);
             }
-            shared.publish(&sanitizer.stats);
-            sanitizer.stats
+            sanitizer.stats()
         });
         (
             tx,
             SanitizerStage {
                 thread: Some(thread),
-                stats,
+                metrics,
             },
         )
     }
 
     /// Live snapshot of the per-reason counters.
     pub fn stats(&self) -> SanitizeStats {
-        self.stats.snapshot()
+        self.metrics.snapshot()
     }
 
     /// Wait for the stage to drain (close its input sender first) and
@@ -419,7 +489,7 @@ impl SanitizerStage {
     pub fn join(mut self) -> SanitizeStats {
         match self.thread.take() {
             Some(t) => t.join().expect("sanitizer thread panicked"),
-            None => self.stats.snapshot(),
+            None => self.metrics.snapshot(),
         }
     }
 }

@@ -1,0 +1,102 @@
+//! End-to-end self-telemetry: run a live loopback pipeline (TCP ingest →
+//! sanitizer → online engine → tw-core tasks → tw-solver) and scrape its
+//! `GET /metrics` endpoint, asserting the exposition is lint-clean and
+//! covers every stage of DESIGN.md §10.
+
+use tw_core::{Params, TraceWeaver};
+use tw_model::time::Nanos;
+use tw_pipeline::net::{export_records, fetch_metrics, serve_online_sanitized, MetricsServer};
+use tw_pipeline::{OnlineConfig, SanitizeConfig};
+use tw_sim::apps::two_service_chain;
+use tw_sim::{Simulator, Workload};
+use tw_telemetry::Registry;
+
+#[test]
+fn scrape_covers_every_pipeline_stage() {
+    let app = two_service_chain(90);
+    let call_graph = app.config.call_graph();
+    let root = app.roots[0];
+    let sim = Simulator::new(app.config).unwrap();
+    let out = sim.run(&Workload::poisson(root, 400.0, Nanos::from_secs(1)));
+
+    // One shared registry for the pipeline stages; the algorithm crates
+    // (tw-core / tw-solver / tw-capture) report into the process-global
+    // registry, so the scrape endpoint merges both.
+    let registry = Registry::new();
+    let scrape = MetricsServer::bind(
+        "127.0.0.1:0",
+        vec![registry.clone(), tw_telemetry::global().clone()],
+    )
+    .expect("bind metrics endpoint");
+
+    let tw = TraceWeaver::new(call_graph, Params::default());
+    let config = OnlineConfig {
+        window: Nanos::from_millis(250),
+        telemetry: registry,
+        ..OnlineConfig::default()
+    };
+    let (server, engine, stage) =
+        serve_online_sanitized("127.0.0.1:0", tw, config, SanitizeConfig::default())
+            .expect("start pipeline");
+
+    let mut records = out.records.clone();
+    records.sort_by_key(|r| r.send_req);
+    export_records(server.local_addr(), &records).expect("export records");
+
+    // Drain in pipeline order so every stage's counters are final.
+    server.shutdown();
+    let sanitize_stats = stage.join();
+    let results = engine.shutdown();
+    assert!(!results.is_empty(), "engine produced windows");
+    assert_eq!(sanitize_stats.received, records.len() as u64);
+
+    let text = fetch_metrics(scrape.local_addr()).expect("scrape /metrics");
+    scrape.shutdown();
+
+    let report = tw_telemetry::lint::lint(&text).expect("exposition lints clean");
+    assert!(
+        report.samples >= 25,
+        "expected >= 25 series, got {} in:\n{text}",
+        report.samples
+    );
+    // Every stage of the pipeline must be represented in one scrape:
+    // ingest, sanitize, window engine, core task internals, solver, and
+    // the wire codec.
+    for prefix in [
+        "tw_ingest_",
+        "tw_sanitize_",
+        "tw_engine_",
+        "tw_core_",
+        "tw_solver_",
+        "tw_capture_",
+    ] {
+        assert!(
+            report.names.iter().any(|n| n.starts_with(prefix)),
+            "no series with prefix {prefix} in:\n{text}"
+        );
+    }
+
+    // Spot-check values are real, not just registered: frames flowed and
+    // windows were reconstructed.
+    assert!(text.contains(&format!("tw_ingest_frames_total {}", records.len())));
+    assert!(text.contains(&format!(
+        "tw_sanitize_passed_total {}",
+        sanitize_stats.passed
+    )));
+}
+
+/// A scrape against a path other than /metrics 404s instead of hanging.
+#[test]
+fn unknown_path_is_a_clean_404() {
+    use std::io::{Read, Write};
+
+    let scrape = MetricsServer::bind("127.0.0.1:0", vec![Registry::new()]).expect("bind");
+    let mut stream = std::net::TcpStream::connect(scrape.local_addr()).expect("connect");
+    stream
+        .write_all(b"GET /nope HTTP/1.1\r\nHost: x\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 404"), "got: {response}");
+    scrape.shutdown();
+}

@@ -12,6 +12,7 @@
 
 pub mod bitset;
 pub mod mis;
+mod telemetry;
 pub mod waterfill;
 
 pub use bitset::BitSet;

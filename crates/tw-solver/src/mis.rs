@@ -166,6 +166,8 @@ impl ConflictGraph {
     /// Exact branch-and-bound solve (falls back to the greedy incumbent if
     /// the node budget runs out).
     pub fn solve(&self, opts: &SolveOptions) -> MisSolution {
+        let telemetry = crate::telemetry::metrics();
+        telemetry.solves.inc();
         let n = self.len();
         if n == 0 {
             return MisSolution {
@@ -231,6 +233,20 @@ impl ConflictGraph {
                 opts.deadline,
             )
         };
+
+        // Per-solve accounting only — the branch loop itself is untouched.
+        telemetry.nodes_expanded.add(opts.node_budget - nodes_left);
+        if !exact {
+            telemetry.inexact.inc();
+            // A budget halt leaves `nodes_left == 0` too, so disambiguate
+            // by whether the wall-clock deadline has actually passed.
+            if opts
+                .deadline
+                .is_some_and(|d| std::time::Instant::now() >= d)
+            {
+                telemetry.deadline_expired.inc();
+            }
+        }
 
         // Map rank-space solution back to caller vertex ids.
         let mut chosen: Vec<usize> = best_set.iter().map(|&r| order[r]).collect();

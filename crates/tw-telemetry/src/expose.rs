@@ -1,0 +1,103 @@
+//! Prometheus text exposition format v0.0.4 renderer.
+//!
+//! Output contract (validated by `lint` and the golden-file test):
+//! families in lexicographic name order, each preceded by exactly one
+//! `# HELP` and one `# TYPE` line; series within a family in canonical
+//! label order; histogram buckets cumulative with a trailing `+Inf` equal
+//! to `_count`.
+
+use crate::{FamilySnapshot, MetricKind, ValueSnapshot};
+use std::fmt::Write;
+
+/// Escape a HELP docstring: `\` -> `\\`, newline -> `\n`.
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escape a label value: `\` -> `\\`, `"` -> `\"`, newline -> `\n`.
+fn escape_label_value(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Format a sample value. Rust's shortest-roundtrip `Display` for f64 is
+/// deterministic across platforms; infinities use the Prometheus spelling.
+pub(crate) fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn write_labels(out: &mut String, labels: &[(String, String)], extra: Option<(&str, &str)>) {
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
+    }
+    if let Some((k, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
+    }
+    out.push('}');
+}
+
+/// Render a set of family snapshots to exposition text.
+pub fn render_families(families: &[FamilySnapshot]) -> String {
+    let mut out = String::new();
+    for fam in families {
+        let _ = writeln!(out, "# HELP {} {}", fam.name, escape_help(&fam.help));
+        let _ = writeln!(out, "# TYPE {} {}", fam.name, fam.kind.as_str());
+        for (labels, value) in &fam.series {
+            match value {
+                ValueSnapshot::Counter(v) => {
+                    debug_assert_eq!(fam.kind, MetricKind::Counter);
+                    out.push_str(&fam.name);
+                    write_labels(&mut out, labels, None);
+                    let _ = writeln!(out, " {v}");
+                }
+                ValueSnapshot::Gauge(v) => {
+                    out.push_str(&fam.name);
+                    write_labels(&mut out, labels, None);
+                    let _ = writeln!(out, " {}", fmt_value(*v));
+                }
+                ValueSnapshot::Histogram {
+                    bounds,
+                    cumulative,
+                    sum,
+                    count,
+                } => {
+                    for (i, cum) in cumulative.iter().enumerate() {
+                        let le = match bounds.get(i) {
+                            Some(b) => fmt_value(*b),
+                            None => "+Inf".to_string(),
+                        };
+                        let _ = write!(out, "{}_bucket", fam.name);
+                        write_labels(&mut out, labels, Some(("le", &le)));
+                        let _ = writeln!(out, " {cum}");
+                    }
+                    let _ = write!(out, "{}_sum", fam.name);
+                    write_labels(&mut out, labels, None);
+                    let _ = writeln!(out, " {}", fmt_value(*sum));
+                    let _ = write!(out, "{}_count", fam.name);
+                    write_labels(&mut out, labels, None);
+                    let _ = writeln!(out, " {count}");
+                }
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,506 @@
+//! A small Prometheus text-exposition (v0.0.4) linter.
+//!
+//! Used three ways: as a library from tests, from the `promlint` binary in
+//! CI (scrape `/metrics`, pipe through the linter), and indirectly as the
+//! spec for the renderer in [`crate::render_families`]. Checks:
+//!
+//! * metric and label names are well-formed, label values unescape cleanly
+//! * every sample belongs to a family announced by `# HELP` + `# TYPE`
+//!   (histogram `_bucket`/`_sum`/`_count` suffixes resolve to their base)
+//! * families are contiguous and HELP/TYPE appear once, before samples
+//! * no duplicate series (same name + label set)
+//! * histogram buckets: `le` ascending, counts cumulative (non-decreasing),
+//!   `+Inf` present and equal to `_count`, `_sum`/`_count` present
+//! * values parse as floats (`+Inf`/`-Inf`/`NaN` allowed)
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Result of a successful lint pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// Number of sample lines (time series values) in the document.
+    pub samples: usize,
+    /// Number of metric families seen.
+    pub families: usize,
+    /// Distinct sample metric names (post-suffix, as written).
+    pub names: BTreeSet<String>,
+}
+
+/// Lint `text`; `Err` carries the first problem found with its line number.
+pub fn lint(text: &str) -> Result<Report, String> {
+    let mut families: BTreeMap<String, FamilyState> = BTreeMap::new();
+    let mut current: Option<String> = None;
+    let mut finished: BTreeSet<String> = BTreeSet::new();
+    let mut seen_series: BTreeSet<String> = BTreeSet::new();
+    let mut samples = 0usize;
+    let mut names: BTreeSet<String> = BTreeSet::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.trim_end_matches('\r');
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, _help) = rest
+                .split_once(' ')
+                .map(|(n, h)| (n, Some(h)))
+                .unwrap_or((rest, None));
+            check_metric_name(name, lineno)?;
+            let fam = families.entry(name.to_string()).or_default();
+            if fam.help {
+                return Err(format!("line {lineno}: duplicate # HELP for `{name}`"));
+            }
+            if fam.samples > 0 {
+                return Err(format!(
+                    "line {lineno}: # HELP for `{name}` after its samples"
+                ));
+            }
+            fam.help = true;
+            switch_family(&mut current, &mut finished, name, lineno)?;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("line {lineno}: malformed # TYPE line"))?;
+            check_metric_name(name, lineno)?;
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(format!("line {lineno}: unknown metric type `{kind}`"));
+            }
+            let fam = families.entry(name.to_string()).or_default();
+            if fam.kind.is_some() {
+                return Err(format!("line {lineno}: duplicate # TYPE for `{name}`"));
+            }
+            if fam.samples > 0 {
+                return Err(format!(
+                    "line {lineno}: # TYPE for `{name}` after its samples"
+                ));
+            }
+            fam.kind = Some(kind.to_string());
+            switch_family(&mut current, &mut finished, name, lineno)?;
+            continue;
+        }
+        if line.starts_with('#') {
+            // Free-form comment: allowed, ignored.
+            continue;
+        }
+
+        let sample = parse_sample(line, lineno)?;
+        let base = resolve_family(&families, &sample.name);
+        let Some(base) = base else {
+            return Err(format!(
+                "line {lineno}: sample `{}` has no preceding # HELP/# TYPE family",
+                sample.name
+            ));
+        };
+        let fam = families.get_mut(&base).expect("resolved family exists");
+        if !(fam.help && fam.kind.is_some()) {
+            return Err(format!(
+                "line {lineno}: family `{base}` is missing {} before samples",
+                if fam.help { "# TYPE" } else { "# HELP" }
+            ));
+        }
+        switch_family(&mut current, &mut finished, &base, lineno)?;
+        fam.samples += 1;
+
+        let series_key = format!("{}|{}", sample.name, join_labels(&sample.labels));
+        if !seen_series.insert(series_key) {
+            return Err(format!(
+                "line {lineno}: duplicate series `{}` with identical labels",
+                sample.name
+            ));
+        }
+
+        if fam.kind.as_deref() == Some("histogram") {
+            fam.track_histogram_sample(&base, &sample, lineno)?;
+        }
+
+        samples += 1;
+        names.insert(sample.name);
+    }
+
+    for (name, fam) in &families {
+        if fam.samples == 0 {
+            return Err(format!("family `{name}` declared but has no samples"));
+        }
+        if fam.kind.as_deref() == Some("histogram") {
+            fam.check_histograms(name)?;
+        }
+    }
+
+    Ok(Report {
+        samples,
+        families: families.len(),
+        names,
+    })
+}
+
+#[derive(Default)]
+struct FamilyState {
+    help: bool,
+    kind: Option<String>,
+    samples: usize,
+    /// Per base-labelset histogram accounting: key is labels minus `le`.
+    hist: BTreeMap<String, HistState>,
+}
+
+#[derive(Default)]
+struct HistState {
+    /// (le, cumulative count) in document order.
+    buckets: Vec<(f64, u64)>,
+    sum: Option<f64>,
+    count: Option<u64>,
+}
+
+impl FamilyState {
+    fn track_histogram_sample(
+        &mut self,
+        base: &str,
+        sample: &Sample,
+        lineno: usize,
+    ) -> Result<(), String> {
+        let suffix = &sample.name[base.len()..];
+        match suffix {
+            "_bucket" => {
+                let mut labels = sample.labels.clone();
+                let le_pos = labels.iter().position(|(k, _)| k == "le").ok_or_else(|| {
+                    format!("line {lineno}: histogram bucket for `{base}` missing `le` label")
+                })?;
+                let (_, le_raw) = labels.remove(le_pos);
+                let le = parse_value(&le_raw)
+                    .ok_or_else(|| format!("line {lineno}: unparsable le=\"{le_raw}\""))?;
+                let st = self.hist.entry(join_labels(&labels)).or_default();
+                if sample.value < 0.0 || sample.value.fract() != 0.0 {
+                    return Err(format!(
+                        "line {lineno}: bucket count must be a non-negative integer"
+                    ));
+                }
+                st.buckets.push((le, sample.value as u64));
+            }
+            "_sum" => {
+                let st = self.hist.entry(join_labels(&sample.labels)).or_default();
+                st.sum = Some(sample.value);
+            }
+            "_count" => {
+                let st = self.hist.entry(join_labels(&sample.labels)).or_default();
+                if sample.value < 0.0 || sample.value.fract() != 0.0 {
+                    return Err(format!(
+                        "line {lineno}: _count must be a non-negative integer"
+                    ));
+                }
+                st.count = Some(sample.value as u64);
+            }
+            "" => {
+                return Err(format!(
+                    "line {lineno}: bare sample `{base}` inside a histogram family"
+                ));
+            }
+            other => {
+                return Err(format!(
+                    "line {lineno}: unexpected histogram suffix `{other}` on `{}`",
+                    sample.name
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_histograms(&self, name: &str) -> Result<(), String> {
+        for (labels, st) in &self.hist {
+            let ctx = if labels.is_empty() {
+                format!("histogram `{name}`")
+            } else {
+                format!("histogram `{name}{{{labels}}}`")
+            };
+            if st.buckets.is_empty() {
+                return Err(format!("{ctx}: no buckets"));
+            }
+            for w in st.buckets.windows(2) {
+                if w[0].0 >= w[1].0 {
+                    return Err(format!("{ctx}: le bounds not strictly ascending"));
+                }
+                if w[0].1 > w[1].1 {
+                    return Err(format!("{ctx}: bucket counts not cumulative"));
+                }
+            }
+            let last = st.buckets.last().expect("non-empty");
+            if !last.0.is_infinite() {
+                return Err(format!("{ctx}: missing le=\"+Inf\" bucket"));
+            }
+            let count = st
+                .count
+                .ok_or_else(|| format!("{ctx}: missing _count sample"))?;
+            if st.sum.is_none() {
+                return Err(format!("{ctx}: missing _sum sample"));
+            }
+            if last.1 != count {
+                return Err(format!(
+                    "{ctx}: +Inf bucket ({}) != _count ({count})",
+                    last.1
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+fn switch_family(
+    current: &mut Option<String>,
+    finished: &mut BTreeSet<String>,
+    name: &str,
+    lineno: usize,
+) -> Result<(), String> {
+    if current.as_deref() == Some(name) {
+        return Ok(());
+    }
+    if let Some(prev) = current.take() {
+        finished.insert(prev);
+    }
+    if finished.contains(name) {
+        return Err(format!(
+            "line {lineno}: family `{name}` reappears after other families (must be contiguous)"
+        ));
+    }
+    *current = Some(name.to_string());
+    Ok(())
+}
+
+/// Map a sample name to its declared family: exact match, or histogram
+/// suffix match against a declared histogram family.
+fn resolve_family(families: &BTreeMap<String, FamilyState>, name: &str) -> Option<String> {
+    if families.contains_key(name) {
+        return Some(name.to_string());
+    }
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if let Some(f) = families.get(base) {
+                if f.kind.as_deref() == Some("histogram") || f.kind.as_deref() == Some("summary") {
+                    return Some(base.to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+fn check_metric_name(name: &str, lineno: usize) -> Result<(), String> {
+    let ok = !name.is_empty()
+        && name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':');
+    if ok {
+        Ok(())
+    } else {
+        Err(format!("line {lineno}: invalid metric name `{name}`"))
+    }
+}
+
+fn parse_value(s: &str) -> Option<f64> {
+    match s {
+        "+Inf" | "Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        _ => s.parse::<f64>().ok(),
+    }
+}
+
+fn join_labels(labels: &[(String, String)]) -> String {
+    let mut sorted: Vec<_> = labels.to_vec();
+    sorted.sort();
+    sorted
+        .iter()
+        .map(|(k, v)| format!("{k}={v:?}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn parse_sample(line: &str, lineno: usize) -> Result<Sample, String> {
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len()
+        && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b':')
+    {
+        i += 1;
+    }
+    if i == 0 {
+        return Err(format!(
+            "line {lineno}: sample line does not start with a metric name"
+        ));
+    }
+    let name = &line[..i];
+    check_metric_name(name, lineno)?;
+    let mut labels = Vec::new();
+    let mut rest = &line[i..];
+    if rest.starts_with('{') {
+        let (parsed, remainder) = parse_labels(rest, lineno)?;
+        labels = parsed;
+        rest = remainder;
+    }
+    let rest = rest.trim_start_matches(' ');
+    let mut parts = rest.split(' ').filter(|p| !p.is_empty());
+    let value_str = parts
+        .next()
+        .ok_or_else(|| format!("line {lineno}: sample `{name}` has no value"))?;
+    let value = parse_value(value_str)
+        .ok_or_else(|| format!("line {lineno}: unparsable value `{value_str}`"))?;
+    if let Some(ts) = parts.next() {
+        // Optional timestamp: must be an integer (milliseconds).
+        if ts.parse::<i64>().is_err() {
+            return Err(format!("line {lineno}: unparsable timestamp `{ts}`"));
+        }
+    }
+    if parts.next().is_some() {
+        return Err(format!("line {lineno}: trailing tokens after timestamp"));
+    }
+    Ok(Sample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+type Labels = Vec<(String, String)>;
+
+/// Parse `{k="v",...}`; returns labels and the remainder after `}`.
+fn parse_labels(s: &str, lineno: usize) -> Result<(Labels, &str), String> {
+    let mut labels = Vec::new();
+    let bytes = s.as_bytes();
+    let mut i = 1; // past '{'
+    loop {
+        if i >= bytes.len() {
+            return Err(format!("line {lineno}: unterminated label set"));
+        }
+        if bytes[i] == b'}' {
+            return Ok((labels, &s[i + 1..]));
+        }
+        // label name
+        let start = i;
+        while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+            i += 1;
+        }
+        let lname = &s[start..i];
+        if lname.is_empty() || lname.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            return Err(format!("line {lineno}: invalid label name `{lname}`"));
+        }
+        if i >= bytes.len() || bytes[i] != b'=' {
+            return Err(format!("line {lineno}: expected `=` after label `{lname}`"));
+        }
+        i += 1;
+        if i >= bytes.len() || bytes[i] != b'"' {
+            return Err(format!(
+                "line {lineno}: expected opening quote for `{lname}`"
+            ));
+        }
+        i += 1;
+        let mut value = String::new();
+        loop {
+            if i >= bytes.len() {
+                return Err(format!(
+                    "line {lineno}: unterminated label value for `{lname}`"
+                ));
+            }
+            match bytes[i] {
+                b'"' => {
+                    i += 1;
+                    break;
+                }
+                b'\\' => {
+                    i += 1;
+                    match bytes.get(i) {
+                        Some(b'\\') => value.push('\\'),
+                        Some(b'"') => value.push('"'),
+                        Some(b'n') => value.push('\n'),
+                        other => {
+                            return Err(format!(
+                                "line {lineno}: invalid escape `\\{}` in label value",
+                                other.map(|b| *b as char).unwrap_or('?')
+                            ))
+                        }
+                    }
+                    i += 1;
+                }
+                _ => {
+                    // Label values are UTF-8; copy the whole char.
+                    let ch = s[i..].chars().next().expect("in-bounds char");
+                    value.push(ch);
+                    i += ch.len_utf8();
+                }
+            }
+        }
+        labels.push((lname.to_string(), value));
+        if i < bytes.len() && bytes[i] == b',' {
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_rendered_registry() {
+        let r = crate::Registry::new();
+        r.counter_with("a_total", "counts", &[("k", "v\"x\\y\n")])
+            .add(2);
+        r.gauge("g", "a gauge").set(1.5);
+        r.histogram("h", "a histogram", crate::Buckets::fixed(&[1.0, 2.0]))
+            .observe(1.5);
+        let text = r.render();
+        let report = lint(&text).expect("rendered output must lint clean");
+        assert_eq!(report.families, 3);
+        // a_total, g, h_bucket x3, h_sum, h_count
+        assert_eq!(report.samples, 7);
+    }
+
+    #[test]
+    fn rejects_missing_help() {
+        let text = "# TYPE x counter\nx 1\n";
+        assert!(lint(text).unwrap_err().contains("# HELP"));
+    }
+
+    #[test]
+    fn rejects_non_cumulative_buckets() {
+        let text = "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n";
+        assert!(lint(text).unwrap_err().contains("cumulative"));
+    }
+
+    #[test]
+    fn rejects_missing_inf_bucket() {
+        let text = "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n";
+        assert!(lint(text).unwrap_err().contains("+Inf"));
+    }
+
+    #[test]
+    fn rejects_duplicate_series() {
+        let text = "# HELP x c\n# TYPE x counter\nx{a=\"1\"} 1\nx{a=\"1\"} 2\n";
+        assert!(lint(text).unwrap_err().contains("duplicate series"));
+    }
+
+    #[test]
+    fn rejects_interleaved_families() {
+        let text = "# HELP a c\n# TYPE a counter\na 1\n# HELP b c\n# TYPE b counter\nb 1\na 2\n";
+        assert!(lint(text).unwrap_err().contains("contiguous"));
+    }
+
+    #[test]
+    fn label_escapes_roundtrip() {
+        let text = "# HELP x c\n# TYPE x counter\nx{a=\"q\\\"w\\\\e\\nr\"} 1\n";
+        let report = lint(text).expect("escaped labels parse");
+        assert_eq!(report.samples, 1);
+    }
+}

@@ -1,0 +1,181 @@
+//! Golden-file and determinism tests for the Prometheus text exposition.
+//!
+//! The golden file pins HELP/TYPE ordering, label escaping (`\`, `"`,
+//! newline), histogram bucket cumulativity and the `+Inf` bucket. Regenerate
+//! with `TW_UPDATE_GOLDEN=1 cargo test -p tw-telemetry` after an intentional
+//! renderer change, and review the diff.
+
+use tw_telemetry::{Buckets, Registry};
+
+/// Build a registry exercising every renderer feature with fixed values.
+fn golden_registry() -> Registry {
+    let r = Registry::new();
+
+    r.counter("tw_demo_frames_total", "Frames accepted by the demo stage.")
+        .add(42);
+
+    let dropped = |reason: &str| {
+        r.counter_with(
+            "tw_demo_dropped_total",
+            "Records dropped, by reason.",
+            &[("reason", reason), ("stage", "sanitize")],
+        )
+    };
+    dropped("duplicate").add(7);
+    dropped("late").add(2);
+
+    // Label values that need escaping: backslash, double quote, newline.
+    r.counter_with(
+        "tw_demo_escaped_total",
+        "Escaping torture case: backslash \\ and\nnewline in help.",
+        &[("path", "C:\\temp\\\"spans\".jsonl\nline2")],
+    )
+    .inc();
+
+    r.gauge_with(
+        "tw_demo_skew_offset_ns",
+        "Estimated per-service clock skew offset.",
+        &[("service", "3")],
+    )
+    .set(-1250.5);
+    r.gauge_with(
+        "tw_demo_skew_offset_ns",
+        "Estimated per-service clock skew offset.",
+        &[("service", "7")],
+    )
+    .set(0.25);
+
+    let fixed = r.histogram(
+        "tw_demo_batch_size",
+        "Batch sizes (fixed buckets).",
+        Buckets::fixed(&[1.0, 5.0, 10.0, 30.0]),
+    );
+    for v in [1.0, 4.0, 10.0, 11.0, 64.0] {
+        fixed.observe(v);
+    }
+
+    let exp = r.histogram_with(
+        "tw_demo_stage_seconds",
+        "Stage wall time (log-scaled buckets).",
+        Buckets::exponential(0.001, 10.0, 4),
+        &[("stage", "optimize")],
+    );
+    for v in [0.0005, 0.02, 3.0, 250.0] {
+        exp.observe(v);
+    }
+
+    r
+}
+
+#[test]
+fn golden_exposition() {
+    let text = golden_registry().render();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_exposition.txt");
+    if std::env::var_os("TW_UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &text).expect("write golden file");
+    }
+    let golden = std::fs::read_to_string(path).expect("golden file exists");
+    assert_eq!(
+        text, golden,
+        "rendered exposition diverged from tests/golden_exposition.txt \
+         (set TW_UPDATE_GOLDEN=1 to regenerate after intentional changes)"
+    );
+    // The golden output itself must satisfy the linter.
+    let report = tw_telemetry::lint::lint(&text).expect("golden output lints clean");
+    assert_eq!(report.families, 6);
+}
+
+#[test]
+fn histogram_buckets_are_cumulative_with_inf() {
+    let text = golden_registry().render();
+    // Fixed histogram: observations 1,4,10,11,64 against bounds 1,5,10,30.
+    assert!(text.contains("tw_demo_batch_size_bucket{le=\"1\"} 1"));
+    assert!(text.contains("tw_demo_batch_size_bucket{le=\"5\"} 2"));
+    assert!(text.contains("tw_demo_batch_size_bucket{le=\"10\"} 3"));
+    assert!(text.contains("tw_demo_batch_size_bucket{le=\"30\"} 4"));
+    assert!(text.contains("tw_demo_batch_size_bucket{le=\"+Inf\"} 5"));
+    assert!(text.contains("tw_demo_batch_size_count 5"));
+    assert!(text.contains("tw_demo_batch_size_sum 90"));
+    // Log-scaled histogram bounds 0.001..1 with labeled series keep their
+    // label alongside le.
+    assert!(text.contains("tw_demo_stage_seconds_bucket{stage=\"optimize\",le=\"0.001\"} 1"));
+    assert!(text.contains("tw_demo_stage_seconds_bucket{stage=\"optimize\",le=\"+Inf\"} 4"));
+}
+
+#[test]
+fn label_escaping_in_output() {
+    let text = golden_registry().render();
+    assert!(text.contains(r#"path="C:\\temp\\\"spans\".jsonl\nline2""#));
+    assert!(text.contains("Escaping torture case: backslash \\\\ and\\nnewline in help."));
+}
+
+/// The exposition must be byte-identical no matter how many threads wrote
+/// the metrics, as long as the recorded totals match: series order is
+/// defined by (name, labels), never by write arrival.
+#[test]
+fn deterministic_across_writer_threads() {
+    let render_with_threads = |threads: usize| -> String {
+        let r = Registry::new();
+        let counter = r.counter("tw_demo_ops_total", "ops");
+        // Dyadic observations (multiples of 0.25) keep the f64 _sum exact,
+        // so it cannot depend on shard/thread summation order.
+        let hist = r.histogram(
+            "tw_demo_lat_seconds",
+            "latency",
+            Buckets::exponential(0.25, 2.0, 4),
+        );
+        let per_label: Vec<_> = (0..4)
+            .map(|i| {
+                r.counter_with(
+                    "tw_demo_shard_total",
+                    "per-shard ops",
+                    &[("shard", &i.to_string())],
+                )
+            })
+            .collect();
+
+        // 4800 increments and observations, partitioned across writers.
+        const TOTAL: usize = 4800;
+        let work = TOTAL / threads;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let counter = counter.clone();
+                let hist = hist.clone();
+                let per_label = per_label.clone();
+                s.spawn(move || {
+                    for i in 0..work {
+                        counter.inc();
+                        let v = 0.25 * (1 + (t * work + i) % 7) as f64;
+                        hist.observe(v);
+                        per_label[(t * work + i) % 4].inc();
+                    }
+                });
+            }
+        });
+        r.render()
+    };
+
+    let one = render_with_threads(1);
+    let two = render_with_threads(2);
+    let eight = render_with_threads(8);
+    assert_eq!(one, two, "1-thread vs 2-thread exposition differs");
+    assert_eq!(one, eight, "1-thread vs 8-thread exposition differs");
+    assert!(one.contains("tw_demo_ops_total 4800"));
+    tw_telemetry::lint::lint(&one).expect("concurrent exposition lints clean");
+}
+
+/// render_multi merges registries, deduplicates identical ones, and stays
+/// lint-clean.
+#[test]
+fn render_multi_merges_and_dedups() {
+    let a = Registry::new();
+    a.counter("tw_a_total", "a").add(1);
+    let b = Registry::new();
+    b.counter("tw_b_total", "b").add(2);
+    let merged = Registry::render_multi(&[&a, &b, &a]);
+    let report = tw_telemetry::lint::lint(&merged).expect("merged output lints");
+    assert_eq!(report.samples, 2);
+    let pos_a = merged.find("tw_a_total").unwrap();
+    let pos_b = merged.find("tw_b_total").unwrap();
+    assert!(pos_a < pos_b, "families sorted by name");
+}

@@ -44,6 +44,8 @@ fn main() -> ExitCode {
         "reconstruct" => cmd_reconstruct(&flags),
         "evaluate" => cmd_evaluate(&flags),
         "waterfall" => cmd_waterfall(&flags),
+        "metrics" => cmd_metrics(&flags),
+        "top" => cmd_top(&flags),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -64,17 +66,32 @@ twctl — non-intrusive request tracing toolkit
 
 USAGE:
   twctl simulate     --app <hotel|media|nodejs|social|chain> [--rps N] [--millis N] [--seed N] --out-dir DIR
+                     [--metrics ADDR] [--metrics-hold-ms N] [--metrics-out FILE]
   twctl learn-graph  --app <hotel|media|nodejs|social|chain> [--seed N] [--replays N] --out FILE
   twctl learn-delays --spans FILE --graph FILE [--window-ms N] [--dynamism] --out FILE
-  twctl reconstruct  --spans FILE --graph FILE [--delay-model FILE] [--dynamism] [--jaeger FILE]
-  twctl evaluate     --spans FILE --graph FILE --truth FILE [--delay-model FILE] [--dynamism]
+  twctl reconstruct  --spans FILE --graph FILE [--delay-model FILE] [--dynamism] [--sanitize] [--jaeger FILE]
+  twctl evaluate     --spans FILE --graph FILE --truth FILE [--delay-model FILE] [--dynamism] [--sanitize]
   twctl waterfall    --spans FILE --graph FILE [--trace N] [--width N]
+  twctl metrics      --addr HOST:PORT
+  twctl top          --addr HOST:PORT [--interval-ms N] [--iterations N] [--limit N]
   twctl help
 
 `learn-delays` replays recorded spans through warm-started windows and
 writes the learned per-process delay registry as JSON; pass it back via
 --delay-model to warm-start later reconstructions (skips the seed
-bootstrap, fewer EM passes).";
+bootstrap, fewer EM passes).
+
+`simulate --metrics ADDR` additionally replays the simulated spans through
+a live loopback pipeline (TCP ingest → sanitizer → online engine) and
+serves its Prometheus exposition at http://ADDR/metrics, holding the
+endpoint open for --metrics-hold-ms (default 5000) after the drain so it
+can be scraped; --metrics-out also writes the exposition to a file.
+
+`metrics` fetches and prints a running pipeline's exposition once; `top`
+polls it and shows the busiest series with per-second rates.
+
+`--sanitize` runs recorded spans through the online sanitizer (dedup,
+causality, skew correction) before reconstructing.";
 
 type Flags = HashMap<String, String>;
 
@@ -87,7 +104,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             return Err(format!("expected --flag, got `{arg}`"));
         };
         // Boolean flags take no value.
-        if matches!(name, "dynamism") {
+        if matches!(name, "dynamism" | "sanitize") {
             flags.insert(name.to_string(), "true".to_string());
             i += 1;
             continue;
@@ -180,6 +197,76 @@ fn cmd_simulate(flags: &Flags) -> Result<(), String> {
 
     write_json(&out_dir.join("graph.json"), &graph)?;
     write_json(&out_dir.join("truth.json"), &out.truth)?;
+
+    if flags.contains_key("metrics") {
+        serve_simulated_metrics(flags, graph, &out.records)?;
+    }
+    Ok(())
+}
+
+/// Replay simulated records through a live loopback pipeline — TCP ingest
+/// → sanitizer → online engine — and serve the combined Prometheus
+/// exposition (pipeline registry + the process-global `tw_core_*` /
+/// `tw_solver_*` / `tw_capture_*` series) at `--metrics` until the hold
+/// expires. This is the CI smoke path: every stage of DESIGN.md §10
+/// reports real values from a real run.
+fn serve_simulated_metrics(
+    flags: &Flags,
+    graph: CallGraph,
+    records: &[traceweaver::model::RpcRecord],
+) -> Result<(), String> {
+    use traceweaver::pipeline::net::{export_records, serve_online_sanitized, MetricsServer};
+
+    let metrics_addr = flag(flags, "metrics")?;
+    let hold_ms: u64 = num(flags, "metrics-hold-ms", 5_000u64)?;
+
+    let registry = traceweaver::telemetry::Registry::new();
+    let scrape = MetricsServer::bind(
+        metrics_addr,
+        vec![registry.clone(), traceweaver::telemetry::global().clone()],
+    )
+    .map_err(|e| format!("metrics endpoint {metrics_addr}: {e}"))?;
+    let tw = TraceWeaver::new(graph, Params::default());
+    let config = OnlineConfig {
+        window: Nanos::from_millis(500),
+        telemetry: registry,
+        ..OnlineConfig::default()
+    };
+    let (server, engine, stage) = serve_online_sanitized(
+        "127.0.0.1:0",
+        tw,
+        config,
+        traceweaver::pipeline::SanitizeConfig::default(),
+    )
+    .map_err(|e| e.to_string())?;
+
+    let mut sorted = records.to_vec();
+    sorted.sort_by_key(|r| r.send_req);
+    export_records(server.local_addr(), &sorted).map_err(|e| e.to_string())?;
+
+    // Drain in pipeline order so every stage's counters are final.
+    server.shutdown();
+    let sanitize_stats = stage.join();
+    let results = engine.shutdown();
+    let windows = results.len();
+    let mapped: usize = results
+        .iter()
+        .map(|w| w.reconstruction.summary().mapped_spans)
+        .sum();
+    println!(
+        "pipeline replay: {} records in, {} passed sanitization, {windows} windows, {mapped} spans mapped",
+        sanitize_stats.received, sanitize_stats.passed
+    );
+
+    let addr = scrape.local_addr();
+    println!("serving metrics at http://{addr}/metrics for {hold_ms}ms");
+    if let Some(out) = flags.get("metrics-out") {
+        let text = traceweaver::pipeline::fetch_metrics(addr).map_err(|e| e.to_string())?;
+        std::fs::write(out, &text).map_err(|e| format!("{out}: {e}"))?;
+        println!("wrote {out}");
+    }
+    std::thread::sleep(std::time::Duration::from_millis(hold_ms));
+    scrape.shutdown();
     Ok(())
 }
 
@@ -248,8 +335,32 @@ fn cmd_learn_delays(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// Apply `--sanitize` when requested: replay the recorded spans through
+/// the online sanitizer (dedup, causality, skew correction) and keep the
+/// survivors.
+fn maybe_sanitize(
+    flags: &Flags,
+    records: Vec<traceweaver::model::RpcRecord>,
+) -> Vec<traceweaver::model::RpcRecord> {
+    if !flags.contains_key("sanitize") {
+        return records;
+    }
+    let mut sanitizer =
+        traceweaver::pipeline::Sanitizer::new(traceweaver::pipeline::SanitizeConfig::default());
+    let total = records.len();
+    let clean = sanitizer.sanitize_batch(records);
+    let stats = sanitizer.stats();
+    println!(
+        "sanitized: {}/{total} records passed ({} rejected, {} skew-corrected)",
+        clean.len(),
+        stats.rejected(),
+        stats.skew_corrected
+    );
+    clean
+}
+
 fn cmd_reconstruct(flags: &Flags) -> Result<(), String> {
-    let records = load_spans(flag(flags, "spans")?)?;
+    let records = maybe_sanitize(flags, load_spans(flag(flags, "spans")?)?);
     let graph: CallGraph = read_json(flag(flags, "graph")?)?;
     let tw = TraceWeaver::new(graph, params_from(flags));
     let result = match delay_model_from(flags)? {
@@ -338,8 +449,80 @@ fn cmd_waterfall(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// Resolve `--addr` into a socket address.
+fn scrape_addr(flags: &Flags) -> Result<std::net::SocketAddr, String> {
+    let addr = flag(flags, "addr")?;
+    addr.parse()
+        .map_err(|e| format!("--addr `{addr}`: {e} (expected HOST:PORT)"))
+}
+
+fn cmd_metrics(flags: &Flags) -> Result<(), String> {
+    let addr = scrape_addr(flags)?;
+    let text = traceweaver::pipeline::fetch_metrics(addr).map_err(|e| format!("{addr}: {e}"))?;
+    print!("{text}");
+    Ok(())
+}
+
+/// One scrape parsed into `(series, value)` pairs. Comment lines are
+/// skipped; the series key keeps its labels so rates line up across polls.
+fn parse_samples(text: &str) -> Vec<(String, f64)> {
+    text.lines()
+        .filter(|l| !l.starts_with('#') && !l.trim().is_empty())
+        .filter_map(|l| {
+            let (name, value) = l.rsplit_once(' ')?;
+            Some((name.to_string(), value.trim().parse().ok()?))
+        })
+        .collect()
+}
+
+fn cmd_top(flags: &Flags) -> Result<(), String> {
+    let addr = scrape_addr(flags)?;
+    let interval_ms: u64 = num(flags, "interval-ms", 1_000u64)?;
+    let iterations: u64 = num(flags, "iterations", 0u64)?; // 0 = forever
+    let limit: usize = num(flags, "limit", 20usize)?;
+
+    let mut prev: HashMap<String, f64> = HashMap::new();
+    let mut round = 0u64;
+    loop {
+        let text =
+            traceweaver::pipeline::fetch_metrics(addr).map_err(|e| format!("{addr}: {e}"))?;
+        let samples = parse_samples(&text);
+        // Busiest series first: rank by absolute per-interval delta, then
+        // by value, so moving counters float to the top of the board.
+        let secs = interval_ms as f64 / 1000.0;
+        let mut rows: Vec<(String, f64, Option<f64>)> = samples
+            .iter()
+            .map(|(name, value)| {
+                let rate = prev.get(name).map(|p| (value - p) / secs);
+                (name.clone(), *value, rate)
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            let ka = (a.2.unwrap_or(0.0).abs(), a.1);
+            let kb = (b.2.unwrap_or(0.0).abs(), b.1);
+            kb.partial_cmp(&ka).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        println!(
+            "--- {addr} · {} series · poll {} ---",
+            samples.len(),
+            round + 1
+        );
+        println!("{:>14}  {:>12}  series", "value", "rate/s");
+        for (name, value, rate) in rows.iter().take(limit) {
+            let rate = rate.map_or_else(|| "-".to_string(), |r| format!("{r:.1}"));
+            println!("{value:>14}  {rate:>12}  {name}");
+        }
+        prev = samples.into_iter().collect();
+        round += 1;
+        if iterations != 0 && round >= iterations {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
 fn cmd_evaluate(flags: &Flags) -> Result<(), String> {
-    let records = load_spans(flag(flags, "spans")?)?;
+    let records = maybe_sanitize(flags, load_spans(flag(flags, "spans")?)?);
     let graph: CallGraph = read_json(flag(flags, "graph")?)?;
     let truth: TruthIndex = read_json(flag(flags, "truth")?)?;
     let tw = TraceWeaver::new(graph, params_from(flags));

@@ -22,6 +22,7 @@
 //! | [`baselines`] | `tw-baselines` | WAP5, vPath/DeepFlow, FCFS |
 //! | [`alibaba`] | `tw-alibaba` | production-trace dataset + compression |
 //! | [`pipeline`] | `tw-pipeline` | offline store, online engine, tail sampling |
+//! | [`telemetry`] | `tw-telemetry` | metrics registry + Prometheus exposition (DESIGN.md §10) |
 //! | [`viz`] | `tw-viz` | trace waterfalls, ASCII charts, boxplots |
 //!
 //! ## Quick start
@@ -55,6 +56,7 @@ pub use tw_pipeline as pipeline;
 pub use tw_sim as sim;
 pub use tw_solver as solver;
 pub use tw_stats as stats;
+pub use tw_telemetry as telemetry;
 pub use tw_viz as viz;
 
 /// Common imports for applications and examples.
