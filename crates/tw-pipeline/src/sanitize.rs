@@ -22,13 +22,21 @@
 //!    edge, an NTP-style offset estimate
 //!    `θ̂ = ((recv_req − send_req) − (recv_resp − send_resp)) / 2`
 //!    (callee clock minus caller clock, unbiased under symmetric network
-//!    delay) is tracked with an EWMA. Edge estimates are resolved into
-//!    per-service offsets by BFS over the service graph anchored at
-//!    `EXTERNAL` (offset 0), and every timestamp is shifted into that
-//!    common frame. Resolving per *service* (not per edge) is what keeps
-//!    each process's incoming and outgoing spans mutually consistent —
+//!    delay) is tracked with a two-state filter: a constant-offset EWMA
+//!    plus a windowed least-squares fit of *drift* (offset slope, ppm
+//!    scale) over a bounded ring of `(time, θ̂)` samples. Edge estimates
+//!    are resolved into per-service clock models by BFS over the service
+//!    graph anchored at `EXTERNAL` (offset 0, drift 0), and every
+//!    timestamp is corrected as `ts − (offset + drift · (ts − anchor))`
+//!    in that common frame — so long-running streams whose clocks walk
+//!    at ppm rates stay corrected instead of trailing the EWMA's lag.
+//!    Resolving per *service* (not per edge) is what keeps each
+//!    process's incoming and outgoing spans mutually consistent —
 //!    correcting each record against only its own edge would tear a
-//!    process's two span sides into different clock frames;
+//!    process's two span sides into different clock frames. Edges that
+//!    stop producing samples can be aged out ([`SanitizeConfig::
+//!    skew_edge_ttl`]), and services that fall out of the resolved map
+//!    have their gauges zeroed rather than exporting stale offsets;
 //! 5. **late arrival** — optionally, records arriving more than a
 //!    horizon behind the sanitizer's watermark are dropped with an
 //!    explicit counter instead of landing in long-closed windows.
@@ -38,6 +46,12 @@
 //! strictly sequential and allocation-light, so it is deterministic for
 //! a given input order — the property the pipeline's cross-thread
 //! determinism tests rely on.
+
+// Timestamp module: epoch-scale nanosecond values (> 2^53 ns) lose up to
+// ~256 ns when cast to f64 — the same order as the skew being corrected.
+// Floats may only touch small anchor-relative or duration-scale values;
+// every exception below carries a justifying `#[allow]`.
+#![deny(clippy::cast_precision_loss)]
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use std::collections::{BTreeMap, HashSet, VecDeque};
@@ -62,9 +76,35 @@ pub struct SanitizeConfig {
     /// Offsets smaller than this (ns) are noise and not applied — a
     /// clean stream must pass through bit-identical.
     pub skew_min_ns: u64,
-    /// Re-solve the per-service offsets from the edge EWMAs every this
-    /// many records (count-based, so the stage stays deterministic).
+    /// Re-solve the per-service offsets from the edge estimates every
+    /// this many records (count-based, so the stage stays deterministic).
     pub skew_resolve_interval: u64,
+    /// Track per-edge clock *drift* (offset slope) with a windowed
+    /// least-squares fit, and correct every timestamp as
+    /// `offset + drift · (ts − anchor)`. When disabled, correction falls
+    /// back to the constant per-edge EWMA offset (the pre-drift
+    /// behavior) — also the per-edge fallback while a ring is too small
+    /// or too clustered for a trustworthy slope.
+    pub drift_correction: bool,
+    /// Bounded per-edge ring of `(time, θ̂)` samples the drift fit runs
+    /// over. Memory is `O(drift_window × edges)`; the window also sets
+    /// how fast the fit forgets a past drift regime.
+    pub drift_window: usize,
+    /// Minimum ring occupancy before a fitted slope is trusted; below
+    /// this the edge contributes its constant EWMA offset with drift 0.
+    pub drift_min_samples: usize,
+    /// Minimum time span (ns) the ring must cover before a slope is
+    /// trusted — samples clustered in time produce wild slopes.
+    pub drift_min_span_ns: u64,
+    /// Plausibility clamp on the fitted drift magnitude, in ppm. Real
+    /// quartz drifts tens of ppm; anything beyond this is estimation
+    /// noise and is clamped, not applied.
+    pub drift_max_ppm: f64,
+    /// Age out edges that produced no skew sample within this many
+    /// received records; a service orphaned by the pruning drops out of
+    /// the resolved map and its gauges are zeroed. `None` keeps edges
+    /// (and their last estimates) forever.
+    pub skew_edge_ttl: Option<u64>,
     /// Drop records whose corrected `recv_resp` is more than this behind
     /// the watermark. `None` admits arbitrarily late records.
     pub late_horizon: Option<Nanos>,
@@ -78,6 +118,12 @@ impl Default for SanitizeConfig {
             skew_alpha: 0.1,
             skew_min_ns: 50_000, // 50µs: well above sim network jitter
             skew_resolve_interval: 64,
+            drift_correction: true,
+            drift_window: 256,
+            drift_min_samples: 16,
+            drift_min_span_ns: 100_000_000, // 100ms of stream time
+            drift_max_ppm: 1_000.0,
+            skew_edge_ttl: None,
             late_horizon: None,
         }
     }
@@ -98,6 +144,12 @@ pub struct SanitizeStats {
     pub late: u64,
     /// Passed, but with timestamps shifted by a skew offset.
     pub skew_corrected: u64,
+    /// Skew samples folded into per-edge drift rings.
+    pub drift_samples: u64,
+    /// Cumulative |innovation| (ns) between new skew samples and the
+    /// current drift fit's prediction — a converged filter's innovation
+    /// rate settles at the network-jitter floor.
+    pub drift_innovation_ns: u64,
 }
 
 impl SanitizeStats {
@@ -120,6 +172,8 @@ struct SanitizeMetrics {
     dropped_non_causal: Counter,
     dropped_late: Counter,
     skew_corrected: Counter,
+    drift_samples: Counter,
+    drift_innovation_ns: Counter,
 }
 
 impl SanitizeMetrics {
@@ -149,6 +203,14 @@ impl SanitizeMetrics {
                 "tw_sanitize_skew_corrected_total",
                 "Records passed with timestamps shifted into the anchor clock frame.",
             ),
+            drift_samples: registry.counter(
+                "tw_sanitize_drift_samples_total",
+                "Skew samples folded into per-edge drift rings.",
+            ),
+            drift_innovation_ns: registry.counter(
+                "tw_sanitize_drift_innovation_ns_total",
+                "Cumulative |innovation| (ns) between skew samples and the drift fit's prediction.",
+            ),
         }
     }
 
@@ -161,6 +223,8 @@ impl SanitizeMetrics {
             non_causal: self.dropped_non_causal.get(),
             late: self.dropped_late.get(),
             skew_corrected: self.skew_corrected.get(),
+            drift_samples: self.drift_samples.get(),
+            drift_innovation_ns: self.drift_innovation_ns.get(),
         }
     }
 }
@@ -174,11 +238,91 @@ fn service_label(svc: ServiceId) -> String {
     }
 }
 
-/// One per-edge EWMA offset estimate (ns, callee minus caller).
-#[derive(Debug, Clone, Copy)]
+/// Per-edge two-state clock filter (ns, callee minus caller): a
+/// constant-offset EWMA (the fallback state) plus a bounded ring of
+/// `(anchor-relative time, θ̂)` samples a windowed least-squares drift
+/// fit runs over at resolve time.
+#[derive(Debug, Clone)]
 struct EdgeSkew {
+    /// Constant-offset EWMA. The first sample seeds it directly — a
+    /// fresh edge must not spend ~1/α samples crawling out of zero.
     offset: f64,
     samples: u64,
+    /// `(t, θ̂)` ring for the drift fit; `t` is the caller-side sample
+    /// midpoint in ns relative to the sanitizer anchor (stream-local,
+    /// so it fits f64 exactly for ~104 days of stream time).
+    ring: VecDeque<(i64, f64)>,
+    /// Last resolved fit `(offset at anchor, drift)` — the prediction
+    /// baseline for innovation accounting.
+    fit: Option<(f64, f64)>,
+    /// Record counter at this edge's most recent sample, for TTL aging.
+    last_seen: u64,
+}
+
+impl EdgeSkew {
+    /// Windowed least-squares over the ring: `(offset at anchor, drift)`.
+    /// Falls back to the constant EWMA with drift 0 while the ring is
+    /// too small or covers too little time for a trustworthy slope.
+    fn solve(&self, cfg: &SanitizeConfig) -> (f64, f64) {
+        if !cfg.drift_correction || self.ring.len() < cfg.drift_min_samples.max(2) {
+            return (self.offset, 0.0);
+        }
+        let (mut t_min, mut t_max) = (i64::MAX, i64::MIN);
+        for &(t, _) in &self.ring {
+            t_min = t_min.min(t);
+            t_max = t_max.max(t);
+        }
+        if (t_max - t_min) < cfg.drift_min_span_ns as i64 {
+            return (self.offset, 0.0);
+        }
+        // Centered least squares for numerical stability: slope =
+        // Σ(dt·dy)/Σ(dt²), intercept re-expressed at the anchor (t = 0).
+        let n = f64::from(u32::try_from(self.ring.len()).unwrap_or(u32::MAX));
+        let (mut mean_t, mut mean_y) = (0.0f64, 0.0f64);
+        for &(t, y) in &self.ring {
+            mean_t += rel_to_f64(t);
+            mean_y += y;
+        }
+        mean_t /= n;
+        mean_y /= n;
+        let (mut sxx, mut sxy) = (0.0f64, 0.0f64);
+        for &(t, y) in &self.ring {
+            let dt = rel_to_f64(t) - mean_t;
+            sxx += dt * dt;
+            sxy += dt * (y - mean_y);
+        }
+        if sxx <= 0.0 {
+            return (self.offset, 0.0);
+        }
+        let max_slope = cfg.drift_max_ppm * 1e-6;
+        let slope = (sxy / sxx).clamp(-max_slope, max_slope);
+        (mean_y - slope * mean_t, slope)
+    }
+}
+
+/// Anchor-relative nanoseconds into f64. Lossless up to 2^53 ns of
+/// stream time (~104 days); anchor-relative by construction, never an
+/// epoch-scale absolute timestamp.
+#[allow(clippy::cast_precision_loss)]
+fn rel_to_f64(rel_ns: i64) -> f64 {
+    rel_ns as f64
+}
+
+/// One service's resolved clock correction: subtract
+/// `offset + drift · (ts − anchor)` from every timestamp the service
+/// recorded. `drift` is dimensionless (ns per ns, i.e. ppm × 1e-6).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct ClockModel {
+    /// Correction (ns) at the anchor instant.
+    offset: f64,
+    /// Correction slope (ns of correction per ns of stream time).
+    drift: f64,
+}
+
+impl ClockModel {
+    fn correction_at(&self, rel_ns: i64) -> f64 {
+        self.offset + self.drift * rel_to_f64(rel_ns)
+    }
 }
 
 /// The sanitizer: a sequential filter over an `RpcRecord` stream.
@@ -189,14 +333,20 @@ pub struct Sanitizer {
     /// Per-service `tw_sanitize_skew_offset_ns` gauges, registered lazily
     /// as services appear in resolved offsets.
     skew_gauges: BTreeMap<ServiceId, Gauge>,
+    /// Per-service `tw_sanitize_drift_ppb` gauges, same lifecycle.
+    drift_gauges: BTreeMap<ServiceId, Gauge>,
     seen: HashSet<RpcId>,
     ring: VecDeque<RpcId>,
-    /// EWMA offset per (caller service, callee service) edge.
+    /// Two-state filter per (caller service, callee service) edge.
     edges: BTreeMap<(ServiceId, ServiceId), EdgeSkew>,
-    /// Per-service offsets resolved from `edges` (ns, relative to the
-    /// anchor frame). Subtracted from every timestamp that service
-    /// recorded.
-    offsets: BTreeMap<ServiceId, f64>,
+    /// Per-service clock models resolved from `edges`, relative to the
+    /// anchor frame. Applied to every timestamp that service recorded.
+    offsets: BTreeMap<ServiceId, ClockModel>,
+    /// Drift anchor: the first timestamp the sanitizer saw. All drift
+    /// time coordinates are relative to it, so the f64 math downstream
+    /// only ever sees stream-local magnitudes.
+    anchor: Option<Nanos>,
+    records_seen: u64,
     records_since_resolve: u64,
     watermark: Nanos,
 }
@@ -216,10 +366,13 @@ impl Sanitizer {
             cfg,
             metrics: SanitizeMetrics::new(registry),
             skew_gauges: BTreeMap::new(),
+            drift_gauges: BTreeMap::new(),
             seen: HashSet::new(),
             ring: VecDeque::new(),
             edges: BTreeMap::new(),
             offsets: BTreeMap::new(),
+            anchor: None,
+            records_seen: 0,
             records_since_resolve: 0,
             watermark: Nanos::ZERO,
         }
@@ -229,16 +382,37 @@ impl Sanitizer {
         self.metrics.snapshot()
     }
 
-    /// Current offset estimate (ns, callee minus caller) for one service
-    /// edge, if any samples were seen.
+    /// Current constant-offset (EWMA) estimate (ns, callee minus caller)
+    /// for one service edge, if any samples were seen.
     pub fn skew_estimate(&self, caller: ServiceId, callee: ServiceId) -> Option<f64> {
         self.edges.get(&(caller, callee)).map(|e| e.offset)
+    }
+
+    /// Last resolved two-state fit for one edge: `(offset at the anchor
+    /// in ns, drift in ns/ns)`. `None` until the first resolve after the
+    /// edge's first sample.
+    pub fn drift_estimate(&self, caller: ServiceId, callee: ServiceId) -> Option<(f64, f64)> {
+        self.edges.get(&(caller, callee)).and_then(|e| e.fit)
+    }
+
+    /// Resolved clock model for one service: `(offset at the anchor in
+    /// ns, drift in ns/ns)`. `None` if the service is not in the current
+    /// resolution.
+    pub fn service_model(&self, svc: ServiceId) -> Option<(f64, f64)> {
+        self.offsets.get(&svc).map(|m| (m.offset, m.drift))
     }
 
     /// Process one record: `Some(clean)` to forward, `None` if rejected
     /// (the reason is counted in [`SanitizeStats`]).
     pub fn sanitize(&mut self, rec: RpcRecord) -> Option<RpcRecord> {
         self.metrics.received.inc();
+        self.records_seen += 1;
+        // The drift anchor is the first timestamp ever seen (caller's
+        // side, pre-correction): every later time coordinate is relative
+        // to it, keeping drift math in stream-local magnitudes.
+        if self.anchor.is_none() {
+            self.anchor = Some(rec.send_req.min(rec.recv_req));
+        }
 
         // 1. Truncated: the capture layer never saw a response. Without
         // response timestamps the record cannot form an interval.
@@ -310,106 +484,179 @@ impl Sanitizer {
             .collect()
     }
 
-    /// Fold one record's NTP-style offset sample into its edge EWMA.
+    /// Anchor-relative time coordinate (ns) for a timestamp.
+    fn rel(&self, ts: Nanos) -> i64 {
+        let anchor = self.anchor.unwrap_or(Nanos::ZERO);
+        i64::try_from(ts.0 as i128 - anchor.0 as i128).unwrap_or(i64::MAX)
+    }
+
+    /// Fold one record's NTP-style offset sample into its edge filter:
+    /// the constant-offset EWMA always, and (in drift mode) the bounded
+    /// sample ring behind the least-squares drift fit.
     fn observe_skew(&mut self, rec: &RpcRecord) {
         let fwd = rec.recv_req.0 as i128 - rec.send_req.0 as i128;
         let bwd = rec.recv_resp.0 as i128 - rec.send_resp.0 as i128;
+        // Duration-scale difference of two one-way delays: far below
+        // 2^53 ns for any record the causality check admitted.
+        #[allow(clippy::cast_precision_loss)]
         let sample = (fwd - bwd) as f64 / 2.0;
         if !sample.is_finite() {
             return;
         }
+        // Sample time coordinate: the caller-side midpoint of the RPC.
+        // A constant skew on the caller's own clock shifts this
+        // uniformly (absorbed by the fit's intercept); its drift
+        // perturbs the coordinate only at second order (ppm of ppm).
+        let mid = self.rel(Nanos((rec.send_req.0 / 2) + (rec.recv_resp.0 / 2)));
         let key = (rec.caller, rec.callee.service);
-        match self.edges.get_mut(&key) {
-            Some(edge) => {
-                edge.offset += self.cfg.skew_alpha * (sample - edge.offset);
-                edge.samples += 1;
+        let records_seen = self.records_seen;
+        let edge = self.edges.entry(key).or_insert_with(|| EdgeSkew {
+            // First sample seeds the EWMA directly: a fresh edge must
+            // not spend ~1/α samples converging on a constant offset.
+            offset: sample,
+            samples: 0,
+            ring: VecDeque::new(),
+            fit: None,
+            last_seen: records_seen,
+        });
+        if edge.samples > 0 {
+            edge.offset += self.cfg.skew_alpha * (sample - edge.offset);
+        }
+        edge.samples += 1;
+        edge.last_seen = records_seen;
+        if self.cfg.drift_correction {
+            self.metrics.drift_samples.inc();
+            if let Some((a, b)) = edge.fit {
+                let innovation = (sample - (a + b * rel_to_f64(mid))).abs();
+                if innovation.is_finite() {
+                    self.metrics
+                        .drift_innovation_ns
+                        .add(innovation.round() as u64);
+                }
             }
-            None => {
-                self.edges.insert(
-                    key,
-                    EdgeSkew {
-                        offset: sample,
-                        samples: 1,
-                    },
-                );
+            edge.ring.push_back((mid, sample));
+            while edge.ring.len() > self.cfg.drift_window.max(2) {
+                edge.ring.pop_front();
             }
         }
     }
 
-    /// Resolve edge offsets into per-service offsets by BFS over the
-    /// (undirected view of the) service graph. `EXTERNAL` anchors the
-    /// frame at 0 when present; any disconnected component is anchored
-    /// at its smallest service id. Deterministic: adjacency and visit
-    /// order come from `BTreeMap` iteration.
+    /// Resolve edge estimates into per-service clock models by BFS over
+    /// the (undirected view of the) service graph, composing `(offset,
+    /// drift)` additively along edges. `EXTERNAL` anchors the frame at
+    /// `(0, 0)` when present; any disconnected component is anchored at
+    /// its smallest service id. Deterministic: adjacency and visit order
+    /// come from `BTreeMap` iteration. Edges idle past
+    /// [`SanitizeConfig::skew_edge_ttl`] are pruned first, and services
+    /// that fall out of the resolution get their gauges zeroed instead
+    /// of exporting stale values.
     fn resolve_offsets(&mut self) {
-        let mut adjacency: BTreeMap<ServiceId, Vec<(ServiceId, f64)>> = BTreeMap::new();
-        for (&(caller, callee), edge) in &self.edges {
-            // offset[callee] = offset[caller] + θ(caller→callee)
+        if let Some(ttl) = self.cfg.skew_edge_ttl {
+            let now = self.records_seen;
+            self.edges
+                .retain(|_, edge| now.saturating_sub(edge.last_seen) <= ttl);
+        }
+        let mut adjacency: BTreeMap<ServiceId, Vec<(ServiceId, f64, f64)>> = BTreeMap::new();
+        for (&(caller, callee), edge) in self.edges.iter_mut() {
+            let (offset, drift) = edge.solve(&self.cfg);
+            edge.fit = Some((offset, drift));
+            // model[callee] = model[caller] + θ(caller→callee)
             adjacency
                 .entry(caller)
                 .or_default()
-                .push((callee, edge.offset));
+                .push((callee, offset, drift));
             adjacency
                 .entry(callee)
                 .or_default()
-                .push((caller, -edge.offset));
+                .push((caller, -offset, -drift));
         }
-        let mut offsets: BTreeMap<ServiceId, f64> = BTreeMap::new();
+        let mut models: BTreeMap<ServiceId, ClockModel> = BTreeMap::new();
         let anchors: Vec<ServiceId> = std::iter::once(EXTERNAL)
             .filter(|s| adjacency.contains_key(s))
             .chain(adjacency.keys().copied())
             .collect();
         for anchor in anchors {
-            if offsets.contains_key(&anchor) {
+            if models.contains_key(&anchor) {
                 continue;
             }
-            offsets.insert(anchor, 0.0);
+            models.insert(anchor, ClockModel::default());
             let mut queue = VecDeque::from([anchor]);
             while let Some(svc) = queue.pop_front() {
-                let base = offsets[&svc];
-                for &(next, delta) in adjacency.get(&svc).into_iter().flatten() {
-                    if let std::collections::btree_map::Entry::Vacant(slot) = offsets.entry(next) {
-                        slot.insert(base + delta);
+                let base = models[&svc];
+                for &(next, d_off, d_drift) in adjacency.get(&svc).into_iter().flatten() {
+                    if let std::collections::btree_map::Entry::Vacant(slot) = models.entry(next) {
+                        slot.insert(ClockModel {
+                            offset: base.offset + d_off,
+                            drift: base.drift + d_drift,
+                        });
                         queue.push_back(next);
                     }
                 }
             }
         }
-        // Publish the resolved offsets as per-service gauges (registered
-        // lazily the first time a service appears).
-        for (&svc, &offset) in &offsets {
+        // Publish the resolved models as per-service gauges (registered
+        // lazily the first time a service appears). The offset gauge
+        // reports the instantaneous correction at the current watermark
+        // (what a scrape "now" would observe); drift is exported in ppb.
+        let now_rel = self.rel(self.watermark.max(self.anchor.unwrap_or(Nanos::ZERO)));
+        for (&svc, model) in &models {
+            let registry = &self.metrics.registry;
             let gauge = self.skew_gauges.entry(svc).or_insert_with(|| {
-                self.metrics.registry.gauge_with(
+                registry.gauge_with(
                     "tw_sanitize_skew_offset_ns",
                     "Resolved per-service clock offset (ns) relative to the anchor frame.",
                     &[("service", &service_label(svc))],
                 )
             });
-            gauge.set(offset);
+            gauge.set(model.correction_at(now_rel));
+            let drift_gauge = self.drift_gauges.entry(svc).or_insert_with(|| {
+                registry.gauge_with(
+                    "tw_sanitize_drift_ppb",
+                    "Resolved per-service clock drift rate (parts per billion) relative to the anchor frame.",
+                    &[("service", &service_label(svc))],
+                )
+            });
+            drift_gauge.set(model.drift * 1e9);
         }
-        self.offsets = offsets;
+        // Services that fell out of the resolution (all their edges aged
+        // out) must not keep exporting their last offset forever.
+        for (svc, gauge) in &self.skew_gauges {
+            if !models.contains_key(svc) {
+                gauge.set(0.0);
+            }
+        }
+        for (svc, gauge) in &self.drift_gauges {
+            if !models.contains_key(svc) {
+                gauge.set(0.0);
+            }
+        }
+        self.offsets = models;
     }
 
-    /// Shift a record's timestamps into the anchor frame. Returns true
-    /// if any side actually moved.
+    /// Shift a record's timestamps into the anchor frame, each corrected
+    /// by its recording service's model evaluated *at that timestamp*
+    /// (`offset + drift · (ts − anchor)`). Returns true if any side
+    /// actually moved.
     fn correct(&self, rec: &mut RpcRecord) -> bool {
+        // Threshold is a small config constant (µs–ms scale), not an
+        // epoch timestamp.
+        #[allow(clippy::cast_precision_loss)]
+        let threshold = self.cfg.skew_min_ns as f64;
         let mut moved = false;
-        let caller_off = self.offsets.get(&rec.caller).copied().unwrap_or(0.0);
-        if caller_off.abs() > self.cfg.skew_min_ns as f64 {
-            rec.send_req = unshift(rec.send_req, caller_off);
-            rec.recv_resp = unshift(rec.recv_resp, caller_off);
-            moved = true;
-        }
-        let callee_off = self
-            .offsets
-            .get(&rec.callee.service)
-            .copied()
-            .unwrap_or(0.0);
-        if callee_off.abs() > self.cfg.skew_min_ns as f64 {
-            rec.recv_req = unshift(rec.recv_req, callee_off);
-            rec.send_resp = unshift(rec.send_resp, callee_off);
-            moved = true;
-        }
+        let mut apply = |model: Option<&ClockModel>, ts: &mut Nanos| {
+            let Some(model) = model else { return };
+            let correction = model.correction_at(self.rel(*ts));
+            if correction.abs() > threshold {
+                *ts = unshift(*ts, correction);
+                moved = true;
+            }
+        };
+        let caller = self.offsets.get(&rec.caller);
+        apply(caller, &mut rec.send_req);
+        apply(caller, &mut rec.recv_resp);
+        let callee = self.offsets.get(&rec.callee.service);
+        apply(callee, &mut rec.recv_req);
+        apply(callee, &mut rec.send_resp);
         moved
     }
 }
@@ -417,7 +664,7 @@ impl Sanitizer {
 /// Subtract an offset (ns, may be negative/fractional) from a timestamp,
 /// clamping at zero.
 fn unshift(ts: Nanos, offset_ns: f64) -> Nanos {
-    let shifted = ts.0 as i128 - offset_ns as i128;
+    let shifted = ts.0 as i128 - offset_ns.round() as i128;
     Nanos(shifted.clamp(0, u64::MAX as i128) as u64)
 }
 
@@ -503,6 +750,9 @@ impl Drop for SanitizerStage {
 }
 
 #[cfg(test)]
+// Test constants are small (µs–ms scale); the module-level deny is aimed
+// at epoch-scale production math.
+#[allow(clippy::cast_precision_loss)]
 mod tests {
     use super::*;
     use tw_model::ids::{Endpoint, OperationId};
@@ -670,6 +920,148 @@ mod tests {
         // A↔EXTERNAL edge shows no spurious skew.
         let est_a = s.skew_estimate(EXTERNAL, a).unwrap();
         assert!(est_a.abs() < 5_000.0, "phantom skew on clean edge: {est_a}");
+    }
+
+    #[test]
+    fn first_sample_seeds_edge_offset_directly() {
+        // Regression: the first sample on a fresh edge must seed the
+        // EWMA at full weight, not be damped by α (which would leave the
+        // estimate at α·θ̂ and need ~1/α samples to converge).
+        let mut s = Sanitizer::new(SanitizeConfig::default());
+        let skew = 3_000_000u64; // callee 3ms fast
+        let mut r = rec(1, 1_000);
+        r.recv_req = Nanos(r.recv_req.0 + skew);
+        r.send_resp = Nanos(r.send_resp.0 + skew);
+        s.sanitize(r);
+        let est = s.skew_estimate(EXTERNAL, ServiceId(0)).unwrap();
+        assert!(
+            (est - skew as f64).abs() < 1.0,
+            "one sample must fully seed the estimate: {est} vs {skew}"
+        );
+    }
+
+    /// Records on EXTERNAL→service-0 whose callee clock runs `drift_ppm`
+    /// fast, accumulating from `t0_us`, on top of a constant `base_ns`
+    /// offset. Spacing is 10ms so drift accumulates meaningfully.
+    fn drifting_stream(
+        n: u64,
+        t0_us: u64,
+        base_ns: u64,
+        drift_ppm: f64,
+    ) -> (Vec<RpcRecord>, Vec<RpcRecord>) {
+        let clean: Vec<RpcRecord> = (0..n).map(|i| rec(i, t0_us + i * 10_000)).collect();
+        let skewed = clean
+            .iter()
+            .map(|r| {
+                let shift = |ts: Nanos| {
+                    let rel = (ts.0 - t0_us * 1_000) as f64;
+                    Nanos(ts.0 + base_ns + (rel * drift_ppm * 1e-6).round() as u64)
+                };
+                let mut r = *r;
+                r.recv_req = shift(r.recv_req);
+                r.send_resp = shift(r.send_resp);
+                r
+            })
+            .collect();
+        (clean, skewed)
+    }
+
+    /// Residual error (ns) between a sanitized record's callee-side
+    /// timestamp and its clean counterpart.
+    fn residual(out: &RpcRecord, clean: &RpcRecord) -> i64 {
+        (out.recv_req.0 as i64 - clean.recv_req.0 as i64).abs()
+    }
+
+    #[test]
+    fn drift_filter_tracks_ramping_offset() {
+        // 200 ppm drift over a 6s stream walks the offset by 1.2ms; the
+        // constant EWMA trails the ramp by its lag plus up to a full
+        // resolve interval of staleness, while the two-state filter
+        // extrapolates through both.
+        let (clean, skewed) = drifting_stream(600, 1_000, 5_000_000, 200.0);
+        let mut drift_on = Sanitizer::new(SanitizeConfig::default());
+        let out_on = drift_on.sanitize_batch(skewed.clone());
+        let mut drift_off = Sanitizer::new(SanitizeConfig {
+            drift_correction: false,
+            ..SanitizeConfig::default()
+        });
+        let out_off = drift_off.sanitize_batch(skewed);
+        assert_eq!(out_on.len(), 600);
+        assert_eq!(out_off.len(), 600);
+        // Judge on the tail, after both filters have converged.
+        let tail_err = |out: &[RpcRecord]| {
+            out.iter()
+                .zip(&clean)
+                .skip(500)
+                .map(|(o, c)| residual(o, c))
+                .max()
+                .unwrap()
+        };
+        let err_on = tail_err(&out_on);
+        let err_off = tail_err(&out_off);
+        assert!(err_on < 20_000, "drift-aware residual {err_on}ns");
+        assert!(
+            err_off > err_on * 2,
+            "constant-offset mode should trail the ramp: on={err_on}ns off={err_off}ns"
+        );
+        let (_, slope) = drift_on.drift_estimate(EXTERNAL, ServiceId(0)).unwrap();
+        assert!(
+            (slope * 1e6 - 200.0).abs() < 40.0,
+            "fitted drift {} ppm vs true 200 ppm",
+            slope * 1e6
+        );
+        let stats = drift_on.stats();
+        assert!(stats.drift_samples >= 600);
+        assert!(stats.drift_innovation_ns > 0);
+    }
+
+    #[test]
+    fn stale_service_gauges_zeroed_when_edges_age_out() {
+        let registry = Registry::new();
+        let mut s = Sanitizer::new_in(
+            SanitizeConfig {
+                skew_resolve_interval: 8,
+                skew_edge_ttl: Some(32),
+                ..SanitizeConfig::default()
+            },
+            &registry,
+        );
+        let skew = 4_000_000u64;
+        // Edge EXTERNAL→0 with a real offset...
+        for i in 0..32u64 {
+            let mut r = rec(i, 1_000 + i * 500);
+            r.recv_req = Nanos(r.recv_req.0 + skew);
+            r.send_resp = Nanos(r.send_resp.0 + skew);
+            s.sanitize(r);
+        }
+        let offset_gauge = registry.gauge_with(
+            "tw_sanitize_skew_offset_ns",
+            "Resolved per-service clock offset (ns) relative to the anchor frame.",
+            &[("service", "0")],
+        );
+        let drift_gauge = registry.gauge_with(
+            "tw_sanitize_drift_ppb",
+            "Resolved per-service clock drift rate (parts per billion) relative to the anchor frame.",
+            &[("service", "0")],
+        );
+        assert!(
+            offset_gauge.get() > 1_000_000.0,
+            "offset gauge live while edge is fresh: {}",
+            offset_gauge.get()
+        );
+        // ...then the edge goes silent while another keeps the stream
+        // alive long enough for the TTL (32 records) to expire it.
+        for i in 0..64u64 {
+            let mut r = rec(1_000 + i, 50_000 + i * 500);
+            r.callee.service = ServiceId(1);
+            s.sanitize(r);
+        }
+        assert!(
+            s.service_model(ServiceId(0)).is_none(),
+            "aged-out service still resolved"
+        );
+        assert_eq!(offset_gauge.get(), 0.0, "stale offset gauge not zeroed");
+        assert_eq!(drift_gauge.get(), 0.0, "stale drift gauge not zeroed");
     }
 
     #[test]

@@ -17,6 +17,12 @@
 //! pass, and the perturbed stream is re-sorted by its (possibly delayed)
 //! arrival times. Identical plan + seed ⇒ byte-identical output.
 
+// Timestamp module: epoch-scale nanosecond values (> 2^53 ns) lose up to
+// ~256 ns when cast to f64, which silently corrupts injected drift. All
+// timestamp math here stays in integer arithmetic; floats may only touch
+// small stream-relative quantities.
+#![deny(clippy::cast_precision_loss)]
+
 use rand::{Rng, SeedableRng, StdRng};
 use tw_model::ids::ServiceId;
 use tw_model::span::RpcRecord;
@@ -45,7 +51,9 @@ pub enum Fault {
     Reorder { rate: f64, max_delay: Nanos },
     /// Clock skew at `service`'s host: every timestamp recorded by that
     /// host is shifted by `offset_ns` plus a drift of `drift_ppm`
-    /// microseconds per second of simulated time (parts-per-million).
+    /// microseconds per second of stream time (parts-per-million),
+    /// accumulated from the stream's earliest timestamp — the instant
+    /// the two clocks were last in the stated `offset_ns` relation.
     ClockSkew {
         service: ServiceId,
         offset_ns: i64,
@@ -119,6 +127,15 @@ impl FaultPlan {
         let mut ordered = records.to_vec();
         ordered.sort_by_key(|r| (r.recv_resp, r.rpc));
 
+        // Stream-local drift anchor: drift accumulates from the earliest
+        // timestamp in the stream, not from the epoch, so the integer
+        // drift math below operates on small relative values.
+        let anchor = records
+            .iter()
+            .map(|r| r.send_req.min(r.recv_req))
+            .min()
+            .unwrap_or(Nanos::ZERO);
+
         // Remaining burst length per bursty service.
         let mut burst_left: Vec<(ServiceId, usize)> = self
             .faults
@@ -147,13 +164,13 @@ impl FaultPlan {
                 } = fault
                 {
                     if rec.callee.service == *service {
-                        rec.recv_req = shift(rec.recv_req, *offset_ns, *drift_ppm);
-                        rec.send_resp = shift(rec.send_resp, *offset_ns, *drift_ppm);
+                        rec.recv_req = shift(rec.recv_req, anchor, *offset_ns, *drift_ppm);
+                        rec.send_resp = shift(rec.send_resp, anchor, *offset_ns, *drift_ppm);
                         skewed = true;
                     }
                     if rec.caller == *service {
-                        rec.send_req = shift(rec.send_req, *offset_ns, *drift_ppm);
-                        rec.recv_resp = shift(rec.recv_resp, *offset_ns, *drift_ppm);
+                        rec.send_req = shift(rec.send_req, anchor, *offset_ns, *drift_ppm);
+                        rec.recv_resp = shift(rec.recv_resp, anchor, *offset_ns, *drift_ppm);
                         skewed = true;
                     }
                 }
@@ -182,7 +199,8 @@ impl FaultPlan {
                         log.burst_dropped += 1;
                         continue 'rec;
                     }
-                    let enter = *rate / (*burst_len).max(1) as f64;
+                    let len = u32::try_from((*burst_len).max(1)).unwrap_or(u32::MAX);
+                    let enter = *rate / f64::from(len);
                     if rng.gen_bool(enter.min(1.0)) {
                         slot.1 = burst_len.saturating_sub(1);
                         log.burst_dropped += 1;
@@ -241,11 +259,19 @@ impl FaultPlan {
     }
 }
 
-/// Shift a timestamp by a constant offset plus time-proportional drift,
-/// clamping at zero (clocks can run behind the epoch only so far).
-fn shift(ts: Nanos, offset_ns: i64, drift_ppm: f64) -> Nanos {
-    let drift_ns = ts.0 as f64 * drift_ppm * 1e-6;
-    let shifted = ts.0 as i128 + offset_ns as i128 + drift_ns as i128;
+/// Shift a timestamp by a constant offset plus drift accumulated since
+/// `anchor`, clamping at zero (clocks can run behind only so far).
+///
+/// Drift is computed in `i128` on the anchor-relative value: casting an
+/// epoch-scale `ts.0` (> 2^53 ns) through f64 rounds to ~256 ns
+/// granularity, which is the same order as the drift being injected. The
+/// ppm rate is held as integer parts-per-billion (0.001 ppm resolution),
+/// so the timestamp math itself never leaves integer arithmetic.
+fn shift(ts: Nanos, anchor: Nanos, offset_ns: i64, drift_ppm: f64) -> Nanos {
+    let drift_ppb = (drift_ppm * 1_000.0).round() as i128;
+    let rel = ts.0 as i128 - anchor.0 as i128;
+    let drift_ns = rel * drift_ppb / 1_000_000_000;
+    let shifted = ts.0 as i128 + offset_ns as i128 + drift_ns;
     Nanos(shifted.clamp(0, u64::MAX as i128) as u64)
 }
 
@@ -405,13 +431,39 @@ mod tests {
 
     #[test]
     fn drift_grows_with_time() {
-        let early = shift(Nanos::from_secs(1), 0, 100.0);
-        let late = shift(Nanos::from_secs(100), 0, 100.0);
+        let early = shift(Nanos::from_secs(1), Nanos::ZERO, 0, 100.0);
+        let late = shift(Nanos::from_secs(100), Nanos::ZERO, 0, 100.0);
         let early_err = early.0 - Nanos::from_secs(1).0;
         let late_err = late.0 - Nanos::from_secs(100).0;
         assert!(late_err > early_err * 50, "{late_err} vs {early_err}");
+        // 100 ppm over exactly 1s is exactly 100_000 ns — integer drift
+        // math has no rounding slack to hide in.
+        assert_eq!(early_err, 100_000);
         // Negative offset clamps at zero instead of wrapping.
-        assert_eq!(shift(Nanos(5), -1_000, 0.0), Nanos::ZERO);
+        assert_eq!(shift(Nanos(5), Nanos::ZERO, -1_000, 0.0), Nanos::ZERO);
+    }
+
+    #[test]
+    fn epoch_scale_drift_is_not_quantized() {
+        // Epoch-scale base (~2^60 ns): the old `ts.0 as f64` path rounded
+        // the drift to ~256 ns steps. With a stream-local anchor the
+        // injected drift must be exact regardless of absolute magnitude.
+        let base = Nanos(1 << 60);
+        for dt_ns in [1_000u64, 12_345_678, 1_000_000_000] {
+            let ts = Nanos(base.0 + dt_ns);
+            let shifted = shift(ts, base, 0, 100.0);
+            let expected = dt_ns as i128 * 100_000 / 1_000_000_000;
+            assert_eq!(
+                shifted.0 as i128 - ts.0 as i128,
+                expected,
+                "drift at +{dt_ns}ns from an epoch-scale anchor"
+            );
+        }
+        // Per-record granularity: two records 1ms apart must see drift
+        // differing by exactly 100 ns at 100 ppm, even at epoch scale.
+        let a = shift(Nanos(base.0 + 1_000_000), base, 0, 100.0);
+        let b = shift(Nanos(base.0 + 2_000_000), base, 0, 100.0);
+        assert_eq!(b.0 - a.0, 1_000_000 + 100);
     }
 
     #[test]

@@ -71,6 +71,7 @@ USAGE:
   twctl learn-delays --spans FILE --graph FILE [--window-ms N] [--dynamism] --out FILE
   twctl reconstruct  --spans FILE --graph FILE [--delay-model FILE] [--dynamism] [--sanitize] [--jaeger FILE]
   twctl evaluate     --spans FILE --graph FILE --truth FILE [--delay-model FILE] [--dynamism] [--sanitize]
+                     sanitizer knobs: [--no-drift] [--drift-window N] [--drift-max-ppm F] [--skew-alpha F]
   twctl waterfall    --spans FILE --graph FILE [--trace N] [--width N]
   twctl metrics      --addr HOST:PORT
   twctl top          --addr HOST:PORT [--interval-ms N] [--iterations N] [--limit N]
@@ -91,7 +92,12 @@ can be scraped; --metrics-out also writes the exposition to a file.
 polls it and shows the busiest series with per-second rates.
 
 `--sanitize` runs recorded spans through the online sanitizer (dedup,
-causality, skew correction) before reconstructing.";
+causality, skew correction) before reconstructing. Skew correction
+tracks per-edge clock *drift* (offset + slope) by default; --no-drift
+falls back to the constant-offset estimator, --drift-window bounds the
+per-edge sample ring, --drift-max-ppm clamps the fitted slope, and
+--skew-alpha sets the constant-offset EWMA weight. The same knobs apply
+to the live pipeline behind `simulate --metrics`.";
 
 type Flags = HashMap<String, String>;
 
@@ -104,7 +110,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             return Err(format!("expected --flag, got `{arg}`"));
         };
         // Boolean flags take no value.
-        if matches!(name, "dynamism" | "sanitize") {
+        if matches!(name, "dynamism" | "sanitize" | "no-drift") {
             flags.insert(name.to_string(), "true".to_string());
             i += 1;
             continue;
@@ -232,13 +238,9 @@ fn serve_simulated_metrics(
         telemetry: registry,
         ..OnlineConfig::default()
     };
-    let (server, engine, stage) = serve_online_sanitized(
-        "127.0.0.1:0",
-        tw,
-        config,
-        traceweaver::pipeline::SanitizeConfig::default(),
-    )
-    .map_err(|e| e.to_string())?;
+    let (server, engine, stage) =
+        serve_online_sanitized("127.0.0.1:0", tw, config, sanitize_config_from(flags)?)
+            .map_err(|e| e.to_string())?;
 
     let mut sorted = records.to_vec();
     sorted.sort_by_key(|r| r.send_req);
@@ -335,18 +337,30 @@ fn cmd_learn_delays(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// Build a [`SanitizeConfig`] from the shared sanitizer knobs:
+/// `--no-drift`, `--drift-window`, `--drift-max-ppm`, `--skew-alpha`.
+fn sanitize_config_from(flags: &Flags) -> Result<traceweaver::pipeline::SanitizeConfig, String> {
+    let defaults = traceweaver::pipeline::SanitizeConfig::default();
+    Ok(traceweaver::pipeline::SanitizeConfig {
+        drift_correction: !flags.contains_key("no-drift"),
+        drift_window: num(flags, "drift-window", defaults.drift_window)?,
+        drift_max_ppm: num(flags, "drift-max-ppm", defaults.drift_max_ppm)?,
+        skew_alpha: num(flags, "skew-alpha", defaults.skew_alpha)?,
+        ..defaults
+    })
+}
+
 /// Apply `--sanitize` when requested: replay the recorded spans through
 /// the online sanitizer (dedup, causality, skew correction) and keep the
 /// survivors.
 fn maybe_sanitize(
     flags: &Flags,
     records: Vec<traceweaver::model::RpcRecord>,
-) -> Vec<traceweaver::model::RpcRecord> {
+) -> Result<Vec<traceweaver::model::RpcRecord>, String> {
     if !flags.contains_key("sanitize") {
-        return records;
+        return Ok(records);
     }
-    let mut sanitizer =
-        traceweaver::pipeline::Sanitizer::new(traceweaver::pipeline::SanitizeConfig::default());
+    let mut sanitizer = traceweaver::pipeline::Sanitizer::new(sanitize_config_from(flags)?);
     let total = records.len();
     let clean = sanitizer.sanitize_batch(records);
     let stats = sanitizer.stats();
@@ -356,11 +370,11 @@ fn maybe_sanitize(
         stats.rejected(),
         stats.skew_corrected
     );
-    clean
+    Ok(clean)
 }
 
 fn cmd_reconstruct(flags: &Flags) -> Result<(), String> {
-    let records = maybe_sanitize(flags, load_spans(flag(flags, "spans")?)?);
+    let records = maybe_sanitize(flags, load_spans(flag(flags, "spans")?)?)?;
     let graph: CallGraph = read_json(flag(flags, "graph")?)?;
     let tw = TraceWeaver::new(graph, params_from(flags));
     let result = match delay_model_from(flags)? {
@@ -522,7 +536,7 @@ fn cmd_top(flags: &Flags) -> Result<(), String> {
 }
 
 fn cmd_evaluate(flags: &Flags) -> Result<(), String> {
-    let records = maybe_sanitize(flags, load_spans(flag(flags, "spans")?)?);
+    let records = maybe_sanitize(flags, load_spans(flag(flags, "spans")?)?)?;
     let graph: CallGraph = read_json(flag(flags, "graph")?)?;
     let truth: TruthIndex = read_json(flag(flags, "truth")?)?;
     let tw = TraceWeaver::new(graph, params_from(flags));
