@@ -1,0 +1,123 @@
+//! Staged-pipeline scaling benchmark: records/s through the online
+//! windowing data plane (window-router → N window shards → merge →
+//! results) at 1/2/4/8 shards across ingest rates (DESIGN.md §11).
+//!
+//! Each run feeds a pre-simulated, arrival-ordered record stream into
+//! `OnlineEngine` through its bounded ingest queue and times feed +
+//! ordered shutdown drain, so the measured throughput covers routing,
+//! sharded window reconstruction, and the global-order merge. Sharding
+//! must never change *what* is computed — every shard count is asserted
+//! to produce the identical window/mapping sequence — so the sweep
+//! isolates wall-clock scaling. Speedup is bounded by the host's
+//! physical parallelism; the `host-cores` column records it so results
+//! from constrained machines (e.g. single-core CI) read honestly.
+
+use std::time::Instant;
+use tw_bench::Table;
+use tw_core::{Params, TraceWeaver};
+use tw_model::time::Nanos;
+use tw_pipeline::{OnlineConfig, OnlineEngine};
+use tw_sim::apps::hotel_reservation;
+use tw_sim::{Simulator, Workload};
+use tw_telemetry::Registry;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const REPEATS: usize = 3;
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut table = Table::new(
+        "staged pipeline: windowing throughput vs shard count (best of 3)",
+        &[
+            "rps",
+            "records",
+            "shards",
+            "host-cores",
+            "wall-ms",
+            "krec/s",
+            "speedup",
+            "windows",
+            "mapped",
+        ],
+    );
+
+    let quick = tw_bench::quick_mode();
+    let millis = if quick { 600 } else { 2_000 };
+    let rates: &[f64] = if quick { &[200.0] } else { &[200.0, 600.0] };
+
+    let app = hotel_reservation(42);
+    let graph = app.config.call_graph();
+    let root = app.roots[0];
+    let sim = Simulator::new(app.config).expect("valid app");
+
+    for &rps in rates {
+        let out = sim.run(&Workload::poisson(root, rps, Nanos::from_millis(millis)));
+        let mut records = out.records.clone();
+        records.sort_by_key(|r| r.send_req);
+
+        // (window index, record count, mapped spans) per window — the
+        // shard-count-invariance fingerprint.
+        let mut baseline_ms = 0.0f64;
+        let mut fingerprint: Option<Vec<(u64, usize, usize)>> = None;
+        for &shards in &SHARD_COUNTS {
+            let mut best = f64::INFINITY;
+            let mut summary = Vec::new();
+            for _ in 0..REPEATS {
+                let tw = TraceWeaver::new(graph.clone(), Params::default());
+                let config = OnlineConfig {
+                    window: Nanos::from_millis(250),
+                    shards,
+                    telemetry: Registry::new(),
+                    ..OnlineConfig::default()
+                };
+                let engine = OnlineEngine::start(tw, config);
+                let ingest = engine.ingest_handle();
+                let t0 = Instant::now();
+                for rec in &records {
+                    ingest.send(*rec).expect("pipeline accepts records");
+                }
+                drop(ingest);
+                let results = engine.shutdown();
+                best = best.min(t0.elapsed().as_secs_f64() * 1_000.0);
+                summary = results
+                    .iter()
+                    .map(|w| {
+                        (
+                            w.index,
+                            w.records.len(),
+                            w.reconstruction.summary().mapped_spans,
+                        )
+                    })
+                    .collect();
+            }
+            match &fingerprint {
+                None => fingerprint = Some(summary.clone()),
+                Some(base) => assert_eq!(
+                    base, &summary,
+                    "shard count changed the reconstructed window stream"
+                ),
+            }
+            let mapped: usize = summary.iter().map(|(_, _, m)| m).sum();
+            assert!(mapped > 0, "pipeline mapped no spans");
+            if shards == 1 {
+                baseline_ms = best;
+            }
+            table.row(vec![
+                format!("{rps:.0}"),
+                records.len().to_string(),
+                shards.to_string(),
+                cores.to_string(),
+                format!("{best:.1}"),
+                format!("{:.1}", records.len() as f64 / best),
+                format!("{:.2}x", baseline_ms / best),
+                summary.len().to_string(),
+                mapped.to_string(),
+            ]);
+        }
+    }
+
+    table.print();
+    table.save_json("pipeline_scale").expect("write artifact");
+}

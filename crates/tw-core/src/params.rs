@@ -137,6 +137,18 @@ impl Params {
         }
     }
 
+    /// Divide this configuration's intra-window executor threads across
+    /// `lanes` concurrent pipeline lanes (e.g. window shards): each lane
+    /// gets an equal share, at least 1, so an engine sharded N ways keeps
+    /// roughly the same total executor parallelism instead of
+    /// oversubscribing the host N-fold. Executor results are ordered and
+    /// thread-count invariant, so the share never changes reconstruction
+    /// output — only wall time.
+    pub fn share_threads(mut self, lanes: usize) -> Self {
+        self.threads = (self.threads / lanes.max(1)).max(1);
+        self
+    }
+
     /// Ablation: no dependency-order constraints.
     pub fn ablate_order_constraints(mut self) -> Self {
         self.use_order_constraints = false;
@@ -200,6 +212,14 @@ mod tests {
         let p = Params::with_threads(8);
         assert_eq!(p.threads, 8);
         assert_eq!(p.batch_size, Params::default().batch_size);
+    }
+
+    #[test]
+    fn share_threads_divides_with_floor() {
+        assert_eq!(Params::with_threads(8).share_threads(2).threads, 4);
+        assert_eq!(Params::with_threads(8).share_threads(3).threads, 2);
+        assert_eq!(Params::with_threads(2).share_threads(8).threads, 1);
+        assert_eq!(Params::with_threads(4).share_threads(0).threads, 4);
     }
 
     #[test]

@@ -10,6 +10,10 @@
 //! * [`sanitize`] — a defensive stage between ingestion and the engine:
 //!   bounded dedup, non-causal rejection, clock-skew correction, and
 //!   late-arrival accounting (DESIGN.md §9);
+//! * [`pipeline`] — the staged-pipeline core: the [`Stage`] abstraction,
+//!   bounded inter-stage queues with explicit backpressure (block or
+//!   shed-with-counter), sharded fan-out with a deterministic merge, and
+//!   the [`PipelineBuilder`] the online path composes on (DESIGN.md §11);
 //! * [`sampling`] — **tail-based sampling** on reconstructed traces: once
 //!   a window is mapped, a configured fraction of complete traces is kept
 //!   and the rest dropped — the sampling style head-based tracing cannot
@@ -23,12 +27,17 @@
 
 pub mod net;
 pub mod online;
+pub mod pipeline;
 pub mod sampling;
 pub mod sanitize;
 pub mod store;
 
 pub use net::{export_records, fetch_metrics, IngestServer, IngestStats, MetricsServer};
 pub use online::{DegradationLevel, OnlineConfig, OnlineEngine, ShedPolicy, WindowResult};
+pub use pipeline::{
+    Backpressure, Emitter, FanOut, Pipeline, PipelineBuilder, QueueCfg, Sequenced, ShardEmitters,
+    ShardMsg, Stage, StageCtx,
+};
 pub use sampling::TailSampler;
-pub use sanitize::{SanitizeConfig, SanitizeStats, Sanitizer, SanitizerStage};
+pub use sanitize::{SanitizeConfig, SanitizeStage, SanitizeStats, Sanitizer};
 pub use store::{load_registry, save_registry, OfflineStore};

@@ -275,12 +275,13 @@ fn serve_connection(
     }
 }
 
-/// The full online deployment topology (§5.3) in one call: start a
-/// pipelined [`OnlineEngine`] and bind an [`IngestServer`] feeding it, so
-/// capture agents export wire frames straight into windowed
-/// reconstruction. `config.threads` sets the engine's reconstruction
-/// worker pool; shut down the server before the engine so in-flight
-/// connections drain into the final window.
+/// The full online deployment topology (§5.3) in one call: start an
+/// [`OnlineEngine`] (a supervised staged pipeline, DESIGN.md §11) and
+/// bind an [`IngestServer`] as its source, so capture agents export wire
+/// frames straight into sharded windowed reconstruction.
+/// `config.shards` (or legacy `config.threads`) sets how many window
+/// shards reconstruct concurrently; shut down the server before the
+/// engine so in-flight connections drain into the final windows.
 pub fn serve_online(
     addr: &str,
     tw: TraceWeaver,
@@ -292,24 +293,22 @@ pub fn serve_online(
     Ok((server, engine))
 }
 
-/// [`serve_online`] with a [`Sanitizer`](crate::Sanitizer) between the
-/// server and the engine: decoded records are deduplicated, causality-
-/// checked, skew-corrected and late-filtered before they reach the
-/// windower (DESIGN.md §9). Shut down in pipeline order — server, then
-/// `stage.join()`, then engine — so every stage drains into the next.
+/// [`serve_online`] with a [`SanitizeStage`](crate::SanitizeStage)
+/// composed between the ingest source and the window router, inside the
+/// engine's supervised graph: decoded records are deduplicated,
+/// causality-checked, skew-corrected and late-filtered before they reach
+/// windowing (DESIGN.md §9). Shut down the server first, then the engine
+/// — the engine's ordered shutdown drains the sanitizer into the window
+/// shards before they flush. Read the sanitizer's final counters with
+/// [`OnlineEngine::sanitize_stats`].
 pub fn serve_online_sanitized(
     addr: &str,
     tw: TraceWeaver,
-    config: OnlineConfig,
+    mut config: OnlineConfig,
     sanitize: crate::SanitizeConfig,
-) -> std::io::Result<(IngestServer, OnlineEngine, crate::SanitizerStage)> {
-    let capacity = config.channel_capacity;
-    let registry = config.telemetry.clone();
-    let engine = OnlineEngine::start(tw, config);
-    let (clean_tx, stage) =
-        crate::SanitizerStage::spawn_in(sanitize, engine.ingest_handle(), capacity, &registry);
-    let server = IngestServer::bind_in(addr, clean_tx, &registry)?;
-    Ok((server, engine, stage))
+) -> std::io::Result<(IngestServer, OnlineEngine)> {
+    config.sanitize = Some(sanitize);
+    serve_online(addr, tw, config)
 }
 
 /// Client side: connect and export a batch of records as wire frames.

@@ -11,34 +11,46 @@
 //! records of one trace always land in the same window because a trace's
 //! root response is its last event.
 //!
-//! The engine is a three-stage pipeline so window *k+1* ingests and
-//! reconstructs while window *k* finalizes:
+//! The engine is composed from the staged-pipeline core
+//! ([`crate::pipeline`], DESIGN.md §11): every hop is a bounded queue
+//! with explicit backpressure and `tw_pipeline_*` telemetry,
 //!
 //! ```text
-//! ingest ─▶ windower ─▶ work queue ─▶ workers (×threads) ─▶ collector ─▶ results
+//! ingest ─▶ [sanitize] ─▶ window-router ─▶ window/0..N (shards) ─▶ merge ─▶ results
 //! ```
 //!
-//! The windower cuts windows at the watermark and enqueues them; each
-//! worker reconstructs whole windows (windows are independent, like
-//! per-service tasks within one); the collector reorders completed
-//! windows back into window order before emitting, so the result stream
-//! is identical for every `threads` value — with `threads = 1` the single
-//! worker processes windows in order and the collector passes them
-//! straight through.
+//! The *window router* runs sequentially over the arrival stream: it
+//! stamps every record with its effective window index (the window the
+//! legacy single-threaded windower would have flushed it in), routes it
+//! to `hash(index) % shards`, and — when the watermark passes a window's
+//! end plus grace — broadcasts a cut mark all shards observe. Each
+//! *window shard* buffers its windows and reconstructs one whole window
+//! per cut mark (windows are independent, like per-service tasks within
+//! one); the *merge* stage restores deterministic global window order by
+//! streaming the minimum window index across shard outputs. Because the
+//! router's index assignment depends only on arrival order, each window's
+//! contents — and therefore each window's reconstruction — are identical
+//! for every shard count: 1, 2, and 8 shards emit byte-identical result
+//! streams, shards change wall time only.
 //!
 //! **Warm-start mode** ([`OnlineConfig::warm_start`]) threads a
 //! [`DelayRegistry`] through the window stream: window *k*'s posterior is
 //! published — in window order — before window *k+1* is reconstructed, so
 //! every window after the first skips the seed bootstrap and starts EM
 //! from accumulated cross-window evidence. Windows gain a sequential
-//! model dependency in this mode, so the warm path runs one window at a
-//! time (the registry chain *is* the order); use [`tw_core::Params::threads`]
-//! for intra-window parallelism instead of `OnlineConfig::threads`. The
-//! emitted stream stays byte-identical for every thread count.
+//! model dependency in this mode, so the warm path runs on a single
+//! window shard (the registry chain *is* the order); use
+//! [`tw_core::Params::threads`] for intra-window parallelism instead of
+//! `OnlineConfig::shards`. The emitted stream stays byte-identical for
+//! every thread count.
 
+use crate::pipeline::{
+    Backpressure, Emitter, FanOut, Pipeline, PipelineBuilder, QueueCfg, Sequenced, ShardEmitters,
+    ShardMsg, Stage, StageCtx,
+};
+use crate::sanitize::{SanitizeConfig, SanitizeMetrics, SanitizeStage, SanitizeStats};
 use crossbeam::channel::{bounded, Receiver, Sender};
-use std::collections::HashMap;
-use std::thread::JoinHandle;
+use std::collections::BTreeMap;
 use std::time::Duration;
 use tw_core::{DelayRegistry, Reconstruction, TraceWeaver};
 use tw_model::span::RpcRecord;
@@ -121,14 +133,31 @@ pub struct OnlineConfig {
     /// Extra wait beyond the window end before processing, covering the
     /// app's maximum response latency.
     pub grace: Nanos,
-    /// Channel capacity for ingestion back-pressure.
+    /// Channel capacity for ingestion back-pressure: every record-carrying
+    /// queue in the pipeline graph is bounded to this many items.
     pub channel_capacity: usize,
-    /// Reconstruction workers: how many windows reconstruct concurrently
-    /// (clamped to at least 1). Results are always emitted in window
-    /// order, identical for every value; `1` keeps today's sequential
-    /// behavior with the windower still overlapping ingestion. Ignored in
-    /// warm-start mode (the registry chain serializes windows).
+    /// Legacy name for [`shards`](OnlineConfig::shards): how many windows
+    /// reconstruct concurrently. Used (clamped to at least 1) when
+    /// `shards` is 0; ignored otherwise.
     pub threads: usize,
+    /// Window shards: the window stream fans out over this many parallel
+    /// windowing+reconstruction stages, keyed by a stable hash of the
+    /// window index, and a merge stage restores global window order.
+    /// Results are byte-identical for every value — shards change wall
+    /// time only. `0` (the default) falls back to
+    /// [`threads`](OnlineConfig::threads). Clamped to 1 in warm-start
+    /// mode (the registry chain serializes windows).
+    pub shards: usize,
+    /// Run a [`SanitizeStage`] between ingest and windowing, inside the
+    /// same supervised graph ([`crate::serve_online_sanitized`] sets
+    /// this). `None` feeds records to the window router unfiltered.
+    pub sanitize: Option<SanitizeConfig>,
+    /// Overflow policy for the record-carrying queues
+    /// ([`Backpressure::Block`] by default — lossless, pressure
+    /// propagates to ingest). [`Backpressure::Shed`] drops records at
+    /// full queues with `tw_pipeline_shed_total` accounting; window-cut
+    /// marks always survive.
+    pub backpressure: Backpressure,
     /// Carry a [`DelayRegistry`] across windows: each window warm-starts
     /// from the posterior published by the previous window, decoupling
     /// estimation quality from window size (§5.3's window-sizing
@@ -158,6 +187,9 @@ impl Default for OnlineConfig {
             grace: Nanos::from_millis(200),
             channel_capacity: 65_536,
             threads: 1,
+            shards: 0,
+            sanitize: None,
+            backpressure: Backpressure::Block,
             warm_start: false,
             initial_registry: None,
             shed: ShedPolicy::default(),
@@ -323,84 +355,270 @@ impl WindowResult {
     }
 }
 
-/// A cut window waiting for reconstruction.
-struct WindowJob {
-    /// Dense sequence number for in-order emission (window indices can
-    /// have gaps: empty windows are never enqueued).
-    seq: u64,
-    index: u64,
-    end: Nanos,
-    records: Vec<RpcRecord>,
+impl Sequenced for WindowResult {
+    /// Window indices are globally unique (each window is owned by
+    /// exactly one shard) and each shard emits in ascending index order,
+    /// so merging on the index restores global window order.
+    fn seq(&self) -> u64 {
+        self.index
+    }
 }
 
-/// The online engine: a windower thread cutting windows, a pool of
-/// reconstruction workers, and a collector restoring window order.
+/// The window router ([`FanOut`]): the sequential head of the sharded
+/// windowing stage. For each record, in arrival order, it computes the
+/// *effective window index* — `max(⌈recv_resp / window⌉ − 1, first
+/// uncut window)`, exactly the window the legacy single-threaded
+/// windower would have flushed the record in (late records land in the
+/// first window still open at their arrival) — and routes the record to
+/// `shard_hash(index) % shards`. When the watermark passes a window's
+/// end plus grace it broadcasts a cut [`ShardMsg::Mark`] every shard
+/// observes. Item-before-mark queue order guarantees a window's records
+/// are all buffered in its owning shard before any shard sees the cut,
+/// so window contents are invariant in the shard count.
+struct WindowRouter {
+    window: Nanos,
+    grace: Nanos,
+    watermark: Nanos,
+    first_uncut: u64,
+}
+
+impl WindowRouter {
+    fn new(window: Nanos, grace: Nanos) -> Self {
+        WindowRouter {
+            window: Nanos(window.0.max(1)),
+            grace,
+            watermark: Nanos::ZERO,
+            first_uncut: 0,
+        }
+    }
+
+    /// Nominal end of window `index`: records with `recv_resp <= end`
+    /// belong to it (or an earlier one).
+    fn window_end(&self, index: u64) -> u64 {
+        (index + 1).saturating_mul(self.window.0)
+    }
+}
+
+impl FanOut for WindowRouter {
+    type In = RpcRecord;
+    type Out = (u64, RpcRecord);
+
+    fn name(&self) -> &str {
+        "window-router"
+    }
+
+    fn route(&mut self, rec: RpcRecord, outs: &mut ShardEmitters<(u64, RpcRecord)>) {
+        self.watermark = self.watermark.max(rec.recv_resp);
+        let by_ts = rec.recv_resp.0.div_ceil(self.window.0).saturating_sub(1);
+        let index = by_ts.max(self.first_uncut);
+        let shard = (crate::pipeline::shard_hash(index) % outs.shards() as u64) as usize;
+        outs.send(shard, (index, rec));
+        while self.watermark.0
+            >= self
+                .window_end(self.first_uncut)
+                .saturating_add(self.grace.0)
+        {
+            outs.broadcast_mark(self.first_uncut);
+            self.first_uncut += 1;
+        }
+    }
+    // No flush override: windows still open when the stream closes are
+    // flushed by the shards themselves (their input queues close after
+    // the router exits).
+}
+
+/// Warm-start state carried by the single window shard in warm mode: the
+/// registry chain plus the channel that hands the final posterior back
+/// through [`OnlineEngine::shutdown_with_registry`].
+struct WarmState {
+    registry: DelayRegistry,
+    out: Sender<DelayRegistry>,
+}
+
+/// One windowing+reconstruction shard ([`Stage`]): buffers the records
+/// of the windows it owns, reconstructs one whole window per cut mark,
+/// and flushes still-open windows (in index order) on shutdown — the
+/// drain path that guarantees no record is silently dropped.
+struct WindowShard {
+    name: String,
+    window: Nanos,
+    shed: ShedPolicy,
+    ladder: LadderedWeaver,
+    metrics: EngineMetrics,
+    /// Open windows owned by this shard, keyed by window index. `len()`
+    /// is the shard's backlog — the queue-depth signal the shed ladder
+    /// keys on.
+    open: BTreeMap<u64, Vec<RpcRecord>>,
+    last_level: Option<DegradationLevel>,
+    warm: Option<WarmState>,
+}
+
+impl WindowShard {
+    fn reconstruct(&mut self, index: u64, records: Vec<RpcRecord>, backlog: usize) -> WindowResult {
+        let level = self.shed.level_for(backlog);
+        let end = Nanos((index + 1).saturating_mul(self.window.0));
+        let warm_edges = self.warm.as_ref().map_or(0, |w| w.registry.len());
+        let t0 = std::time::Instant::now();
+        // A skipped window contributes no posterior: the registry carries
+        // the last reconstructed window's models forward unchanged.
+        let (reconstruction, shed_records) = match self.ladder.for_level(level) {
+            Some(tw) => match self.warm.as_mut() {
+                Some(warm) => {
+                    let (reconstruction, posterior) =
+                        tw.reconstruct_records_with_registry(&records, &warm.registry);
+                    warm.registry = posterior;
+                    (reconstruction, 0)
+                }
+                None => (tw.reconstruct_records(&records), 0),
+            },
+            None => (Reconstruction::default(), records.len()),
+        };
+        let latency = t0.elapsed();
+        let result = WindowResult {
+            index,
+            end,
+            records,
+            reconstruction,
+            queue_depth: backlog,
+            latency,
+            warm_edges,
+            degradation: level,
+            shed_records,
+        };
+        self.metrics.observe_window(&result, &mut self.last_level);
+        result
+    }
+}
+
+impl Stage for WindowShard {
+    type In = ShardMsg<(u64, RpcRecord)>;
+    type Out = WindowResult;
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(
+        &mut self,
+        msg: ShardMsg<(u64, RpcRecord)>,
+        _ctx: &StageCtx,
+        out: &mut Emitter<WindowResult>,
+    ) {
+        match msg {
+            ShardMsg::Item((index, rec)) => {
+                self.open.entry(index).or_default().push(rec);
+            }
+            ShardMsg::Mark(index) => {
+                // Only the owning shard buffered this window; everyone
+                // else observes the mark and moves on. Empty windows were
+                // never buffered anywhere and produce no result.
+                if let Some(records) = self.open.remove(&index) {
+                    let backlog = self.open.len();
+                    let result = self.reconstruct(index, records, backlog);
+                    out.emit(result);
+                }
+            }
+        }
+    }
+
+    /// Drain on shutdown: reconstruct every still-open window, in index
+    /// order, through the same ladder — partially filled windows flush
+    /// through reconstruction instead of being dropped.
+    fn flush(&mut self, _ctx: &StageCtx, out: &mut Emitter<WindowResult>) {
+        let open = std::mem::take(&mut self.open);
+        let mut backlog = open.len();
+        for (index, records) in open {
+            backlog -= 1;
+            let result = self.reconstruct(index, records, backlog);
+            out.emit(result);
+        }
+        if let Some(warm) = self.warm.take() {
+            let _ = warm.out.send(warm.registry);
+        }
+    }
+}
+
+/// The online engine: a supervised [`Pipeline`] composing (optional)
+/// sanitize → window-router → window shards → merge, built with
+/// [`PipelineBuilder`].
 ///
-/// Dropping / closing the ingest sender flushes all remaining records as a
-/// final window and shuts the pipeline down stage by stage.
+/// Dropping / closing the ingest sender cascades an ordered shutdown
+/// through the graph: every stage drains its input, flushes buffered
+/// state (open windows reconstruct, they are never dropped), and closes
+/// its output.
 pub struct OnlineEngine {
     ingest: Option<Sender<RpcRecord>>,
     results: Receiver<WindowResult>,
-    threads: Option<Vec<JoinHandle<()>>>,
+    pipeline: Option<Pipeline<WindowResult>>,
     registry: Option<Receiver<DelayRegistry>>,
+    sanitize_metrics: Option<SanitizeMetrics>,
 }
 
 impl OnlineEngine {
     pub fn start(tw: TraceWeaver, mut config: OnlineConfig) -> Self {
         let warm = config.warm_start;
-        let shed = config.shed;
-        let metrics = EngineMetrics::new(&config.telemetry);
         // Warm windows chain through the registry (k+1 starts from k's
-        // posterior), so the warm path is a single ordered worker.
-        let workers = if warm { 1 } else { config.threads.max(1) };
-        let initial_registry = config.initial_registry.take().unwrap_or_default();
-        let (tx, rx) = bounded::<RpcRecord>(config.channel_capacity);
-        // Work queue sized to the pool: back-pressure propagates to the
-        // windower (and from there to ingest) when workers fall behind.
-        let (work_tx, work_rx) = bounded::<WindowJob>(workers * 2);
-        let (done_tx, done_rx) = bounded::<(u64, WindowResult)>(1024);
-        let (res_tx, res_rx) = bounded::<WindowResult>(1024);
-
-        let mut threads = Vec::with_capacity(workers + 2);
-        threads.push(std::thread::spawn(move || {
-            run_windower(config, rx, work_tx);
-        }));
-        let registry = if warm {
-            let (reg_tx, reg_rx) = bounded::<DelayRegistry>(1);
-            threads.push(std::thread::spawn(move || {
-                run_warm_worker(
-                    tw,
-                    shed,
-                    metrics,
-                    work_rx,
-                    done_tx,
-                    initial_registry,
-                    reg_tx,
-                );
-            }));
-            Some(reg_rx)
+        // posterior), so the warm path runs on a single shard.
+        let shards = if warm {
+            1
+        } else if config.shards > 0 {
+            config.shards
         } else {
-            for _ in 0..workers {
-                let tw = tw.clone();
-                let work_rx = work_rx.clone();
-                let done_tx = done_tx.clone();
-                let metrics = metrics.clone();
-                threads.push(std::thread::spawn(move || {
-                    run_reconstruction_worker(tw, shed, metrics, work_rx, done_tx);
-                }));
-            }
-            drop(done_tx); // collector exits when the last worker drops its clone
-            None
+            config.threads.max(1)
         };
-        threads.push(std::thread::spawn(move || {
-            run_collector(done_rx, res_tx);
-        }));
+        let shed = config.shed;
+        let window = config.window;
+        let metrics = EngineMetrics::new(&config.telemetry);
+        let record_queue = QueueCfg {
+            capacity: config.channel_capacity,
+            policy: config.backpressure,
+        };
+
+        // Each shard reconstructs with an equal share of the configured
+        // intra-window executor threads (results are thread-count
+        // invariant, so the share only affects wall time).
+        let base = TraceWeaver::new(tw.call_graph().clone(), tw.params().share_threads(shards));
+
+        let (reg_tx, reg_rx) = bounded::<DelayRegistry>(1);
+        let mut warm_state = warm.then(|| WarmState {
+            registry: config.initial_registry.take().unwrap_or_default(),
+            out: reg_tx,
+        });
+
+        let (ingest_tx, builder) =
+            PipelineBuilder::<RpcRecord>::source(&config.telemetry, record_queue);
+        let (builder, sanitize_metrics) = match config.sanitize.take() {
+            Some(cfg) => {
+                let stage = SanitizeStage::new_in(cfg, &config.telemetry);
+                let handle = stage.metrics_handle();
+                (builder.stage(stage, record_queue), Some(handle))
+            }
+            None => (builder, None),
+        };
+        let pipeline = builder
+            .shard(
+                shards,
+                WindowRouter::new(window, config.grace),
+                |i| WindowShard {
+                    name: format!("window/{i}"),
+                    window,
+                    shed,
+                    ladder: LadderedWeaver::new(base.clone()),
+                    metrics: metrics.clone(),
+                    open: BTreeMap::new(),
+                    last_level: None,
+                    warm: warm_state.take(),
+                },
+                record_queue,
+            )
+            .build();
 
         OnlineEngine {
-            ingest: Some(tx),
-            results: res_rx,
-            threads: Some(threads),
-            registry,
+            ingest: Some(ingest_tx),
+            results: pipeline.results().clone(),
+            pipeline: Some(pipeline),
+            registry: warm.then_some(reg_rx),
+            sanitize_metrics,
         }
     }
 
@@ -415,6 +633,22 @@ impl OnlineEngine {
         &self.results
     }
 
+    /// Live snapshot of the embedded sanitize stage's per-reason counters
+    /// (`None` when [`OnlineConfig::sanitize`] was not set). Stays
+    /// readable after shutdown.
+    pub fn sanitize_stats(&self) -> Option<SanitizeStats> {
+        self.sanitize_metrics.as_ref().map(SanitizeMetrics::stats)
+    }
+
+    /// Stage names of the underlying pipeline graph, in topological
+    /// order.
+    pub fn stage_names(&self) -> Vec<String> {
+        self.pipeline
+            .as_ref()
+            .map(|p| p.stage_names().iter().map(|s| s.to_string()).collect())
+            .unwrap_or_default()
+    }
+
     /// Close ingestion, flush, and wait for the pipeline to drain.
     /// Returns any remaining window results.
     pub fn shutdown(self) -> Vec<WindowResult> {
@@ -425,73 +659,44 @@ impl OnlineEngine {
     /// delay registry — the last window's posterior — when the engine ran
     /// in warm-start mode (`None` in cold mode). Persist it (see
     /// `save_registry`) to warm-start the next engine across restarts.
+    ///
+    /// The shutdown is ordered and drain-safe: closing the ingest sender
+    /// cascades end-of-stream down the graph, every still-open window
+    /// flushes *through reconstruction* before its shard exits, and the
+    /// results queue is drained while stages are joined, so nothing is
+    /// silently dropped and a bounded results queue can never deadlock
+    /// the join.
     pub fn shutdown_with_registry(mut self) -> (Vec<WindowResult>, Option<DelayRegistry>) {
-        self.ingest.take(); // close the channel
-        if let Some(handles) = self.threads.take() {
-            for h in handles {
-                h.join().expect("pipeline thread panicked");
-            }
-        }
+        let results = self.drain();
         let registry = self.registry.take().and_then(|rx| rx.try_recv().ok());
-        (self.results.try_iter().collect(), registry)
+        (results, registry)
+    }
+
+    /// Like [`shutdown`](Self::shutdown), but also returns the embedded
+    /// sanitize stage's final per-reason counters (`None` when
+    /// [`OnlineConfig::sanitize`] was not set) — final because the drain
+    /// completed before the snapshot was taken.
+    pub fn shutdown_with_stats(mut self) -> (Vec<WindowResult>, Option<SanitizeStats>) {
+        let results = self.drain();
+        let stats = self.sanitize_metrics.as_ref().map(SanitizeMetrics::stats);
+        (results, stats)
+    }
+
+    fn drain(&mut self) -> Vec<WindowResult> {
+        self.ingest.take(); // close the source: the shutdown cascade begins
+        match self.pipeline.take() {
+            Some(pipeline) => pipeline.shutdown(),
+            None => Vec::new(),
+        }
     }
 }
 
 impl Drop for OnlineEngine {
     fn drop(&mut self) {
         self.ingest.take();
-        if let Some(handles) = self.threads.take() {
-            for h in handles {
-                let _ = h.join();
-            }
-        }
+        // Pipeline::drop drains and joins the graph.
+        self.pipeline.take();
     }
-}
-
-/// Stage 1: buffer records, cut windows at the watermark, enqueue
-/// non-empty windows for reconstruction.
-fn run_windower(config: OnlineConfig, rx: Receiver<RpcRecord>, out: Sender<WindowJob>) {
-    let mut buffer: Vec<RpcRecord> = Vec::new();
-    let mut watermark = Nanos::ZERO;
-    let mut window_index: u64 = 0;
-    let mut window_end = config.window;
-    let mut seq: u64 = 0;
-
-    let flush = |index: u64,
-                 end: Nanos,
-                 buffer: &mut Vec<RpcRecord>,
-                 seq: &mut u64,
-                 out: &Sender<WindowJob>,
-                 everything: bool| {
-        let (ready, rest): (Vec<_>, Vec<_>) = buffer
-            .drain(..)
-            .partition(|r| everything || r.recv_resp <= end);
-        *buffer = rest;
-        if ready.is_empty() {
-            return;
-        }
-        // Downstream may have shut down; dropping the window is fine on
-        // shutdown paths.
-        let _ = out.send(WindowJob {
-            seq: *seq,
-            index,
-            end,
-            records: ready,
-        });
-        *seq += 1;
-    };
-
-    for rec in rx.iter() {
-        watermark = watermark.max(rec.recv_resp);
-        buffer.push(rec);
-        while watermark >= window_end + config.grace {
-            flush(window_index, window_end, &mut buffer, &mut seq, &out, false);
-            window_index += 1;
-            window_end += config.window;
-        }
-    }
-    // Channel closed: flush whatever is left as the final window.
-    flush(window_index, watermark, &mut buffer, &mut seq, &out, true);
 }
 
 /// The configured engine plus its pre-built degraded variants, one per
@@ -528,113 +733,6 @@ impl LadderedWeaver {
             DegradationLevel::ShrinkBatch => Some(&self.shrink),
             DegradationLevel::Greedy => Some(&self.greedy),
             DegradationLevel::Skip => None,
-        }
-    }
-}
-
-/// Stage 2: reconstruct whole windows; windows are independent, so any
-/// number of these run concurrently off the shared work queue.
-fn run_reconstruction_worker(
-    tw: TraceWeaver,
-    shed: ShedPolicy,
-    metrics: EngineMetrics,
-    work: Receiver<WindowJob>,
-    done: Sender<(u64, WindowResult)>,
-) {
-    let ladder = LadderedWeaver::new(tw);
-    let mut last_level = None;
-    for job in work.iter() {
-        let queue_depth = work.len();
-        let level = shed.level_for(queue_depth);
-        let t0 = std::time::Instant::now();
-        let (reconstruction, shed_records) = match ladder.for_level(level) {
-            Some(tw) => (tw.reconstruct_records(&job.records), 0),
-            None => (Reconstruction::default(), job.records.len()),
-        };
-        let latency = t0.elapsed();
-        let result = WindowResult {
-            index: job.index,
-            end: job.end,
-            records: job.records,
-            reconstruction,
-            queue_depth,
-            latency,
-            warm_edges: 0,
-            degradation: level,
-            shed_records,
-        };
-        metrics.observe_window(&result, &mut last_level);
-        if done.send((job.seq, result)).is_err() {
-            return;
-        }
-    }
-}
-
-/// Stage 2, warm variant: a single worker carries the [`DelayRegistry`]
-/// through the window stream. Jobs arrive from the windower already in
-/// window order, so publishing window k's posterior before picking up
-/// window k+1 is exactly "publish in window order" — the emitted stream
-/// is byte-identical for every `Params::threads` value because the
-/// registry each window sees depends only on the window sequence.
-fn run_warm_worker(
-    tw: TraceWeaver,
-    shed: ShedPolicy,
-    metrics: EngineMetrics,
-    work: Receiver<WindowJob>,
-    done: Sender<(u64, WindowResult)>,
-    initial: DelayRegistry,
-    registry_out: Sender<DelayRegistry>,
-) {
-    let ladder = LadderedWeaver::new(tw);
-    let mut registry = initial;
-    let mut last_level = None;
-    for job in work.iter() {
-        let queue_depth = work.len();
-        let level = shed.level_for(queue_depth);
-        let warm_edges = registry.len();
-        let t0 = std::time::Instant::now();
-        // A skipped window contributes no posterior: the registry carries
-        // the last reconstructed window's models forward unchanged.
-        let (reconstruction, shed_records) = match ladder.for_level(level) {
-            Some(tw) => {
-                let (reconstruction, posterior) =
-                    tw.reconstruct_records_with_registry(&job.records, &registry);
-                registry = posterior;
-                (reconstruction, 0)
-            }
-            None => (Reconstruction::default(), job.records.len()),
-        };
-        let latency = t0.elapsed();
-        let result = WindowResult {
-            index: job.index,
-            end: job.end,
-            records: job.records,
-            reconstruction,
-            queue_depth,
-            latency,
-            warm_edges,
-            degradation: level,
-            shed_records,
-        };
-        metrics.observe_window(&result, &mut last_level);
-        if done.send((job.seq, result)).is_err() {
-            break;
-        }
-    }
-    let _ = registry_out.send(registry);
-}
-
-/// Stage 3: restore window order (workers finish out of order) and emit.
-fn run_collector(done: Receiver<(u64, WindowResult)>, out: Sender<WindowResult>) {
-    let mut pending: HashMap<u64, WindowResult> = HashMap::new();
-    let mut next: u64 = 0;
-    for (seq, result) in done.iter() {
-        pending.insert(seq, result);
-        while let Some(ready) = pending.remove(&next) {
-            if out.send(ready).is_err() {
-                return;
-            }
-            next += 1;
         }
     }
 }
@@ -994,5 +1092,123 @@ mod tests {
         for pair in windows.windows(2) {
             assert!(pair[0].index < pair[1].index);
         }
+    }
+
+    /// The merged result stream is byte-identical at 1, 2, and 8 window
+    /// shards — the router stamps window indices before fan-out, so shard
+    /// count can only change *where* a window reconstructs, never what it
+    /// contains or where it lands in the output order. Runs with the
+    /// sanitize stage embedded so the full composed graph is exercised.
+    #[test]
+    fn sharded_merge_is_deterministic_across_shard_counts() {
+        let app = two_service_chain(59);
+        let call_graph = app.config.call_graph();
+        let root = app.roots[0];
+        let sim = Simulator::new(app.config).unwrap();
+        let out = sim.run(&Workload::poisson(root, 400.0, Nanos::from_secs(2)));
+        let mut records = out.records.clone();
+        records.sort_by_key(|r| r.send_req);
+
+        let run = |shards: usize| -> (Vec<WindowResult>, Vec<String>) {
+            let tw = TraceWeaver::new(call_graph.clone(), Params::default());
+            let engine = OnlineEngine::start(
+                tw,
+                OnlineConfig {
+                    window: Nanos::from_millis(250),
+                    grace: Nanos::from_millis(50),
+                    channel_capacity: 64,
+                    shards,
+                    sanitize: Some(crate::sanitize::SanitizeConfig::default()),
+                    ..OnlineConfig::default()
+                },
+            );
+            let names = engine.stage_names();
+            let ingest = engine.ingest_handle();
+            for r in &records {
+                ingest.send(*r).unwrap();
+            }
+            drop(ingest);
+            (engine.shutdown(), names)
+        };
+
+        let (base, names) = run(1);
+        assert!(base.len() >= 4, "got {} windows", base.len());
+        assert!(names.iter().any(|n| n == "sanitize"));
+        assert_eq!(names.iter().filter(|n| n.starts_with("window/")).count(), 1);
+        let total: usize = base.iter().map(|w| w.records.len()).sum();
+        assert_eq!(total, out.records.len(), "no records lost at 1 shard");
+        for shards in [2usize, 8] {
+            let (other, names) = run(shards);
+            assert_eq!(
+                names.iter().filter(|n| n.starts_with("window/")).count(),
+                shards
+            );
+            assert_eq!(base.len(), other.len());
+            for (a, b) in base.iter().zip(&other) {
+                assert_eq!(a.index, b.index, "merge must restore global order");
+                assert_eq!(a.end, b.end);
+                assert_eq!(a.records, b.records, "window contents moved between shards");
+                for r in &a.records {
+                    assert_eq!(
+                        a.reconstruction.mapping.children(r.rpc),
+                        b.reconstruction.mapping.children(r.rpc),
+                        "mapping diverged in window {} at {shards} shards",
+                        a.index
+                    );
+                }
+            }
+        }
+    }
+
+    /// Shutdown drains partial windows *through reconstruction*: windows
+    /// that never saw a cut mark still come back reconstructed (mapped
+    /// spans, nominal ends) from `shutdown_with_registry`, and in warm
+    /// mode the flushed windows are absorbed into the returned registry.
+    #[test]
+    fn shutdown_drain_reconstructs_unflushed_windows() {
+        let app = two_service_chain(60);
+        let call_graph = app.config.call_graph();
+        let root = app.roots[0];
+        let sim = Simulator::new(app.config).unwrap();
+        let out = sim.run(&Workload::poisson(root, 300.0, Nanos::from_millis(400)));
+        let mut records = out.records.clone();
+        records.sort_by_key(|r| r.send_req);
+
+        // Window far longer than the run: every record is still buffered
+        // in an open window when the stream closes.
+        let tw = TraceWeaver::new(call_graph, Params::default());
+        let engine = OnlineEngine::start(
+            tw,
+            OnlineConfig {
+                window: Nanos::from_secs(3_600),
+                warm_start: true,
+                ..OnlineConfig::default()
+            },
+        );
+        let ingest = engine.ingest_handle();
+        for r in &records {
+            ingest.send(*r).unwrap();
+        }
+        drop(ingest);
+        let (windows, registry) = engine.shutdown_with_registry();
+
+        assert!(!windows.is_empty(), "open windows must flush at shutdown");
+        let total: usize = windows.iter().map(|w| w.records.len()).sum();
+        assert_eq!(total, out.records.len(), "records silently dropped");
+        for w in &windows {
+            assert!(
+                w.reconstruction.summary().mapped_spans > 0,
+                "window {} flushed without reconstruction",
+                w.index
+            );
+            assert_eq!(w.end, Nanos((w.index + 1) * Nanos::from_secs(3_600).0));
+        }
+        let registry = registry.expect("warm engine returns its registry");
+        assert_eq!(
+            registry.rounds(),
+            windows.len() as u64,
+            "flushed windows must be absorbed before the registry is returned"
+        );
+        assert!(!registry.is_empty());
     }
 }

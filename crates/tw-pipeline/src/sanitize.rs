@@ -53,9 +53,7 @@
 // every exception below carries a justifying `#[allow]`.
 #![deny(clippy::cast_precision_loss)]
 
-use crossbeam::channel::{bounded, Receiver, Sender};
 use std::collections::{BTreeMap, HashSet, VecDeque};
-use std::thread::JoinHandle;
 use tw_model::ids::{RpcId, ServiceId};
 use tw_model::span::{RpcRecord, EXTERNAL};
 use tw_model::time::Nanos;
@@ -162,7 +160,7 @@ impl SanitizeStats {
 /// snapshot view over these series; the drop reasons share one family
 /// under a `reason` label so dashboards can stack them.
 #[derive(Debug, Clone)]
-struct SanitizeMetrics {
+pub(crate) struct SanitizeMetrics {
     /// Kept for lazily registering per-service skew gauges.
     registry: Registry,
     received: Counter,
@@ -668,84 +666,73 @@ fn unshift(ts: Nanos, offset_ns: f64) -> Nanos {
     Nanos(shifted.clamp(0, u64::MAX as i128) as u64)
 }
 
-/// Handle to a running sanitizer thread (see [`SanitizerStage::spawn`]).
+/// The sanitizer as a composable pipeline [`Stage`]: compose it between
+/// the ingest source and the window router with
+/// [`crate::PipelineBuilder::stage`] (or let [`crate::OnlineConfig::sanitize`]
+/// wire it inside the engine). Records are sanitized in arrival order;
+/// survivors are emitted downstream, rejects are dropped with their
+/// per-reason counters bumped.
 ///
 /// The stage's counters are ordinary registry series (no parallel
-/// bookkeeping): [`stats`](SanitizerStage::stats) reads the same
-/// `tw_sanitize_*` counters a scrape endpoint would.
-pub struct SanitizerStage {
-    thread: Option<JoinHandle<SanitizeStats>>,
-    metrics: SanitizeMetrics,
+/// bookkeeping): [`stats`](SanitizeStage::stats) reads the same
+/// `tw_sanitize_*` counters a scrape endpoint would, and the handles
+/// stay readable after the pipeline shuts down.
+pub struct SanitizeStage {
+    sanitizer: Sanitizer,
 }
 
-impl SanitizerStage {
-    /// Spawn a sanitizer as a pipeline stage: records sent to the
-    /// returned `Sender` are sanitized in arrival order and survivors
-    /// forwarded to `out` — wire it between an [`crate::IngestServer`]
-    /// and an [`crate::OnlineEngine`]'s ingest handle. Closing the
-    /// returned sender drains and stops the stage; `out` is dropped with
-    /// it, propagating shutdown downstream.
-    ///
-    /// Counters go to a private registry; use
-    /// [`spawn_in`](SanitizerStage::spawn_in) to share one.
-    pub fn spawn(
-        cfg: SanitizeConfig,
-        out: Sender<RpcRecord>,
-        capacity: usize,
-    ) -> (Sender<RpcRecord>, SanitizerStage) {
-        Self::spawn_in(cfg, out, capacity, &Registry::new())
+impl SanitizeStage {
+    /// Stage with counters in a private registry; use
+    /// [`new_in`](SanitizeStage::new_in) to share one across the
+    /// pipeline.
+    pub fn new(cfg: SanitizeConfig) -> Self {
+        Self::new_in(cfg, &Registry::new())
     }
 
-    /// [`spawn`](SanitizerStage::spawn) with an explicit telemetry
-    /// registry: the `tw_sanitize_*` series land there.
-    pub fn spawn_in(
-        cfg: SanitizeConfig,
-        out: Sender<RpcRecord>,
-        capacity: usize,
-        registry: &Registry,
-    ) -> (Sender<RpcRecord>, SanitizerStage) {
-        let (tx, rx): (Sender<RpcRecord>, Receiver<RpcRecord>) = bounded(capacity.max(1));
-        let mut sanitizer = Sanitizer::new_in(cfg, registry);
-        let metrics = sanitizer.metrics.clone();
-        let thread = std::thread::spawn(move || {
-            for rec in rx.iter() {
-                if let Some(clean) = sanitizer.sanitize(rec) {
-                    if out.send(clean).is_err() {
-                        break; // downstream gone: drain and exit
-                    }
-                }
-            }
-            sanitizer.stats()
-        });
-        (
-            tx,
-            SanitizerStage {
-                thread: Some(thread),
-                metrics,
-            },
-        )
+    /// Stage with the `tw_sanitize_*` series in `registry`.
+    pub fn new_in(cfg: SanitizeConfig, registry: &Registry) -> Self {
+        SanitizeStage {
+            sanitizer: Sanitizer::new_in(cfg, registry),
+        }
     }
 
     /// Live snapshot of the per-reason counters.
     pub fn stats(&self) -> SanitizeStats {
-        self.metrics.snapshot()
+        self.sanitizer.stats()
     }
 
-    /// Wait for the stage to drain (close its input sender first) and
-    /// return the final counters.
-    pub fn join(mut self) -> SanitizeStats {
-        match self.thread.take() {
-            Some(t) => t.join().expect("sanitizer thread panicked"),
-            None => self.metrics.snapshot(),
+    /// Clone of the registry-backed counter handles, for reading
+    /// [`SanitizeStats`] after the stage has been moved into a pipeline.
+    pub(crate) fn metrics_handle(&self) -> SanitizeMetrics {
+        self.sanitizer.metrics.clone()
+    }
+}
+
+impl crate::pipeline::Stage for SanitizeStage {
+    type In = RpcRecord;
+    type Out = RpcRecord;
+
+    fn name(&self) -> &str {
+        "sanitize"
+    }
+
+    fn process(
+        &mut self,
+        rec: RpcRecord,
+        _ctx: &crate::pipeline::StageCtx,
+        out: &mut crate::pipeline::Emitter<RpcRecord>,
+    ) {
+        if let Some(clean) = self.sanitizer.sanitize(rec) {
+            out.emit(clean);
         }
     }
 }
 
-impl Drop for SanitizerStage {
-    fn drop(&mut self) {
-        if let Some(t) = self.thread.take() {
-            let _ = t.join();
-        }
+impl SanitizeMetrics {
+    /// Final stats view for engine owners (see
+    /// [`crate::OnlineEngine::sanitize_stats`]).
+    pub(crate) fn stats(&self) -> SanitizeStats {
+        self.snapshot()
     }
 }
 
@@ -1080,9 +1067,13 @@ mod tests {
     }
 
     #[test]
-    fn stage_filters_between_channels() {
-        let (out_tx, out_rx) = bounded(1024);
-        let (tx, stage) = SanitizerStage::spawn(SanitizeConfig::default(), out_tx, 1024);
+    fn stage_filters_inside_a_pipeline() {
+        use crate::pipeline::{PipelineBuilder, QueueCfg};
+        let registry = Registry::new();
+        let stage = SanitizeStage::new_in(SanitizeConfig::default(), &registry);
+        let metrics = stage.metrics_handle();
+        let (tx, builder) = PipelineBuilder::<RpcRecord>::source(&registry, QueueCfg::block(1024));
+        let pipeline = builder.stage(stage, QueueCfg::block(1024)).build();
         for i in 0..10 {
             tx.send(rec(i, i * 500)).unwrap();
         }
@@ -1092,11 +1083,15 @@ mod tests {
         truncated.send_resp = Nanos::ZERO;
         tx.send(truncated).unwrap();
         drop(tx);
-        let stats = stage.join();
-        let forwarded: Vec<RpcRecord> = out_rx.try_iter().collect();
+        let forwarded = pipeline.shutdown();
+        let stats = metrics.stats();
         assert_eq!(forwarded.len(), 10);
         assert_eq!(stats.received, 12);
         assert_eq!(stats.duplicates, 1);
         assert_eq!(stats.truncated, 1);
+        // The stage's rejects are sanitizer drops, not queue sheds.
+        let text = registry.render();
+        assert!(text.contains("tw_pipeline_items_total{stage=\"sanitize\"} 12"));
+        assert!(text.contains("tw_pipeline_shed_total{queue=\"sanitize\"} 0"));
     }
 }

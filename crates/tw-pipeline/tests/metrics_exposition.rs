@@ -35,7 +35,7 @@ fn scrape_covers_every_pipeline_stage() {
         telemetry: registry,
         ..OnlineConfig::default()
     };
-    let (server, engine, stage) =
+    let (server, engine) =
         serve_online_sanitized("127.0.0.1:0", tw, config, SanitizeConfig::default())
             .expect("start pipeline");
 
@@ -43,10 +43,11 @@ fn scrape_covers_every_pipeline_stage() {
     records.sort_by_key(|r| r.send_req);
     export_records(server.local_addr(), &records).expect("export records");
 
-    // Drain in pipeline order so every stage's counters are final.
+    // Drain in pipeline order: the server first, then the engine's
+    // ordered shutdown cascade (sanitize → window shards → merge).
     server.shutdown();
-    let sanitize_stats = stage.join();
-    let results = engine.shutdown();
+    let (results, sanitize_stats) = engine.shutdown_with_stats();
+    let sanitize_stats = sanitize_stats.expect("sanitize stage embedded");
     assert!(!results.is_empty(), "engine produced windows");
     assert_eq!(sanitize_stats.received, records.len() as u64);
 
@@ -65,6 +66,7 @@ fn scrape_covers_every_pipeline_stage() {
     for prefix in [
         "tw_ingest_",
         "tw_sanitize_",
+        "tw_pipeline_",
         "tw_engine_",
         "tw_core_",
         "tw_solver_",

@@ -44,6 +44,7 @@ fn main() -> ExitCode {
         "reconstruct" => cmd_reconstruct(&flags),
         "evaluate" => cmd_evaluate(&flags),
         "waterfall" => cmd_waterfall(&flags),
+        "serve" => cmd_serve(&flags),
         "metrics" => cmd_metrics(&flags),
         "top" => cmd_top(&flags),
         "--help" | "-h" | "help" => {
@@ -73,6 +74,9 @@ USAGE:
   twctl evaluate     --spans FILE --graph FILE --truth FILE [--delay-model FILE] [--dynamism] [--sanitize]
                      sanitizer knobs: [--no-drift] [--drift-window N] [--drift-max-ppm F] [--skew-alpha F]
   twctl waterfall    --spans FILE --graph FILE [--trace N] [--width N]
+  twctl serve        --graph FILE [--listen ADDR] [--metrics ADDR] [--duration-ms N]
+                     pipeline knobs: [--window-ms N] [--grace-ms N] [--shards N]
+                     [--capacity N] [--backpressure block|shed] + sanitizer knobs
   twctl metrics      --addr HOST:PORT
   twctl top          --addr HOST:PORT [--interval-ms N] [--iterations N] [--limit N]
   twctl help
@@ -91,13 +95,22 @@ can be scraped; --metrics-out also writes the exposition to a file.
 `metrics` fetches and prints a running pipeline's exposition once; `top`
 polls it and shows the busiest series with per-second rates.
 
+`serve` runs the staged online pipeline as a standalone server: TCP
+ingest at --listen (default 127.0.0.1:0), sanitize, sharded windowing,
+reconstruction, with the Prometheus exposition at --metrics. It drains
+and prints a summary after --duration-ms, or serves until killed when
+the flag is absent. --shards splits windowing into N parallel shards
+(merged back into deterministic global order), --capacity bounds every
+inter-stage queue, and --backpressure picks what happens when a queue
+fills: `block` (lossless, default) or `shed` (drop + count).
+
 `--sanitize` runs recorded spans through the online sanitizer (dedup,
 causality, skew correction) before reconstructing. Skew correction
 tracks per-edge clock *drift* (offset + slope) by default; --no-drift
 falls back to the constant-offset estimator, --drift-window bounds the
 per-edge sample ring, --drift-max-ppm clamps the fitted slope, and
 --skew-alpha sets the constant-offset EWMA weight. The same knobs apply
-to the live pipeline behind `simulate --metrics`.";
+to the live pipeline behind `simulate --metrics` and `serve`.";
 
 type Flags = HashMap<String, String>;
 
@@ -221,7 +234,7 @@ fn serve_simulated_metrics(
     graph: CallGraph,
     records: &[traceweaver::model::RpcRecord],
 ) -> Result<(), String> {
-    use traceweaver::pipeline::net::{export_records, serve_online_sanitized, MetricsServer};
+    use traceweaver::pipeline::net::{export_records, serve_online, MetricsServer};
 
     let metrics_addr = flag(flags, "metrics")?;
     let hold_ms: u64 = num(flags, "metrics-hold-ms", 5_000u64)?;
@@ -233,23 +246,19 @@ fn serve_simulated_metrics(
     )
     .map_err(|e| format!("metrics endpoint {metrics_addr}: {e}"))?;
     let tw = TraceWeaver::new(graph, Params::default());
-    let config = OnlineConfig {
-        window: Nanos::from_millis(500),
-        telemetry: registry,
-        ..OnlineConfig::default()
-    };
-    let (server, engine, stage) =
-        serve_online_sanitized("127.0.0.1:0", tw, config, sanitize_config_from(flags)?)
-            .map_err(|e| e.to_string())?;
+    let config = online_config_from(flags, registry)?;
+    let (server, engine) = serve_online("127.0.0.1:0", tw, config).map_err(|e| e.to_string())?;
 
     let mut sorted = records.to_vec();
     sorted.sort_by_key(|r| r.send_req);
     export_records(server.local_addr(), &sorted).map_err(|e| e.to_string())?;
 
-    // Drain in pipeline order so every stage's counters are final.
+    // Drain in pipeline order so every stage's counters are final: the
+    // server first, then the engine's single ordered shutdown cascade
+    // (sanitize → window shards → merge).
     server.shutdown();
-    let sanitize_stats = stage.join();
-    let results = engine.shutdown();
+    let (results, sanitize_stats) = engine.shutdown_with_stats();
+    let sanitize_stats = sanitize_stats.ok_or("sanitize stage missing from pipeline")?;
     let windows = results.len();
     let mapped: usize = results
         .iter()
@@ -269,6 +278,77 @@ fn serve_simulated_metrics(
     }
     std::thread::sleep(std::time::Duration::from_millis(hold_ms));
     scrape.shutdown();
+    Ok(())
+}
+
+/// Run the staged online pipeline as a standalone server: TCP ingest →
+/// sanitize → sharded windowing → reconstruction, with an optional
+/// Prometheus scrape endpoint. Bounded by `--duration-ms` when given,
+/// otherwise serves until the process is killed.
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    use traceweaver::pipeline::net::{serve_online, MetricsServer};
+
+    let graph: CallGraph = read_json(flag(flags, "graph")?)?;
+    let listen = flags.get("listen").map_or("127.0.0.1:0", String::as_str);
+    let duration_ms: u64 = num(flags, "duration-ms", 0u64)?;
+
+    let registry = traceweaver::telemetry::Registry::new();
+    let scrape = match flags.get("metrics") {
+        Some(addr) => Some(
+            MetricsServer::bind(
+                addr,
+                vec![registry.clone(), traceweaver::telemetry::global().clone()],
+            )
+            .map_err(|e| format!("metrics endpoint {addr}: {e}"))?,
+        ),
+        None => None,
+    };
+    let tw = TraceWeaver::new(graph, params_from(flags));
+    let config = online_config_from(flags, registry)?;
+    let (server, engine) = serve_online(listen, tw, config).map_err(|e| e.to_string())?;
+
+    println!("ingest listening on {}", server.local_addr());
+    if let Some(scrape) = &scrape {
+        println!("metrics at http://{}/metrics", scrape.local_addr());
+    }
+    println!("stages: {}", engine.stage_names().join(" → "));
+
+    if duration_ms == 0 {
+        println!("serving until killed (pass --duration-ms to bound the run)");
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+    std::thread::sleep(std::time::Duration::from_millis(duration_ms));
+
+    server.shutdown();
+    let (results, sanitize_stats) = engine.shutdown_with_stats();
+    let mapped: usize = results
+        .iter()
+        .map(|w| w.reconstruction.summary().mapped_spans)
+        .sum();
+    if let Some(stats) = sanitize_stats {
+        println!(
+            "served {duration_ms}ms: {} records in, {} passed sanitization, {} windows, {mapped} spans mapped",
+            stats.received,
+            stats.passed,
+            results.len()
+        );
+    } else {
+        println!(
+            "served {duration_ms}ms: {} windows, {mapped} spans mapped",
+            results.len()
+        );
+    }
+    if let Some(scrape) = scrape {
+        if let Some(out) = flags.get("metrics-out") {
+            let text = traceweaver::pipeline::fetch_metrics(scrape.local_addr())
+                .map_err(|e| e.to_string())?;
+            std::fs::write(out, &text).map_err(|e| format!("{out}: {e}"))?;
+            println!("wrote {out}");
+        }
+        scrape.shutdown();
+    }
     Ok(())
 }
 
@@ -346,6 +426,37 @@ fn sanitize_config_from(flags: &Flags) -> Result<traceweaver::pipeline::Sanitize
         drift_window: num(flags, "drift-window", defaults.drift_window)?,
         drift_max_ppm: num(flags, "drift-max-ppm", defaults.drift_max_ppm)?,
         skew_alpha: num(flags, "skew-alpha", defaults.skew_alpha)?,
+        ..defaults
+    })
+}
+
+/// Build an [`OnlineConfig`] from the shared staged-pipeline flag block —
+/// `--window-ms`, `--grace-ms`, `--shards`, `--capacity`,
+/// `--backpressure block|shed` — plus the sanitizer knobs via
+/// [`sanitize_config_from`]. Used by both `simulate --metrics` and
+/// `serve` so new pipeline flags land in exactly one place.
+fn online_config_from(
+    flags: &Flags,
+    telemetry: traceweaver::telemetry::Registry,
+) -> Result<OnlineConfig, String> {
+    let defaults = OnlineConfig::default();
+    let grace = match flags.contains_key("grace-ms") {
+        true => Nanos::from_millis(num(flags, "grace-ms", 0u64)?),
+        false => defaults.grace,
+    };
+    let backpressure = match flags.get("backpressure").map(String::as_str) {
+        None | Some("block") => traceweaver::pipeline::Backpressure::Block,
+        Some("shed") => traceweaver::pipeline::Backpressure::Shed,
+        Some(other) => return Err(format!("--backpressure `{other}` (expected block|shed)")),
+    };
+    Ok(OnlineConfig {
+        window: Nanos::from_millis(num(flags, "window-ms", 500u64)?),
+        grace,
+        shards: num(flags, "shards", defaults.shards)?,
+        channel_capacity: num(flags, "capacity", defaults.channel_capacity)?,
+        backpressure,
+        sanitize: Some(sanitize_config_from(flags)?),
+        telemetry,
         ..defaults
     })
 }
