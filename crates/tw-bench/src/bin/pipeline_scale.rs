@@ -11,18 +11,144 @@
 //! isolates wall-clock scaling. Speedup is bounded by the host's
 //! physical parallelism; the `host-cores` column records it so results
 //! from constrained machines (e.g. single-core CI) read honestly.
+//!
+//! A second table compares load-shedding policies under deliberate
+//! overload (records fed as fast as the bounded ingest queue accepts,
+//! through a single shard with a small channel capacity): static depth
+//! thresholds versus the slope-driven [`AdaptiveShed`] ladder
+//! (DESIGN.md §9). For each policy it reports the p99 ingest→result
+//! latency (result arrival minus the enqueue instant of the window's
+//! last record) and how many records were shed via `Skip` windows — the
+//! adaptive ladder should hold the tail while shedding no more than the
+//! static thresholds do.
 
+use std::collections::HashMap;
 use std::time::Instant;
 use tw_bench::Table;
 use tw_core::{Params, TraceWeaver};
+use tw_model::span::RpcRecord;
 use tw_model::time::Nanos;
-use tw_pipeline::{OnlineConfig, OnlineEngine};
+use tw_pipeline::{
+    AdaptiveShed, DegradationLevel, OnlineConfig, OnlineEngine, ShedPolicy, WindowResult,
+};
 use tw_sim::apps::hotel_reservation;
 use tw_sim::{Simulator, Workload};
 use tw_telemetry::Registry;
 
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const REPEATS: usize = 3;
+
+/// Outcome of one policy run under the overload feed.
+struct OverloadRun {
+    windows: usize,
+    p99_ms: f64,
+    mean_ms: f64,
+    full: usize,
+    degraded: usize,
+    skipped: usize,
+    shed_records: usize,
+    mapped: usize,
+}
+
+/// Feed `records` (sorted by `recv_resp`) into a 1-shard engine as fast
+/// as the bounded ingest queue accepts them, and measure the per-window
+/// ingest→result latency: the instant a window's result arrives minus
+/// the instant its last record was enqueued. A consumer thread drains
+/// results live so the measurement reflects when reconstruction actually
+/// caught up, not shutdown-drain order.
+fn overload_run(
+    tw: TraceWeaver,
+    records: &[RpcRecord],
+    window: Nanos,
+    shed: ShedPolicy,
+) -> OverloadRun {
+    let config = OnlineConfig {
+        window,
+        grace: Nanos::from_millis(20),
+        channel_capacity: 64,
+        shards: 1,
+        shed,
+        telemetry: Registry::new(),
+        ..OnlineConfig::default()
+    };
+    let engine = OnlineEngine::start(tw, config);
+    let ingest = engine.ingest_handle();
+    let live_rx = engine.results().clone();
+    let consumer = std::thread::spawn(move || {
+        let mut seen = Vec::new();
+        while let Ok(w) = live_rx.recv() {
+            seen.push((Instant::now(), w));
+        }
+        seen
+    });
+
+    // Stream is sorted by recv_resp, so window membership is exactly the
+    // router's by-timestamp index (no late records) and a last-write-wins
+    // map captures when each window's final record entered the queue.
+    let mut last_sent: HashMap<u64, Instant> = HashMap::new();
+    for rec in records {
+        ingest.send(*rec).expect("pipeline accepts records");
+        let index = rec.recv_resp.0.div_ceil(window.0).saturating_sub(1);
+        last_sent.insert(index, Instant::now());
+    }
+    drop(ingest);
+    let tail = engine.shutdown();
+    let drained_at = Instant::now();
+    let mut results: Vec<(Instant, WindowResult)> = consumer.join().expect("consumer thread");
+    // The shutdown drain and the live consumer share the results channel;
+    // whatever the drain stole arrived no later than shutdown completion.
+    results.extend(tail.into_iter().map(|w| (drained_at, w)));
+    results.sort_by_key(|(_, w)| w.index);
+
+    let total: usize = results.iter().map(|(_, w)| w.records.len()).sum();
+    assert_eq!(total, records.len(), "shedding must never drop records");
+
+    let mut latencies: Vec<f64> = results
+        .iter()
+        .filter_map(|(at, w)| {
+            last_sent
+                .get(&w.index)
+                .map(|sent| at.saturating_duration_since(*sent).as_secs_f64() * 1_000.0)
+        })
+        .collect();
+    latencies.sort_by(f64::total_cmp);
+    let p99_ms = percentile(&latencies, 0.99);
+    let mean_ms = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<f64>() / latencies.len() as f64
+    };
+
+    let full = results
+        .iter()
+        .filter(|(_, w)| w.degradation == DegradationLevel::Full)
+        .count();
+    let skipped = results
+        .iter()
+        .filter(|(_, w)| w.degradation == DegradationLevel::Skip)
+        .count();
+    OverloadRun {
+        windows: results.len(),
+        p99_ms,
+        mean_ms,
+        full,
+        degraded: results.len() - full - skipped,
+        skipped,
+        shed_records: results.iter().map(|(_, w)| w.shed_records).sum(),
+        mapped: results
+            .iter()
+            .map(|(_, w)| w.reconstruction.summary().mapped_spans)
+            .sum(),
+    }
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * (sorted.len() - 1) as f64).ceil() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
 
 fn main() {
     let cores = std::thread::available_parallelism()
@@ -120,4 +246,74 @@ fn main() {
 
     table.print();
     table.save_json("pipeline_scale").expect("write artifact");
+
+    // ---- overload: static depth thresholds vs slope-driven ladder ----
+    let overload_rps = if quick { 900.0 } else { 2_000.0 };
+    let overload_millis = if quick { 600 } else { 1_500 };
+    let window = Nanos::from_millis(100);
+    let out = sim.run(&Workload::poisson(
+        root,
+        overload_rps,
+        Nanos::from_millis(overload_millis),
+    ));
+    let mut records = out.records.clone();
+    records.sort_by_key(|r| r.recv_resp);
+
+    let static_policy = ShedPolicy {
+        shrink_batch_at: 2,
+        greedy_at: 4,
+        skip_at: 8,
+        ..ShedPolicy::default()
+    };
+    let adaptive_policy = ShedPolicy {
+        adaptive: Some(AdaptiveShed::default()),
+        ..ShedPolicy::default()
+    };
+
+    let mut overload = Table::new(
+        "overload shedding: static thresholds vs adaptive slope ladder",
+        &[
+            "policy",
+            "records",
+            "windows",
+            "p99-ms",
+            "mean-ms",
+            "full",
+            "degraded",
+            "skipped",
+            "shed-records",
+            "mapped",
+        ],
+    );
+    let mut shed_by_policy = HashMap::new();
+    for (name, policy) in [("static", static_policy), ("adaptive", adaptive_policy)] {
+        let tw = TraceWeaver::new(graph.clone(), Params::default());
+        let run = overload_run(tw, &records, window, policy);
+        shed_by_policy.insert(name, run.shed_records);
+        overload.row(vec![
+            name.to_string(),
+            records.len().to_string(),
+            run.windows.to_string(),
+            format!("{:.1}", run.p99_ms),
+            format!("{:.1}", run.mean_ms),
+            run.full.to_string(),
+            run.degraded.to_string(),
+            run.skipped.to_string(),
+            run.shed_records.to_string(),
+            run.mapped.to_string(),
+        ]);
+    }
+    // The slope ladder needs sustained positive queue-depth slope to climb
+    // all the way to Skip, while the static thresholds skip as soon as the
+    // open-window backlog crosses a line — it must never shed *more*.
+    assert!(
+        shed_by_policy["adaptive"] <= shed_by_policy["static"],
+        "adaptive ladder shed more records ({}) than static thresholds ({})",
+        shed_by_policy["adaptive"],
+        shed_by_policy["static"],
+    );
+    overload.print();
+    overload
+        .save_json("pipeline_scale_overload")
+        .expect("write artifact");
 }

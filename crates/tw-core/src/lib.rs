@@ -58,7 +58,7 @@ mod telemetry;
 
 pub use executor::Executor;
 pub use params::Params;
-pub use registry::DelayRegistry;
+pub use registry::{DelayRegistry, RegistryWatch};
 pub use task::{ReconstructionTask, TaskReport};
 
 use std::collections::HashMap;

@@ -1,0 +1,533 @@
+//! Crash-safe checkpointing of online state (DESIGN.md §12).
+//!
+//! A process crash used to lose everything the online engine had
+//! accumulated: the windowing watermark (so a restart re-derived window
+//! indices from scratch), the sanitizer's skew/drift filters (so
+//! correction restarted cold and mis-corrected until re-convergence),
+//! and the warm [`DelayRegistry`] (so reconstruction quality fell back
+//! to the bootstrap for many windows). This module periodically
+//! snapshots all three into one atomically-replaced file:
+//!
+//! ```text
+//! [ magic "TWCK" | version u32 LE | payload_len u64 LE | crc32 u32 LE | JSON payload ]
+//! ```
+//!
+//! Writes go to a temp file in the same directory, are fsynced, and then
+//! renamed over the previous checkpoint — readers observe either the old
+//! complete file or the new complete file, never a torn one. On load the
+//! header is validated field by field (magic, version, length, CRC32 of
+//! the payload) and any mismatch is a *clean* rejection: the engine
+//! falls back to a cold start and counts the reason, it never trusts a
+//! corrupt checkpoint.
+//!
+//! Consistency model: the three state sources are sampled near-in-time
+//! but not transactionally — the watermark is authoritative (it is what
+//! restart resumes from), while sanitizer and registry snapshots may
+//! trail it by a bounded publication interval. Both are *estimators*, so
+//! staleness degrades correction/warm-start quality marginally; it never
+//! produces wrong window membership. Windows sealed after the last
+//! checkpoint are lost on crash (bounded by the checkpoint interval) and
+//! reported honestly via `tw_pipeline_recovery_windows_lost`.
+
+use crate::sanitize::{SanitizerSnapshot, SanitizerSnapshotSlot};
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tw_core::{DelayRegistry, RegistryWatch};
+use tw_telemetry::{Counter, Gauge, Registry};
+
+const MAGIC: [u8; 4] = *b"TWCK";
+const VERSION: u32 = 1;
+const HEADER_LEN: usize = 4 + 4 + 8 + 4;
+/// Checkpoint file name inside the configured directory.
+pub const CHECKPOINT_FILE: &str = "online.ckpt";
+const CHECKPOINT_TMP: &str = "online.ckpt.tmp";
+
+/// Checkpointing configuration for [`crate::OnlineConfig::checkpoint`].
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Directory holding the checkpoint file (created if missing).
+    pub dir: PathBuf,
+    /// How often the checkpointer thread writes a snapshot. Bounds the
+    /// recovery gap: at most this much sealed progress is lost on crash.
+    pub interval: Duration,
+    /// The sanitize stage publishes its snapshot every this many
+    /// processed records (publication cadence, not write cadence).
+    pub snapshot_records: u64,
+}
+
+impl CheckpointConfig {
+    /// Checkpoint into `dir` every second.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        CheckpointConfig {
+            dir: dir.into(),
+            interval: Duration::from_secs(1),
+            snapshot_records: 256,
+        }
+    }
+}
+
+/// The serialized checkpoint payload.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CheckpointDoc {
+    /// Global sealed watermark: every window with index < this was
+    /// reconstructed and handed to the merge before the checkpoint.
+    /// Restart resumes routing at this index.
+    pub watermark: u64,
+    /// Window length (ns) the watermark was computed under. A restart
+    /// with a different window size must not trust the watermark.
+    pub window_ns: u64,
+    /// Latest published sanitizer state, if the pipeline sanitizes.
+    pub sanitizer: Option<SanitizerSnapshot>,
+    /// Latest published warm registry, if the engine runs warm.
+    pub registry: Option<DelayRegistry>,
+}
+
+/// Why a checkpoint could not be loaded.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// No checkpoint file: first boot, or the directory was wiped.
+    Missing,
+    /// Filesystem error reading the file.
+    Io(std::io::Error),
+    /// File does not start with the `TWCK` magic.
+    BadMagic,
+    /// Unknown format version.
+    BadVersion(u32),
+    /// File shorter than the header-declared payload length.
+    Truncated,
+    /// Payload CRC32 mismatch (torn or bit-rotted write).
+    BadCrc,
+    /// Payload failed to parse/deserialize.
+    BadPayload(String),
+}
+
+impl CheckpointError {
+    /// Metric label for `tw_pipeline_recovery_cold_starts_total{reason}`.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            CheckpointError::Missing => "missing",
+            CheckpointError::Io(_) => "io",
+            CheckpointError::BadMagic
+            | CheckpointError::BadVersion(_)
+            | CheckpointError::Truncated
+            | CheckpointError::BadCrc
+            | CheckpointError::BadPayload(_) => "corrupt",
+        }
+    }
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Missing => write!(f, "no checkpoint file"),
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CheckpointError::BadMagic => write!(f, "bad checkpoint magic"),
+            CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            CheckpointError::Truncated => write!(f, "truncated checkpoint file"),
+            CheckpointError::BadCrc => write!(f, "checkpoint crc mismatch"),
+            CheckpointError::BadPayload(e) => write!(f, "bad checkpoint payload: {e}"),
+        }
+    }
+}
+
+/// CRC32 (IEEE 802.3 polynomial, reflected), table-driven.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        let mut i = 0usize;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xedb8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    });
+    let mut crc = 0xffff_ffffu32;
+    for &b in bytes {
+        crc = table[((crc ^ u32::from(b)) & 0xff) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xffff_ffff
+}
+
+/// Serialize and atomically persist a checkpoint into `dir`
+/// (write-temp → fsync → rename).
+pub fn write_checkpoint(dir: &Path, doc: &CheckpointDoc) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let payload = serde_json::to_string(doc)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    let payload = payload.as_bytes();
+    let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
+    bytes.extend_from_slice(&MAGIC);
+    bytes.extend_from_slice(&VERSION.to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&crc32(payload).to_le_bytes());
+    bytes.extend_from_slice(payload);
+    let tmp = dir.join(CHECKPOINT_TMP);
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(&bytes)?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, dir.join(CHECKPOINT_FILE))
+}
+
+/// Load and validate the checkpoint in `dir`. Every failure mode is a
+/// typed [`CheckpointError`]; callers fall back to a cold start and
+/// count [`CheckpointError::reason`].
+pub fn load_checkpoint(dir: &Path) -> Result<CheckpointDoc, CheckpointError> {
+    let path = dir.join(CHECKPOINT_FILE);
+    let mut file = match std::fs::File::open(&path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Err(CheckpointError::Missing),
+        Err(e) => return Err(CheckpointError::Io(e)),
+    };
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes).map_err(CheckpointError::Io)?;
+    if bytes.len() < HEADER_LEN {
+        return Err(if bytes.get(..4).is_some_and(|m| m != MAGIC) {
+            CheckpointError::BadMagic
+        } else {
+            CheckpointError::Truncated
+        });
+    }
+    if bytes[..4] != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    let len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
+    let crc = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes"));
+    let payload = &bytes[HEADER_LEN..];
+    if payload.len() != len {
+        return Err(CheckpointError::Truncated);
+    }
+    if crc32(payload) != crc {
+        return Err(CheckpointError::BadCrc);
+    }
+    let text =
+        std::str::from_utf8(payload).map_err(|e| CheckpointError::BadPayload(e.to_string()))?;
+    serde_json::from_str(text).map_err(|e| CheckpointError::BadPayload(e.to_string()))
+}
+
+/// Registry handles for the `tw_pipeline_recovery_*` /
+/// `tw_pipeline_checkpoint_*` families. Registered as soon as
+/// checkpointing is configured, so a healthy run still exports the
+/// families at zero.
+#[derive(Debug, Clone)]
+pub struct RecoveryMetrics {
+    /// `tw_pipeline_recovery_restores_total`
+    pub restores: Counter,
+    /// `tw_pipeline_recovery_cold_starts_total{reason}`
+    pub cold_missing: Counter,
+    pub cold_corrupt: Counter,
+    pub cold_io: Counter,
+    /// `tw_pipeline_recovery_windows_lost`
+    pub windows_lost: Gauge,
+    /// `tw_pipeline_recovery_watermark`
+    pub watermark: Gauge,
+    /// `tw_pipeline_checkpoint_writes_total`
+    pub writes: Counter,
+    /// `tw_pipeline_checkpoint_errors_total`
+    pub write_errors: Counter,
+}
+
+impl RecoveryMetrics {
+    pub fn new(registry: &Registry) -> Self {
+        let cold = |reason: &str| {
+            registry.counter_with(
+                "tw_pipeline_recovery_cold_starts_total",
+                "Engine starts that could not restore a checkpoint, by reason.",
+                &[("reason", reason)],
+            )
+        };
+        RecoveryMetrics {
+            restores: registry.counter(
+                "tw_pipeline_recovery_restores_total",
+                "Engine starts that restored online state from a checkpoint.",
+            ),
+            cold_missing: cold("missing"),
+            cold_corrupt: cold("corrupt"),
+            cold_io: cold("io"),
+            windows_lost: registry.gauge(
+                "tw_pipeline_recovery_windows_lost",
+                "Recovery gap of the most recent restore: window indices between the restored watermark and the first live record (bounded by the checkpoint interval).",
+            ),
+            watermark: registry.gauge(
+                "tw_pipeline_recovery_watermark",
+                "Sealed window watermark restored from (or written to) the checkpoint.",
+            ),
+            writes: registry.counter(
+                "tw_pipeline_checkpoint_writes_total",
+                "Checkpoint files atomically written.",
+            ),
+            write_errors: registry.counter(
+                "tw_pipeline_checkpoint_errors_total",
+                "Checkpoint writes that failed (the previous checkpoint stays intact).",
+            ),
+        }
+    }
+
+    /// Count one failed restore under its reason label.
+    pub fn count_cold_start(&self, err: &CheckpointError) {
+        match err.reason() {
+            "missing" => self.cold_missing.inc(),
+            "io" => self.cold_io.inc(),
+            _ => self.cold_corrupt.inc(),
+        }
+    }
+}
+
+/// Live handles the checkpointer samples: per-shard sealed watermarks
+/// (each shard stores `mark + 1` after processing a cut; the global
+/// watermark is the minimum), the sanitizer's published snapshot, and
+/// the warm registry watch. Cloning shares the underlying state.
+#[derive(Clone)]
+pub struct CheckpointSources {
+    pub sealed: Vec<Arc<AtomicU64>>,
+    pub window_ns: u64,
+    pub sanitizer: SanitizerSnapshotSlot,
+    pub registry: RegistryWatch,
+}
+
+impl CheckpointSources {
+    pub fn new(shards: usize, window_ns: u64, start_watermark: u64) -> Self {
+        CheckpointSources {
+            sealed: (0..shards.max(1))
+                .map(|_| Arc::new(AtomicU64::new(start_watermark)))
+                .collect(),
+            window_ns,
+            sanitizer: SanitizerSnapshotSlot::default(),
+            registry: RegistryWatch::new(),
+        }
+    }
+
+    /// Global sealed watermark: the minimum over per-shard marks (every
+    /// shard observes every cut, so the slowest shard bounds what is
+    /// safely sealed everywhere).
+    pub fn watermark(&self) -> u64 {
+        self.sealed
+            .iter()
+            .map(|s| s.load(Ordering::Acquire))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Assemble the current checkpoint payload.
+    pub fn doc(&self) -> CheckpointDoc {
+        CheckpointDoc {
+            watermark: self.watermark(),
+            window_ns: self.window_ns,
+            sanitizer: self.sanitizer.lock().clone(),
+            registry: self.registry.latest(),
+        }
+    }
+}
+
+/// The background checkpoint writer: samples [`CheckpointSources`] every
+/// interval and atomically replaces the checkpoint file. Stop with
+/// [`stop_and_flush`](Checkpointer::stop_and_flush), which writes one
+/// final checkpoint after the pipeline has drained (so a clean shutdown
+/// resumes past everything).
+pub struct Checkpointer {
+    dir: PathBuf,
+    sources: CheckpointSources,
+    metrics: RecoveryMetrics,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Checkpointer {
+    pub fn spawn(
+        cfg: &CheckpointConfig,
+        sources: CheckpointSources,
+        metrics: RecoveryMetrics,
+    ) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let dir = cfg.dir.clone();
+            let interval = cfg.interval.max(Duration::from_millis(10));
+            let sources = sources.clone();
+            let metrics = metrics.clone();
+            let stop = stop.clone();
+            std::thread::Builder::new()
+                .name("tw-checkpoint".into())
+                .spawn(move || {
+                    let mut last_watermark = None;
+                    while !stop.load(Ordering::Acquire) {
+                        std::thread::park_timeout(interval);
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let doc = sources.doc();
+                        // Skip redundant writes while the stream is idle
+                        // at the same watermark.
+                        if last_watermark == Some(doc.watermark) {
+                            continue;
+                        }
+                        last_watermark = Some(doc.watermark);
+                        write_doc(&dir, &doc, &metrics);
+                    }
+                })
+                .expect("spawn checkpoint thread")
+        };
+        Checkpointer {
+            dir: cfg.dir.clone(),
+            sources,
+            metrics,
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stop the writer thread and persist one final checkpoint from the
+    /// current (post-drain) state.
+    pub fn stop_and_flush(mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            handle.thread().unpark();
+            let _ = handle.join();
+        }
+        write_doc(&self.dir, &self.sources.doc(), &self.metrics);
+    }
+}
+
+impl Drop for Checkpointer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            handle.thread().unpark();
+            let _ = handle.join();
+        }
+    }
+}
+
+fn write_doc(dir: &Path, doc: &CheckpointDoc, metrics: &RecoveryMetrics) {
+    match write_checkpoint(dir, doc) {
+        Ok(()) => {
+            metrics.writes.inc();
+            metrics.watermark.set(doc.watermark as f64);
+        }
+        Err(e) => {
+            metrics.write_errors.inc();
+            eprintln!("tw-checkpoint: write failed: {e}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn checkpoint_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("twck-rt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let doc = CheckpointDoc {
+            watermark: 42,
+            window_ns: 1_000_000_000,
+            sanitizer: Some(SanitizerSnapshot {
+                watermark: 77,
+                records_seen: 9,
+                ..SanitizerSnapshot::default()
+            }),
+            registry: None,
+        };
+        write_checkpoint(&dir, &doc).unwrap();
+        let loaded = load_checkpoint(&dir).unwrap();
+        assert_eq!(loaded.watermark, 42);
+        assert_eq!(loaded.window_ns, 1_000_000_000);
+        let snap = loaded.sanitizer.unwrap();
+        assert_eq!(snap.watermark, 77);
+        assert_eq!(snap.records_seen, 9);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_and_truncated_checkpoints_rejected_cleanly() {
+        let dir = std::env::temp_dir().join(format!("twck-bad-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(matches!(
+            load_checkpoint(&dir),
+            Err(CheckpointError::Missing)
+        ));
+
+        let doc = CheckpointDoc {
+            watermark: 7,
+            window_ns: 1,
+            sanitizer: None,
+            registry: None,
+        };
+        write_checkpoint(&dir, &doc).unwrap();
+        let path = dir.join(CHECKPOINT_FILE);
+        let good = std::fs::read(&path).unwrap();
+
+        // Flip a payload bit: CRC must catch it.
+        let mut bad = good.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        std::fs::write(&path, &bad).unwrap();
+        let err = load_checkpoint(&dir).unwrap_err();
+        assert!(matches!(err, CheckpointError::BadCrc), "got {err}");
+        assert_eq!(err.reason(), "corrupt");
+
+        // Truncate mid-payload.
+        std::fs::write(&path, &good[..good.len() - 4]).unwrap();
+        assert!(matches!(
+            load_checkpoint(&dir),
+            Err(CheckpointError::Truncated)
+        ));
+
+        // Wrong magic.
+        let mut wrong = good.clone();
+        wrong[0] = b'X';
+        std::fs::write(&path, &wrong).unwrap();
+        assert!(matches!(
+            load_checkpoint(&dir),
+            Err(CheckpointError::BadMagic)
+        ));
+
+        // Future version.
+        let mut future = good;
+        future[4] = 99;
+        std::fs::write(&path, &future).unwrap();
+        assert!(matches!(
+            load_checkpoint(&dir),
+            Err(CheckpointError::BadVersion(99))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sources_watermark_is_min_over_shards() {
+        let sources = CheckpointSources::new(3, 1_000, 5);
+        assert_eq!(sources.watermark(), 5);
+        sources.sealed[0].store(9, Ordering::Release);
+        sources.sealed[1].store(7, Ordering::Release);
+        assert_eq!(sources.watermark(), 5, "slowest shard bounds the seal");
+        sources.sealed[2].store(8, Ordering::Release);
+        assert_eq!(sources.watermark(), 7);
+    }
+}

@@ -25,19 +25,34 @@
 //! HTTP with [`MetricsServer`] for a Prometheus-scrapeable view of the
 //! whole pipeline.
 
+pub mod checkpoint;
 pub mod net;
 pub mod online;
 pub mod pipeline;
 pub mod sampling;
 pub mod sanitize;
 pub mod store;
+pub mod supervise;
 
-pub use net::{export_records, fetch_metrics, IngestServer, IngestStats, MetricsServer};
-pub use online::{DegradationLevel, OnlineConfig, OnlineEngine, ShedPolicy, WindowResult};
+pub use checkpoint::{
+    load_checkpoint, write_checkpoint, CheckpointConfig, CheckpointDoc, CheckpointError,
+    CheckpointSources, Checkpointer, RecoveryMetrics,
+};
+pub use net::{
+    export_records, export_records_with, fetch_metrics, ExportRetry, IngestServer, IngestStats,
+    MetricsServer, ServeHealth,
+};
+pub use online::{
+    AdaptiveShed, DegradationLevel, OnlineConfig, OnlineEngine, ShedPolicy, WindowResult,
+};
 pub use pipeline::{
     Backpressure, Emitter, FanOut, Pipeline, PipelineBuilder, QueueCfg, Sequenced, ShardEmitters,
-    ShardMsg, Stage, StageCtx,
+    ShardMsg, ShutdownReport, Stage, StageCtx,
 };
 pub use sampling::TailSampler;
-pub use sanitize::{SanitizeConfig, SanitizeStage, SanitizeStats, Sanitizer};
+pub use sanitize::{
+    SanitizeConfig, SanitizeStage, SanitizeStats, Sanitizer, SanitizerSnapshot,
+    SanitizerSnapshotSlot,
+};
 pub use store::{load_registry, save_registry, OfflineStore};
+pub use supervise::{DeadLetter, DeadLetterQueue, RestartPolicy, StageFailure, Supervisor};

@@ -311,12 +311,144 @@ pub fn serve_online_sanitized(
     serve_online(addr, tw, config)
 }
 
-/// Client side: connect and export a batch of records as wire frames.
+/// Retry policy for [`export_records`]: bounded exponential backoff with
+/// deterministic jitter on transient transport failures (connect refusal
+/// while the ingest server restarts, `WouldBlock`/`Interrupted` mid
+/// write). The jitter is a hash of the attempt number and target address
+/// — reproducible run to run, yet desynchronized across agents exporting
+/// to the same server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExportRetry {
+    /// Total connect+write attempts (clamped to at least 1).
+    pub attempts: u32,
+    /// Backoff before attempt *n+1* starts at `base · 2ⁿ⁻¹`…
+    pub backoff_base: std::time::Duration,
+    /// …and is capped here (before jitter of up to +25%).
+    pub backoff_max: std::time::Duration,
+}
+
+impl Default for ExportRetry {
+    fn default() -> Self {
+        ExportRetry {
+            attempts: 5,
+            backoff_base: std::time::Duration::from_millis(20),
+            backoff_max: std::time::Duration::from_secs(1),
+        }
+    }
+}
+
+impl ExportRetry {
+    /// A single attempt, no retries — the pre-retry behavior.
+    pub fn none() -> Self {
+        ExportRetry {
+            attempts: 1,
+            ..ExportRetry::default()
+        }
+    }
+
+    /// Backoff before attempt `n + 1` (1-based `n`), jittered.
+    fn backoff(&self, n: u32, addr: SocketAddr) -> std::time::Duration {
+        let exp = n.saturating_sub(1).min(20);
+        let nominal = self
+            .backoff_base
+            .saturating_mul(1u32 << exp)
+            .min(self.backoff_max);
+        // splitmix64 over (attempt, port): deterministic per agent+try.
+        let mut z =
+            ((u64::from(n) << 32) | u64::from(addr.port())).wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        nominal + nominal.mul_f64((z % 256) as f64 / 1024.0)
+    }
+}
+
+/// Export telemetry on [`tw_telemetry::global()`] (the exporter runs on
+/// the agent side, outside any pipeline registry).
+struct ExportMetrics {
+    batches: Counter,
+    retries: Counter,
+    failures: Counter,
+}
+
+fn export_metrics() -> &'static ExportMetrics {
+    static METRICS: std::sync::OnceLock<ExportMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = tw_telemetry::global();
+        ExportMetrics {
+            batches: registry.counter(
+                "tw_capture_export_batches_total",
+                "Record batches successfully exported to an ingest server.",
+            ),
+            retries: registry.counter(
+                "tw_capture_export_retries_total",
+                "Export attempts retried after a transient transport failure.",
+            ),
+            failures: registry.counter(
+                "tw_capture_export_failures_total",
+                "Export batches abandoned after exhausting the retry budget.",
+            ),
+        }
+    })
+}
+
+/// Transient failures worth retrying: the server not (yet) accepting, or
+/// a non-blocking/interrupted write. Anything else (e.g. permission
+/// errors) fails fast.
+fn retryable(err: &std::io::Error) -> bool {
+    matches!(
+        err.kind(),
+        std::io::ErrorKind::ConnectionRefused
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::TimedOut
+            | std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::NotConnected
+    )
+}
+
+/// Client side: connect and export a batch of records as wire frames,
+/// retrying transient failures under [`ExportRetry::default`]. Use
+/// [`export_records_with`] to tune or disable the retry budget.
 pub fn export_records(addr: SocketAddr, records: &[RpcRecord]) -> std::io::Result<()> {
-    let mut stream = TcpStream::connect(addr)?;
+    export_records_with(addr, records, ExportRetry::default())
+}
+
+/// [`export_records`] with an explicit retry policy. Each attempt is a
+/// fresh connect+write (frames are encoded once); attempts are counted in
+/// `tw_capture_export_*` on the global registry.
+pub fn export_records_with(
+    addr: SocketAddr,
+    records: &[RpcRecord],
+    retry: ExportRetry,
+) -> std::io::Result<()> {
+    let metrics = export_metrics();
     let frames = encode_records(records);
-    stream.write_all(&frames)?;
-    stream.flush()
+    let attempts = retry.attempts.max(1);
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        let result = TcpStream::connect(addr).and_then(|mut stream| {
+            stream.write_all(&frames)?;
+            stream.flush()
+        });
+        match result {
+            Ok(()) => {
+                metrics.batches.inc();
+                return Ok(());
+            }
+            Err(err) if attempt < attempts && retryable(&err) => {
+                metrics.retries.inc();
+                std::thread::sleep(retry.backoff(attempt, addr));
+            }
+            Err(err) => {
+                metrics.failures.inc();
+                return Err(err);
+            }
+        }
+    }
 }
 
 /// A minimal HTTP scrape endpoint serving `GET /metrics` in Prometheus
@@ -334,9 +466,61 @@ pub struct MetricsServer {
     accept_thread: Option<JoinHandle<()>>,
 }
 
+/// Liveness/readiness/introspection state served next to `/metrics`
+/// (DESIGN.md §12). Clone it into the process that builds the pipeline
+/// and flip [`set_ready`](ServeHealth::set_ready) once the graph is up
+/// and any checkpoint restore has finished; `/readyz` answers 503 until
+/// then. Attach the supervised pipeline's [`DeadLetterQueue`] to make
+/// quarantined records inspectable at `/deadletters`.
+#[derive(Clone, Default)]
+pub struct ServeHealth {
+    ready: Arc<AtomicBool>,
+    dead_letters: Arc<parking_lot::Mutex<Option<crate::supervise::DeadLetterQueue>>>,
+}
+
+impl ServeHealth {
+    /// Not-ready state with no dead-letter queue attached.
+    pub fn new() -> Self {
+        ServeHealth::default()
+    }
+
+    /// Expose `queue` at `GET /deadletters`. Callable before or after
+    /// the server binds (the pipeline — and its queue — is typically
+    /// built while `/readyz` still answers 503).
+    pub fn attach_dead_letters(&self, queue: crate::supervise::DeadLetterQueue) {
+        *self.dead_letters.lock() = Some(queue);
+    }
+
+    /// Flip `/readyz` to 200: pipeline built, checkpoint restored.
+    pub fn set_ready(&self) {
+        self.ready.store(true, Ordering::SeqCst);
+    }
+
+    pub fn is_ready(&self) -> bool {
+        self.ready.load(Ordering::SeqCst)
+    }
+}
+
 impl MetricsServer {
     /// Bind and start serving. Use `"127.0.0.1:0"` to pick a free port.
+    /// The server reports ready immediately; use [`bind_with`]
+    /// (MetricsServer::bind_with) when readiness is gated on startup
+    /// work.
     pub fn bind(addr: &str, sources: Vec<Registry>) -> std::io::Result<MetricsServer> {
+        let health = ServeHealth::new();
+        health.set_ready();
+        MetricsServer::bind_with(addr, sources, health)
+    }
+
+    /// [`bind`](MetricsServer::bind) with explicit [`ServeHealth`]:
+    /// `/healthz` answers 200 as soon as the accept loop runs, `/readyz`
+    /// answers 503 until [`ServeHealth::set_ready`], and `/deadletters`
+    /// serves the attached quarantine queue as JSON.
+    pub fn bind_with(
+        addr: &str,
+        sources: Vec<Registry>,
+        health: ServeHealth,
+    ) -> std::io::Result<MetricsServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -349,7 +533,7 @@ impl MetricsServer {
                 let Ok(stream) = conn else { break };
                 let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(2)));
                 let _ = stream.set_write_timeout(Some(std::time::Duration::from_secs(2)));
-                let _ = serve_scrape(stream, &sources);
+                let _ = serve_scrape(stream, &sources, &health);
             }
         });
         Ok(MetricsServer {
@@ -385,8 +569,13 @@ impl Drop for MetricsServer {
 }
 
 /// Answer one HTTP request on `stream`: `GET /metrics` gets the rendered
-/// exposition, anything else a 404.
-fn serve_scrape(mut stream: TcpStream, sources: &[Registry]) -> std::io::Result<()> {
+/// exposition, `/healthz`/`/readyz` the liveness/readiness probes,
+/// `/deadletters` the quarantine queue as JSON, anything else a 404.
+fn serve_scrape(
+    mut stream: TcpStream,
+    sources: &[Registry],
+    health: &ServeHealth,
+) -> std::io::Result<()> {
     // Read the request head (we never need a body; 4 KiB bounds it).
     let mut head = Vec::with_capacity(512);
     let mut buf = [0u8; 1024];
@@ -412,6 +601,33 @@ fn serve_scrape(mut stream: TcpStream, sources: &[Registry]) -> std::io::Result<
                 "text/plain; version=0.0.4; charset=utf-8",
                 Registry::render_multi(&refs),
             )
+        } else if method == "GET" && path == "/healthz" {
+            // Liveness: answering at all means the accept loop is alive.
+            ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string())
+        } else if method == "GET" && path == "/readyz" {
+            if health.is_ready() {
+                ("200 OK", "text/plain; charset=utf-8", "ready\n".to_string())
+            } else {
+                (
+                    "503 Service Unavailable",
+                    "text/plain; charset=utf-8",
+                    "starting\n".to_string(),
+                )
+            }
+        } else if method == "GET" && path == "/deadletters" {
+            match health.dead_letters.lock().as_ref() {
+                Some(queue) => (
+                    "200 OK",
+                    "application/json; charset=utf-8",
+                    serde_json::to_string(&queue.snapshot())
+                        .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}")),
+                ),
+                None => (
+                    "404 Not Found",
+                    "text/plain; charset=utf-8",
+                    "no dead-letter queue attached\n".to_string(),
+                ),
+            }
         } else {
             (
                 "404 Not Found",

@@ -44,15 +44,21 @@
 //! `OnlineConfig::shards`. The emitted stream stays byte-identical for
 //! every thread count.
 
+use crate::checkpoint::{
+    load_checkpoint, CheckpointConfig, CheckpointSources, Checkpointer, RecoveryMetrics,
+};
 use crate::pipeline::{
     Backpressure, Emitter, FanOut, Pipeline, PipelineBuilder, QueueCfg, Sequenced, ShardEmitters,
     ShardMsg, Stage, StageCtx,
 };
 use crate::sanitize::{SanitizeConfig, SanitizeMetrics, SanitizeStage, SanitizeStats};
+use crate::supervise::{DeadLetterQueue, RestartPolicy, Supervisor};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
-use tw_core::{DelayRegistry, Reconstruction, TraceWeaver};
+use tw_core::{DelayRegistry, Reconstruction, RegistryWatch, TraceWeaver};
 use tw_model::span::RpcRecord;
 use tw_model::time::Nanos;
 use tw_telemetry::{Buckets, Counter, Gauge, Histogram, Registry};
@@ -82,7 +88,7 @@ pub enum DegradationLevel {
 /// pins every window to one level regardless of queue depth, which is
 /// both the deterministic escape hatch for tests/benchmarks and a manual
 /// operator override.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ShedPolicy {
     /// Queue depth at which batch size is halved.
     pub shrink_batch_at: usize,
@@ -92,6 +98,12 @@ pub struct ShedPolicy {
     pub skip_at: usize,
     /// Pin every window to this level (ignores queue depth entirely).
     pub forced: Option<DegradationLevel>,
+    /// Slope-driven ladder (DESIGN.md §9 follow-up): instead of static
+    /// depth thresholds, move one rung when the *EWMA of the queue-depth
+    /// delta per cut tick* crosses a slope bound, with a hold-down so the
+    /// ladder doesn't flap. Static thresholds are ignored while set;
+    /// `forced` still wins over everything.
+    pub adaptive: Option<AdaptiveShed>,
 }
 
 impl Default for ShedPolicy {
@@ -101,7 +113,97 @@ impl Default for ShedPolicy {
             greedy_at: usize::MAX,
             skip_at: usize::MAX,
             forced: None,
+            adaptive: None,
         }
+    }
+}
+
+/// Parameters of the slope-driven shed ladder. The signal is the change
+/// in the shard's input-queue depth (`tw_pipeline_queue_depth`) between
+/// consecutive window-cut ticks, smoothed with an EWMA: a persistently
+/// positive slope means ingest outruns reconstruction *now*, before any
+/// absolute threshold is reached; a negative slope means the backlog is
+/// draining and it is safe to climb back down. Hysteresis comes from two
+/// asymmetries: `down_slope` is strictly below `up_slope` (a dead band
+/// where the ladder holds), and any transition arms a `hold` countdown of
+/// ticks during which no further transition fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveShed {
+    /// EWMA smoothing factor for the per-tick depth delta, in (0, 1].
+    pub alpha: f64,
+    /// Escalate one rung when the smoothed slope exceeds this
+    /// (items/tick).
+    pub up_slope: f64,
+    /// Relax one rung when the smoothed slope falls below this
+    /// (typically negative).
+    pub down_slope: f64,
+    /// Cut ticks to hold after a transition before the next one may fire.
+    pub hold: u32,
+}
+
+impl Default for AdaptiveShed {
+    fn default() -> Self {
+        AdaptiveShed {
+            alpha: 0.3,
+            up_slope: 0.5,
+            down_slope: -0.25,
+            hold: 3,
+        }
+    }
+}
+
+/// Per-shard runtime state of the adaptive ladder.
+#[derive(Debug, Clone)]
+struct AdaptiveState {
+    cfg: AdaptiveShed,
+    ewma: f64,
+    last_depth: f64,
+    rung: usize,
+    cooldown: u32,
+    primed: bool,
+}
+
+impl AdaptiveState {
+    const LEVELS: [DegradationLevel; 4] = [
+        DegradationLevel::Full,
+        DegradationLevel::ShrinkBatch,
+        DegradationLevel::Greedy,
+        DegradationLevel::Skip,
+    ];
+
+    fn new(cfg: AdaptiveShed) -> Self {
+        AdaptiveState {
+            cfg,
+            ewma: 0.0,
+            last_depth: 0.0,
+            rung: 0,
+            cooldown: 0,
+            primed: false,
+        }
+    }
+
+    /// Advance one cut tick with the observed input-queue depth and
+    /// return the rung to run the next window at.
+    fn on_tick(&mut self, depth: usize) -> DegradationLevel {
+        let depth = depth as f64;
+        if !self.primed {
+            self.primed = true;
+            self.last_depth = depth;
+        }
+        let delta = depth - self.last_depth;
+        self.last_depth = depth;
+        let alpha = self.cfg.alpha.clamp(f64::MIN_POSITIVE, 1.0);
+        self.ewma = alpha * delta + (1.0 - alpha) * self.ewma;
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+        } else if self.ewma > self.cfg.up_slope && self.rung < Self::LEVELS.len() - 1 {
+            self.rung += 1;
+            self.cooldown = self.cfg.hold;
+        } else if self.ewma < self.cfg.down_slope && self.rung > 0 {
+            self.rung -= 1;
+            self.cooldown = self.cfg.hold;
+        }
+        Self::LEVELS[self.rung]
     }
 }
 
@@ -171,6 +273,16 @@ pub struct OnlineConfig {
     /// Back-pressure load shedding (DESIGN.md §9). Disabled by default to
     /// preserve determinism across thread counts.
     pub shed: ShedPolicy,
+    /// Per-stage restart policy for the supervised pipeline (DESIGN.md
+    /// §12): a panicking stage quarantines the offending record to the
+    /// dead-letter queue and resumes within this backoff budget instead
+    /// of tearing the graph down.
+    pub restart: RestartPolicy,
+    /// Crash-safe checkpointing (DESIGN.md §12): periodically persist the
+    /// sealed-window watermark, sanitizer skew state, and warm registry;
+    /// restore them on the next start and resume past the watermark.
+    /// `None` (the default) disables checkpointing entirely.
+    pub checkpoint: Option<CheckpointConfig>,
     /// Registry for the engine's `tw_engine_*` series (window latency and
     /// queue-depth histograms, per-rung window counts, shed-ladder
     /// transitions). Defaults to a private registry; share one across the
@@ -193,6 +305,8 @@ impl Default for OnlineConfig {
             warm_start: false,
             initial_registry: None,
             shed: ShedPolicy::default(),
+            restart: RestartPolicy::default(),
+            checkpoint: None,
             telemetry: Registry::new(),
         }
     }
@@ -380,6 +494,16 @@ struct WindowRouter {
     grace: Nanos,
     watermark: Nanos,
     first_uncut: u64,
+    recovery: Option<RouterRecovery>,
+}
+
+/// One-shot recovery-gap probe: after a checkpoint restore the router
+/// reports, on the first live record, how many window indices fall
+/// between the restored watermark and where the stream actually resumes —
+/// the windows lost to the crash (bounded by the checkpoint interval).
+struct RouterRecovery {
+    resumed_at: u64,
+    windows_lost: Gauge,
 }
 
 impl WindowRouter {
@@ -389,6 +513,22 @@ impl WindowRouter {
             grace,
             watermark: Nanos::ZERO,
             first_uncut: 0,
+            recovery: None,
+        }
+    }
+
+    /// Resume routing at a restored watermark: every window with index
+    /// below `first_uncut` was already sealed by the previous process,
+    /// so replayed/late records fold into the first still-open window —
+    /// nothing before the watermark is re-emitted.
+    fn resume(window: Nanos, grace: Nanos, first_uncut: u64, windows_lost: Gauge) -> Self {
+        WindowRouter {
+            first_uncut,
+            recovery: Some(RouterRecovery {
+                resumed_at: first_uncut,
+                windows_lost,
+            }),
+            ..WindowRouter::new(window, grace)
         }
     }
 
@@ -410,6 +550,14 @@ impl FanOut for WindowRouter {
     fn route(&mut self, rec: RpcRecord, outs: &mut ShardEmitters<(u64, RpcRecord)>) {
         self.watermark = self.watermark.max(rec.recv_resp);
         let by_ts = rec.recv_resp.0.div_ceil(self.window.0).saturating_sub(1);
+        if let Some(probe) = self.recovery.take() {
+            // First record after a restore: everything between the
+            // checkpointed watermark and this record's nominal window was
+            // sealed by a process that died before emitting it.
+            probe
+                .windows_lost
+                .set(by_ts.saturating_sub(probe.resumed_at) as f64);
+        }
         let index = by_ts.max(self.first_uncut);
         let shard = (crate::pipeline::shard_hash(index) % outs.shards() as u64) as usize;
         outs.send(shard, (index, rec));
@@ -433,6 +581,10 @@ impl FanOut for WindowRouter {
 struct WarmState {
     registry: DelayRegistry,
     out: Sender<DelayRegistry>,
+    /// Checkpointing hook: the posterior is published here after every
+    /// absorbed window so the checkpointer can persist a warm registry
+    /// no staler than one window.
+    watch: Option<RegistryWatch>,
 }
 
 /// One windowing+reconstruction shard ([`Stage`]): buffers the records
@@ -451,11 +603,38 @@ struct WindowShard {
     open: BTreeMap<u64, Vec<RpcRecord>>,
     last_level: Option<DegradationLevel>,
     warm: Option<WarmState>,
+    /// Slope-driven ladder state ([`ShedPolicy::adaptive`]).
+    adaptive: Option<AdaptiveState>,
+    /// This shard's sealed watermark (`highest cut index + 1`), sampled
+    /// by the checkpointer; the global watermark is the minimum across
+    /// shards. `None` when checkpointing is off.
+    sealed: Option<Arc<AtomicU64>>,
 }
 
 impl WindowShard {
-    fn reconstruct(&mut self, index: u64, records: Vec<RpcRecord>, backlog: usize) -> WindowResult {
-        let level = self.shed.level_for(backlog);
+    /// Ladder rung for the next window. `tick_depth` is the shard's
+    /// input-queue depth at the cut mark (`Some` only on the live mark
+    /// path — the adaptive ladder's signal); the shutdown flush passes
+    /// `None` and falls back to the static thresholds, so draining never
+    /// sheds what a live overload would not have.
+    fn pick_level(&mut self, tick_depth: Option<usize>, backlog: usize) -> DegradationLevel {
+        if let Some(level) = self.shed.forced {
+            return level;
+        }
+        match (self.adaptive.as_mut(), tick_depth) {
+            (Some(state), Some(depth)) => state.on_tick(depth),
+            (Some(state), None) => AdaptiveState::LEVELS[state.rung],
+            (None, _) => self.shed.level_for(backlog),
+        }
+    }
+
+    fn reconstruct(
+        &mut self,
+        index: u64,
+        records: Vec<RpcRecord>,
+        backlog: usize,
+        level: DegradationLevel,
+    ) -> WindowResult {
         let end = Nanos((index + 1).saturating_mul(self.window.0));
         let warm_edges = self.warm.as_ref().map_or(0, |w| w.registry.len());
         let t0 = std::time::Instant::now();
@@ -467,6 +646,9 @@ impl WindowShard {
                     let (reconstruction, posterior) =
                         tw.reconstruct_records_with_registry(&records, &warm.registry);
                     warm.registry = posterior;
+                    if let Some(watch) = &warm.watch {
+                        watch.publish(&warm.registry);
+                    }
                     (reconstruction, 0)
                 }
                 None => (tw.reconstruct_records(&records), 0),
@@ -501,7 +683,7 @@ impl Stage for WindowShard {
     fn process(
         &mut self,
         msg: ShardMsg<(u64, RpcRecord)>,
-        _ctx: &StageCtx,
+        ctx: &StageCtx,
         out: &mut Emitter<WindowResult>,
     ) {
         match msg {
@@ -509,13 +691,21 @@ impl Stage for WindowShard {
                 self.open.entry(index).or_default().push(rec);
             }
             ShardMsg::Mark(index) => {
+                // Every shard observes every mark in cut order, so each
+                // shard's sealed watermark advances even for windows it
+                // does not own — the min across shards is the global
+                // sealed frontier the checkpointer persists.
+                let level = self.pick_level(Some(ctx.queue_depth), self.open.len());
                 // Only the owning shard buffered this window; everyone
                 // else observes the mark and moves on. Empty windows were
                 // never buffered anywhere and produce no result.
                 if let Some(records) = self.open.remove(&index) {
                     let backlog = self.open.len();
-                    let result = self.reconstruct(index, records, backlog);
+                    let result = self.reconstruct(index, records, backlog, level);
                     out.emit(result);
+                }
+                if let Some(sealed) = &self.sealed {
+                    sealed.fetch_max(index + 1, Ordering::AcqRel);
                 }
             }
         }
@@ -529,10 +719,17 @@ impl Stage for WindowShard {
         let mut backlog = open.len();
         for (index, records) in open {
             backlog -= 1;
-            let result = self.reconstruct(index, records, backlog);
+            let level = self.pick_level(None, backlog);
+            let result = self.reconstruct(index, records, backlog, level);
             out.emit(result);
+            if let Some(sealed) = &self.sealed {
+                sealed.fetch_max(index + 1, Ordering::AcqRel);
+            }
         }
         if let Some(warm) = self.warm.take() {
+            if let Some(watch) = &warm.watch {
+                watch.publish(&warm.registry);
+            }
             let _ = warm.out.send(warm.registry);
         }
     }
@@ -552,6 +749,11 @@ pub struct OnlineEngine {
     pipeline: Option<Pipeline<WindowResult>>,
     registry: Option<Receiver<DelayRegistry>>,
     sanitize_metrics: Option<SanitizeMetrics>,
+    dead_letters: DeadLetterQueue,
+    checkpointer: Option<Checkpointer>,
+    /// Stage failures surfaced by the last drain (escalated supervisors,
+    /// merge-thread panics) — populated by shutdown, empty on a clean run.
+    failures: Vec<String>,
 }
 
 impl OnlineEngine {
@@ -567,12 +769,55 @@ impl OnlineEngine {
             config.threads.max(1)
         };
         let shed = config.shed;
-        let window = config.window;
+        let window = Nanos(config.window.0.max(1));
         let metrics = EngineMetrics::new(&config.telemetry);
         let record_queue = QueueCfg {
             capacity: config.channel_capacity,
             policy: config.backpressure,
         };
+
+        // Restore persisted online state before anything is built: the
+        // watermark seeds the router, the sanitizer snapshot seeds the
+        // skew filters, and the checkpointed registry takes precedence
+        // over any configured bootstrap (it is strictly newer).
+        let recovery = config
+            .checkpoint
+            .as_ref()
+            .map(|_| RecoveryMetrics::new(&config.telemetry));
+        let mut start_watermark = 0u64;
+        let mut sanitizer_snapshot = None;
+        if let (Some(ck), Some(rm)) = (&config.checkpoint, &recovery) {
+            match load_checkpoint(&ck.dir) {
+                Ok(doc) if doc.window_ns == window.0 => {
+                    rm.restores.inc();
+                    rm.watermark.set(doc.watermark as f64);
+                    start_watermark = doc.watermark;
+                    sanitizer_snapshot = doc.sanitizer;
+                    if let Some(registry) = doc.registry {
+                        config.initial_registry = Some(registry);
+                    }
+                }
+                Ok(doc) => {
+                    // A watermark computed under a different window size
+                    // indexes different windows — unusable, cold start.
+                    eprintln!(
+                        "tw-online: checkpoint window {}ns != configured {}ns; cold start",
+                        doc.window_ns, window.0
+                    );
+                    rm.cold_corrupt.inc();
+                }
+                Err(err) => {
+                    rm.count_cold_start(&err);
+                    if !matches!(err, crate::checkpoint::CheckpointError::Missing) {
+                        eprintln!("tw-online: checkpoint not restored: {err}; cold start");
+                    }
+                }
+            }
+        }
+        let sources = config
+            .checkpoint
+            .as_ref()
+            .map(|_| CheckpointSources::new(shards, window.0, start_watermark));
 
         // Each shard reconstructs with an equal share of the configured
         // intra-window executor threads (results are thread-count
@@ -583,22 +828,39 @@ impl OnlineEngine {
         let mut warm_state = warm.then(|| WarmState {
             registry: config.initial_registry.take().unwrap_or_default(),
             out: reg_tx,
+            watch: sources.as_ref().map(|s| s.registry.clone()),
         });
 
+        let supervisor = Supervisor::new(config.restart, DeadLetterQueue::default());
+        let dead_letters = supervisor.dead_letters().clone();
         let (ingest_tx, builder) =
             PipelineBuilder::<RpcRecord>::source(&config.telemetry, record_queue);
+        let builder = builder.supervised(supervisor);
         let (builder, sanitize_metrics) = match config.sanitize.take() {
             Some(cfg) => {
-                let stage = SanitizeStage::new_in(cfg, &config.telemetry);
+                let mut stage = SanitizeStage::new_in(cfg, &config.telemetry);
+                if let Some(snapshot) = &sanitizer_snapshot {
+                    stage.restore(snapshot);
+                }
+                if let (Some(src), Some(ck)) = (&sources, &config.checkpoint) {
+                    stage = stage.publish_snapshots(src.sanitizer.clone(), ck.snapshot_records);
+                }
                 let handle = stage.metrics_handle();
                 (builder.stage(stage, record_queue), Some(handle))
             }
             None => (builder, None),
         };
+        let router = match (&recovery, start_watermark) {
+            (Some(rm), w) if w > 0 => {
+                WindowRouter::resume(window, config.grace, w, rm.windows_lost.clone())
+            }
+            _ => WindowRouter::new(window, config.grace),
+        };
+        let sealed = sources.as_ref().map(|s| s.sealed.clone());
         let pipeline = builder
             .shard(
                 shards,
-                WindowRouter::new(window, config.grace),
+                router,
                 |i| WindowShard {
                     name: format!("window/{i}"),
                     window,
@@ -608,10 +870,17 @@ impl OnlineEngine {
                     open: BTreeMap::new(),
                     last_level: None,
                     warm: warm_state.take(),
+                    adaptive: shed.adaptive.map(AdaptiveState::new),
+                    sealed: sealed.as_ref().map(|v| v[i].clone()),
                 },
                 record_queue,
             )
             .build();
+
+        let checkpointer = match (config.checkpoint.as_ref(), sources, recovery) {
+            (Some(ck), Some(sources), Some(rm)) => Some(Checkpointer::spawn(ck, sources, rm)),
+            _ => None,
+        };
 
         OnlineEngine {
             ingest: Some(ingest_tx),
@@ -619,6 +888,9 @@ impl OnlineEngine {
             pipeline: Some(pipeline),
             registry: warm.then_some(reg_rx),
             sanitize_metrics,
+            dead_letters,
+            checkpointer,
+            failures: Vec::new(),
         }
     }
 
@@ -638,6 +910,21 @@ impl OnlineEngine {
     /// readable after shutdown.
     pub fn sanitize_stats(&self) -> Option<SanitizeStats> {
         self.sanitize_metrics.as_ref().map(SanitizeMetrics::stats)
+    }
+
+    /// The supervised pipeline's dead-letter queue: records quarantined
+    /// because a stage panicked on them (DESIGN.md §12). Shares state
+    /// with the running graph, so it is inspectable live and stays
+    /// readable after shutdown.
+    pub fn dead_letters(&self) -> &DeadLetterQueue {
+        &self.dead_letters
+    }
+
+    /// Stage failures surfaced by the drain (escalated supervisors or a
+    /// panicked merge thread), rendered for operators. Empty before
+    /// shutdown and after a clean run.
+    pub fn failures(&self) -> &[String] {
+        &self.failures
     }
 
     /// Stage names of the underlying pipeline graph, in topological
@@ -684,10 +971,23 @@ impl OnlineEngine {
 
     fn drain(&mut self) -> Vec<WindowResult> {
         self.ingest.take(); // close the source: the shutdown cascade begins
-        match self.pipeline.take() {
-            Some(pipeline) => pipeline.shutdown(),
+        let results = match self.pipeline.take() {
+            Some(pipeline) => {
+                let report = pipeline.shutdown();
+                for failure in &report.failures {
+                    eprintln!("tw-online: {failure}");
+                }
+                self.failures = report.failures.iter().map(|f| f.to_string()).collect();
+                report.results
+            }
             None => Vec::new(),
+        };
+        // Final checkpoint after the drain: a clean shutdown persists the
+        // fully-sealed watermark, so a restart replays nothing.
+        if let Some(checkpointer) = self.checkpointer.take() {
+            checkpointer.stop_and_flush();
         }
+        results
     }
 }
 
@@ -696,6 +996,8 @@ impl Drop for OnlineEngine {
         self.ingest.take();
         // Pipeline::drop drains and joins the graph.
         self.pipeline.take();
+        // Checkpointer::drop stops the writer without a final flush.
+        self.checkpointer.take();
     }
 }
 
@@ -922,7 +1224,7 @@ mod tests {
             shrink_batch_at: 2,
             greedy_at: 4,
             skip_at: 8,
-            forced: None,
+            ..ShedPolicy::default()
         };
         assert_eq!(p.level_for(0), DegradationLevel::Full);
         assert_eq!(p.level_for(1), DegradationLevel::Full);
@@ -1210,5 +1512,405 @@ mod tests {
             "flushed windows must be absorbed before the registry is returned"
         );
         assert!(!registry.is_empty());
+    }
+
+    /// The adaptive ladder escalates on a sustained positive depth slope,
+    /// holds inside the dead band, and relaxes on a draining queue — with
+    /// a hold-down between transitions so it cannot flap rung-to-rung.
+    #[test]
+    fn adaptive_ladder_hysteresis() {
+        let mut s = AdaptiveState::new(AdaptiveShed {
+            alpha: 1.0, // no smoothing: the raw delta is the slope
+            up_slope: 0.5,
+            down_slope: -0.5,
+            hold: 2,
+        });
+        assert_eq!(s.on_tick(0), DegradationLevel::Full);
+        // Depth climbing by 2/tick: escalate, then hold for 2 ticks.
+        assert_eq!(s.on_tick(2), DegradationLevel::ShrinkBatch);
+        assert_eq!(s.on_tick(4), DegradationLevel::ShrinkBatch, "hold-down");
+        assert_eq!(s.on_tick(6), DegradationLevel::ShrinkBatch, "hold-down");
+        assert_eq!(s.on_tick(8), DegradationLevel::Greedy);
+        // Flat depth sits in the dead band: no transition either way.
+        s.cooldown = 0;
+        assert_eq!(s.on_tick(8), DegradationLevel::Greedy);
+        assert_eq!(s.on_tick(8), DegradationLevel::Greedy);
+        // Draining: relax one rung per hold-down period, down to Full.
+        assert_eq!(s.on_tick(5), DegradationLevel::ShrinkBatch);
+        assert_eq!(s.on_tick(2), DegradationLevel::ShrinkBatch, "hold-down");
+        assert_eq!(s.on_tick(0), DegradationLevel::ShrinkBatch, "hold-down");
+        assert_eq!(
+            s.on_tick(0),
+            DegradationLevel::ShrinkBatch,
+            "flat: dead band"
+        );
+        s.last_depth = 2.0; // next tick at depth 0 sees a -2 drain slope
+        assert_eq!(s.on_tick(0), DegradationLevel::Full);
+    }
+
+    /// Checkpoint round-trip: write a checkpoint at a mid-stream sealed
+    /// watermark, restart the engine from it, and replay the remainder of
+    /// the stream — the resumed engine must emit windows byte-identical
+    /// to the uninterrupted run from the watermark on, at 1, 2, and 8
+    /// shards, with `tw_pipeline_recovery_*` reporting the restore and a
+    /// zero gap (and the true gap when windows really were lost).
+    #[test]
+    fn checkpoint_restore_matches_uninterrupted_run() {
+        let app = two_service_chain(61);
+        let call_graph = app.config.call_graph();
+        let root = app.roots[0];
+        let sim = Simulator::new(app.config).unwrap();
+        let out = sim.run(&Workload::poisson(root, 400.0, Nanos::from_secs(2)));
+        // Sorted by response arrival the by-timestamp window index is
+        // monotone along the stream (no late records), so a suffix replay
+        // reproduces the baseline's routing decisions exactly.
+        let mut records = out.records.clone();
+        records.sort_by_key(|r| (r.recv_resp, r.rpc));
+        let window = Nanos::from_millis(250);
+        let by_ts = |r: &RpcRecord| r.recv_resp.0.div_ceil(window.0).saturating_sub(1);
+
+        let run = |shards: usize,
+                   dir: Option<&std::path::Path>,
+                   recs: &[RpcRecord],
+                   telemetry: &Registry|
+         -> Vec<WindowResult> {
+            let tw = TraceWeaver::new(call_graph.clone(), Params::default());
+            let engine = OnlineEngine::start(
+                tw,
+                OnlineConfig {
+                    window,
+                    grace: Nanos::from_millis(50),
+                    channel_capacity: 1024,
+                    shards,
+                    checkpoint: dir.map(CheckpointConfig::new),
+                    telemetry: telemetry.clone(),
+                    ..OnlineConfig::default()
+                },
+            );
+            let ingest = engine.ingest_handle();
+            for r in recs {
+                ingest.send(*r).unwrap();
+            }
+            drop(ingest);
+            engine.shutdown()
+        };
+
+        for shards in [1usize, 2, 8] {
+            let baseline = run(shards, None, &records, &Registry::new());
+            assert!(baseline.len() >= 4, "got {} windows", baseline.len());
+            let watermark = baseline[baseline.len() / 2].index;
+            let suffix: Vec<RpcRecord> = records
+                .iter()
+                .copied()
+                .filter(|r| by_ts(r) >= watermark)
+                .collect();
+            let dir =
+                std::env::temp_dir().join(format!("twck-resume-{}-{shards}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            crate::checkpoint::write_checkpoint(
+                &dir,
+                &crate::checkpoint::CheckpointDoc {
+                    watermark,
+                    window_ns: window.0,
+                    sanitizer: None,
+                    registry: None,
+                },
+            )
+            .unwrap();
+            let telemetry = Registry::new();
+            let resumed = run(shards, Some(&dir), &suffix, &telemetry);
+            let expected: Vec<&WindowResult> =
+                baseline.iter().filter(|w| w.index >= watermark).collect();
+            assert_eq!(expected.len(), resumed.len(), "at {shards} shards");
+            for (a, b) in expected.iter().zip(&resumed) {
+                assert_eq!(a.index, b.index);
+                assert_eq!(a.end, b.end);
+                assert_eq!(
+                    a.records, b.records,
+                    "window {} diverged after restore at {shards} shards",
+                    a.index
+                );
+                for r in &a.records {
+                    assert_eq!(
+                        a.reconstruction.mapping.children(r.rpc),
+                        b.reconstruction.mapping.children(r.rpc),
+                        "mapping diverged in window {} after restore",
+                        a.index
+                    );
+                }
+            }
+            let text = telemetry.render();
+            assert!(
+                text.contains("tw_pipeline_recovery_restores_total 1"),
+                "restore not counted:\n{text}"
+            );
+            assert!(
+                text.contains("tw_pipeline_recovery_windows_lost 0"),
+                "no gap expected:\n{text}"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+
+        // Crash gap: resume from watermark W but replay only from W+2 —
+        // the probe must report exactly the two windows that died with
+        // the previous process.
+        let baseline = run(1, None, &records, &Registry::new());
+        let watermark = baseline[baseline.len() / 2].index;
+        let gap_suffix: Vec<RpcRecord> = records
+            .iter()
+            .copied()
+            .filter(|r| by_ts(r) >= watermark + 2)
+            .collect();
+        assert!(!gap_suffix.is_empty());
+        let dir = std::env::temp_dir().join(format!("twck-gap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        crate::checkpoint::write_checkpoint(
+            &dir,
+            &crate::checkpoint::CheckpointDoc {
+                watermark,
+                window_ns: window.0,
+                sanitizer: None,
+                registry: None,
+            },
+        )
+        .unwrap();
+        let telemetry = Registry::new();
+        let _ = run(1, Some(&dir), &gap_suffix, &telemetry);
+        assert!(
+            telemetry
+                .render()
+                .contains("tw_pipeline_recovery_windows_lost 2"),
+            "gap not reported:\n{}",
+            telemetry.render()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A checkpointed warm engine persists its registry and sanitizer
+    /// state: a clean shutdown seals every window into the checkpoint,
+    /// and the next start warm-starts its very first window from the
+    /// restored posterior instead of the cold bootstrap.
+    #[test]
+    fn warm_checkpoint_persists_and_restores_registry() {
+        let app = two_service_chain(62);
+        let call_graph = app.config.call_graph();
+        let root = app.roots[0];
+        let sim = Simulator::new(app.config).unwrap();
+        let out = sim.run(&Workload::poisson(root, 400.0, Nanos::from_secs(2)));
+        let mut records = out.records.clone();
+        records.sort_by_key(|r| r.send_req);
+        let dir = std::env::temp_dir().join(format!("twck-warm-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let start = |dir: &std::path::Path| {
+            let tw = TraceWeaver::new(call_graph.clone(), Params::default());
+            OnlineEngine::start(
+                tw,
+                OnlineConfig {
+                    window: Nanos::from_millis(250),
+                    grace: Nanos::from_millis(50),
+                    channel_capacity: 1024,
+                    warm_start: true,
+                    sanitize: Some(crate::sanitize::SanitizeConfig::default()),
+                    checkpoint: Some(CheckpointConfig::new(dir)),
+                    ..OnlineConfig::default()
+                },
+            )
+        };
+
+        let engine = start(&dir);
+        let ingest = engine.ingest_handle();
+        for r in &records {
+            ingest.send(*r).unwrap();
+        }
+        drop(ingest);
+        let (windows, registry) = engine.shutdown_with_registry();
+        let registry = registry.expect("warm engine returns its registry");
+        assert!(windows.len() >= 4);
+
+        let doc = crate::checkpoint::load_checkpoint(&dir).expect("final checkpoint written");
+        let last = windows.iter().map(|w| w.index).max().unwrap();
+        assert_eq!(
+            doc.watermark,
+            last + 1,
+            "clean shutdown seals every flushed window"
+        );
+        assert!(doc.sanitizer.is_some(), "sanitizer state checkpointed");
+        let saved = doc.registry.expect("warm registry checkpointed");
+        assert_eq!(saved.rounds(), registry.rounds());
+        assert_eq!(saved.len(), registry.len());
+
+        // Restart against the same directory: the restored registry (not
+        // the empty bootstrap) seeds the first window. The post-restart
+        // traffic is *fresh* (later ids and timestamps) — the restored
+        // sanitizer rightly rejects replays of pre-watermark records.
+        let engine = start(&dir);
+        let ingest = engine.ingest_handle();
+        let shift = Nanos::from_secs(10);
+        for r in records.iter().take(200) {
+            let mut fresh = *r;
+            fresh.rpc = tw_model::ids::RpcId(r.rpc.0 + 1_000_000);
+            fresh.send_req = Nanos(r.send_req.0 + shift.0);
+            fresh.recv_req = Nanos(r.recv_req.0 + shift.0);
+            fresh.send_resp = Nanos(r.send_resp.0 + shift.0);
+            fresh.recv_resp = Nanos(r.recv_resp.0 + shift.0);
+            ingest.send(fresh).unwrap();
+        }
+        drop(ingest);
+        let (windows_b, _) = engine.shutdown_with_registry();
+        assert!(!windows_b.is_empty());
+        assert!(
+            windows_b[0].warm_edges > 0,
+            "first window after restore must warm-start from the checkpoint"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Kill-a-stage-mid-window: a stage that panics on one poison record
+    /// is restarted by the supervisor, the poison lands in the
+    /// dead-letter queue, and every window *not* containing the poison is
+    /// byte-identical to the fault-free run — at 1, 2, and 8 shards.
+    #[test]
+    fn stage_panic_quarantines_poison_and_preserves_other_windows() {
+        use tw_model::ids::RpcId;
+
+        let app = two_service_chain(63);
+        let call_graph = app.config.call_graph();
+        let root = app.roots[0];
+        let sim = Simulator::new(app.config).unwrap();
+        let out = sim.run(&Workload::poisson(root, 400.0, Nanos::from_secs(2)));
+        let mut records = out.records.clone();
+        records.sort_by_key(|r| r.send_req);
+        let poison = records[records.len() / 2].rpc;
+        let window = Nanos::from_millis(250);
+
+        struct PoisonStage {
+            poison: RpcId,
+        }
+        impl Stage for PoisonStage {
+            type In = RpcRecord;
+            type Out = RpcRecord;
+            fn name(&self) -> &str {
+                "poison"
+            }
+            fn process(&mut self, rec: RpcRecord, _ctx: &StageCtx, out: &mut Emitter<RpcRecord>) {
+                assert!(rec.rpc != self.poison, "poison record {:?}", rec.rpc);
+                out.emit(rec);
+            }
+        }
+
+        let run = |shards: usize, poison: Option<RpcId>, telemetry: &Registry| {
+            let tw = TraceWeaver::new(call_graph.clone(), Params::default());
+            let base = TraceWeaver::new(tw.call_graph().clone(), tw.params().share_threads(shards));
+            let metrics = EngineMetrics::new(telemetry);
+            let queue = QueueCfg {
+                capacity: 1024,
+                policy: Backpressure::Block,
+            };
+            let supervisor = Supervisor::default();
+            let dlq = supervisor.dead_letters().clone();
+            let (tx, builder) = PipelineBuilder::<RpcRecord>::source(telemetry, queue);
+            let pipeline = builder
+                .supervised(supervisor)
+                .stage(
+                    PoisonStage {
+                        poison: poison.unwrap_or(RpcId(u64::MAX)),
+                    },
+                    queue,
+                )
+                .shard(
+                    shards,
+                    WindowRouter::new(window, Nanos::from_millis(50)),
+                    |i| WindowShard {
+                        name: format!("window/{i}"),
+                        window,
+                        shed: ShedPolicy::default(),
+                        ladder: LadderedWeaver::new(base.clone()),
+                        metrics: metrics.clone(),
+                        open: BTreeMap::new(),
+                        last_level: None,
+                        warm: None,
+                        adaptive: None,
+                        sealed: None,
+                    },
+                    queue,
+                )
+                .build();
+            for r in &records {
+                tx.send(*r).unwrap();
+            }
+            drop(tx);
+            (pipeline.shutdown(), dlq)
+        };
+
+        for shards in [1usize, 2, 8] {
+            let (clean_report, _) = run(shards, None, &Registry::new());
+            let clean = clean_report.expect_clean();
+            let telemetry = Registry::new();
+            let (report, dlq) = run(shards, Some(poison), &telemetry);
+            assert!(
+                report.is_clean(),
+                "one panic must restart, not escalate: {:?}",
+                report
+                    .failures
+                    .iter()
+                    .map(|f| f.to_string())
+                    .collect::<Vec<_>>()
+            );
+            let faulted = report.results;
+            assert_eq!(
+                clean.len(),
+                faulted.len(),
+                "windows lost at {shards} shards"
+            );
+            for (a, b) in clean.iter().zip(&faulted) {
+                assert_eq!(a.index, b.index, "window order broken at {shards} shards");
+                if a.records.iter().any(|r| r.rpc == poison) {
+                    let filtered: Vec<RpcRecord> = a
+                        .records
+                        .iter()
+                        .copied()
+                        .filter(|r| r.rpc != poison)
+                        .collect();
+                    assert!(filtered.len() + 1 == a.records.len());
+                    assert_eq!(
+                        filtered, b.records,
+                        "faulted window must lose exactly the poison record"
+                    );
+                } else {
+                    assert_eq!(
+                        a.records, b.records,
+                        "unaffected window {} diverged at {shards} shards",
+                        a.index
+                    );
+                    for r in &a.records {
+                        assert_eq!(
+                            a.reconstruction.mapping.children(r.rpc),
+                            b.reconstruction.mapping.children(r.rpc),
+                            "unaffected mapping diverged in window {}",
+                            a.index
+                        );
+                    }
+                }
+            }
+            let letters = dlq.snapshot();
+            assert_eq!(letters.len(), 1, "exactly one quarantined item");
+            assert_eq!(letters[0].stage, "poison");
+            assert_eq!(letters[0].reason, "panic");
+            assert!(letters[0].item_seq > 0);
+            let text = telemetry.render();
+            assert!(
+                text.contains("tw_pipeline_stage_panics_total{stage=\"poison\"} 1"),
+                "{text}"
+            );
+            assert!(
+                text.contains("tw_pipeline_stage_restarts_total{stage=\"poison\"} 1"),
+                "{text}"
+            );
+            assert!(
+                text.contains("tw_pipeline_dead_letter_total{reason=\"panic\",stage=\"poison\"} 1"),
+                "{text}"
+            );
+        }
     }
 }

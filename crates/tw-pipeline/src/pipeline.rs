@@ -30,7 +30,11 @@
 //! draining the results queue, so a results queue shorter than the
 //! remaining output can never deadlock the join (the PR-7 shutdown fix).
 
+use crate::supervise::{
+    panic_message, DeadLetterQueue, StageFailure, StageSupervisor, Supervisor, Verdict,
+};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::thread::JoinHandle;
 use std::time::Instant;
 use tw_telemetry::{Counter, Gauge, Registry};
@@ -202,31 +206,61 @@ fn shed_counter(registry: &Registry, queue: &str) -> Counter {
     )
 }
 
-/// Run one stage to completion: drain the input queue, then flush.
+/// Run one stage to completion under supervision: drain the input queue
+/// with every `process` call fenced by `catch_unwind`, then flush (also
+/// fenced). A panic quarantines the consumed item to the dead-letter
+/// queue and either resumes the *same* stage instance after backoff —
+/// buffered state (open windows, dedup rings) survives, so unaffected
+/// output is byte-identical to a fault-free run — or, once the restart
+/// budget is spent, escalates: the loop stops consuming, which closes
+/// its queues and cascades an ordered shutdown through the graph.
 fn run_stage<S: Stage>(
     mut stage: S,
     rx: Receiver<S::In>,
     mut out: Emitter<S::Out>,
     metrics: StageMetrics,
+    mut sup: StageSupervisor,
 ) {
+    let mut escalated = false;
+    let mut item_seq = 0u64;
     for item in rx.iter() {
+        item_seq += 1;
         let ctx = StageCtx {
             queue_depth: rx.len(),
         };
         metrics.depth.set(ctx.queue_depth as f64);
         metrics.items.inc();
         let t0 = Instant::now();
-        stage.process(item, &ctx, &mut out);
+        let result = catch_unwind(AssertUnwindSafe(|| stage.process(item, &ctx, &mut out)));
         metrics.busy.add(t0.elapsed().as_secs_f64());
+        if let Err(payload) = result {
+            match sup.on_panic(&panic_message(payload.as_ref()), item_seq) {
+                Verdict::Restart(backoff) => {
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                }
+                Verdict::Escalate => {
+                    escalated = true;
+                    break;
+                }
+            }
+        }
         if out.is_closed() {
             // Downstream is gone: dropping `rx` on return propagates the
             // close upstream, so pressure never deadlocks on a dead tail.
             break;
         }
     }
-    let t0 = Instant::now();
-    stage.flush(&StageCtx::default(), &mut out);
-    metrics.busy.add(t0.elapsed().as_secs_f64());
+    if !escalated {
+        let t0 = Instant::now();
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
+            stage.flush(&StageCtx::default(), &mut out)
+        })) {
+            sup.on_flush_panic(&panic_message(payload.as_ref()));
+        }
+        metrics.busy.add(t0.elapsed().as_secs_f64());
+    }
     metrics.depth.set(0.0);
 }
 
@@ -235,11 +269,12 @@ fn spawn_stage<S: Stage>(
     rx: Receiver<S::In>,
     out: Emitter<S::Out>,
     metrics: StageMetrics,
+    sup: StageSupervisor,
 ) -> JoinHandle<()> {
     let name = format!("tw-{}", stage.name());
     std::thread::Builder::new()
         .name(name)
-        .spawn(move || run_stage(stage, rx, out, metrics))
+        .spawn(move || run_stage(stage, rx, out, metrics, sup))
         .expect("spawn stage thread")
 }
 
@@ -340,6 +375,7 @@ fn run_merge<T: Sequenced + Send + 'static>(
 /// `tw_pipeline_*` telemetry in the builder's registry.
 pub struct PipelineBuilder<T: Send + 'static> {
     registry: Registry,
+    supervisor: Supervisor,
     stages: Vec<(String, JoinHandle<()>)>,
     tail: Receiver<T>,
 }
@@ -348,17 +384,28 @@ impl<T: Send + 'static> PipelineBuilder<T> {
     /// Open a pipeline with a source queue: the returned `Sender` is the
     /// entry point (hand it to an `IngestServer`, a capture thread, a
     /// test). Dropping every clone of it initiates the ordered shutdown
-    /// cascade.
+    /// cascade. Stages run under a default [`Supervisor`]; install a
+    /// custom policy with [`supervised`](Self::supervised) before
+    /// appending stages.
     pub fn source(registry: &Registry, queue: QueueCfg) -> (Sender<T>, PipelineBuilder<T>) {
         let (tx, rx) = bounded(queue.capacity.max(1));
         (
             tx,
             PipelineBuilder {
                 registry: registry.clone(),
+                supervisor: Supervisor::default(),
                 stages: Vec::new(),
                 tail: rx,
             },
         )
+    }
+
+    /// Replace the pipeline's supervisor (restart policy + dead-letter
+    /// queue). Applies to stages appended *after* this call, so install
+    /// it right after [`source`](Self::source).
+    pub fn supervised(mut self, supervisor: Supervisor) -> Self {
+        self.supervisor = supervisor;
+        self
     }
 
     /// Append a stage fed by the current tail through a bounded queue of
@@ -371,10 +418,12 @@ impl<T: Send + 'static> PipelineBuilder<T> {
         let (tx, rx) = bounded(queue.capacity.max(1));
         let out = Emitter::new(tx, queue.policy, shed_counter(&self.registry, &name));
         let metrics = StageMetrics::new(&self.registry, &name);
-        let handle = spawn_stage(stage, self.tail, out, metrics);
+        let sup = self.supervisor.for_stage(&self.registry, &name);
+        let handle = spawn_stage(stage, self.tail, out, metrics, sup);
         self.stages.push((name, handle));
         PipelineBuilder {
             registry: self.registry,
+            supervisor: self.supervisor,
             stages: self.stages,
             tail: rx,
         }
@@ -420,7 +469,8 @@ impl<T: Send + 'static> PipelineBuilder<T> {
                 shed_counter(&self.registry, &name),
             );
             let metrics = StageMetrics::new(&self.registry, &name);
-            shard_handles.push((name, spawn_stage(stage, in_rx, out, metrics)));
+            let sup = self.supervisor.for_stage(&self.registry, &name);
+            shard_handles.push((name, spawn_stage(stage, in_rx, out, metrics, sup)));
             shard_txs.push(Emitter::new(
                 in_tx,
                 queue.policy,
@@ -429,26 +479,50 @@ impl<T: Send + 'static> PipelineBuilder<T> {
             shard_out_rxs.push(out_rx);
         }
 
-        // Router thread: consumes the current tail, fans out.
+        // Router thread: consumes the current tail, fans out, supervised
+        // like any stage (a poison item panicking `route` is quarantined
+        // and the router resumes with its watermark state intact).
         let mut outs = ShardEmitters { outs: shard_txs };
         let router_metrics = StageMetrics::new(&self.registry, &router_name);
+        let mut router_sup = self.supervisor.for_stage(&self.registry, &router_name);
         let tail = self.tail;
         let mut router = router;
         let router_handle = std::thread::Builder::new()
             .name(format!("tw-{router_name}"))
             .spawn(move || {
+                let mut escalated = false;
+                let mut item_seq = 0u64;
                 for item in tail.iter() {
+                    item_seq += 1;
                     let depth = tail.len();
                     router_metrics.depth.set(depth as f64);
                     router_metrics.items.inc();
                     let t0 = Instant::now();
-                    router.route(item, &mut outs);
+                    let result = catch_unwind(AssertUnwindSafe(|| router.route(item, &mut outs)));
                     router_metrics.busy.add(t0.elapsed().as_secs_f64());
+                    if let Err(payload) = result {
+                        match router_sup.on_panic(&panic_message(payload.as_ref()), item_seq) {
+                            Verdict::Restart(backoff) => {
+                                if !backoff.is_zero() {
+                                    std::thread::sleep(backoff);
+                                }
+                            }
+                            Verdict::Escalate => {
+                                escalated = true;
+                                break;
+                            }
+                        }
+                    }
                     if outs.all_closed() {
                         break;
                     }
                 }
-                router.flush(&mut outs);
+                if !escalated {
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| router.flush(&mut outs)))
+                    {
+                        router_sup.on_flush_panic(&panic_message(payload.as_ref()));
+                    }
+                }
                 router_metrics.depth.set(0.0);
             })
             .expect("spawn router thread");
@@ -472,6 +546,7 @@ impl<T: Send + 'static> PipelineBuilder<T> {
 
         PipelineBuilder {
             registry: self.registry,
+            supervisor: self.supervisor,
             stages: self.stages,
             tail: merged_rx,
         }
@@ -481,6 +556,7 @@ impl<T: Send + 'static> PipelineBuilder<T> {
     pub fn build(self) -> Pipeline<T> {
         Pipeline {
             results: self.tail,
+            supervisor: self.supervisor,
             stages: self.stages,
         }
     }
@@ -490,6 +566,7 @@ impl<T: Send + 'static> PipelineBuilder<T> {
 /// threads in topological order.
 pub struct Pipeline<T> {
     results: Receiver<T>,
+    supervisor: Supervisor,
     stages: Vec<(String, JoinHandle<()>)>,
 }
 
@@ -504,28 +581,76 @@ impl<T> Pipeline<T> {
         self.stages.iter().map(|(n, _)| n.as_str()).collect()
     }
 
+    /// The pipeline's dead-letter queue (clone to inspect poison items
+    /// live, e.g. from `twctl serve`).
+    pub fn dead_letters(&self) -> DeadLetterQueue {
+        self.supervisor.dead_letters().clone()
+    }
+
     /// Ordered drain-safe shutdown. Close the entry sender first; then
     /// this joins every stage upstream-to-downstream while continuously
     /// draining the results queue, so in-flight windows flush through
     /// reconstruction and a bounded results queue can never deadlock the
-    /// join. Returns everything drained (live-consumed results excluded).
-    pub fn shutdown(mut self) -> Vec<T> {
-        let mut out = Vec::new();
+    /// join. Returns everything drained (live-consumed results excluded)
+    /// plus every [`StageFailure`] the supervisor recorded — a panic
+    /// never propagates out of the join path.
+    pub fn shutdown(mut self) -> ShutdownReport<T> {
+        let mut results = Vec::new();
         for (name, handle) in self.stages.drain(..) {
             while !handle.is_finished() {
                 if let Ok(item) = self
                     .results
                     .recv_timeout(std::time::Duration::from_millis(5))
                 {
-                    out.push(item);
+                    results.push(item);
                 }
             }
-            handle
-                .join()
-                .unwrap_or_else(|_| panic!("pipeline stage `{name}` panicked"));
+            if let Err(payload) = handle.join() {
+                // A panic that escaped the supervised loop (runner bug or
+                // merge-thread panic): report, never re-panic.
+                self.supervisor
+                    .record_failure(&name, panic_message(payload.as_ref()));
+            }
         }
-        out.extend(self.results.try_iter());
-        out
+        results.extend(self.results.try_iter());
+        ShutdownReport {
+            results,
+            failures: self.supervisor.take_failures(),
+        }
+    }
+}
+
+/// What [`Pipeline::shutdown`] returns: the drained results plus every
+/// stage failure (escalations, flush panics, escaped panics) recorded
+/// over the pipeline's lifetime.
+#[must_use = "check `failures` (or call `expect_clean`) so stage failures are not silently dropped"]
+pub struct ShutdownReport<T> {
+    /// Everything drained from the results queue.
+    pub results: Vec<T>,
+    /// Stage failures, in the order they were recorded.
+    pub failures: Vec<StageFailure>,
+}
+
+impl<T> ShutdownReport<T> {
+    /// True when no stage failed.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Unwrap the results, panicking (in the *caller*, not a `Drop`)
+    /// if any stage failed. For tests and callers that treat any stage
+    /// failure as fatal.
+    pub fn expect_clean(self) -> Vec<T> {
+        assert!(
+            self.failures.is_empty(),
+            "pipeline stages failed: {}",
+            self.failures
+                .iter()
+                .map(StageFailure::to_string)
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
+        self.results
     }
 }
 
@@ -624,7 +749,7 @@ mod tests {
                 tx.send(i).unwrap(); // blocks when the 4-slot queue fills
             }
         });
-        let out = pipeline.shutdown();
+        let out = pipeline.shutdown().expect_clean();
         producer.join().unwrap();
         assert_eq!(out.len(), 500, "blocking policy loses nothing");
         assert!(
@@ -666,7 +791,7 @@ mod tests {
             }
         }
         drop(tx);
-        let out = pipeline.shutdown();
+        let out = pipeline.shutdown().expect_clean();
         assert_eq!(out.len() as u64, sent, "everything admitted is delivered");
         assert!(shed.get() > 0, "fast producer must have shed");
         assert_eq!(sent + shed.get(), 200, "admitted + shed = offered");
@@ -686,7 +811,7 @@ mod tests {
             tx.send(i).unwrap();
         }
         drop(tx);
-        let out = pipeline.shutdown();
+        let out = pipeline.shutdown().expect_clean();
         assert_eq!(out.len(), 64, "flush emitted everything buffered");
         assert_eq!(out[5], 10, "flush ran the stage's transformation");
     }
@@ -784,7 +909,12 @@ mod tests {
                 tx.send(i).unwrap();
             }
             drop(tx);
-            pipeline.shutdown().into_iter().map(|s| s.seq).collect()
+            pipeline
+                .shutdown()
+                .expect_clean()
+                .into_iter()
+                .map(|s| s.seq)
+                .collect()
         };
         let reference = run(1);
         assert_eq!(reference, (0..100).collect::<Vec<u64>>());

@@ -45,6 +45,7 @@ fn main() -> ExitCode {
         "evaluate" => cmd_evaluate(&flags),
         "waterfall" => cmd_waterfall(&flags),
         "serve" => cmd_serve(&flags),
+        "replay" => cmd_replay(&flags),
         "metrics" => cmd_metrics(&flags),
         "top" => cmd_top(&flags),
         "--help" | "-h" | "help" => {
@@ -76,7 +77,9 @@ USAGE:
   twctl waterfall    --spans FILE --graph FILE [--trace N] [--width N]
   twctl serve        --graph FILE [--listen ADDR] [--metrics ADDR] [--duration-ms N]
                      pipeline knobs: [--window-ms N] [--grace-ms N] [--shards N]
-                     [--capacity N] [--backpressure block|shed] + sanitizer knobs
+                     [--capacity N] [--backpressure block|shed] [--adaptive-shed]
+                     [--checkpoint-dir DIR] [--checkpoint-interval-ms N] + sanitizer knobs
+  twctl replay       --spans FILE --to HOST:PORT [--batch N] [--pace-ms N] [--retries N]
   twctl metrics      --addr HOST:PORT
   twctl top          --addr HOST:PORT [--interval-ms N] [--iterations N] [--limit N]
   twctl help
@@ -103,6 +106,22 @@ the flag is absent. --shards splits windowing into N parallel shards
 (merged back into deterministic global order), --capacity bounds every
 inter-stage queue, and --backpressure picks what happens when a queue
 fills: `block` (lossless, default) or `shed` (drop + count).
+--adaptive-shed drives the degradation ladder from the queue-depth
+slope (EWMA, with hysteresis) instead of static thresholds.
+--checkpoint-dir enables crash-safe recovery: the engine periodically
+(every --checkpoint-interval-ms, default 1000) snapshots its sealed
+watermark, sanitizer skew state, and warm registry to DIR, restores
+them on the next start, and reports the recovery gap in
+tw_pipeline_recovery_* metrics. The metrics endpoint also serves
+/healthz (liveness), /readyz (503 until the restore finishes), and
+/deadletters (records quarantined by the stage supervisor as JSON).
+
+`replay` exports recorded spans (e.g. from `simulate --out-dir`) to a
+running `serve` ingest listener over the capture wire protocol, in
+--batch-sized connections --pace-ms apart, with up to --retries
+connect attempts per batch under exponential backoff — a paced replay
+rides over a server crash + restart instead of dying on the first
+refused connection.
 
 `--sanitize` runs recorded spans through the online sanitizer (dedup,
 causality, skew correction) before reconstructing. Skew correction
@@ -123,7 +142,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             return Err(format!("expected --flag, got `{arg}`"));
         };
         // Boolean flags take no value.
-        if matches!(name, "dynamism" | "sanitize" | "no-drift") {
+        if matches!(name, "dynamism" | "sanitize" | "no-drift" | "adaptive-shed") {
             flags.insert(name.to_string(), "true".to_string());
             i += 1;
             continue;
@@ -281,23 +300,63 @@ fn serve_simulated_metrics(
     Ok(())
 }
 
+/// Export recorded spans to a running `twctl serve` ingest listener over
+/// the capture wire protocol — the same path a real capture agent takes,
+/// including the bounded retry/backoff of [`export_records_with`], so a
+/// replay rides over a server restart instead of dying on the first
+/// refused connection. `--batch` splits the stream into separate
+/// connections and `--pace-ms` sleeps between them, so a long replay
+/// spans real time (letting a checkpointing server seal windows and
+/// snapshot mid-stream).
+fn cmd_replay(flags: &Flags) -> Result<(), String> {
+    use traceweaver::pipeline::{export_records_with, ExportRetry};
+
+    let mut records = load_spans(flag(flags, "spans")?)?;
+    let to = flag(flags, "to")?;
+    let addr: std::net::SocketAddr = to.parse().map_err(|e| format!("--to {to}: {e}"))?;
+    let batch: usize = num(flags, "batch", 500usize)?.max(1);
+    let pace_ms: u64 = num(flags, "pace-ms", 0u64)?;
+    let retry = ExportRetry {
+        attempts: num(flags, "retries", ExportRetry::default().attempts)?,
+        ..ExportRetry::default()
+    };
+
+    records.sort_by_key(|r| r.send_req);
+    let batches = records.len().div_ceil(batch);
+    for chunk in records.chunks(batch) {
+        export_records_with(addr, chunk, retry).map_err(|e| format!("{to}: {e}"))?;
+        if pace_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(pace_ms));
+        }
+    }
+    println!(
+        "replayed {} spans to {to} in {batches} batch(es)",
+        records.len()
+    );
+    Ok(())
+}
+
 /// Run the staged online pipeline as a standalone server: TCP ingest →
 /// sanitize → sharded windowing → reconstruction, with an optional
 /// Prometheus scrape endpoint. Bounded by `--duration-ms` when given,
 /// otherwise serves until the process is killed.
 fn cmd_serve(flags: &Flags) -> Result<(), String> {
-    use traceweaver::pipeline::net::{serve_online, MetricsServer};
+    use traceweaver::pipeline::net::{serve_online, MetricsServer, ServeHealth};
 
     let graph: CallGraph = read_json(flag(flags, "graph")?)?;
     let listen = flags.get("listen").map_or("127.0.0.1:0", String::as_str);
     let duration_ms: u64 = num(flags, "duration-ms", 0u64)?;
 
     let registry = traceweaver::telemetry::Registry::new();
+    // /healthz answers as soon as the endpoint binds; /readyz stays 503
+    // until the pipeline is built and any checkpoint restore finished.
+    let health = ServeHealth::new();
     let scrape = match flags.get("metrics") {
         Some(addr) => Some(
-            MetricsServer::bind(
+            MetricsServer::bind_with(
                 addr,
                 vec![registry.clone(), traceweaver::telemetry::global().clone()],
+                health.clone(),
             )
             .map_err(|e| format!("metrics endpoint {addr}: {e}"))?,
         ),
@@ -306,6 +365,8 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     let tw = TraceWeaver::new(graph, params_from(flags));
     let config = online_config_from(flags, registry)?;
     let (server, engine) = serve_online(listen, tw, config).map_err(|e| e.to_string())?;
+    health.attach_dead_letters(engine.dead_letters().clone());
+    health.set_ready();
 
     println!("ingest listening on {}", server.local_addr());
     if let Some(scrape) = &scrape {
@@ -322,7 +383,17 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     std::thread::sleep(std::time::Duration::from_millis(duration_ms));
 
     server.shutdown();
+    let dead_letters = engine.dead_letters().clone();
     let (results, sanitize_stats) = engine.shutdown_with_stats();
+    if !dead_letters.is_empty() {
+        println!("dead letters: {} quarantined record(s)", dead_letters.len());
+        for letter in dead_letters.snapshot() {
+            println!(
+                "  [{}] stage {} item #{}: {}",
+                letter.reason, letter.stage, letter.item_seq, letter.message
+            );
+        }
+    }
     let mapped: usize = results
         .iter()
         .map(|w| w.reconstruction.summary().mapped_spans)
@@ -449,6 +520,26 @@ fn online_config_from(
         Some("shed") => traceweaver::pipeline::Backpressure::Shed,
         Some(other) => return Err(format!("--backpressure `{other}` (expected block|shed)")),
     };
+    let checkpoint = match flags.get("checkpoint-dir") {
+        Some(dir) => {
+            let mut cfg = traceweaver::pipeline::CheckpointConfig::new(dir);
+            cfg.interval =
+                std::time::Duration::from_millis(num(flags, "checkpoint-interval-ms", 1_000u64)?);
+            Some(cfg)
+        }
+        None if flags.contains_key("checkpoint-interval-ms") => {
+            return Err("--checkpoint-interval-ms requires --checkpoint-dir".to_string());
+        }
+        None => None,
+    };
+    let shed = if flags.contains_key("adaptive-shed") {
+        traceweaver::pipeline::ShedPolicy {
+            adaptive: Some(traceweaver::pipeline::AdaptiveShed::default()),
+            ..traceweaver::pipeline::ShedPolicy::default()
+        }
+    } else {
+        defaults.shed
+    };
     Ok(OnlineConfig {
         window: Nanos::from_millis(num(flags, "window-ms", 500u64)?),
         grace,
@@ -456,6 +547,8 @@ fn online_config_from(
         channel_capacity: num(flags, "capacity", defaults.channel_capacity)?,
         backpressure,
         sanitize: Some(sanitize_config_from(flags)?),
+        checkpoint,
+        shed,
         telemetry,
         ..defaults
     })
