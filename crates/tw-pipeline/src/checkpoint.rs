@@ -37,6 +37,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use tw_core::{DelayRegistry, RegistryWatch};
+use tw_telemetry::trace::SpanRecorder;
 use tw_telemetry::{Counter, Gauge, Registry};
 
 const MAGIC: [u8; 4] = *b"TWCK";
@@ -348,6 +349,7 @@ pub struct Checkpointer {
     dir: PathBuf,
     sources: CheckpointSources,
     metrics: RecoveryMetrics,
+    recorder: Option<SpanRecorder>,
     stop: Arc<AtomicBool>,
     handle: Option<std::thread::JoinHandle<()>>,
 }
@@ -357,6 +359,7 @@ impl Checkpointer {
         cfg: &CheckpointConfig,
         sources: CheckpointSources,
         metrics: RecoveryMetrics,
+        recorder: Option<SpanRecorder>,
     ) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
         let handle = {
@@ -364,6 +367,7 @@ impl Checkpointer {
             let interval = cfg.interval.max(Duration::from_millis(10));
             let sources = sources.clone();
             let metrics = metrics.clone();
+            let recorder = recorder.clone();
             let stop = stop.clone();
             std::thread::Builder::new()
                 .name("tw-checkpoint".into())
@@ -381,7 +385,7 @@ impl Checkpointer {
                             continue;
                         }
                         last_watermark = Some(doc.watermark);
-                        write_doc(&dir, &doc, &metrics);
+                        write_doc(&dir, &doc, &metrics, recorder.as_ref());
                     }
                 })
                 .expect("spawn checkpoint thread")
@@ -390,6 +394,7 @@ impl Checkpointer {
             dir: cfg.dir.clone(),
             sources,
             metrics,
+            recorder,
             stop,
             handle: Some(handle),
         }
@@ -403,7 +408,12 @@ impl Checkpointer {
             handle.thread().unpark();
             let _ = handle.join();
         }
-        write_doc(&self.dir, &self.sources.doc(), &self.metrics);
+        write_doc(
+            &self.dir,
+            &self.sources.doc(),
+            &self.metrics,
+            self.recorder.as_ref(),
+        );
     }
 }
 
@@ -417,15 +427,26 @@ impl Drop for Checkpointer {
     }
 }
 
-fn write_doc(dir: &Path, doc: &CheckpointDoc, metrics: &RecoveryMetrics) {
+fn write_doc(
+    dir: &Path,
+    doc: &CheckpointDoc,
+    metrics: &RecoveryMetrics,
+    recorder: Option<&SpanRecorder>,
+) {
     match write_checkpoint(dir, doc) {
         Ok(()) => {
             metrics.writes.inc();
             metrics.watermark.set(doc.watermark as f64);
+            if let Some(rec) = recorder {
+                rec.event_newest(format!("checkpoint written (watermark {})", doc.watermark));
+            }
         }
         Err(e) => {
             metrics.write_errors.inc();
             eprintln!("tw-checkpoint: write failed: {e}");
+            if let Some(rec) = recorder {
+                rec.event_newest(format!("checkpoint write failed: {e}"));
+            }
         }
     }
 }

@@ -39,15 +39,15 @@ pub use checkpoint::{
     CheckpointSources, Checkpointer, RecoveryMetrics,
 };
 pub use net::{
-    export_records, export_records_with, fetch_metrics, ExportRetry, IngestServer, IngestStats,
-    MetricsServer, ServeHealth,
+    export_records, export_records_with, fetch_deadletters, fetch_metrics, fetch_spans,
+    ExportRetry, IngestServer, IngestStats, MetricsServer, ServeHealth,
 };
 pub use online::{
     AdaptiveShed, DegradationLevel, OnlineConfig, OnlineEngine, ShedPolicy, WindowResult,
 };
 pub use pipeline::{
-    Backpressure, Emitter, FanOut, Pipeline, PipelineBuilder, QueueCfg, Sequenced, ShardEmitters,
-    ShardMsg, ShutdownReport, Stage, StageCtx,
+    Backpressure, DeadLetterPayload, Emitter, FanOut, Pipeline, PipelineBuilder, QueueCfg,
+    Sequenced, ShardEmitters, ShardMsg, ShutdownReport, Stage, StageCtx,
 };
 pub use sampling::TailSampler;
 pub use sanitize::{

@@ -476,6 +476,7 @@ pub struct MetricsServer {
 pub struct ServeHealth {
     ready: Arc<AtomicBool>,
     dead_letters: Arc<parking_lot::Mutex<Option<crate::supervise::DeadLetterQueue>>>,
+    spans: Arc<parking_lot::Mutex<Option<tw_telemetry::trace::SpanRecorder>>>,
 }
 
 impl ServeHealth {
@@ -489,6 +490,13 @@ impl ServeHealth {
     /// built while `/readyz` still answers 503).
     pub fn attach_dead_letters(&self, queue: crate::supervise::DeadLetterQueue) {
         *self.dead_letters.lock() = Some(queue);
+    }
+
+    /// Expose `recorder`'s span trees at `GET /spans` (recent sealed
+    /// windows plus still-active ones, as JSON). Exemplars on
+    /// `/metrics` carry `span_id` labels that resolve here.
+    pub fn attach_spans(&self, recorder: tw_telemetry::trace::SpanRecorder) {
+        *self.spans.lock() = Some(recorder);
     }
 
     /// Flip `/readyz` to 200: pipeline built, checkpoint restored.
@@ -596,11 +604,36 @@ fn serve_scrape(
     let (status, content_type, body) =
         if method == "GET" && (path == "/metrics" || path.starts_with("/metrics?")) {
             let refs: Vec<&Registry> = sources.iter().collect();
-            (
-                "200 OK",
-                "text/plain; version=0.0.4; charset=utf-8",
-                Registry::render_multi(&refs),
-            )
+            // When any histogram carries exemplars, serve the OpenMetrics
+            // exposition (exemplar syntax is not valid in the v0.0.4 text
+            // format); plain registries keep the classic content type so
+            // pre-OpenMetrics scrapers are unaffected.
+            if tw_telemetry::snapshot_has_exemplars(&Registry::merged_snapshot(&refs)) {
+                (
+                    "200 OK",
+                    "application/openmetrics-text; version=1.0.0; charset=utf-8",
+                    Registry::render_multi_openmetrics(&refs),
+                )
+            } else {
+                (
+                    "200 OK",
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    Registry::render_multi(&refs),
+                )
+            }
+        } else if method == "GET" && path == "/spans" {
+            match health.spans.lock().as_ref() {
+                Some(recorder) => (
+                    "200 OK",
+                    "application/json; charset=utf-8",
+                    recorder.render_json(),
+                ),
+                None => (
+                    "404 Not Found",
+                    "text/plain; charset=utf-8",
+                    "no span recorder attached\n".to_string(),
+                ),
+            }
         } else if method == "GET" && path == "/healthz" {
             // Liveness: answering at all means the accept loop is alive.
             ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string())
@@ -643,14 +676,14 @@ fn serve_scrape(
     stream.flush()
 }
 
-/// Scrape a [`MetricsServer`] (or any `/metrics` endpoint) and return the
-/// exposition body. Errors on connect failure or a non-200 status.
-pub fn fetch_metrics(addr: SocketAddr) -> std::io::Result<String> {
+/// `GET` one path from a [`MetricsServer`] and return the body. Errors on
+/// connect failure or a non-200 status.
+fn fetch_path(addr: SocketAddr, path: &str) -> std::io::Result<String> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
     write!(
         stream,
-        "GET /metrics HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
     )?;
     stream.flush()?;
     let mut response = String::new();
@@ -660,9 +693,29 @@ pub fn fetch_metrics(addr: SocketAddr) -> std::io::Result<String> {
     })?;
     let status = head.lines().next().unwrap_or("");
     if !status.contains(" 200 ") {
-        return Err(std::io::Error::other(format!("scrape failed: {status}")));
+        return Err(std::io::Error::other(format!(
+            "GET {path} failed: {status}"
+        )));
     }
     Ok(body.to_string())
+}
+
+/// Scrape a [`MetricsServer`] (or any `/metrics` endpoint) and return the
+/// exposition body. Errors on connect failure or a non-200 status.
+pub fn fetch_metrics(addr: SocketAddr) -> std::io::Result<String> {
+    fetch_path(addr, "/metrics")
+}
+
+/// Fetch a [`MetricsServer`]'s `/deadletters` document (the quarantine
+/// queue as JSON). Errors if no queue is attached (404).
+pub fn fetch_deadletters(addr: SocketAddr) -> std::io::Result<String> {
+    fetch_path(addr, "/deadletters")
+}
+
+/// Fetch a [`MetricsServer`]'s `/spans` document (recent sealed span
+/// trees plus active ones, as JSON). Errors if no recorder is attached.
+pub fn fetch_spans(addr: SocketAddr) -> std::io::Result<String> {
+    fetch_path(addr, "/spans")
 }
 
 #[cfg(test)]

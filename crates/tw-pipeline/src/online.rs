@@ -61,6 +61,7 @@ use std::time::Duration;
 use tw_core::{DelayRegistry, Reconstruction, RegistryWatch, TraceWeaver};
 use tw_model::span::RpcRecord;
 use tw_model::time::Nanos;
+use tw_telemetry::trace::{SpanGuard, SpanRecorder};
 use tw_telemetry::{Buckets, Counter, Gauge, Histogram, Registry};
 
 /// How much of the reconstruction pipeline a window ran through — the
@@ -290,6 +291,14 @@ pub struct OnlineConfig {
     /// pipeline. Telemetry never feeds back into reconstruction, so
     /// results stay byte-identical with or without observers.
     pub telemetry: Registry,
+    /// Self-tracing recorder (`tw_telemetry::trace`): when set, every
+    /// head-sampled window records one span tree as it flows
+    /// sanitize → route → collect → reconstruct → merge hand-off, with
+    /// supervisor restarts and checkpoint writes attached as events, and
+    /// slow-window latency observations carry `window_id`/`span_id`
+    /// exemplars. `None` (the default) disables self-tracing entirely.
+    /// Like metrics, tracing never feeds back into reconstruction.
+    pub trace: Option<SpanRecorder>,
 }
 
 impl Default for OnlineConfig {
@@ -308,6 +317,7 @@ impl Default for OnlineConfig {
             restart: RestartPolicy::default(),
             checkpoint: None,
             telemetry: Registry::new(),
+            trace: None,
         }
     }
 }
@@ -329,6 +339,10 @@ struct EngineMetrics {
     records: Counter,
     shed_records: Counter,
     warm_edges: Gauge,
+    /// When set, window-latency observations of self-traced windows carry
+    /// an OpenMetrics exemplar linking the bucket to the window's span
+    /// tree (`window_id`/`span_id`, retrievable via `GET /spans`).
+    recorder: Option<SpanRecorder>,
 }
 
 impl EngineMetrics {
@@ -384,6 +398,7 @@ impl EngineMetrics {
                 "tw_engine_warm_edges",
                 "Delay-registry edges the most recent warm window started from.",
             ),
+            recorder: None,
         }
     }
 
@@ -406,7 +421,18 @@ impl EngineMetrics {
             }
             *last_level = Some(result.degradation);
         }
-        self.latency.observe(result.latency.as_secs_f64());
+        let latency = result.latency.as_secs_f64();
+        // root_id is only live before the window's tree is sealed, which
+        // holds here: observe_window runs before the shard seals.
+        match self.recorder.as_ref().and_then(|r| r.root_id(result.index)) {
+            Some(span_id) => {
+                let window_id = result.index.to_string();
+                let span_id = span_id.to_string();
+                self.latency
+                    .observe_exemplar(latency, &[("window_id", &window_id), ("span_id", &span_id)]);
+            }
+            None => self.latency.observe(latency),
+        }
         self.pickup_queue_depth.observe(result.queue_depth as f64);
         self.queue_depth.set(result.queue_depth as f64);
         self.records.add(result.records.len() as u64);
@@ -495,6 +521,10 @@ struct WindowRouter {
     watermark: Nanos,
     first_uncut: u64,
     recovery: Option<RouterRecovery>,
+    trace: Option<SpanRecorder>,
+    /// Open "route" spans, one per sampled window, finished when the
+    /// window's cut mark is broadcast.
+    route_spans: BTreeMap<u64, SpanGuard>,
 }
 
 /// One-shot recovery-gap probe: after a checkpoint restore the router
@@ -514,6 +544,8 @@ impl WindowRouter {
             watermark: Nanos::ZERO,
             first_uncut: 0,
             recovery: None,
+            trace: None,
+            route_spans: BTreeMap::new(),
         }
     }
 
@@ -559,6 +591,13 @@ impl FanOut for WindowRouter {
                 .set(by_ts.saturating_sub(probe.resumed_at) as f64);
         }
         let index = by_ts.max(self.first_uncut);
+        if let Some(trace) = &self.trace {
+            if let std::collections::btree_map::Entry::Vacant(e) = self.route_spans.entry(index) {
+                if let Some(guard) = trace.span(index, "route") {
+                    e.insert(guard);
+                }
+            }
+        }
         let shard = (crate::pipeline::shard_hash(index) % outs.shards() as u64) as usize;
         outs.send(shard, (index, rec));
         while self.watermark.0
@@ -566,6 +605,9 @@ impl FanOut for WindowRouter {
                 .window_end(self.first_uncut)
                 .saturating_add(self.grace.0)
         {
+            if let Some(guard) = self.route_spans.remove(&self.first_uncut) {
+                guard.event(format!("cut at watermark {}", self.watermark.0));
+            }
             outs.broadcast_mark(self.first_uncut);
             self.first_uncut += 1;
         }
@@ -609,6 +651,13 @@ struct WindowShard {
     /// by the checkpointer; the global watermark is the minimum across
     /// shards. `None` when checkpointing is off.
     sealed: Option<Arc<AtomicU64>>,
+    /// Self-trace recorder; the shard contributes "collect" (buffering)
+    /// and "reconstruct" spans and seals each window's tree after the
+    /// merge hand-off.
+    trace: Option<SpanRecorder>,
+    /// Open "collect" spans for windows this shard owns, finished when
+    /// the window's cut mark arrives.
+    collect_spans: BTreeMap<u64, SpanGuard>,
 }
 
 impl WindowShard {
@@ -637,6 +686,13 @@ impl WindowShard {
     ) -> WindowResult {
         let end = Nanos((index + 1).saturating_mul(self.window.0));
         let warm_edges = self.warm.as_ref().map_or(0, |w| w.registry.len());
+        let span = self
+            .trace
+            .as_ref()
+            .and_then(|t| t.span(index, "reconstruct"));
+        if let Some(span) = &span {
+            span.event(format!("level {level:?}, {} records", records.len()));
+        }
         let t0 = std::time::Instant::now();
         // A skipped window contributes no posterior: the registry carries
         // the last reconstructed window's models forward unchanged.
@@ -667,8 +723,17 @@ impl WindowShard {
             degradation: level,
             shed_records,
         };
+        drop(span); // reconstruction done; observe_window still needs the live tree
         self.metrics.observe_window(&result, &mut self.last_level);
         result
+    }
+
+    /// Seal `index`'s span tree after its result was handed to the merge.
+    fn seal_trace(&self, index: u64) {
+        if let Some(trace) = &self.trace {
+            trace.event(index, None, "merge hand-off");
+            trace.seal(index);
+        }
     }
 }
 
@@ -688,6 +753,15 @@ impl Stage for WindowShard {
     ) {
         match msg {
             ShardMsg::Item((index, rec)) => {
+                if let Some(trace) = &self.trace {
+                    if let std::collections::btree_map::Entry::Vacant(e) =
+                        self.collect_spans.entry(index)
+                    {
+                        if let Some(guard) = trace.span(index, "collect") {
+                            e.insert(guard);
+                        }
+                    }
+                }
                 self.open.entry(index).or_default().push(rec);
             }
             ShardMsg::Mark(index) => {
@@ -700,9 +774,11 @@ impl Stage for WindowShard {
                 // else observes the mark and moves on. Empty windows were
                 // never buffered anywhere and produce no result.
                 if let Some(records) = self.open.remove(&index) {
+                    drop(self.collect_spans.remove(&index)); // buffering ends at the cut
                     let backlog = self.open.len();
                     let result = self.reconstruct(index, records, backlog, level);
                     out.emit(result);
+                    self.seal_trace(index);
                 }
                 if let Some(sealed) = &self.sealed {
                     sealed.fetch_max(index + 1, Ordering::AcqRel);
@@ -720,8 +796,10 @@ impl Stage for WindowShard {
         for (index, records) in open {
             backlog -= 1;
             let level = self.pick_level(None, backlog);
+            drop(self.collect_spans.remove(&index));
             let result = self.reconstruct(index, records, backlog, level);
             out.emit(result);
+            self.seal_trace(index);
             if let Some(sealed) = &self.sealed {
                 sealed.fetch_max(index + 1, Ordering::AcqRel);
             }
@@ -770,7 +848,9 @@ impl OnlineEngine {
         };
         let shed = config.shed;
         let window = Nanos(config.window.0.max(1));
-        let metrics = EngineMetrics::new(&config.telemetry);
+        let trace = config.trace.clone();
+        let mut metrics = EngineMetrics::new(&config.telemetry);
+        metrics.recorder = trace.clone();
         let record_queue = QueueCfg {
             capacity: config.channel_capacity,
             policy: config.backpressure,
@@ -831,7 +911,10 @@ impl OnlineEngine {
             watch: sources.as_ref().map(|s| s.registry.clone()),
         });
 
-        let supervisor = Supervisor::new(config.restart, DeadLetterQueue::default());
+        let mut supervisor = Supervisor::new(config.restart, DeadLetterQueue::default());
+        if let Some(recorder) = &trace {
+            supervisor = supervisor.with_recorder(recorder.clone());
+        }
         let dead_letters = supervisor.dead_letters().clone();
         let (ingest_tx, builder) =
             PipelineBuilder::<RpcRecord>::source(&config.telemetry, record_queue);
@@ -842,6 +925,9 @@ impl OnlineEngine {
                 if let Some(snapshot) = &sanitizer_snapshot {
                     stage.restore(snapshot);
                 }
+                if let Some(recorder) = &trace {
+                    stage = stage.with_trace(recorder.clone(), window.0);
+                }
                 if let (Some(src), Some(ck)) = (&sources, &config.checkpoint) {
                     stage = stage.publish_snapshots(src.sanitizer.clone(), ck.snapshot_records);
                 }
@@ -850,12 +936,13 @@ impl OnlineEngine {
             }
             None => (builder, None),
         };
-        let router = match (&recovery, start_watermark) {
+        let mut router = match (&recovery, start_watermark) {
             (Some(rm), w) if w > 0 => {
                 WindowRouter::resume(window, config.grace, w, rm.windows_lost.clone())
             }
             _ => WindowRouter::new(window, config.grace),
         };
+        router.trace = trace.clone();
         let sealed = sources.as_ref().map(|s| s.sealed.clone());
         let pipeline = builder
             .shard(
@@ -872,13 +959,17 @@ impl OnlineEngine {
                     warm: warm_state.take(),
                     adaptive: shed.adaptive.map(AdaptiveState::new),
                     sealed: sealed.as_ref().map(|v| v[i].clone()),
+                    trace: trace.clone(),
+                    collect_spans: BTreeMap::new(),
                 },
                 record_queue,
             )
             .build();
 
         let checkpointer = match (config.checkpoint.as_ref(), sources, recovery) {
-            (Some(ck), Some(sources), Some(rm)) => Some(Checkpointer::spawn(ck, sources, rm)),
+            (Some(ck), Some(sources), Some(rm)) => {
+                Some(Checkpointer::spawn(ck, sources, rm, trace.clone()))
+            }
             _ => None,
         };
 
@@ -1832,6 +1923,8 @@ mod tests {
                         warm: None,
                         adaptive: None,
                         sealed: None,
+                        trace: None,
+                        collect_spans: BTreeMap::new(),
                     },
                     queue,
                 )

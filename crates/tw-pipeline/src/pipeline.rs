@@ -37,7 +37,47 @@ use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::thread::JoinHandle;
 use std::time::Instant;
+use tw_model::span::RpcRecord;
 use tw_telemetry::{Counter, Gauge, Registry};
+
+/// Provenance a stream item can lend to the dead-letter queue. The runner
+/// captures both hooks *before* `process` consumes the item (an
+/// `RpcRecord` is `Copy`, so the capture is a register move, not a
+/// serialization), and attaches them to the [`crate::DeadLetter`] only
+/// when that call panics — so quarantined items carry the actual payload
+/// and window for `twctl deadletters` to print and resubmit, at zero cost
+/// on the non-panicking path.
+pub trait DeadLetterPayload {
+    /// The wire record this item carries, if any.
+    fn dead_letter_record(&self) -> Option<RpcRecord> {
+        None
+    }
+
+    /// The window index this item belongs to, if known.
+    fn dead_letter_window(&self) -> Option<u64> {
+        None
+    }
+}
+
+impl DeadLetterPayload for RpcRecord {
+    fn dead_letter_record(&self) -> Option<RpcRecord> {
+        Some(*self)
+    }
+}
+
+/// Window-routed records (`(window, record)`) carry both hooks.
+impl DeadLetterPayload for (u64, RpcRecord) {
+    fn dead_letter_record(&self) -> Option<RpcRecord> {
+        Some(self.1)
+    }
+
+    fn dead_letter_window(&self) -> Option<u64> {
+        Some(self.0)
+    }
+}
+
+/// Opaque test/demo streams carry no provenance.
+impl DeadLetterPayload for u64 {}
 
 /// What happens when a stage emits into a full queue.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -92,7 +132,7 @@ pub struct StageCtx {
 /// downstream. Stages own their state and run on their own thread; the
 /// runner handles queueing, telemetry, and shutdown ordering.
 pub trait Stage: Send + 'static {
-    type In: Send + 'static;
+    type In: Send + DeadLetterPayload + 'static;
     type Out: Send + 'static;
 
     /// Stage name, used as the `stage`/`queue` label on the
@@ -230,11 +270,13 @@ fn run_stage<S: Stage>(
         };
         metrics.depth.set(ctx.queue_depth as f64);
         metrics.items.inc();
+        let record = item.dead_letter_record();
+        let window = item.dead_letter_window();
         let t0 = Instant::now();
         let result = catch_unwind(AssertUnwindSafe(|| stage.process(item, &ctx, &mut out)));
         metrics.busy.add(t0.elapsed().as_secs_f64());
         if let Err(payload) = result {
-            match sup.on_panic(&panic_message(payload.as_ref()), item_seq) {
+            match sup.on_panic(&panic_message(payload.as_ref()), item_seq, record, window) {
                 Verdict::Restart(backoff) => {
                     if !backoff.is_zero() {
                         std::thread::sleep(backoff);
@@ -287,12 +329,28 @@ pub enum ShardMsg<T> {
     Mark(u64),
 }
 
+impl<T: DeadLetterPayload> DeadLetterPayload for ShardMsg<T> {
+    fn dead_letter_record(&self) -> Option<RpcRecord> {
+        match self {
+            ShardMsg::Item(item) => item.dead_letter_record(),
+            ShardMsg::Mark(_) => None,
+        }
+    }
+
+    fn dead_letter_window(&self) -> Option<u64> {
+        match self {
+            ShardMsg::Item(item) => item.dead_letter_window(),
+            ShardMsg::Mark(window) => Some(*window),
+        }
+    }
+}
+
 /// The router in front of a sharded stage: map each input item onto one
 /// of N shard queues, optionally broadcasting marks. Runs on its own
 /// thread, sequentially over the input stream, so stateful routing (e.g.
 /// watermark bookkeeping) stays deterministic in arrival order.
 pub trait FanOut: Send + 'static {
-    type In: Send + 'static;
+    type In: Send + DeadLetterPayload + 'static;
     type Out: Send + 'static;
 
     /// Router name (labels + thread name).
@@ -442,6 +500,7 @@ impl<T: Send + 'static> PipelineBuilder<T> {
         queue: QueueCfg,
     ) -> PipelineBuilder<S::Out>
     where
+        T: DeadLetterPayload,
         F: FanOut<In = T>,
         S: Stage<In = ShardMsg<F::Out>>,
         S::Out: Sequenced,
@@ -497,11 +556,18 @@ impl<T: Send + 'static> PipelineBuilder<T> {
                     let depth = tail.len();
                     router_metrics.depth.set(depth as f64);
                     router_metrics.items.inc();
+                    let record = item.dead_letter_record();
+                    let window = item.dead_letter_window();
                     let t0 = Instant::now();
                     let result = catch_unwind(AssertUnwindSafe(|| router.route(item, &mut outs)));
                     router_metrics.busy.add(t0.elapsed().as_secs_f64());
                     if let Err(payload) = result {
-                        match router_sup.on_panic(&panic_message(payload.as_ref()), item_seq) {
+                        match router_sup.on_panic(
+                            &panic_message(payload.as_ref()),
+                            item_seq,
+                            record,
+                            window,
+                        ) {
                             Verdict::Restart(backoff) => {
                                 if !backoff.is_zero() {
                                     std::thread::sleep(backoff);

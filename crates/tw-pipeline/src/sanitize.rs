@@ -813,6 +813,10 @@ pub struct SanitizeStage {
     /// Snapshot publication for checkpointing: slot plus record interval.
     snapshot_slot: Option<(SanitizerSnapshotSlot, u64)>,
     since_snapshot: u64,
+    /// Self-tracing: recorder plus the engine window width, so the stage
+    /// can attribute its work to the window each record will land in.
+    trace: Option<(tw_telemetry::trace::SpanRecorder, u64)>,
+    current_span: Option<(u64, tw_telemetry::trace::SpanGuard)>,
 }
 
 impl SanitizeStage {
@@ -829,6 +833,37 @@ impl SanitizeStage {
             sanitizer: Sanitizer::new_in(cfg, registry),
             snapshot_slot: None,
             since_snapshot: 0,
+            trace: None,
+            current_span: None,
+        }
+    }
+
+    /// Record a `sanitize` span per prospective engine window (the window
+    /// a record's `recv_resp` maps to under `window_ns`-wide windows).
+    /// Because sanitize runs upstream of the router, this opens the
+    /// window's span tree, so the tree covers the full online path.
+    pub fn with_trace(
+        mut self,
+        recorder: tw_telemetry::trace::SpanRecorder,
+        window_ns: u64,
+    ) -> Self {
+        self.trace = Some((recorder, window_ns.max(1)));
+        self
+    }
+
+    fn trace_record(&mut self, rec: &RpcRecord) {
+        let Some((recorder, window_ns)) = &self.trace else {
+            return;
+        };
+        let index = rec.recv_resp.0.div_ceil(*window_ns).saturating_sub(1);
+        if let Some((current, _)) = &self.current_span {
+            if *current == index {
+                return;
+            }
+            self.current_span = None;
+        }
+        if let Some(span) = recorder.span(index, "sanitize") {
+            self.current_span = Some((index, span));
         }
     }
 
@@ -881,6 +916,7 @@ impl crate::pipeline::Stage for SanitizeStage {
         _ctx: &crate::pipeline::StageCtx,
         out: &mut crate::pipeline::Emitter<RpcRecord>,
     ) {
+        self.trace_record(&rec);
         if let Some(clean) = self.sanitizer.sanitize(rec) {
             out.emit(clean);
         }
@@ -893,6 +929,7 @@ impl crate::pipeline::Stage for SanitizeStage {
         _ctx: &crate::pipeline::StageCtx,
         _out: &mut crate::pipeline::Emitter<RpcRecord>,
     ) {
+        self.current_span = None;
         self.maybe_publish(true);
     }
 }

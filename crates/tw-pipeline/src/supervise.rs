@@ -31,6 +31,8 @@ use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use tw_model::span::RpcRecord;
+use tw_telemetry::trace::SpanRecorder;
 use tw_telemetry::{Counter, Registry};
 
 /// How a supervisor reacts to a panicking stage: restart with bounded
@@ -89,6 +91,14 @@ pub struct DeadLetter {
     /// 1-based index of the item in the stage's input stream (0 for
     /// flush, which has no input item).
     pub item_seq: u64,
+    /// The quarantined record itself, when the poisoned item carried one
+    /// (captured by the runner via
+    /// [`crate::pipeline::DeadLetterPayload`] before the panicking call
+    /// consumed it). `twctl deadletters --resubmit` replays these.
+    pub record: Option<RpcRecord>,
+    /// Window index the poisoned item belonged to, when known — links the
+    /// quarantine to the window's span tree on `GET /spans`.
+    pub window: Option<u64>,
 }
 
 /// Bounded, shared dead-letter queue. When full, the oldest entry is
@@ -174,6 +184,7 @@ pub struct Supervisor {
     policy: RestartPolicy,
     dead_letters: DeadLetterQueue,
     failures: Arc<Mutex<Vec<StageFailure>>>,
+    recorder: Option<SpanRecorder>,
 }
 
 impl Default for Supervisor {
@@ -188,7 +199,17 @@ impl Supervisor {
             policy,
             dead_letters,
             failures: Arc::new(Mutex::new(Vec::new())),
+            recorder: None,
         }
+    }
+
+    /// Attach a self-trace recorder: supervision decisions (restarts,
+    /// escalations) become events on the affected window's span tree when
+    /// the poison item carries a window, or on the newest sampled window
+    /// otherwise.
+    pub fn with_recorder(mut self, recorder: SpanRecorder) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 
     /// The shared dead-letter queue (clone to inspect from outside the
@@ -271,9 +292,28 @@ pub struct StageSupervisor {
 }
 
 impl StageSupervisor {
+    /// Emit a supervision event onto the self-trace, targeting the
+    /// poisoned item's window when known.
+    fn trace_event(&self, window: Option<u64>, message: String) {
+        let Some(recorder) = &self.shared.recorder else {
+            return;
+        };
+        match window {
+            Some(w) => recorder.event(w, None, message),
+            None => recorder.event_newest(message),
+        }
+    }
+
     /// Handle a panic from `process` on item `item_seq`: quarantine the
-    /// item, then decide restart-or-escalate against the rolling budget.
-    pub fn on_panic(&mut self, message: &str, item_seq: u64) -> Verdict {
+    /// item (with whatever payload provenance the runner captured), then
+    /// decide restart-or-escalate against the rolling budget.
+    pub fn on_panic(
+        &mut self,
+        message: &str,
+        item_seq: u64,
+        record: Option<RpcRecord>,
+        window: Option<u64>,
+    ) -> Verdict {
         self.panics.inc();
         self.quarantined.inc();
         if self.dead_letters.push(DeadLetter {
@@ -281,6 +321,8 @@ impl StageSupervisor {
             reason: "panic",
             message: message.to_string(),
             item_seq,
+            record,
+            window,
         }) {
             self.evicted.inc();
         }
@@ -301,10 +343,18 @@ impl StageSupervisor {
                     self.policy.restart_window
                 ),
             );
+            self.trace_event(
+                window,
+                format!("stage `{}` escalated after panic: {message}", self.stage),
+            );
             return Verdict::Escalate;
         }
         self.recent.push_back(now);
         self.restarts.inc();
+        self.trace_event(
+            window,
+            format!("stage `{}` restarted after panic: {message}", self.stage),
+        );
         Verdict::Restart(self.policy.backoff(self.recent.len() as u32))
     }
 
@@ -318,6 +368,8 @@ impl StageSupervisor {
             reason: "flush",
             message: message.to_string(),
             item_seq: 0,
+            record: None,
+            window: None,
         }) {
             self.evicted.inc();
         }
@@ -365,6 +417,8 @@ mod tests {
             reason: "panic",
             message: format!("boom {seq}"),
             item_seq: seq,
+            record: None,
+            window: None,
         };
         assert!(!q.push(mk(1)));
         assert!(!q.push(mk(2)));
@@ -388,9 +442,15 @@ mod tests {
             DeadLetterQueue::new(8),
         );
         let mut stage = sup.for_stage(&registry, "flaky");
-        assert!(matches!(stage.on_panic("boom", 1), Verdict::Restart(_)));
-        assert!(matches!(stage.on_panic("boom", 2), Verdict::Restart(_)));
-        assert_eq!(stage.on_panic("boom", 3), Verdict::Escalate);
+        assert!(matches!(
+            stage.on_panic("boom", 1, None, None),
+            Verdict::Restart(_)
+        ));
+        assert!(matches!(
+            stage.on_panic("boom", 2, None, None),
+            Verdict::Restart(_)
+        ));
+        assert_eq!(stage.on_panic("boom", 3, None, None), Verdict::Escalate);
         let failures = sup.take_failures();
         assert_eq!(failures.len(), 1);
         assert!(failures[0].payload.contains("escalated"));
@@ -399,6 +459,37 @@ mod tests {
         assert!(text.contains("tw_pipeline_stage_panics_total{stage=\"flaky\"} 3"));
         assert!(text.contains("tw_pipeline_stage_restarts_total{stage=\"flaky\"} 2"));
         assert!(text.contains("tw_pipeline_dead_letter_total{reason=\"panic\",stage=\"flaky\"} 3"));
+    }
+
+    #[test]
+    fn dead_letter_carries_payload_provenance() {
+        let registry = Registry::new();
+        let sup = Supervisor::default();
+        let mut stage = sup.for_stage(&registry, "shard/0");
+        use tw_model::ids::{Endpoint, OperationId, RpcId, ServiceId};
+        use tw_model::time::Nanos;
+        let rec = RpcRecord {
+            rpc: RpcId(17),
+            caller: ServiceId(1),
+            caller_replica: 0,
+            callee: Endpoint::new(ServiceId(2), OperationId(0)),
+            callee_replica: 0,
+            send_req: Nanos(100),
+            recv_req: Nanos(110),
+            send_resp: Nanos(120),
+            recv_resp: Nanos(130),
+            caller_thread: None,
+            callee_thread: None,
+        };
+        stage.on_panic("boom", 4, Some(rec), Some(9));
+        let snap = sup.dead_letters().snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].window, Some(9));
+        assert_eq!(snap[0].record.expect("record captured").rpc, RpcId(17));
+        // Serializes with the payload inline for /deadletters + twctl.
+        let json = serde_json::to_string(&snap[0]).unwrap();
+        assert!(json.contains("\"window\":9"));
+        assert!(json.contains("\"recv_resp\":130"));
     }
 
     #[test]
@@ -412,6 +503,6 @@ mod tests {
             DeadLetterQueue::new(8),
         );
         let mut stage = sup.for_stage(&registry, "fragile");
-        assert_eq!(stage.on_panic("boom", 1), Verdict::Escalate);
+        assert_eq!(stage.on_panic("boom", 1, None, None), Verdict::Escalate);
     }
 }

@@ -81,8 +81,8 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "promlint: OK: {} series across {} families",
-        report.samples, report.families
+        "promlint: OK: {} series across {} families, {} exemplars",
+        report.samples, report.families, report.exemplars
     );
     ExitCode::SUCCESS
 }

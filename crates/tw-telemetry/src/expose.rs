@@ -6,7 +6,7 @@
 //! label order; histogram buckets cumulative with a trailing `+Inf` equal
 //! to `_count`.
 
-use crate::{FamilySnapshot, MetricKind, ValueSnapshot};
+use crate::{Exemplar, FamilySnapshot, MetricKind, ValueSnapshot};
 use std::fmt::Write;
 
 /// Escape a HELP docstring: `\` -> `\\`, newline -> `\n`.
@@ -55,8 +55,23 @@ fn write_labels(out: &mut String, labels: &[(String, String)], extra: Option<(&s
     out.push('}');
 }
 
-/// Render a set of family snapshots to exposition text.
-pub fn render_families(families: &[FamilySnapshot]) -> String {
+/// Append an OpenMetrics exemplar suffix to a bucket line (before the
+/// newline): ` # {labels} value`. No timestamp — output stays
+/// deterministic for golden tests.
+fn write_exemplar(out: &mut String, exemplar: &Exemplar) {
+    out.push_str(" # {");
+    let mut first = true;
+    for (k, v) in &exemplar.labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
+    }
+    let _ = write!(out, "}} {}", fmt_value(exemplar.value));
+}
+
+fn render_families_inner(families: &[FamilySnapshot], openmetrics: bool) -> String {
     let mut out = String::new();
     for fam in families {
         let _ = writeln!(out, "# HELP {} {}", fam.name, escape_help(&fam.help));
@@ -79,6 +94,7 @@ pub fn render_families(families: &[FamilySnapshot]) -> String {
                     cumulative,
                     sum,
                     count,
+                    exemplars,
                 } => {
                     for (i, cum) in cumulative.iter().enumerate() {
                         let le = match bounds.get(i) {
@@ -87,7 +103,13 @@ pub fn render_families(families: &[FamilySnapshot]) -> String {
                         };
                         let _ = write!(out, "{}_bucket", fam.name);
                         write_labels(&mut out, labels, Some(("le", &le)));
-                        let _ = writeln!(out, " {cum}");
+                        let _ = write!(out, " {cum}");
+                        if openmetrics {
+                            if let Some(Some(ex)) = exemplars.get(i) {
+                                write_exemplar(&mut out, ex);
+                            }
+                        }
+                        out.push('\n');
                     }
                     let _ = write!(out, "{}_sum", fam.name);
                     write_labels(&mut out, labels, None);
@@ -99,5 +121,32 @@ pub fn render_families(families: &[FamilySnapshot]) -> String {
             }
         }
     }
+    if openmetrics {
+        out.push_str("# EOF\n");
+    }
     out
+}
+
+/// Render a set of family snapshots to exposition text (v0.0.4; exemplars
+/// omitted).
+pub fn render_families(families: &[FamilySnapshot]) -> String {
+    render_families_inner(families, false)
+}
+
+/// Render a set of family snapshots with OpenMetrics exemplar syntax on
+/// histogram bucket lines and a trailing `# EOF` terminator. The body
+/// otherwise keeps the v0.0.4 shape our linter validates.
+pub fn render_families_openmetrics(families: &[FamilySnapshot]) -> String {
+    render_families_inner(families, true)
+}
+
+/// True if any histogram series in the snapshot carries an exemplar —
+/// drives the scrape endpoint's content-type negotiation.
+pub fn snapshot_has_exemplars(families: &[FamilySnapshot]) -> bool {
+    families.iter().any(|fam| {
+        fam.series.values().any(|v| match v {
+            ValueSnapshot::Histogram { exemplars, .. } => exemplars.iter().any(|e| e.is_some()),
+            _ => false,
+        })
+    })
 }

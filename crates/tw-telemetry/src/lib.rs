@@ -39,9 +39,13 @@
 mod expose;
 pub mod lint;
 mod metrics;
+pub mod push;
+pub mod trace;
 
-pub use expose::render_families;
-pub use metrics::{Buckets, Counter, Gauge, Histogram, StageTimer};
+pub use expose::{render_families, render_families_openmetrics, snapshot_has_exemplars};
+pub use metrics::{
+    Buckets, Counter, Exemplar, Gauge, Histogram, StageTimer, EXEMPLAR_MAX_LABEL_CHARS,
+};
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -299,6 +303,7 @@ impl Registry {
                                     cumulative,
                                     sum,
                                     count,
+                                    exemplars: h.exemplars(),
                                 }
                             }
                         };
@@ -314,10 +319,10 @@ impl Registry {
         expose::render_families(&self.snapshot())
     }
 
-    /// Render several registries as one exposition document. Registries are
-    /// deduplicated by identity; colliding family names are merged (first
-    /// help/kind wins, duplicate label sets are dropped).
-    pub fn render_multi(registries: &[&Registry]) -> String {
+    /// Snapshot several registries as one merged family list. Registries
+    /// are deduplicated by identity; colliding family names are merged
+    /// (first help/kind wins, duplicate label sets are dropped).
+    pub fn merged_snapshot(registries: &[&Registry]) -> Vec<FamilySnapshot> {
         let mut seen: Vec<&Registry> = Vec::new();
         let mut merged: BTreeMap<String, FamilySnapshot> = BTreeMap::new();
         for reg in registries {
@@ -341,8 +346,21 @@ impl Registry {
                 }
             }
         }
-        let fams: Vec<FamilySnapshot> = merged.into_values().collect();
-        expose::render_families(&fams)
+        merged.into_values().collect()
+    }
+
+    /// Render several registries as one exposition document (text format
+    /// v0.0.4; exemplars are omitted — use
+    /// [`Registry::render_multi_openmetrics`] to keep them).
+    pub fn render_multi(registries: &[&Registry]) -> String {
+        expose::render_families(&Self::merged_snapshot(registries))
+    }
+
+    /// Render several registries as one OpenMetrics document: exemplars
+    /// rendered in `# {labels} value` syntax on bucket lines, terminated
+    /// with `# EOF`.
+    pub fn render_multi_openmetrics(registries: &[&Registry]) -> String {
+        expose::render_families_openmetrics(&Self::merged_snapshot(registries))
     }
 
     /// Number of exposed time series (sample lines a scrape would return):
@@ -377,6 +395,9 @@ pub enum ValueSnapshot {
         cumulative: Vec<u64>,
         sum: f64,
         count: u64,
+        /// One optional exemplar per bucket (incl. `+Inf`), in bucket
+        /// order. Rendered only in OpenMetrics mode.
+        exemplars: Vec<Option<Exemplar>>,
     },
 }
 

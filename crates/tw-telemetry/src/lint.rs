@@ -12,6 +12,10 @@
 //! * histogram buckets: `le` ascending, counts cumulative (non-decreasing),
 //!   `+Inf` present and equal to `_count`, `_sum`/`_count` present
 //! * values parse as floats (`+Inf`/`-Inf`/`NaN` allowed)
+//! * OpenMetrics exemplars (`# {labels} value` after a bucket count) are
+//!   accepted and validated: only on `_bucket` samples, label-set length
+//!   ≤ 128 UTF-8 code points, exemplar value within the bucket's
+//!   `(prev_le, le]` bounds; nothing may follow a `# EOF` terminator
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -24,6 +28,8 @@ pub struct Report {
     pub families: usize,
     /// Distinct sample metric names (post-suffix, as written).
     pub names: BTreeSet<String>,
+    /// Number of OpenMetrics exemplars attached to bucket samples.
+    pub exemplars: usize,
 }
 
 /// Lint `text`; `Err` carries the first problem found with its line number.
@@ -34,11 +40,20 @@ pub fn lint(text: &str) -> Result<Report, String> {
     let mut seen_series: BTreeSet<String> = BTreeSet::new();
     let mut samples = 0usize;
     let mut names: BTreeSet<String> = BTreeSet::new();
+    let mut exemplars = 0usize;
+    let mut eof_seen = false;
 
     for (lineno, raw) in text.lines().enumerate() {
         let lineno = lineno + 1;
         let line = raw.trim_end_matches('\r');
         if line.is_empty() {
+            continue;
+        }
+        if eof_seen {
+            return Err(format!("line {lineno}: content after `# EOF` terminator"));
+        }
+        if line == "# EOF" {
+            eof_seen = true;
             continue;
         }
         if let Some(rest) = line.strip_prefix("# HELP ") {
@@ -115,11 +130,21 @@ pub fn lint(text: &str) -> Result<Report, String> {
             ));
         }
 
+        if sample.exemplar.is_some()
+            && !(fam.kind.as_deref() == Some("histogram") && sample.name.ends_with("_bucket"))
+        {
+            return Err(format!(
+                "line {lineno}: exemplar on non-bucket sample `{}`",
+                sample.name
+            ));
+        }
+
         if fam.kind.as_deref() == Some("histogram") {
             fam.track_histogram_sample(&base, &sample, lineno)?;
         }
 
         samples += 1;
+        exemplars += usize::from(sample.exemplar.is_some());
         names.insert(sample.name);
     }
 
@@ -136,6 +161,7 @@ pub fn lint(text: &str) -> Result<Report, String> {
         samples,
         families: families.len(),
         names,
+        exemplars,
     })
 }
 
@@ -178,6 +204,25 @@ impl FamilyState {
                     return Err(format!(
                         "line {lineno}: bucket count must be a non-negative integer"
                     ));
+                }
+                if let Some(ex) = &sample.exemplar {
+                    // The exemplar must fall in this bucket's (prev_le, le]
+                    // range — the renderer places it by the same rule.
+                    let prev_le = st.buckets.last().map(|(b, _)| *b);
+                    if ex.value.is_nan() || ex.value > le {
+                        return Err(format!(
+                            "line {lineno}: exemplar value {} above bucket le=\"{le_raw}\"",
+                            ex.value
+                        ));
+                    }
+                    if let Some(prev) = prev_le {
+                        if ex.value <= prev {
+                            return Err(format!(
+                                "line {lineno}: exemplar value {} not above previous bucket bound {prev}",
+                                ex.value
+                            ));
+                        }
+                    }
                 }
                 st.buckets.push((le, sample.value as u64));
             }
@@ -251,6 +296,11 @@ impl FamilyState {
 struct Sample {
     name: String,
     labels: Vec<(String, String)>,
+    value: f64,
+    exemplar: Option<ExemplarSample>,
+}
+
+struct ExemplarSample {
     value: f64,
 }
 
@@ -351,6 +401,13 @@ fn parse_sample(line: &str, lineno: usize) -> Result<Sample, String> {
         rest = remainder;
     }
     let rest = rest.trim_start_matches(' ');
+    // An OpenMetrics exemplar is appended after the value/timestamp as
+    // ` # {labels} value [timestamp]`. Labels were consumed above, so a
+    // bare ` # ` here can only be the exemplar marker.
+    let (rest, exemplar_part) = match rest.find(" # ") {
+        Some(pos) => (&rest[..pos], Some(rest[pos + 3..].trim_start_matches(' '))),
+        None => (rest, None),
+    };
     let mut parts = rest.split(' ').filter(|p| !p.is_empty());
     let value_str = parts
         .next()
@@ -366,11 +423,54 @@ fn parse_sample(line: &str, lineno: usize) -> Result<Sample, String> {
     if parts.next().is_some() {
         return Err(format!("line {lineno}: trailing tokens after timestamp"));
     }
+    let exemplar = exemplar_part
+        .map(|e| parse_exemplar(e, lineno))
+        .transpose()?;
     Ok(Sample {
         name: name.to_string(),
         labels,
         value,
+        exemplar,
     })
+}
+
+/// Parse and validate `{labels} value [timestamp]` after the ` # ` marker.
+fn parse_exemplar(s: &str, lineno: usize) -> Result<ExemplarSample, String> {
+    if !s.starts_with('{') {
+        return Err(format!(
+            "line {lineno}: exemplar must start with a label set"
+        ));
+    }
+    let (labels, remainder) = parse_labels(s, lineno)?;
+    let label_chars: usize = labels
+        .iter()
+        .map(|(k, v)| k.chars().count() + v.chars().count())
+        .sum();
+    if label_chars > 128 {
+        return Err(format!(
+            "line {lineno}: exemplar label set is {label_chars} UTF-8 code points (max 128)"
+        ));
+    }
+    let mut parts = remainder.split(' ').filter(|p| !p.is_empty());
+    let value_str = parts
+        .next()
+        .ok_or_else(|| format!("line {lineno}: exemplar has no value"))?;
+    let value = parse_value(value_str)
+        .ok_or_else(|| format!("line {lineno}: unparsable exemplar value `{value_str}`"))?;
+    if let Some(ts) = parts.next() {
+        // OpenMetrics exemplar timestamps are seconds (may be fractional).
+        if ts.parse::<f64>().is_err() {
+            return Err(format!(
+                "line {lineno}: unparsable exemplar timestamp `{ts}`"
+            ));
+        }
+    }
+    if parts.next().is_some() {
+        return Err(format!(
+            "line {lineno}: trailing tokens after exemplar timestamp"
+        ));
+    }
+    Ok(ExemplarSample { value })
 }
 
 type Labels = Vec<(String, String)>;
@@ -502,5 +602,52 @@ mod tests {
         let text = "# HELP x c\n# TYPE x counter\nx{a=\"q\\\"w\\\\e\\nr\"} 1\n";
         let report = lint(text).expect("escaped labels parse");
         assert_eq!(report.samples, 1);
+    }
+
+    #[test]
+    fn accepts_exemplar_on_bucket() {
+        let text = "# HELP h x\n# TYPE h histogram\n\
+            h_bucket{le=\"1\"} 2 # {window_id=\"7\",span_id=\"19\"} 0.4\n\
+            h_bucket{le=\"+Inf\"} 3 # {window_id=\"8\",span_id=\"21\"} 2.5 1.234\n\
+            h_sum 3.3\nh_count 3\n# EOF\n";
+        let report = lint(text).expect("exemplars lint clean");
+        assert_eq!(report.exemplars, 2);
+        assert_eq!(report.samples, 4);
+    }
+
+    #[test]
+    fn rejects_exemplar_outside_bucket_bound() {
+        let text = "# HELP h x\n# TYPE h histogram\n\
+            h_bucket{le=\"1\"} 2 # {window_id=\"7\"} 3.5\n\
+            h_bucket{le=\"+Inf\"} 3\nh_sum 3.3\nh_count 3\n";
+        assert!(lint(text).unwrap_err().contains("above bucket le"));
+        let below = "# HELP h x\n# TYPE h histogram\n\
+            h_bucket{le=\"1\"} 2\n\
+            h_bucket{le=\"+Inf\"} 3 # {window_id=\"7\"} 0.5\nh_sum 3.3\nh_count 3\n";
+        assert!(lint(below)
+            .unwrap_err()
+            .contains("not above previous bucket bound"));
+    }
+
+    #[test]
+    fn rejects_oversized_exemplar_label_set() {
+        let big = "v".repeat(128);
+        let text = format!(
+            "# HELP h x\n# TYPE h histogram\n\
+             h_bucket{{le=\"+Inf\"}} 1 # {{a=\"{big}\"}} 0.5\nh_sum 1\nh_count 1\n"
+        );
+        assert!(lint(&text).unwrap_err().contains("max 128"));
+    }
+
+    #[test]
+    fn rejects_exemplar_on_non_bucket() {
+        let text = "# HELP x c\n# TYPE x counter\nx 1 # {a=\"b\"} 0.5\n";
+        assert!(lint(text).unwrap_err().contains("non-bucket"));
+    }
+
+    #[test]
+    fn rejects_content_after_eof() {
+        let text = "# HELP x c\n# TYPE x counter\nx 1\n# EOF\nx 2\n";
+        assert!(lint(text).unwrap_err().contains("after `# EOF`"));
     }
 }

@@ -10,7 +10,7 @@
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Number of per-metric shards. Power of two so the thread index wraps with
@@ -224,6 +224,31 @@ struct HistShard {
     sum_bits: AtomicU64,
 }
 
+/// One sampled observation attached to a histogram bucket, rendered in
+/// OpenMetrics exemplar syntax (`# {labels} value`). The combined UTF-8
+/// length of label names and values is capped at
+/// [`EXEMPLAR_MAX_LABEL_CHARS`] per the OpenMetrics spec; oversized label
+/// sets are dropped at record time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Exemplar {
+    pub labels: Vec<(String, String)>,
+    pub value: f64,
+}
+
+/// OpenMetrics cap on the combined length of exemplar label names and
+/// values, in UTF-8 code points.
+pub const EXEMPLAR_MAX_LABEL_CHARS: usize = 128;
+
+impl Exemplar {
+    /// Combined label-set length in UTF-8 code points (names + values).
+    pub fn label_chars(&self) -> usize {
+        self.labels
+            .iter()
+            .map(|(k, v)| k.chars().count() + v.chars().count())
+            .sum()
+    }
+}
+
 #[derive(Debug)]
 pub(crate) struct HistogramCore {
     bounds: Box<[f64]>,
@@ -231,12 +256,21 @@ pub(crate) struct HistogramCore {
     /// the snapshot accumulates.
     buckets: Box<[AtomicU64]>,
     shards: [HistShard; SHARDS],
+    /// One exemplar slot per bucket (incl. `+Inf`). Written only by the
+    /// explicit [`Histogram::observe_exemplar`] path, which is rare
+    /// (per-window, not per-record), so a plain mutex per slot is cheap and
+    /// never touches the plain `observe` hot path.
+    exemplars: Box<[Mutex<Option<Exemplar>>]>,
 }
 
 impl HistogramCore {
     pub(crate) fn new(bounds: Vec<f64>) -> Self {
         let buckets = (0..bounds.len() + 1)
             .map(|_| AtomicU64::new(0))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        let exemplars = (0..bounds.len() + 1)
+            .map(|_| Mutex::new(None))
             .collect::<Vec<_>>()
             .into_boxed_slice();
         HistogramCore {
@@ -246,6 +280,7 @@ impl HistogramCore {
                 count: AtomicU64::new(0),
                 sum_bits: AtomicU64::new(0f64.to_bits()),
             }),
+            exemplars,
         }
     }
 
@@ -254,12 +289,20 @@ impl HistogramCore {
     }
 
     #[inline]
-    fn observe(&self, v: f64) {
+    fn bucket_index(&self, v: f64) -> usize {
         // First bound >= v is the `le` bucket; NaN falls through to +Inf.
-        let idx = self.bounds.partition_point(|b| *b < v);
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.bounds.partition_point(|b| *b < v)
+    }
+
+    #[inline]
+    fn observe(&self, v: f64) {
+        let idx = self.bucket_index(v);
+        // Release so a snapshot that observes the per-shard count (Acquire)
+        // also observes the bucket increment that preceded it — the
+        // consistency protocol in `snapshot` relies on this ordering.
+        self.buckets[idx].fetch_add(1, Ordering::Release);
         let shard = &self.shards[shard_index()];
-        shard.count.fetch_add(1, Ordering::Relaxed);
+        shard.count.fetch_add(1, Ordering::Release);
         let mut cur = shard.sum_bits.load(Ordering::Relaxed);
         loop {
             let next = (f64::from_bits(cur) + v).to_bits();
@@ -275,21 +318,75 @@ impl HistogramCore {
         }
     }
 
+    /// Observe `v` and store an exemplar in the bucket it lands in. The
+    /// exemplar is dropped (observation kept) if the label set exceeds the
+    /// OpenMetrics 128-code-point cap.
+    fn observe_exemplar(&self, v: f64, exemplar: Exemplar) {
+        self.observe(v);
+        if exemplar.label_chars() > EXEMPLAR_MAX_LABEL_CHARS {
+            return;
+        }
+        let idx = self.bucket_index(v);
+        if let Ok(mut slot) = self.exemplars[idx].lock() {
+            *slot = Some(exemplar);
+        }
+    }
+
+    fn total_count(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.count.load(Ordering::Acquire))
+            .sum()
+    }
+
     /// (cumulative bucket counts incl. +Inf, sum, count)
+    ///
+    /// Consistency protocol (retry-on-change): a snapshot taken during
+    /// concurrent `observe` calls must never report a `count` inconsistent
+    /// with the bucket totals — the renderer and `lint` both assert
+    /// `+Inf == _count`. We read the shard counts, then the buckets, then
+    /// the shard counts again; if nothing moved and the bucket total equals
+    /// the count, the view is consistent. Under sustained concurrent writes
+    /// the retry loop may never settle, so after a bounded number of
+    /// attempts we reconcile by reporting `count := bucket total` — buckets
+    /// are incremented before shard counts (Release/Acquire ordered), so the
+    /// bucket total is the authoritative, monotone value.
     pub(crate) fn snapshot(&self) -> (Vec<u64>, f64, u64) {
+        const ATTEMPTS: usize = 8;
         let mut cumulative = Vec::with_capacity(self.buckets.len());
-        let mut acc = 0u64;
-        for b in self.buckets.iter() {
-            acc += b.load(Ordering::Relaxed);
-            cumulative.push(acc);
+        for attempt in 0..ATTEMPTS {
+            let c1 = self.total_count();
+            cumulative.clear();
+            let mut acc = 0u64;
+            for b in self.buckets.iter() {
+                acc += b.load(Ordering::Acquire);
+                cumulative.push(acc);
+            }
+            let sum: f64 = self
+                .shards
+                .iter()
+                .map(|s| f64::from_bits(s.sum_bits.load(Ordering::Relaxed)))
+                .sum();
+            let c2 = self.total_count();
+            if c1 == c2 && acc == c1 {
+                return (cumulative, sum, c1);
+            }
+            if attempt == ATTEMPTS - 1 {
+                // Reconcile: the bucket total is monotone and, by write
+                // ordering, never behind the shard counts we could observe.
+                return (cumulative, sum, acc);
+            }
+            std::hint::spin_loop();
         }
-        let mut sum = 0.0;
-        let mut count = 0u64;
-        for s in &self.shards {
-            count += s.count.load(Ordering::Relaxed);
-            sum += f64::from_bits(s.sum_bits.load(Ordering::Relaxed));
-        }
-        (cumulative, sum, count)
+        unreachable!("snapshot retry loop always returns");
+    }
+
+    /// Current exemplar per bucket (incl. `+Inf`), in bucket order.
+    pub(crate) fn exemplars(&self) -> Vec<Option<Exemplar>> {
+        self.exemplars
+            .iter()
+            .map(|slot| slot.lock().map(|e| e.clone()).unwrap_or(None))
+            .collect()
     }
 }
 
@@ -308,6 +405,24 @@ impl Histogram {
         }
     }
 
+    /// Observe `v` and attach an exemplar (OpenMetrics `# {labels} value`)
+    /// to the bucket the observation lands in. Each bucket holds one
+    /// bounded exemplar slot; a later exemplar in the same bucket replaces
+    /// the earlier one. Label sets longer than 128 UTF-8 code points drop
+    /// the exemplar but keep the observation.
+    pub fn observe_exemplar(&self, v: f64, labels: &[(&str, &str)]) {
+        if self.enabled.load(Ordering::Relaxed) {
+            let exemplar = Exemplar {
+                labels: labels
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.to_string()))
+                    .collect(),
+                value: v,
+            };
+            self.core.observe_exemplar(v, exemplar);
+        }
+    }
+
     /// RAII timer that observes elapsed seconds into this histogram on drop.
     pub fn start_timer(&self) -> StageTimer {
         StageTimer {
@@ -319,6 +434,11 @@ impl Histogram {
 
     pub fn snapshot(&self) -> (Vec<u64>, f64, u64) {
         self.core.snapshot()
+    }
+
+    /// Current exemplar per bucket (incl. `+Inf`), in bucket order.
+    pub fn exemplars(&self) -> Vec<Option<Exemplar>> {
+        self.core.exemplars()
     }
 
     pub fn count(&self) -> u64 {

@@ -1,0 +1,458 @@
+//! Push-based telemetry export: periodic snapshot diffing + batched POST
+//! of Prometheus exposition and JSON span trees to a configurable sink.
+//!
+//! The scrape model (`GET /metrics`) assumes the collector can reach us;
+//! the push exporter covers the inverse deployment: a background thread
+//! renders the merged exposition (OpenMetrics, so exemplars survive) plus
+//! the recent span trees, skips the POST when nothing changed since the
+//! last successful push, and otherwise delivers one batch with bounded
+//! retries and deterministic backoff jitter (the same splitmix64-over-port
+//! scheme as `tw-pipeline`'s record-export retry, so failure schedules are
+//! reproducible in tests and CI).
+//!
+//! Everything is hand-rolled on `std::net::TcpStream`: this crate is
+//! std-only by the workspace's vendored-shim policy.
+
+use crate::trace::{escape_json, SpanRecorder};
+use crate::{Counter, Registry};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// Push-exporter knobs, surfaced as `--push-url` / `--push-interval-ms`.
+#[derive(Clone, Debug)]
+pub struct PushConfig {
+    /// Sink endpoint: `host:port`, `host:port/path`, or with an `http://`
+    /// prefix. Path defaults to `/push`.
+    pub url: String,
+    /// Interval between snapshot attempts.
+    pub interval: Duration,
+    /// Delivery attempts per batch before counting a failure.
+    pub attempts: u32,
+    pub backoff_base: Duration,
+    pub backoff_max: Duration,
+}
+
+impl PushConfig {
+    pub fn new(url: impl Into<String>) -> Self {
+        PushConfig {
+            url: url.into(),
+            interval: Duration::from_millis(1000),
+            attempts: 5,
+            backoff_base: Duration::from_millis(20),
+            backoff_max: Duration::from_secs(1),
+        }
+    }
+
+    /// Split the url into (`host:port`, `path`).
+    fn endpoint(&self) -> (String, String) {
+        let rest = self
+            .url
+            .strip_prefix("http://")
+            .unwrap_or(self.url.as_str());
+        match rest.find('/') {
+            Some(i) => (rest[..i].to_string(), rest[i..].to_string()),
+            None => (rest.to_string(), "/push".to_string()),
+        }
+    }
+}
+
+/// Nominal exponential backoff for attempt `n` (1-based), plus a
+/// deterministic jitter derived from (attempt, sink port) via splitmix64 —
+/// no RNG state, reproducible schedules.
+fn backoff(cfg: &PushConfig, n: u32, port: u16) -> Duration {
+    let exp = n.saturating_sub(1).min(16);
+    let nominal = cfg
+        .backoff_base
+        .saturating_mul(1u32 << exp)
+        .min(cfg.backoff_max);
+    let mut z = ((u64::from(n) << 32) | u64::from(port)).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    nominal + nominal.mul_f64((z % 256) as f64 / 1024.0)
+}
+
+struct PushMetrics {
+    batches: Counter,
+    retries: Counter,
+    failures: Counter,
+    skipped: Counter,
+}
+
+impl PushMetrics {
+    fn new(registry: &Registry) -> Self {
+        PushMetrics {
+            batches: registry.counter(
+                "tw_export_push_batches_total",
+                "Telemetry batches successfully POSTed to the push sink.",
+            ),
+            retries: registry.counter(
+                "tw_export_push_retries_total",
+                "Push delivery attempts retried after a transient failure.",
+            ),
+            failures: registry.counter(
+                "tw_export_push_failures_total",
+                "Telemetry batches dropped after exhausting delivery attempts.",
+            ),
+            skipped: registry.counter(
+                "tw_export_push_skipped_total",
+                "Push cycles skipped because the snapshot was unchanged.",
+            ),
+        }
+    }
+}
+
+/// Background push exporter. Spawned once next to the online engine;
+/// [`PushExporter::stop_and_flush`] performs a final unconditional push so
+/// the sink sees the terminal counter values.
+pub struct PushExporter {
+    stop: Arc<AtomicBool>,
+    thread: Option<thread::JoinHandle<()>>,
+}
+
+impl PushExporter {
+    /// Spawn the exporter. `sources` are merged into one exposition
+    /// document (deduplicated by identity, like `render_multi`);
+    /// `recorder`, when present, contributes span trees to each batch.
+    /// `tw_export_push_*` counters register on `registry`.
+    pub fn spawn(
+        cfg: PushConfig,
+        sources: Vec<Registry>,
+        recorder: Option<SpanRecorder>,
+        registry: &Registry,
+    ) -> PushExporter {
+        let metrics = PushMetrics::new(registry);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let thread = thread::Builder::new()
+            .name("tw-push".to_string())
+            .spawn(move || {
+                let mut last_pushed: Option<String> = None;
+                loop {
+                    let stopping = stop2.load(Ordering::Acquire);
+                    if !stopping {
+                        thread::park_timeout(cfg.interval);
+                    }
+                    let stopping = stopping || stop2.load(Ordering::Acquire);
+                    push_once(
+                        &cfg,
+                        &sources,
+                        recorder.as_ref(),
+                        &metrics,
+                        &mut last_pushed,
+                        stopping,
+                    );
+                    if stopping {
+                        return;
+                    }
+                }
+            })
+            .expect("spawn tw-push thread");
+        PushExporter {
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    /// Signal shutdown, deliver one final unconditional batch, and join.
+    pub fn stop_and_flush(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.thread.take() {
+            handle.thread().unpark();
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for PushExporter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Render one batch body (`{"metrics": "<exposition>", "spans": {...}}`)
+/// plus its diff key: the raw exposition with the exporter's own
+/// `tw_export_push_*` sample lines removed (so a successful push, which
+/// increments `batches`, does not make every subsequent snapshot look
+/// new), concatenated with the span document.
+fn render_batch(sources: &[Registry], recorder: Option<&SpanRecorder>) -> (String, String) {
+    let refs: Vec<&Registry> = sources.iter().collect();
+    let exposition = Registry::render_multi_openmetrics(&refs);
+    let spans = recorder
+        .map(|r| r.render_json())
+        .unwrap_or_else(|| "null".to_string());
+    let key = format!("{}\x00{}", diff_key(&exposition), spans);
+    let body = format!(
+        "{{\"metrics\":\"{}\",\"spans\":{}}}",
+        escape_json(&exposition),
+        spans
+    );
+    (body, key)
+}
+
+/// Strip the exporter's own counters from the exposition for diffing.
+fn diff_key(exposition: &str) -> String {
+    exposition
+        .lines()
+        .filter(|l| !l.contains("tw_export_push_"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn push_once(
+    cfg: &PushConfig,
+    sources: &[Registry],
+    recorder: Option<&SpanRecorder>,
+    metrics: &PushMetrics,
+    last_pushed: &mut Option<String>,
+    force: bool,
+) {
+    let (body, key) = render_batch(sources, recorder);
+    if !force && last_pushed.as_deref() == Some(key.as_str()) {
+        metrics.skipped.inc();
+        return;
+    }
+    let (host, path) = cfg.endpoint();
+    let port = host
+        .rsplit(':')
+        .next()
+        .and_then(|p| p.parse::<u16>().ok())
+        .unwrap_or(0);
+    for attempt in 1..=cfg.attempts.max(1) {
+        match post(&host, &path, &body) {
+            Ok(()) => {
+                metrics.batches.inc();
+                *last_pushed = Some(key);
+                return;
+            }
+            Err(_) if attempt < cfg.attempts.max(1) => {
+                metrics.retries.inc();
+                thread::sleep(backoff(cfg, attempt, port));
+            }
+            Err(_) => {
+                metrics.failures.inc();
+            }
+        }
+    }
+}
+
+/// One HTTP/1.1 POST; success is any 2xx status line.
+fn post(host: &str, path: &str, body: &str) -> std::io::Result<()> {
+    let addr = host
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::NotFound, "unresolvable sink"))?;
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    let request = format!(
+        "POST {path} HTTP/1.1\r\nHost: {host}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes())?;
+    let mut response = Vec::new();
+    let mut buf = [0u8; 512];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                response.extend_from_slice(&buf[..n]);
+                if response.windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let head = String::from_utf8_lossy(&response);
+    let status_ok = head
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .map(|code| code.starts_with('2'))
+        .unwrap_or(false);
+    if status_ok {
+        Ok(())
+    } else {
+        Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "push sink returned non-2xx",
+        ))
+    }
+}
+
+/// Minimal loopback sink for tests, the bench, and the CI smoke job:
+/// accepts POSTed batches, counts them, and retains the latest body.
+pub struct PushSink {
+    addr: std::net::SocketAddr,
+    batches: Arc<AtomicU64>,
+    last: Arc<Mutex<String>>,
+    stop: Arc<AtomicBool>,
+    thread: Option<thread::JoinHandle<()>>,
+}
+
+impl PushSink {
+    /// Bind on `addr` (use port 0 for an ephemeral port).
+    pub fn bind(addr: &str) -> std::io::Result<PushSink> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let batches = Arc::new(AtomicU64::new(0));
+        let last = Arc::new(Mutex::new(String::new()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let (b2, l2, s2) = (batches.clone(), last.clone(), stop.clone());
+        let thread = thread::Builder::new()
+            .name("tw-push-sink".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if s2.load(Ordering::Acquire) {
+                        return;
+                    }
+                    if let Ok(stream) = stream {
+                        if let Some(body) = read_post(stream) {
+                            b2.fetch_add(1, Ordering::Release);
+                            *l2.lock().unwrap() = body;
+                        }
+                    }
+                }
+            })
+            .expect("spawn tw-push-sink thread");
+        Ok(PushSink {
+            addr: local,
+            batches,
+            last,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Number of batches accepted so far.
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Acquire)
+    }
+
+    /// Latest accepted batch body.
+    pub fn last_body(&self) -> String {
+        self.last.lock().unwrap().clone()
+    }
+
+    /// Stop accepting and join the listener thread.
+    pub fn shutdown(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Wake the blocking accept.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for PushSink {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+/// Parse one POST request off the stream, respond 200, return the body.
+fn read_post(mut stream: TcpStream) -> Option<String> {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let mut data = Vec::new();
+    let mut buf = [0u8; 1024];
+    let header_end = loop {
+        match stream.read(&mut buf) {
+            Ok(0) => return None,
+            Ok(n) => {
+                data.extend_from_slice(&buf[..n]);
+                if let Some(pos) = data.windows(4).position(|w| w == b"\r\n\r\n") {
+                    break pos + 4;
+                }
+                if data.len() > 64 * 1024 {
+                    return None;
+                }
+            }
+            Err(_) => return None,
+        }
+    };
+    let head = String::from_utf8_lossy(&data[..header_end]).to_string();
+    if !head.starts_with("POST ") {
+        let _ = stream.write_all(
+            b"HTTP/1.1 405 Method Not Allowed\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+        );
+        return None;
+    }
+    let content_length = head
+        .lines()
+        .find_map(|l| {
+            let (k, v) = l.split_once(':')?;
+            if k.eq_ignore_ascii_case("content-length") {
+                v.trim().parse::<usize>().ok()
+            } else {
+                None
+            }
+        })
+        .unwrap_or(0);
+    while data.len() < header_end + content_length {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => data.extend_from_slice(&buf[..n]),
+            Err(_) => break,
+        }
+    }
+    let body = String::from_utf8_lossy(&data[header_end..]).to_string();
+    let _ = stream.write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 0\r\nConnection: close\r\n\r\n");
+    Some(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_parsing() {
+        let cfg = PushConfig::new("http://127.0.0.1:9200/ingest");
+        assert_eq!(
+            cfg.endpoint(),
+            ("127.0.0.1:9200".to_string(), "/ingest".to_string())
+        );
+        let bare = PushConfig::new("127.0.0.1:9200");
+        assert_eq!(
+            bare.endpoint(),
+            ("127.0.0.1:9200".to_string(), "/push".to_string())
+        );
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let cfg = PushConfig::new("127.0.0.1:9200");
+        let a = backoff(&cfg, 1, 9200);
+        let b = backoff(&cfg, 1, 9200);
+        assert_eq!(a, b);
+        for n in 1..=10 {
+            let d = backoff(&cfg, n, 9200);
+            // nominal <= backoff_max, jitter adds at most 25%.
+            assert!(d <= cfg.backoff_max.mul_f64(1.25));
+        }
+    }
+
+    #[test]
+    fn diff_key_ignores_own_counters() {
+        let a = "tw_x_total 1\ntw_export_push_batches_total 1\n";
+        let b = "tw_x_total 1\ntw_export_push_batches_total 2\n";
+        assert_eq!(diff_key(a), diff_key(b));
+    }
+}

@@ -164,6 +164,118 @@ fn deterministic_across_writer_threads() {
     tw_telemetry::lint::lint(&one).expect("concurrent exposition lints clean");
 }
 
+/// Registry exercising OpenMetrics exemplar rendering with fixed values.
+fn openmetrics_registry() -> Registry {
+    let r = Registry::new();
+    r.counter("tw_demo_frames_total", "Frames accepted by the demo stage.")
+        .add(42);
+    let hist = r.histogram(
+        "tw_demo_window_latency_seconds",
+        "Window close-to-emit latency.",
+        Buckets::fixed(&[0.1, 1.0, 10.0]),
+    );
+    hist.observe(0.05);
+    hist.observe_exemplar(0.4, &[("window_id", "7"), ("span_id", "19")]);
+    hist.observe_exemplar(25.0, &[("window_id", "12"), ("span_id", "31")]);
+    r
+}
+
+#[test]
+fn golden_openmetrics_exposition_with_exemplars() {
+    let r = openmetrics_registry();
+    let text = Registry::render_multi_openmetrics(&[&r]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_openmetrics.txt");
+    if std::env::var_os("TW_UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &text).expect("write golden file");
+    }
+    let golden = std::fs::read_to_string(path).expect("golden file exists");
+    assert_eq!(
+        text, golden,
+        "OpenMetrics exposition diverged from tests/golden_openmetrics.txt \
+         (set TW_UPDATE_GOLDEN=1 to regenerate after intentional changes)"
+    );
+    // Exemplar syntax: `bucket_count # {labels} value`, plus `# EOF`.
+    assert!(text.contains(
+        "tw_demo_window_latency_seconds_bucket{le=\"1\"} 2 # {window_id=\"7\",span_id=\"19\"} 0.4"
+    ));
+    assert!(text.contains(
+        "tw_demo_window_latency_seconds_bucket{le=\"+Inf\"} 3 # {window_id=\"12\",span_id=\"31\"} 25"
+    ));
+    assert!(text.ends_with("# EOF\n"));
+    let report = tw_telemetry::lint::lint(&text).expect("openmetrics output lints clean");
+    assert_eq!(report.exemplars, 2);
+}
+
+#[test]
+fn v004_render_is_unchanged_by_exemplars() {
+    let r = openmetrics_registry();
+    let text = r.render();
+    assert!(!text.contains(" # {"), "v0.0.4 render must omit exemplars");
+    assert!(!text.contains("# EOF"));
+    tw_telemetry::lint::lint(&text).expect("v0.0.4 output lints clean");
+}
+
+#[test]
+fn exemplar_snapshot_and_oversized_label_drop() {
+    let r = Registry::new();
+    let hist = r.histogram("h", "help", Buckets::fixed(&[1.0]));
+    assert!(!tw_telemetry::snapshot_has_exemplars(&r.snapshot()));
+    hist.observe_exemplar(0.5, &[("window_id", "3")]);
+    let exemplars = hist.exemplars();
+    assert_eq!(exemplars.len(), 2);
+    let ex = exemplars[0].as_ref().expect("exemplar in first bucket");
+    assert_eq!(ex.value, 0.5);
+    assert_eq!(ex.labels, vec![("window_id".to_string(), "3".to_string())]);
+    assert!(tw_telemetry::snapshot_has_exemplars(&r.snapshot()));
+    // Oversized label sets drop the exemplar but keep the observation.
+    let big = "v".repeat(200);
+    hist.observe_exemplar(5.0, &[("big", &big)]);
+    assert!(hist.exemplars()[1].is_none());
+    assert_eq!(hist.count(), 2);
+}
+
+/// Hammer a histogram from writer threads while snapshotting: every
+/// snapshot must satisfy `+Inf == count` (the invariant the renderer and
+/// linter assert), which the old unsynchronized read could violate.
+#[test]
+fn histogram_snapshot_is_consistent_under_concurrent_observe() {
+    let r = Registry::new();
+    let hist = r.histogram(
+        "tw_demo_torn_seconds",
+        "torn-read hammer",
+        Buckets::fixed(&[0.5, 2.0]),
+    );
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|s| {
+        for t in 0..4 {
+            let hist = hist.clone();
+            let stop = &stop;
+            s.spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    hist.observe((((t + i) % 3) as f64) + 0.25);
+                    i += 1;
+                }
+            });
+        }
+        for _ in 0..2000 {
+            let (cumulative, _sum, count) = hist.snapshot();
+            assert_eq!(
+                *cumulative.last().unwrap(),
+                count,
+                "+Inf bucket diverged from count under concurrent observes"
+            );
+            for w in cumulative.windows(2) {
+                assert!(w[0] <= w[1], "cumulative counts must be non-decreasing");
+            }
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    });
+    // Quiescent snapshot is exact.
+    let (cumulative, _sum, count) = hist.snapshot();
+    assert_eq!(*cumulative.last().unwrap(), count);
+}
+
 /// render_multi merges registries, deduplicates identical ones, and stays
 /// lint-clean.
 #[test]

@@ -48,6 +48,8 @@ fn main() -> ExitCode {
         "replay" => cmd_replay(&flags),
         "metrics" => cmd_metrics(&flags),
         "top" => cmd_top(&flags),
+        "deadletters" => cmd_deadletters(&flags),
+        "push-sink" => cmd_push_sink(&flags),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -69,6 +71,8 @@ twctl — non-intrusive request tracing toolkit
 USAGE:
   twctl simulate     --app <hotel|media|nodejs|social|chain> [--rps N] [--millis N] [--seed N] --out-dir DIR
                      [--metrics ADDR] [--metrics-hold-ms N] [--metrics-out FILE]
+                     tracing/export knobs: [--trace-sample N] [--span-ring N]
+                     [--push-url HOST:PORT[/path]] [--push-interval-ms N]
   twctl learn-graph  --app <hotel|media|nodejs|social|chain> [--seed N] [--replays N] --out FILE
   twctl learn-delays --spans FILE --graph FILE [--window-ms N] [--dynamism] --out FILE
   twctl reconstruct  --spans FILE --graph FILE [--delay-model FILE] [--dynamism] [--sanitize] [--jaeger FILE]
@@ -79,9 +83,12 @@ USAGE:
                      pipeline knobs: [--window-ms N] [--grace-ms N] [--shards N]
                      [--capacity N] [--backpressure block|shed] [--adaptive-shed]
                      [--checkpoint-dir DIR] [--checkpoint-interval-ms N] + sanitizer knobs
+                     + tracing/export knobs (see simulate)
   twctl replay       --spans FILE --to HOST:PORT [--batch N] [--pace-ms N] [--retries N]
   twctl metrics      --addr HOST:PORT
   twctl top          --addr HOST:PORT [--interval-ms N] [--iterations N] [--limit N]
+  twctl deadletters  --addr HOST:PORT [--resubmit --to HOST:PORT]
+  twctl push-sink    [--listen ADDR] [--batches N]
   twctl help
 
 `learn-delays` replays recorded spans through warm-started windows and
@@ -129,7 +136,29 @@ tracks per-edge clock *drift* (offset + slope) by default; --no-drift
 falls back to the constant-offset estimator, --drift-window bounds the
 per-edge sample ring, --drift-max-ppm clamps the fitted slope, and
 --skew-alpha sets the constant-offset EWMA weight. The same knobs apply
-to the live pipeline behind `simulate --metrics` and `serve`.";
+to the live pipeline behind `simulate --metrics` and `serve`.
+
+Self-tracing: the live pipeline records one span tree per window
+(sanitize → route → collect → reconstruct → merge hand-off, plus
+supervisor restarts and checkpoint writes as events). --trace-sample N
+head-samples every Nth window (default 1 = all, 0 = off), --span-ring
+bounds the sealed-tree ring. Trees are served at GET /spans next to
+/metrics, and slow-window latency histogram buckets carry OpenMetrics
+exemplars whose window_id/span_id labels resolve there (the exposition
+switches to the OpenMetrics content type when exemplars are present).
+
+Push export: --push-url makes the pipeline POST its exposition (and
+span trees, when tracing is on) to a sink every --push-interval-ms,
+skipping unchanged snapshots, with bounded retry/backoff and a final
+unconditional flush at shutdown; progress is visible in the
+tw_export_push_* counters. `push-sink` runs a loopback sink that
+prints a line per received batch.
+
+`deadletters` fetches a serving pipeline's /deadletters quarantine and
+pretty-prints each record with its failure reason, stage, and window
+(the window links to its span tree on /spans); --resubmit --to replays
+the captured payloads back into an ingest listener over the capture
+wire protocol.";
 
 type Flags = HashMap<String, String>;
 
@@ -142,7 +171,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             return Err(format!("expected --flag, got `{arg}`"));
         };
         // Boolean flags take no value.
-        if matches!(name, "dynamism" | "sanitize" | "no-drift" | "adaptive-shed") {
+        if matches!(
+            name,
+            "dynamism" | "sanitize" | "no-drift" | "adaptive-shed" | "resubmit"
+        ) {
             flags.insert(name.to_string(), "true".to_string());
             i += 1;
             continue;
@@ -253,19 +285,33 @@ fn serve_simulated_metrics(
     graph: CallGraph,
     records: &[traceweaver::model::RpcRecord],
 ) -> Result<(), String> {
-    use traceweaver::pipeline::net::{export_records, serve_online, MetricsServer};
+    use traceweaver::pipeline::net::{export_records, serve_online, MetricsServer, ServeHealth};
 
     let metrics_addr = flag(flags, "metrics")?;
     let hold_ms: u64 = num(flags, "metrics-hold-ms", 5_000u64)?;
 
     let registry = traceweaver::telemetry::Registry::new();
-    let scrape = MetricsServer::bind(
+    let health = ServeHealth::new();
+    health.set_ready();
+    let scrape = MetricsServer::bind_with(
         metrics_addr,
         vec![registry.clone(), traceweaver::telemetry::global().clone()],
+        health.clone(),
     )
     .map_err(|e| format!("metrics endpoint {metrics_addr}: {e}"))?;
     let tw = TraceWeaver::new(graph, Params::default());
-    let config = online_config_from(flags, registry)?;
+    let mut config = online_config_from(flags, registry.clone())?;
+    let recorder = trace_recorder_from(flags, &registry)?;
+    config.trace = recorder.clone();
+    if let Some(rec) = &recorder {
+        health.attach_spans(rec.clone());
+    }
+    let push = push_exporter_from(
+        flags,
+        vec![registry.clone(), traceweaver::telemetry::global().clone()],
+        recorder,
+        &registry,
+    )?;
     let (server, engine) = serve_online("127.0.0.1:0", tw, config).map_err(|e| e.to_string())?;
 
     let mut sorted = records.to_vec();
@@ -277,6 +323,9 @@ fn serve_simulated_metrics(
     // (sanitize → window shards → merge).
     server.shutdown();
     let (results, sanitize_stats) = engine.shutdown_with_stats();
+    if let Some(push) = push {
+        push.stop_and_flush();
+    }
     let sanitize_stats = sanitize_stats.ok_or("sanitize stage missing from pipeline")?;
     let windows = results.len();
     let mapped: usize = results
@@ -363,7 +412,18 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         None => None,
     };
     let tw = TraceWeaver::new(graph, params_from(flags));
-    let config = online_config_from(flags, registry)?;
+    let mut config = online_config_from(flags, registry.clone())?;
+    let recorder = trace_recorder_from(flags, &registry)?;
+    config.trace = recorder.clone();
+    if let Some(rec) = &recorder {
+        health.attach_spans(rec.clone());
+    }
+    let push = push_exporter_from(
+        flags,
+        vec![registry.clone(), traceweaver::telemetry::global().clone()],
+        recorder.clone(),
+        &registry,
+    )?;
     let (server, engine) = serve_online(listen, tw, config).map_err(|e| e.to_string())?;
     health.attach_dead_letters(engine.dead_letters().clone());
     health.set_ready();
@@ -371,6 +431,9 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     println!("ingest listening on {}", server.local_addr());
     if let Some(scrape) = &scrape {
         println!("metrics at http://{}/metrics", scrape.local_addr());
+        if recorder.is_some() {
+            println!("span trees at http://{}/spans", scrape.local_addr());
+        }
     }
     println!("stages: {}", engine.stage_names().join(" → "));
 
@@ -385,6 +448,11 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     server.shutdown();
     let dead_letters = engine.dead_letters().clone();
     let (results, sanitize_stats) = engine.shutdown_with_stats();
+    // Flush after the engine drains so the sink sees final counter values
+    // and the last sealed span trees.
+    if let Some(push) = push {
+        push.stop_and_flush();
+    }
     if !dead_letters.is_empty() {
         println!("dead letters: {} quarantined record(s)", dead_letters.len());
         for letter in dead_letters.snapshot() {
@@ -554,6 +622,51 @@ fn online_config_from(
     })
 }
 
+/// Build the self-tracing [`SpanRecorder`] from `--trace-sample` (head
+/// sampling modulus, default 1 = every window; 0 disables tracing) and
+/// `--span-ring` (sealed-tree ring capacity). The recorder's
+/// `tw_trace_*` counters land on `registry`.
+fn trace_recorder_from(
+    flags: &Flags,
+    registry: &traceweaver::telemetry::Registry,
+) -> Result<Option<traceweaver::telemetry::trace::SpanRecorder>, String> {
+    let sample: u64 = num(flags, "trace-sample", 1u64)?;
+    if sample == 0 {
+        return Ok(None);
+    }
+    let ring: usize = num(flags, "span-ring", 64usize)?.max(1);
+    Ok(Some(traceweaver::telemetry::trace::SpanRecorder::new(
+        traceweaver::telemetry::trace::TraceConfig { sample, ring },
+        registry,
+    )))
+}
+
+/// Spawn the push exporter when `--push-url` is given: every
+/// `--push-interval-ms` (default 1000) it POSTs the changed exposition
+/// (plus span trees, when tracing is on) to the sink, with bounded
+/// retry/backoff; `tw_export_push_*` counters land on `registry`.
+fn push_exporter_from(
+    flags: &Flags,
+    sources: Vec<traceweaver::telemetry::Registry>,
+    recorder: Option<traceweaver::telemetry::trace::SpanRecorder>,
+    registry: &traceweaver::telemetry::Registry,
+) -> Result<Option<traceweaver::telemetry::push::PushExporter>, String> {
+    match flags.get("push-url") {
+        Some(url) => {
+            let mut cfg = traceweaver::telemetry::push::PushConfig::new(url.clone());
+            cfg.interval =
+                std::time::Duration::from_millis(num(flags, "push-interval-ms", 1_000u64)?.max(10));
+            Ok(Some(traceweaver::telemetry::push::PushExporter::spawn(
+                cfg, sources, recorder, registry,
+            )))
+        }
+        None if flags.contains_key("push-interval-ms") => {
+            Err("--push-interval-ms requires --push-url".to_string())
+        }
+        None => Ok(None),
+    }
+}
+
 /// Apply `--sanitize` when requested: replay the recorded spans through
 /// the online sanitizer (dedup, causality, skew correction) and keep the
 /// survivors.
@@ -679,6 +792,104 @@ fn cmd_metrics(flags: &Flags) -> Result<(), String> {
     let text = traceweaver::pipeline::fetch_metrics(addr).map_err(|e| format!("{addr}: {e}"))?;
     print!("{text}");
     Ok(())
+}
+
+/// Deserialization mirror of [`traceweaver::pipeline::DeadLetter`] (whose
+/// `reason` is a `&'static str` and therefore serialize-only).
+#[derive(serde::Deserialize)]
+struct DeadLetterDoc {
+    stage: String,
+    reason: String,
+    message: String,
+    item_seq: u64,
+    record: Option<traceweaver::model::RpcRecord>,
+    window: Option<u64>,
+}
+
+/// Fetch a running pipeline's `/deadletters` quarantine and pretty-print
+/// it; `--resubmit --to HOST:PORT` replays the quarantined records (the
+/// ones whose payload was captured) back into an ingest listener over the
+/// capture wire protocol.
+fn cmd_deadletters(flags: &Flags) -> Result<(), String> {
+    use traceweaver::pipeline::{export_records_with, fetch_deadletters, ExportRetry};
+
+    let addr = scrape_addr(flags)?;
+    let text = fetch_deadletters(addr).map_err(|e| format!("{addr}: {e}"))?;
+    let letters: Vec<DeadLetterDoc> =
+        serde_json::from_str(&text).map_err(|e| format!("{addr}: /deadletters: {e}"))?;
+    if letters.is_empty() {
+        println!("no dead letters");
+        return Ok(());
+    }
+    println!("{} quarantined record(s):", letters.len());
+    for letter in &letters {
+        let window = letter
+            .window
+            .map_or_else(|| "-".to_string(), |w| w.to_string());
+        println!(
+            "  [{}] stage {} item #{} window {}: {}",
+            letter.reason, letter.stage, letter.item_seq, window, letter.message
+        );
+        if let Some(rec) = &letter.record {
+            println!(
+                "      rpc {} {}:{} -> {}:{} recv_resp {}ns",
+                rec.rpc.0,
+                rec.caller.0,
+                rec.caller_replica,
+                rec.callee.service.0,
+                rec.callee_replica,
+                rec.recv_resp.0
+            );
+        }
+    }
+
+    if !flags.contains_key("resubmit") {
+        return Ok(());
+    }
+    let to = flag(flags, "to")?;
+    let to_addr: std::net::SocketAddr = to.parse().map_err(|e| format!("--to {to}: {e}"))?;
+    let records: Vec<traceweaver::model::RpcRecord> =
+        letters.iter().filter_map(|l| l.record).collect();
+    if records.is_empty() {
+        println!("nothing to resubmit: no quarantined payload was captured");
+        return Ok(());
+    }
+    export_records_with(to_addr, &records, ExportRetry::default())
+        .map_err(|e| format!("{to}: {e}"))?;
+    println!(
+        "resubmitted {}/{} quarantined record(s) to {to}",
+        records.len(),
+        letters.len()
+    );
+    Ok(())
+}
+
+/// Run a loopback push sink: accept `PushExporter` batches on --listen,
+/// print a line per batch, and (optionally) exit after --batches. The CI
+/// smoke job uses this to prove push export survives a sink restart.
+fn cmd_push_sink(flags: &Flags) -> Result<(), String> {
+    let listen = flags.get("listen").map_or("127.0.0.1:0", String::as_str);
+    let batches: u64 = num(flags, "batches", 0u64)?; // 0 = serve forever
+    let sink = traceweaver::telemetry::push::PushSink::bind(listen)
+        .map_err(|e| format!("{listen}: {e}"))?;
+    println!("push sink listening on {}", sink.addr());
+    let mut seen = 0u64;
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let now = sink.batches();
+        if now > seen {
+            println!(
+                "received batch {now} ({} bytes latest)",
+                sink.last_body().len()
+            );
+            seen = now;
+        }
+        if batches != 0 && seen >= batches {
+            sink.shutdown();
+            println!("received {seen} batch(es), exiting");
+            return Ok(());
+        }
+    }
 }
 
 /// One scrape parsed into `(series, value)` pairs. Comment lines are
