@@ -1,0 +1,230 @@
+//! Archive write-path overhead: the `tw-store` sink rides behind the
+//! merge on its own stage, so turning it on must not slow the window
+//! reconstruction hot path (DESIGN.md §14 inherits the §10 discipline:
+//! a 3% budget, asserted at 2x for timer jitter).
+//!
+//! Each workload runs the full online engine with the archive off and
+//! then on (into a fresh directory per repeat, so every archived run
+//! pays the full write path from a cold manifest). The budget is
+//! enforced on the *per-window reconstruction latency* — every
+//! `WindowResult` carries its measured wall time; the best (minimum)
+//! per-run mean across repeats stands in for the quiet-host run —
+//! because that is the hot path the sink must stay off of; the p99 and
+//! end-to-end wall time (which also pays the drain's final seal +
+//! fsync, a fixed cost) are reported alongside, and the archive-on run
+//! also reports the on-disk cost per stored trace.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+use tw_bench::Table;
+use tw_core::{Params, TraceWeaver};
+use tw_model::callgraph::CallGraph;
+use tw_model::span::RpcRecord;
+use tw_model::time::Nanos;
+use tw_pipeline::{OnlineConfig, OnlineEngine};
+use tw_sim::apps::{hotel_reservation, social_network, BenchApp};
+use tw_sim::{Simulator, Workload};
+use tw_store::{read_query, ArchiveConfig, TraceQuery};
+
+/// One engine run; returns (wall-ms, per-window latencies in ms).
+fn run_once(
+    graph: &CallGraph,
+    records: &[RpcRecord],
+    window: Nanos,
+    archive_dir: Option<&Path>,
+) -> (f64, Vec<f64>) {
+    let tw = TraceWeaver::new(graph.clone(), Params::default());
+    let archive = archive_dir.map(|dir| ArchiveConfig {
+        // Small segments so several seal (and fsync) inside the timed
+        // region — the worst case for hot-path interference.
+        segment_bytes: 256 << 10,
+        ..ArchiveConfig::new(dir)
+    });
+    let t0 = Instant::now();
+    let engine = OnlineEngine::start(
+        tw,
+        OnlineConfig {
+            window,
+            archive,
+            ..OnlineConfig::default()
+        },
+    );
+    let ingest = engine.ingest_handle();
+    for rec in records {
+        ingest.send(*rec).expect("engine accepts records");
+    }
+    drop(ingest);
+    let windows = engine.shutdown();
+    let wall_ms = t0.elapsed().as_secs_f64() * 1_000.0;
+    assert!(!windows.is_empty(), "engine produced no windows");
+    let latencies = windows
+        .iter()
+        .map(|w| w.latency.as_secs_f64() * 1_000.0)
+        .collect();
+    (wall_ms, latencies)
+}
+
+/// Best-of-N per metric: scheduling noise only ever slows a run down,
+/// so the minimum per-run mean (and p99, and wall) across repeats
+/// approximates the quiet-host run.
+#[derive(Clone, Copy)]
+struct Measured {
+    wall_ms: f64,
+    mean_ms: f64,
+    p99_ms: f64,
+}
+
+impl Measured {
+    fn new() -> Self {
+        Measured {
+            wall_ms: f64::INFINITY,
+            mean_ms: f64::INFINITY,
+            p99_ms: f64::INFINITY,
+        }
+    }
+
+    fn fold(&mut self, wall: f64, mut latencies: Vec<f64>) {
+        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mean = latencies.iter().sum::<f64>() / latencies.len() as f64;
+        let p99 = latencies[(latencies.len() * 99 / 100).min(latencies.len() - 1)];
+        self.wall_ms = self.wall_ms.min(wall);
+        self.mean_ms = self.mean_ms.min(mean);
+        self.p99_ms = self.p99_ms.min(p99);
+    }
+}
+
+/// Measure archive-off and archive-on *interleaved* — off, on, off, on,
+/// … — so both configurations sample the same host-load phases and the
+/// comparison stays paired even when a noisy neighbor sits on the box
+/// for part of the bench.
+fn measure_pair(
+    graph: &CallGraph,
+    records: &[RpcRecord],
+    window: Nanos,
+    archive_dir: &Path,
+    repeats: usize,
+) -> (Measured, Measured) {
+    let (mut off, mut on) = (Measured::new(), Measured::new());
+    for _ in 0..repeats {
+        let (wall, latencies) = run_once(graph, records, window, None);
+        off.fold(wall, latencies);
+        let _ = std::fs::remove_dir_all(archive_dir);
+        let (wall, latencies) = run_once(graph, records, window, Some(archive_dir));
+        on.fold(wall, latencies);
+    }
+    (off, on)
+}
+
+/// Lengthen the stream with time-shifted copies so per-record costs
+/// dominate engine spin-up/teardown in the timed region.
+fn stream_of(records: &[RpcRecord], copies: u64) -> (Vec<RpcRecord>, Nanos) {
+    let span = records.iter().map(|r| r.recv_resp.0).max().unwrap_or(1) + 1;
+    let mut stream = Vec::with_capacity(records.len() * copies as usize);
+    for k in 0..copies {
+        let shift = k * span;
+        stream.extend(records.iter().map(|r| {
+            let mut r = *r;
+            r.send_req = Nanos(r.send_req.0 + shift);
+            r.recv_req = Nanos(r.recv_req.0 + shift);
+            r.send_resp = Nanos(r.send_resp.0 + shift);
+            r.recv_resp = Nanos(r.recv_resp.0 + shift);
+            r
+        }));
+    }
+    stream.sort_by_key(|r| (r.recv_resp, r.rpc));
+    // ~16 windows per copy: enough latency samples for a pooled p99,
+    // with segment seals still happening mid-run.
+    (stream, Nanos((span / 16).max(1)))
+}
+
+/// Committed segment bytes and stored-trace count of an archive dir.
+fn archive_cost(dir: &Path) -> (u64, usize) {
+    let bytes: u64 = std::fs::read_dir(dir)
+        .expect("archive dir readable")
+        .filter_map(|e| {
+            let e = e.expect("dir entry");
+            e.file_name()
+                .to_string_lossy()
+                .ends_with(".twsg")
+                .then(|| e.metadata().expect("segment metadata").len())
+        })
+        .sum();
+    let traces = read_query(
+        dir,
+        &TraceQuery {
+            limit: usize::MAX,
+            ..TraceQuery::default()
+        },
+    )
+    .expect("archive readable")
+    .len();
+    (bytes, traces)
+}
+
+fn main() {
+    let mut table = Table::new(
+        "archive write-path overhead: online engine, archive off vs on (interleaved, best of N)",
+        &[
+            "workload",
+            "spans",
+            "off-window-ms",
+            "on-window-ms",
+            "window-overhead-%",
+            "off-p99-ms",
+            "on-p99-ms",
+            "off-wall-ms",
+            "on-wall-ms",
+            "traces",
+            "bytes/trace",
+        ],
+    );
+
+    let quick = tw_bench::quick_mode();
+    let (repeats, millis, copies) = if quick { (5, 400, 2) } else { (7, 1_000, 3) };
+    let apps: Vec<BenchApp> = vec![hotel_reservation(42), social_network(42)];
+
+    let scratch = std::env::temp_dir().join(format!("tw-archive-scale-{}", std::process::id()));
+    let mut worst = f64::MIN;
+    for app in apps {
+        let name = app.name;
+        let graph = app.config.call_graph();
+        let root = app.roots[0];
+        let sim = Simulator::new(app.config).expect("simulator");
+        let out = sim.run(&Workload::poisson(root, 400.0, Nanos::from_millis(millis)));
+        let (stream, window) = stream_of(&out.records, copies);
+
+        let dir: PathBuf = scratch.join(name);
+        // Warm-up outside the timed region (thread spin-up, allocator).
+        let _ = run_once(&graph, &stream, window, None);
+        let (off, on) = measure_pair(&graph, &stream, window, &dir, repeats);
+        let (bytes, traces) = archive_cost(&dir);
+        assert!(traces > 0, "archived run stored no traces");
+
+        let overhead = (on.mean_ms - off.mean_ms) / off.mean_ms * 100.0;
+        worst = worst.max(overhead);
+        table.row(vec![
+            name.to_string(),
+            stream.len().to_string(),
+            format!("{:.2}", off.mean_ms),
+            format!("{:.2}", on.mean_ms),
+            format!("{overhead:+.2}"),
+            format!("{:.2}", off.p99_ms),
+            format!("{:.2}", on.p99_ms),
+            format!("{:.1}", off.wall_ms),
+            format!("{:.1}", on.wall_ms),
+            traces.to_string(),
+            format!("{:.0}", bytes as f64 / traces as f64),
+        ]);
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    table.print();
+    table.save_json("archive_scale").expect("write artifact");
+    println!("worst-case window-latency overhead with the archive on: {worst:+.2}% (budget: 3%)");
+    // Enforce the budget with slack for timer jitter on loaded hosts:
+    // anything past 2x the budget is a real regression, not noise.
+    assert!(
+        worst < 6.0,
+        "archive window-latency overhead {worst:.2}% is far past the 3% budget"
+    );
+}

@@ -85,6 +85,10 @@ pub struct CheckpointDoc {
     pub sanitizer: Option<SanitizerSnapshot>,
     /// Latest published warm registry, if the engine runs warm.
     pub registry: Option<DelayRegistry>,
+    /// Archived-window watermark sampled from the trace archive, if the
+    /// engine archives. Older checkpoints (or archive-off runs) simply
+    /// omit the key, which deserializes as `None`.
+    pub archived: Option<u64>,
 }
 
 /// Why a checkpoint could not be loaded.
@@ -304,6 +308,8 @@ pub struct CheckpointSources {
     pub window_ns: u64,
     pub sanitizer: SanitizerSnapshotSlot,
     pub registry: RegistryWatch,
+    /// Trace-archive durable watermark, when the engine archives.
+    pub archive: Option<Arc<AtomicU64>>,
 }
 
 impl CheckpointSources {
@@ -315,6 +321,7 @@ impl CheckpointSources {
             window_ns,
             sanitizer: SanitizerSnapshotSlot::default(),
             registry: RegistryWatch::new(),
+            archive: None,
         }
     }
 
@@ -336,6 +343,7 @@ impl CheckpointSources {
             window_ns: self.window_ns,
             sanitizer: self.sanitizer.lock().clone(),
             registry: self.registry.latest(),
+            archived: self.archive.as_ref().map(|w| w.load(Ordering::Acquire)),
         }
     }
 }
@@ -475,10 +483,12 @@ mod tests {
                 ..SanitizerSnapshot::default()
             }),
             registry: None,
+            archived: Some(40),
         };
         write_checkpoint(&dir, &doc).unwrap();
         let loaded = load_checkpoint(&dir).unwrap();
         assert_eq!(loaded.watermark, 42);
+        assert_eq!(loaded.archived, Some(40));
         assert_eq!(loaded.window_ns, 1_000_000_000);
         let snap = loaded.sanitizer.unwrap();
         assert_eq!(snap.watermark, 77);
@@ -500,6 +510,7 @@ mod tests {
             window_ns: 1,
             sanitizer: None,
             registry: None,
+            archived: None,
         };
         write_checkpoint(&dir, &doc).unwrap();
         let path = dir.join(CHECKPOINT_FILE);

@@ -25,6 +25,7 @@
 //! HTTP with [`MetricsServer`] for a Prometheus-scrapeable view of the
 //! whole pipeline.
 
+pub mod archive;
 pub mod checkpoint;
 pub mod net;
 pub mod online;
@@ -34,13 +35,14 @@ pub mod sanitize;
 pub mod store;
 pub mod supervise;
 
+pub use archive::{stored_traces, ArchiveStage};
 pub use checkpoint::{
     load_checkpoint, write_checkpoint, CheckpointConfig, CheckpointDoc, CheckpointError,
     CheckpointSources, Checkpointer, RecoveryMetrics,
 };
 pub use net::{
     export_records, export_records_with, fetch_deadletters, fetch_metrics, fetch_spans,
-    ExportRetry, IngestServer, IngestStats, MetricsServer, ServeHealth,
+    fetch_traces, ExportRetry, IngestServer, IngestStats, MetricsServer, ServeHealth,
 };
 pub use online::{
     AdaptiveShed, DegradationLevel, OnlineConfig, OnlineEngine, ShedPolicy, WindowResult,

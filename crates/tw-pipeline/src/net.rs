@@ -477,6 +477,7 @@ pub struct ServeHealth {
     ready: Arc<AtomicBool>,
     dead_letters: Arc<parking_lot::Mutex<Option<crate::supervise::DeadLetterQueue>>>,
     spans: Arc<parking_lot::Mutex<Option<tw_telemetry::trace::SpanRecorder>>>,
+    archive: Arc<parking_lot::Mutex<Option<Arc<tw_store::TraceArchive>>>>,
 }
 
 impl ServeHealth {
@@ -497,6 +498,14 @@ impl ServeHealth {
     /// `/metrics` carry `span_id` labels that resolve here.
     pub fn attach_spans(&self, recorder: tw_telemetry::trace::SpanRecorder) {
         *self.spans.lock() = Some(recorder);
+    }
+
+    /// Expose `archive` at `GET /traces` (stored reconstructed traces as
+    /// JSON, filterable by `window`/`service`/`op`/`min_latency_ms`/
+    /// `from_ms`/`to_ms`/`limit` query parameters). The `window_id`
+    /// exemplar labels on `/metrics` resolve here via `?window=`.
+    pub fn attach_archive(&self, archive: Arc<tw_store::TraceArchive>) {
+        *self.archive.lock() = Some(archive);
     }
 
     /// Flip `/readyz` to 200: pipeline built, checkpoint restored.
@@ -634,6 +643,27 @@ fn serve_scrape(
                     "no span recorder attached\n".to_string(),
                 ),
             }
+        } else if method == "GET" && (path == "/traces" || path.starts_with("/traces?")) {
+            match health.archive.lock().as_ref() {
+                Some(archive) => {
+                    let query =
+                        parse_trace_query(path.split_once('?').map(|x| x.1).unwrap_or(""));
+                    let doc = tw_store::TracesDoc {
+                        traces: archive.query(&query),
+                    };
+                    (
+                        "200 OK",
+                        "application/json; charset=utf-8",
+                        serde_json::to_string(&doc)
+                            .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}")),
+                    )
+                }
+                None => (
+                    "404 Not Found",
+                    "text/plain; charset=utf-8",
+                    "no trace archive attached\n".to_string(),
+                ),
+            }
         } else if method == "GET" && path == "/healthz" {
             // Liveness: answering at all means the accept loop is alive.
             ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string())
@@ -676,6 +706,33 @@ fn serve_scrape(
     stream.flush()
 }
 
+/// Parse `/traces` query parameters into a [`tw_store::TraceQuery`].
+/// Unknown keys and unparsable values are ignored (the filter stays
+/// `None`/default) — a scrape URL typo widens the result instead of
+/// erroring the endpoint.
+fn parse_trace_query(raw: &str) -> tw_store::TraceQuery {
+    let mut q = tw_store::TraceQuery::default();
+    for pair in raw.split('&') {
+        let (key, value) = match pair.split_once('=') {
+            Some(kv) => kv,
+            None => continue,
+        };
+        match key {
+            "window" => q.window = value.parse().ok(),
+            "service" => q.service = value.parse().ok(),
+            "op" => q.op = value.parse().ok(),
+            "min_latency_ms" => {
+                q.min_latency_ns = value.parse::<u64>().ok().map(|ms| ms * 1_000_000)
+            }
+            "from_ms" => q.from_ns = value.parse::<u64>().ok().map(|ms| ms * 1_000_000),
+            "to_ms" => q.to_ns = value.parse::<u64>().ok().map(|ms| ms * 1_000_000),
+            "limit" => q.limit = value.parse().unwrap_or(0),
+            _ => {}
+        }
+    }
+    q
+}
+
 /// `GET` one path from a [`MetricsServer`] and return the body. Errors on
 /// connect failure or a non-200 status.
 fn fetch_path(addr: SocketAddr, path: &str) -> std::io::Result<String> {
@@ -716,6 +773,46 @@ pub fn fetch_deadletters(addr: SocketAddr) -> std::io::Result<String> {
 /// trees plus active ones, as JSON). Errors if no recorder is attached.
 pub fn fetch_spans(addr: SocketAddr) -> std::io::Result<String> {
     fetch_path(addr, "/spans")
+}
+
+/// Query a [`MetricsServer`]'s `/traces` endpoint and return the parsed
+/// stored traces. Errors if no archive is attached (404) or the body is
+/// not a valid [`tw_store::TracesDoc`].
+pub fn fetch_traces(
+    addr: SocketAddr,
+    query: &tw_store::TraceQuery,
+) -> std::io::Result<Vec<tw_store::StoredTrace>> {
+    let mut params = Vec::new();
+    if let Some(window) = query.window {
+        params.push(format!("window={window}"));
+    }
+    if let Some(service) = query.service {
+        params.push(format!("service={service}"));
+    }
+    if let Some(op) = query.op {
+        params.push(format!("op={op}"));
+    }
+    if let Some(ns) = query.min_latency_ns {
+        params.push(format!("min_latency_ms={}", ns / 1_000_000));
+    }
+    if let Some(ns) = query.from_ns {
+        params.push(format!("from_ms={}", ns / 1_000_000));
+    }
+    if let Some(ns) = query.to_ns {
+        params.push(format!("to_ms={}", ns / 1_000_000));
+    }
+    if query.limit > 0 {
+        params.push(format!("limit={}", query.limit));
+    }
+    let path = if params.is_empty() {
+        "/traces".to_string()
+    } else {
+        format!("/traces?{}", params.join("&"))
+    };
+    let body = fetch_path(addr, &path)?;
+    let doc: tw_store::TracesDoc = serde_json::from_str(&body)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    Ok(doc.traces)
 }
 
 #[cfg(test)]

@@ -44,6 +44,7 @@
 //! `OnlineConfig::shards`. The emitted stream stays byte-identical for
 //! every thread count.
 
+use crate::archive::ArchiveStage;
 use crate::checkpoint::{
     load_checkpoint, CheckpointConfig, CheckpointSources, Checkpointer, RecoveryMetrics,
 };
@@ -61,6 +62,7 @@ use std::time::Duration;
 use tw_core::{DelayRegistry, Reconstruction, RegistryWatch, TraceWeaver};
 use tw_model::span::RpcRecord;
 use tw_model::time::Nanos;
+use tw_store::{spawn_compactor, ArchiveConfig, CompactorHandle, TraceArchive};
 use tw_telemetry::trace::{SpanGuard, SpanRecorder};
 use tw_telemetry::{Buckets, Counter, Gauge, Histogram, Registry};
 
@@ -299,6 +301,14 @@ pub struct OnlineConfig {
     /// exemplars. `None` (the default) disables self-tracing entirely.
     /// Like metrics, tracing never feeds back into reconstruction.
     pub trace: Option<SpanRecorder>,
+    /// Durable trace archive (DESIGN.md §14): when set, an archive sink
+    /// stage after the merge converts each sealed window's reconstruction
+    /// into stored traces and appends them to a segmented on-disk archive
+    /// (`tw-store`), queryable via [`OnlineEngine::archive`], `GET
+    /// /traces`, and `twctl query`. The archive's durable watermark rides
+    /// in the checkpoint so restarts neither re-archive nor lose sealed
+    /// windows. `None` (the default) disables archiving entirely.
+    pub archive: Option<ArchiveConfig>,
 }
 
 impl Default for OnlineConfig {
@@ -318,6 +328,7 @@ impl Default for OnlineConfig {
             checkpoint: None,
             telemetry: Registry::new(),
             trace: None,
+            archive: None,
         }
     }
 }
@@ -829,6 +840,8 @@ pub struct OnlineEngine {
     sanitize_metrics: Option<SanitizeMetrics>,
     dead_letters: DeadLetterQueue,
     checkpointer: Option<Checkpointer>,
+    archive: Option<Arc<TraceArchive>>,
+    compactor: Option<CompactorHandle>,
     /// Stage failures surfaced by the last drain (escalated supervisors,
     /// merge-thread panics) — populated by shutdown, empty on a clean run.
     failures: Vec<String>,
@@ -894,10 +907,38 @@ impl OnlineEngine {
                 }
             }
         }
-        let sources = config
+        // Open the archive before the router is seeded: the resume point
+        // must not outrun the archive's durable watermark, or windows
+        // sealed-but-not-yet-archived before the crash would never reach
+        // a segment. `min(checkpoint, archive)` re-reconstructs the gap
+        // (deterministically, so downstream consumers see identical
+        // windows) and the archive's own watermark dedup skips anything
+        // already committed.
+        let archive = config.archive.take().map(|cfg| {
+            let compact_interval = cfg.compact_interval;
+            let archive = Arc::new(
+                TraceArchive::open(cfg, &config.telemetry)
+                    .expect("tw-online: archive directory unavailable"),
+            );
+            (archive, compact_interval)
+        });
+        if let Some((archive, _)) = &archive {
+            let archived = archive.watermark();
+            if archived < start_watermark {
+                eprintln!(
+                    "tw-online: archive watermark {archived} behind checkpoint \
+                     {start_watermark}; resuming at {archived} to re-archive the gap"
+                );
+                start_watermark = archived;
+            }
+        }
+        let mut sources = config
             .checkpoint
             .as_ref()
             .map(|_| CheckpointSources::new(shards, window.0, start_watermark));
+        if let (Some(src), Some((archive, _))) = (&mut sources, &archive) {
+            src.archive = Some(archive.watermark_handle());
+        }
 
         // Each shard reconstructs with an equal share of the configured
         // intra-window executor threads (results are thread-count
@@ -944,27 +985,42 @@ impl OnlineEngine {
         };
         router.trace = trace.clone();
         let sealed = sources.as_ref().map(|s| s.sealed.clone());
-        let pipeline = builder
-            .shard(
-                shards,
-                router,
-                |i| WindowShard {
-                    name: format!("window/{i}"),
-                    window,
-                    shed,
-                    ladder: LadderedWeaver::new(base.clone()),
-                    metrics: metrics.clone(),
-                    open: BTreeMap::new(),
-                    last_level: None,
-                    warm: warm_state.take(),
-                    adaptive: shed.adaptive.map(AdaptiveState::new),
-                    sealed: sealed.as_ref().map(|v| v[i].clone()),
-                    trace: trace.clone(),
-                    collect_spans: BTreeMap::new(),
+        let builder = builder.shard(
+            shards,
+            router,
+            |i| WindowShard {
+                name: format!("window/{i}"),
+                window,
+                shed,
+                ladder: LadderedWeaver::new(base.clone()),
+                metrics: metrics.clone(),
+                open: BTreeMap::new(),
+                last_level: None,
+                warm: warm_state.take(),
+                adaptive: shed.adaptive.map(AdaptiveState::new),
+                sealed: sealed.as_ref().map(|v| v[i].clone()),
+                trace: trace.clone(),
+                collect_spans: BTreeMap::new(),
+            },
+            record_queue,
+        );
+        // The archive sink rides after the merge, where window order is
+        // global and deterministic. Its hop always blocks: window results
+        // are never shed, whatever the record queues' policy.
+        let builder = match &archive {
+            Some((archive, _)) => builder.stage(
+                ArchiveStage::new(archive.clone()),
+                QueueCfg {
+                    capacity: config.channel_capacity,
+                    policy: Backpressure::Block,
                 },
-                record_queue,
-            )
-            .build();
+            ),
+            None => builder,
+        };
+        let pipeline = builder.build();
+        let compactor = archive
+            .as_ref()
+            .map(|(archive, interval)| spawn_compactor(archive, *interval));
 
         let checkpointer = match (config.checkpoint.as_ref(), sources, recovery) {
             (Some(ck), Some(sources), Some(rm)) => {
@@ -981,8 +1037,17 @@ impl OnlineEngine {
             sanitize_metrics,
             dead_letters,
             checkpointer,
+            archive: archive.map(|(archive, _)| archive),
+            compactor,
             failures: Vec::new(),
         }
+    }
+
+    /// The engine's trace archive, when [`OnlineConfig::archive`] was
+    /// set. Shares state with the running archive stage, so it is
+    /// queryable live and stays readable after shutdown.
+    pub fn archive(&self) -> Option<&Arc<TraceArchive>> {
+        self.archive.as_ref()
     }
 
     /// Sender half for span ingestion (clone freely across capture
@@ -1073,6 +1138,12 @@ impl OnlineEngine {
             }
             None => Vec::new(),
         };
+        // The archive stage's flush sealed everything during the drain;
+        // stop the background compactor after, then flush the final
+        // checkpoint so it samples the fully-advanced archive watermark.
+        if let Some(compactor) = self.compactor.take() {
+            compactor.stop();
+        }
         // Final checkpoint after the drain: a clean shutdown persists the
         // fully-sealed watermark, so a restart replays nothing.
         if let Some(checkpointer) = self.checkpointer.take() {
@@ -1087,6 +1158,8 @@ impl Drop for OnlineEngine {
         self.ingest.take();
         // Pipeline::drop drains and joins the graph.
         self.pipeline.take();
+        // CompactorHandle::drop stops the maintenance thread.
+        self.compactor.take();
         // Checkpointer::drop stops the writer without a final flush.
         self.checkpointer.take();
     }
@@ -1705,6 +1778,7 @@ mod tests {
                     window_ns: window.0,
                     sanitizer: None,
                     registry: None,
+                    archived: None,
                 },
             )
             .unwrap();
@@ -1762,6 +1836,7 @@ mod tests {
                 window_ns: window.0,
                 sanitizer: None,
                 registry: None,
+                archived: None,
             },
         )
         .unwrap();

@@ -157,15 +157,22 @@ impl OfflineStore {
     }
 
     /// Persist all records as JSON lines, in `(send_req, rpc)` order.
+    /// Atomic: written to a temp sibling, fsynced, then renamed over
+    /// `path`, so a crash mid-save never truncates an existing store.
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
         self.ensure_sorted();
-        let file = std::fs::File::create(path)?;
+        let tmp = tmp_sibling(path);
+        let file = std::fs::File::create(&tmp)?;
         let mut w = BufWriter::new(file);
         for rec in self.inner.read().records.iter() {
             serde_json::to_writer(&mut w, rec)?;
             w.write_all(b"\n")?;
         }
-        w.flush()
+        w.flush()?;
+        w.into_inner()
+            .map_err(|e| std::io::Error::other(e.to_string()))?
+            .sync_all()?;
+        std::fs::rename(&tmp, path)
     }
 
     /// Load records from a JSON-lines file into a new store.
@@ -193,16 +200,26 @@ impl OfflineStore {
     }
 }
 
+/// Temp sibling for atomic replacement: same directory (rename must not
+/// cross filesystems), unambiguous suffix.
+fn tmp_sibling(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
 /// Persist a delay registry as pretty-printed JSON (the `twctl
-/// learn-delays` output format; see DESIGN.md §8).
+/// learn-delays` output format; see DESIGN.md §8). Atomic via
+/// write-temp→fsync→rename, like [`OfflineStore::save`].
 pub fn save_registry(path: &Path, registry: &DelayRegistry) -> std::io::Result<()> {
-    let file = std::fs::File::create(path)?;
-    let mut w = BufWriter::new(file);
     let text = serde_json::to_string_pretty(registry)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-    w.write_all(text.as_bytes())?;
-    w.write_all(b"\n")?;
-    w.flush()
+    let tmp = tmp_sibling(path);
+    let mut file = std::fs::File::create(&tmp)?;
+    file.write_all(text.as_bytes())?;
+    file.write_all(b"\n")?;
+    file.sync_all()?;
+    std::fs::rename(&tmp, path)
 }
 
 /// Load a delay registry saved by [`save_registry`].

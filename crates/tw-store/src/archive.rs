@@ -1,0 +1,843 @@
+//! The live archive: an active in-memory buffer of recently sealed
+//! windows, committed segments on disk, and the maintenance passes
+//! (compaction + retention) that keep the directory bounded.
+//!
+//! Commit protocol (crash-ordered):
+//!
+//! 1. the active buffer serializes into a new segment file, written via
+//!    write-temp→fsync→rename;
+//! 2. the manifest — now listing the segment and carrying the advanced
+//!    archived-window watermark — replaces the old one the same way.
+//!
+//! A crash after (1) but before (2) leaves an orphan segment file: the
+//! next open removes it, and because the watermark only advances in (2),
+//! the orphan's windows are re-archived on replay. A crash before (1)
+//! loses only the active buffer, again below the watermark. Committed
+//! segments are immutable and never rewritten in place, so previously
+//! sealed data survives every crash point.
+
+use crate::manifest::{load_manifest, save_manifest, Manifest, SegmentMeta};
+use crate::metrics::StoreMetrics;
+use crate::query::TraceQuery;
+use crate::segment::{read_segment, write_segment, StoreError, StoredTrace};
+use parking_lot::Mutex;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tw_telemetry::Registry;
+
+/// Retention caps, enforced by the maintenance pass. A cap of 0 means
+/// "unbounded". Eviction is segment-granular, oldest first, but *tail
+/// retention* salvages each evicted segment's high-latency and degraded
+/// traces into a tail segment before the bulk is dropped — the rare slow
+/// traces are the ones worth keeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetentionPolicy {
+    /// Evict oldest segments while committed bytes exceed this (0 = off).
+    pub max_bytes: u64,
+    /// Evict segments whose newest trace is older than this relative to
+    /// the archive's newest trace, in stream nanoseconds (0 = off).
+    pub max_age_ns: u64,
+    /// Traces with latency at or above this (or flagged degraded) survive
+    /// eviction into a tail segment.
+    pub tail_latency_ns: u64,
+}
+
+impl Default for RetentionPolicy {
+    fn default() -> Self {
+        RetentionPolicy {
+            max_bytes: 0,
+            max_age_ns: 0,
+            tail_latency_ns: 500_000_000,
+        }
+    }
+}
+
+/// Archive configuration ([`crate::TraceArchive::open`]).
+#[derive(Debug, Clone)]
+pub struct ArchiveConfig {
+    /// Archive directory (created if missing).
+    pub dir: PathBuf,
+    /// Seal the active buffer into a segment once its serialized size
+    /// reaches this many bytes.
+    pub segment_bytes: u64,
+    /// Retention caps.
+    pub retention: RetentionPolicy,
+    /// Merge small segments (< `segment_bytes / 2`) once at least this
+    /// many have accumulated.
+    pub compact_min_segments: usize,
+    /// Background maintenance cadence ([`spawn_compactor`]).
+    pub compact_interval: Duration,
+}
+
+impl ArchiveConfig {
+    /// Archive into `dir` with 1 MiB segments and unbounded retention.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        ArchiveConfig {
+            dir: dir.into(),
+            segment_bytes: 1 << 20,
+            retention: RetentionPolicy::default(),
+            compact_min_segments: 4,
+            compact_interval: Duration::from_secs(2),
+        }
+    }
+}
+
+struct State {
+    manifest: Manifest,
+    /// Traces of sealed windows not yet committed to a segment.
+    active: Vec<StoredTrace>,
+    /// Serialized size estimate of `active`.
+    active_bytes: u64,
+    /// `highest observed window index + 1`: what the watermark advances
+    /// to at the next commit.
+    pending: u64,
+}
+
+/// The live trace archive. Thread-safe; share via `Arc` between the
+/// pipeline's archive stage, the metrics server's `/traces` endpoint, and
+/// the background compactor.
+pub struct TraceArchive {
+    dir: PathBuf,
+    cfg: ArchiveConfig,
+    metrics: StoreMetrics,
+    state: Mutex<State>,
+    /// Durable archived-window watermark, mirrored from the manifest
+    /// after every commit — the checkpointer samples this.
+    watermark: Arc<AtomicU64>,
+    cold_start: Option<String>,
+}
+
+impl TraceArchive {
+    /// Open (or create) the archive in `cfg.dir`. A corrupt or unreadable
+    /// manifest is rejected *cleanly*: the archive starts fresh, the
+    /// reason is reported via [`cold_start_reason`](Self::cold_start_reason)
+    /// and `tw_store_cold_starts_total{reason}` — it never panics and
+    /// never trusts a torn file. Orphan segment files (a crash between
+    /// segment write and manifest commit) are removed.
+    pub fn open(cfg: ArchiveConfig, registry: &Registry) -> std::io::Result<TraceArchive> {
+        std::fs::create_dir_all(&cfg.dir)?;
+        let metrics = StoreMetrics::new(registry);
+        let mut cold_start = None;
+        let mut manifest = match load_manifest(&cfg.dir) {
+            Ok(m) => m,
+            Err(StoreError::Missing) => Manifest::default(),
+            Err(err) => {
+                match err.reason() {
+                    "io" => metrics.cold_io.inc(),
+                    _ => metrics.cold_corrupt.inc(),
+                }
+                eprintln!("tw-store: manifest rejected: {err}; cold start");
+                cold_start = Some(err.to_string());
+                Manifest::default()
+            }
+        };
+        // A listed segment whose file vanished is real data loss: report
+        // it and carry on with what exists.
+        manifest.segments.retain(|seg| {
+            let present = cfg.dir.join(&seg.file).is_file();
+            if !present {
+                metrics.errors.inc();
+                eprintln!("tw-store: segment {} listed but missing; dropped", seg.file);
+            }
+            present
+        });
+        // Remove uncommitted leftovers: orphan segments and stale temp
+        // files from interrupted writes.
+        if let Ok(entries) = std::fs::read_dir(&cfg.dir) {
+            let listed: std::collections::HashSet<&str> =
+                manifest.segments.iter().map(|s| s.file.as_str()).collect();
+            for entry in entries.flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                let orphan = name.starts_with("seg-")
+                    && name.ends_with(".twsg")
+                    && !listed.contains(name.as_str());
+                let stale_tmp = name.ends_with(".tmp");
+                if orphan || stale_tmp {
+                    let _ = std::fs::remove_file(entry.path());
+                    if orphan {
+                        metrics.orphans.inc();
+                        eprintln!("tw-store: removed orphan segment {name} (uncommitted)");
+                    }
+                }
+            }
+        }
+        let watermark = Arc::new(AtomicU64::new(manifest.watermark));
+        let archive = TraceArchive {
+            dir: cfg.dir.clone(),
+            metrics,
+            state: Mutex::new(State {
+                pending: manifest.watermark,
+                manifest,
+                active: Vec::new(),
+                active_bytes: 0,
+            }),
+            watermark,
+            cfg,
+            cold_start,
+        };
+        archive.publish_gauges(&archive.state.lock());
+        Ok(archive)
+    }
+
+    /// Why the last open could not load an existing manifest (`None` on a
+    /// clean open or a first boot).
+    pub fn cold_start_reason(&self) -> Option<&str> {
+        self.cold_start.as_deref()
+    }
+
+    /// The archive directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Durable archived-window watermark: every window with index below
+    /// it is inside a committed segment.
+    pub fn watermark(&self) -> u64 {
+        self.watermark.load(Ordering::Acquire)
+    }
+
+    /// Shared handle on the watermark, for the checkpointer to sample.
+    pub fn watermark_handle(&self) -> Arc<AtomicU64> {
+        self.watermark.clone()
+    }
+
+    /// Committed segment count.
+    pub fn segment_count(&self) -> usize {
+        self.state.lock().manifest.segments.len()
+    }
+
+    /// Committed bytes.
+    pub fn committed_bytes(&self) -> u64 {
+        self.state.lock().manifest.total_bytes()
+    }
+
+    /// Committed traces (the active buffer excluded).
+    pub fn committed_traces(&self) -> u64 {
+        self.state.lock().manifest.total_traces()
+    }
+
+    /// Ingest one sealed window's reconstructed traces, in window order.
+    /// Windows below the durable watermark are replays of already
+    /// archived data (a restart re-reconstructing past the archive
+    /// frontier) and are skipped — restarts never double-archive. Seals a
+    /// segment when the active buffer reaches the configured size.
+    pub fn observe_window(&self, index: u64, traces: Vec<StoredTrace>) {
+        let mut state = self.state.lock();
+        if index < state.manifest.watermark {
+            return;
+        }
+        self.metrics.appends.add(traces.len() as u64);
+        for trace in traces {
+            state.active_bytes += estimate_bytes(&trace);
+            state.active.push(trace);
+        }
+        state.pending = state.pending.max(index + 1);
+        if state.active_bytes >= self.cfg.segment_bytes {
+            self.seal_locked(&mut state);
+        }
+    }
+
+    /// Seal the active buffer (if any) and commit the manifest, making
+    /// everything observed so far durable. The shutdown flush path.
+    pub fn sync(&self) {
+        self.seal_locked(&mut self.state.lock());
+    }
+
+    /// One maintenance pass: merge small segments, then enforce
+    /// retention. The background compactor calls this on its interval;
+    /// tests call it directly for determinism.
+    pub fn maintain(&self) {
+        let mut state = self.state.lock();
+        self.compact_locked(&mut state);
+        self.retain_locked(&mut state);
+    }
+
+    /// Serve a query against committed segments (pruned via their footer
+    /// indexes) plus the not-yet-sealed active buffer. Results are in
+    /// (window, start) order, capped at the query's limit.
+    pub fn query(&self, q: &TraceQuery) -> Vec<StoredTrace> {
+        self.metrics.queries.inc();
+        let _timer = self.metrics.query_seconds.start_timer();
+        let state = self.state.lock();
+        let mut out = Vec::new();
+        for seg in &state.manifest.segments {
+            if !q.may_match_segment(&seg.index) {
+                continue;
+            }
+            match read_segment(&self.dir.join(&seg.file)) {
+                Ok(traces) => out.extend(traces.into_iter().filter(|t| q.matches(t))),
+                Err(err) => {
+                    self.metrics.errors.inc();
+                    eprintln!("tw-store: query skipped segment {}: {err}", seg.file);
+                }
+            }
+        }
+        out.extend(state.active.iter().filter(|t| q.matches(t)).cloned());
+        drop(state);
+        sort_traces(&mut out);
+        out.truncate(q.effective_limit());
+        out
+    }
+
+    fn publish_gauges(&self, state: &State) {
+        self.metrics
+            .segments
+            .set(state.manifest.segments.len() as f64);
+        self.metrics.bytes.set(state.manifest.total_bytes() as f64);
+        self.metrics.watermark.set(state.manifest.watermark as f64);
+    }
+
+    /// Commit: segment first, manifest second. On any failure the
+    /// in-memory state is left unchanged (the buffer retries at the next
+    /// seal) and the previous committed state stays intact.
+    fn seal_locked(&self, state: &mut State) {
+        if state.active.is_empty() && state.manifest.watermark == state.pending {
+            return;
+        }
+        let mut manifest = state.manifest.clone();
+        let mut wrote_segment = false;
+        if !state.active.is_empty() {
+            let seq = manifest.next_seq;
+            let file = Manifest::segment_file(seq);
+            match write_segment(&self.dir.join(&file), &state.active) {
+                Ok((bytes, index)) => {
+                    manifest.next_seq = seq + 1;
+                    manifest.segments.push(SegmentMeta {
+                        file,
+                        seq,
+                        bytes,
+                        tail: false,
+                        index,
+                    });
+                    wrote_segment = true;
+                }
+                Err(err) => {
+                    self.metrics.errors.inc();
+                    eprintln!("tw-store: segment write failed: {err}");
+                    return;
+                }
+            }
+        }
+        manifest.watermark = state.pending;
+        match save_manifest(&self.dir, &manifest) {
+            Ok(()) => {
+                state.manifest = manifest;
+                state.active.clear();
+                state.active_bytes = 0;
+                if wrote_segment {
+                    self.metrics.seals.inc();
+                }
+                self.watermark
+                    .store(state.manifest.watermark, Ordering::Release);
+                self.publish_gauges(state);
+            }
+            Err(err) => {
+                // The segment file (if written) is an orphan until a
+                // later manifest commit references a successor; the next
+                // open removes it and replay re-archives its windows.
+                self.metrics.errors.inc();
+                eprintln!("tw-store: manifest write failed: {err}");
+            }
+        }
+    }
+
+    fn compact_locked(&self, state: &mut State) {
+        let threshold = (self.cfg.segment_bytes / 2).max(1);
+        let small: Vec<SegmentMeta> = state
+            .manifest
+            .segments
+            .iter()
+            .filter(|s| !s.tail && s.bytes < threshold)
+            .cloned()
+            .collect();
+        if small.len() < self.cfg.compact_min_segments.max(2) {
+            return;
+        }
+        let mut merged = Vec::new();
+        for seg in &small {
+            match read_segment(&self.dir.join(&seg.file)) {
+                Ok(traces) => merged.extend(traces),
+                Err(err) => {
+                    // Never compact what we cannot re-read bit-exactly:
+                    // leave the pass for the operator to investigate.
+                    self.metrics.errors.inc();
+                    eprintln!("tw-store: compaction aborted, segment {}: {err}", seg.file);
+                    return;
+                }
+            }
+        }
+        sort_traces(&mut merged);
+        let mut manifest = state.manifest.clone();
+        let seq = manifest.next_seq;
+        let file = Manifest::segment_file(seq);
+        let (bytes, index) = match write_segment(&self.dir.join(&file), &merged) {
+            Ok(ok) => ok,
+            Err(err) => {
+                self.metrics.errors.inc();
+                eprintln!("tw-store: compaction write failed: {err}");
+                return;
+            }
+        };
+        manifest.next_seq = seq + 1;
+        let small_seqs: std::collections::HashSet<u64> = small.iter().map(|s| s.seq).collect();
+        manifest.segments.retain(|s| !small_seqs.contains(&s.seq));
+        manifest.segments.push(SegmentMeta {
+            file: file.clone(),
+            seq,
+            bytes,
+            tail: false,
+            index,
+        });
+        match save_manifest(&self.dir, &manifest) {
+            Ok(()) => {
+                state.manifest = manifest;
+                self.metrics.compactions.inc();
+                // Only after the commit: the old files are no longer
+                // referenced by any reader of the new manifest.
+                for seg in &small {
+                    let _ = std::fs::remove_file(self.dir.join(&seg.file));
+                }
+                self.publish_gauges(state);
+            }
+            Err(err) => {
+                self.metrics.errors.inc();
+                eprintln!("tw-store: compaction manifest write failed: {err}");
+                let _ = std::fs::remove_file(self.dir.join(&file));
+            }
+        }
+    }
+
+    fn retain_locked(&self, state: &mut State) {
+        let policy = self.cfg.retention;
+        if policy.max_bytes == 0 && policy.max_age_ns == 0 {
+            return;
+        }
+        if state.manifest.segments.len() <= 1 {
+            return;
+        }
+        let newest_ts = state
+            .manifest
+            .segments
+            .iter()
+            .map(|s| s.index.max_ts)
+            .max()
+            .unwrap_or(0);
+        let mut evict: Vec<(SegmentMeta, &'static str)> = Vec::new();
+        let mut keep: Vec<SegmentMeta> = Vec::new();
+        for seg in &state.manifest.segments {
+            let age = newest_ts.saturating_sub(seg.index.max_ts);
+            if policy.max_age_ns > 0 && age > policy.max_age_ns {
+                evict.push((seg.clone(), "age"));
+            } else {
+                keep.push(seg.clone());
+            }
+        }
+        if policy.max_bytes > 0 {
+            let mut total: u64 = keep.iter().map(|s| s.bytes).sum();
+            // Oldest first, but never the newest segment.
+            while total > policy.max_bytes && keep.len() > 1 {
+                let seg = keep.remove(0);
+                total -= seg.bytes;
+                evict.push((seg, "size"));
+            }
+        }
+        if evict.is_empty() {
+            return;
+        }
+        // Tail retention: salvage the slow/degraded traces of evicted
+        // non-tail segments before the bulk is dropped. Tail segments are
+        // final — evicting one drops its traces for good.
+        let mut salvaged: Vec<StoredTrace> = Vec::new();
+        for (seg, reason) in &evict {
+            let mut dropped = seg.index.traces;
+            if !seg.tail {
+                match read_segment(&self.dir.join(&seg.file)) {
+                    Ok(traces) => {
+                        for trace in traces {
+                            if trace.degraded || trace.latency_ns >= policy.tail_latency_ns {
+                                salvaged.push(trace);
+                                dropped -= 1;
+                            }
+                        }
+                    }
+                    Err(err) => {
+                        self.metrics.errors.inc();
+                        eprintln!("tw-store: retention could not salvage {}: {err}", seg.file);
+                    }
+                }
+            }
+            match *reason {
+                "age" => self.metrics.dropped_age.add(dropped),
+                _ => self.metrics.dropped_size.add(dropped),
+            }
+        }
+        let mut manifest = state.manifest.clone();
+        let gone: std::collections::HashSet<u64> = evict.iter().map(|(s, _)| s.seq).collect();
+        manifest.segments.retain(|s| !gone.contains(&s.seq));
+        if !salvaged.is_empty() {
+            sort_traces(&mut salvaged);
+            let seq = manifest.next_seq;
+            let file = Manifest::segment_file(seq);
+            match write_segment(&self.dir.join(&file), &salvaged) {
+                Ok((bytes, index)) => {
+                    manifest.next_seq = seq + 1;
+                    manifest.segments.push(SegmentMeta {
+                        file,
+                        seq,
+                        bytes,
+                        tail: true,
+                        index,
+                    });
+                    self.metrics.tail_kept.add(salvaged.len() as u64);
+                }
+                Err(err) => {
+                    self.metrics.errors.inc();
+                    eprintln!("tw-store: tail segment write failed: {err}");
+                    return; // abort the pass; nothing was deleted yet
+                }
+            }
+        }
+        match save_manifest(&self.dir, &manifest) {
+            Ok(()) => {
+                state.manifest = manifest;
+                for (seg, _) in &evict {
+                    let _ = std::fs::remove_file(self.dir.join(&seg.file));
+                }
+                self.publish_gauges(state);
+            }
+            Err(err) => {
+                self.metrics.errors.inc();
+                eprintln!("tw-store: retention manifest write failed: {err}");
+            }
+        }
+    }
+}
+
+/// Stable result/segment order: windows first, then client start time,
+/// then root id — deterministic regardless of segment layout.
+fn sort_traces(traces: &mut [StoredTrace]) {
+    traces.sort_by(|a, b| {
+        (a.window, a.start, a.root)
+            .cmp(&(b.window, b.start, b.root))
+            .then_with(|| a.end.cmp(&b.end))
+    });
+}
+
+/// Serialized-size estimate of one trace inside a segment body (its JSON
+/// plus the separating comma).
+fn estimate_bytes(trace: &StoredTrace) -> u64 {
+    serde_json::to_string(trace).map_or(64, |s| s.len() as u64 + 1)
+}
+
+/// Read-only query against an archive directory — no lock, no cleanup,
+/// no mutation (`twctl query --dir`, offline tooling). Manifest and
+/// segment failures propagate as typed errors instead of being skipped.
+pub fn read_query(dir: &Path, q: &TraceQuery) -> Result<Vec<StoredTrace>, StoreError> {
+    let manifest = load_manifest(dir)?;
+    let mut out = Vec::new();
+    for seg in &manifest.segments {
+        if !q.may_match_segment(&seg.index) {
+            continue;
+        }
+        out.extend(
+            read_segment(&dir.join(&seg.file))?
+                .into_iter()
+                .filter(|t| q.matches(t)),
+        );
+    }
+    sort_traces(&mut out);
+    out.truncate(q.effective_limit());
+    Ok(out)
+}
+
+/// Stop handle of the background maintenance thread.
+pub struct CompactorHandle {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl CompactorHandle {
+    /// Stop and join the thread (also happens on drop).
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            handle.thread().unpark();
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for CompactorHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Spawn the background compactor: one [`TraceArchive::maintain`] pass
+/// per interval until stopped.
+pub fn spawn_compactor(archive: &Arc<TraceArchive>, interval: Duration) -> CompactorHandle {
+    let stop = Arc::new(AtomicBool::new(false));
+    let handle = {
+        let archive = archive.clone();
+        let stop = stop.clone();
+        let interval = interval.max(Duration::from_millis(10));
+        std::thread::Builder::new()
+            .name("tw-compactor".into())
+            .spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    std::thread::park_timeout(interval);
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    archive.maintain();
+                }
+            })
+            .expect("spawn compactor thread")
+    };
+    CompactorHandle {
+        stop,
+        handle: Some(handle),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::MANIFEST_FILE;
+    use crate::segment::testutil::trace;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("twstore-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tiny_cfg(dir: &Path) -> ArchiveConfig {
+        ArchiveConfig {
+            segment_bytes: 1, // seal after every window
+            ..ArchiveConfig::new(dir)
+        }
+    }
+
+    #[test]
+    fn appends_seal_persist_and_reload() {
+        let dir = tmp_dir("rt");
+        let registry = Registry::new();
+        let archive = TraceArchive::open(tiny_cfg(&dir), &registry).unwrap();
+        assert!(archive.cold_start_reason().is_none());
+        archive.observe_window(0, vec![trace(0, 1, 7, 1_000, 2_000)]);
+        archive.observe_window(1, vec![trace(1, 2, 7, 3_000, 700_000_000)]);
+        assert_eq!(archive.watermark(), 2);
+        assert_eq!(archive.segment_count(), 2);
+
+        // Live query sees both; filters apply.
+        let all = archive.query(&TraceQuery::default());
+        assert_eq!(all.len(), 2);
+        let slow = archive.query(&TraceQuery {
+            min_latency_ns: Some(100_000_000),
+            ..TraceQuery::default()
+        });
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].root, 2);
+
+        // Replayed window below the watermark is skipped, not duplicated.
+        archive.observe_window(1, vec![trace(1, 2, 7, 3_000, 700_000_000)]);
+        assert_eq!(archive.query(&TraceQuery::default()).len(), 2);
+
+        // A reopened archive serves the same committed traces.
+        drop(archive);
+        let reopened = TraceArchive::open(tiny_cfg(&dir), &Registry::new()).unwrap();
+        assert_eq!(reopened.watermark(), 2);
+        assert_eq!(reopened.query(&TraceQuery::default()).len(), 2);
+
+        let text = registry.render();
+        assert!(text.contains("tw_store_seals_total 2"), "{text}");
+        assert!(text.contains("tw_store_appends_total 2"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn active_buffer_is_queryable_and_sync_commits_it() {
+        let dir = tmp_dir("active");
+        let cfg = ArchiveConfig::new(&dir); // 1 MiB: nothing seals on its own
+        let archive = TraceArchive::open(cfg.clone(), &Registry::new()).unwrap();
+        archive.observe_window(0, vec![trace(0, 1, 3, 10, 20)]);
+        assert_eq!(archive.segment_count(), 0, "still buffered");
+        assert_eq!(archive.watermark(), 0, "not durable yet");
+        assert_eq!(archive.query(&TraceQuery::default()).len(), 1);
+
+        archive.sync();
+        assert_eq!(archive.segment_count(), 1);
+        assert_eq!(archive.watermark(), 1);
+
+        // Watermark-only commit: no traces, but durable progress.
+        archive.observe_window(5, Vec::new());
+        archive.sync();
+        assert_eq!(archive.watermark(), 6);
+        assert_eq!(archive.segment_count(), 1, "no empty segment written");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn orphan_segment_from_crash_is_removed_and_committed_data_survives() {
+        let dir = tmp_dir("orphan");
+        let registry = Registry::new();
+        let archive = TraceArchive::open(tiny_cfg(&dir), &registry).unwrap();
+        archive.observe_window(0, vec![trace(0, 1, 7, 1_000, 2_000)]);
+        assert_eq!(archive.watermark(), 1);
+        drop(archive);
+
+        // Simulate the crash point: a segment written but the process
+        // died before the manifest commit.
+        let orphan = dir.join(Manifest::segment_file(9));
+        write_segment(&orphan, &[trace(9, 99, 7, 5_000, 6_000)]).unwrap();
+        assert!(orphan.is_file());
+
+        let registry = Registry::new();
+        let reopened = TraceArchive::open(tiny_cfg(&dir), &registry).unwrap();
+        assert!(!orphan.is_file(), "orphan removed at open");
+        assert_eq!(reopened.watermark(), 1, "watermark unaffected by orphan");
+        let all = reopened.query(&TraceQuery::default());
+        assert_eq!(all.len(), 1, "committed segment survived the crash");
+        assert_eq!(all[0].root, 1);
+        assert!(registry.render().contains("tw_store_orphans_total 1"));
+
+        // The orphan's window was never marked archived: replaying it
+        // archives it now.
+        reopened.observe_window(9, vec![trace(9, 99, 7, 5_000, 6_000)]);
+        assert_eq!(reopened.query(&TraceQuery::default()).len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_manifest_cold_starts_with_reason() {
+        let dir = tmp_dir("coldstart");
+        let archive = TraceArchive::open(tiny_cfg(&dir), &Registry::new()).unwrap();
+        archive.observe_window(0, vec![trace(0, 1, 7, 1_000, 2_000)]);
+        drop(archive);
+        let path = dir.join(MANIFEST_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let registry = Registry::new();
+        let reopened = TraceArchive::open(tiny_cfg(&dir), &registry).unwrap();
+        let reason = reopened.cold_start_reason().expect("cold start reported");
+        assert!(reason.contains("crc"), "got {reason}");
+        assert_eq!(reopened.watermark(), 0, "fresh archive");
+        assert!(registry
+            .render()
+            .contains("tw_store_cold_starts_total{reason=\"corrupt\"} 1"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_merges_small_segments() {
+        let dir = tmp_dir("compact");
+        let registry = Registry::new();
+        let cfg = ArchiveConfig {
+            // Large enough that a one-trace segment is "small" (< half),
+            // with per-window seals forced below.
+            segment_bytes: 64 << 10,
+            compact_min_segments: 3,
+            ..ArchiveConfig::new(&dir)
+        };
+        let archive = TraceArchive::open(cfg, &registry).unwrap();
+        for w in 0..4u64 {
+            archive.observe_window(w, vec![trace(w, w + 1, 7, w * 1_000, w * 1_000 + 500)]);
+            archive.sync();
+        }
+        assert!(archive.segment_count() >= 3);
+        let before = archive.query(&TraceQuery::default());
+        archive.maintain();
+        assert_eq!(archive.segment_count(), 1, "smalls merged into one");
+        assert_eq!(archive.query(&TraceQuery::default()), before);
+        assert!(registry.render().contains("tw_store_compactions_total 1"));
+
+        // Reload proves the merged layout is durable and self-consistent.
+        let reopened = TraceArchive::open(tiny_cfg(&dir), &Registry::new()).unwrap();
+        assert_eq!(reopened.query(&TraceQuery::default()), before);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retention_drops_bulk_but_salvages_tail_traces() {
+        let dir = tmp_dir("retain");
+        let registry = Registry::new();
+        let cfg = ArchiveConfig {
+            segment_bytes: 1,
+            compact_min_segments: usize::MAX, // isolate retention
+            retention: RetentionPolicy {
+                max_bytes: 600, // roughly two single-trace segments
+                max_age_ns: 0,
+                tail_latency_ns: 100_000_000,
+            },
+            ..ArchiveConfig::new(&dir)
+        };
+        let archive = TraceArchive::open(cfg, &registry).unwrap();
+        // Window 0: fast (droppable). Window 1: slow (tail-worthy).
+        archive.observe_window(0, vec![trace(0, 1, 7, 1_000, 2_000)]);
+        archive.observe_window(1, vec![trace(1, 2, 7, 10_000, 900_000_000)]);
+        for w in 2..6u64 {
+            archive.observe_window(
+                w,
+                vec![trace(w, w + 1, 7, w * 1_000_000, w * 1_000_000 + 10)],
+            );
+        }
+        let before = archive.committed_bytes();
+        assert!(before > 600);
+        archive.maintain();
+        assert!(archive.committed_bytes() <= before, "retention shrank it");
+        let remaining = archive.query(&TraceQuery::default());
+        // The slow trace survived eviction via the tail segment.
+        assert!(
+            remaining.iter().any(|t| t.root == 2),
+            "tail trace salvaged, got {remaining:?}"
+        );
+        // The fast window-0 trace is gone.
+        assert!(remaining.iter().all(|t| t.root != 1), "bulk dropped");
+        let text = registry.render();
+        assert!(
+            text.contains("tw_store_retention_dropped_total{reason=\"size\"}"),
+            "{text}"
+        );
+        assert!(text.contains("tw_store_tail_kept_total 1"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_query_is_read_only_and_reports_corruption() {
+        let dir = tmp_dir("roq");
+        let archive = TraceArchive::open(tiny_cfg(&dir), &Registry::new()).unwrap();
+        archive.observe_window(0, vec![trace(0, 1, 7, 1_000, 2_000)]);
+        archive.observe_window(1, vec![trace(1, 2, 9, 3_000, 4_000)]);
+        drop(archive);
+
+        let hits = read_query(
+            &dir,
+            &TraceQuery {
+                service: Some(9),
+                ..TraceQuery::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].root, 2);
+
+        let path = dir.join(MANIFEST_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = read_query(&dir, &TraceQuery::default()).unwrap_err();
+        assert_eq!(err.reason(), "corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

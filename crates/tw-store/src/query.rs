@@ -1,0 +1,175 @@
+//! The archive's read model: [`TraceQuery`] filters (time range ×
+//! service × endpoint × min-latency × window) with segment-level pruning
+//! against the footer [`SegmentIndex`], so a query touches only segments
+//! that can contain a match.
+
+use crate::segment::{SegmentIndex, StoredTrace};
+use serde::{Deserialize, Serialize};
+
+/// A trace query. All filters are conjunctive; `None` means "any".
+/// Timestamps are in stream nanoseconds (the same clock the records
+/// carry).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceQuery {
+    /// Keep traces ending at or after this (ns).
+    pub from_ns: Option<u64>,
+    /// Keep traces starting at or before this (ns).
+    pub to_ns: Option<u64>,
+    /// Keep traces touching this callee service.
+    pub service: Option<u32>,
+    /// Keep traces touching this operation (combined with `service` this
+    /// is an endpoint filter; alone it matches the op on any service).
+    pub op: Option<u32>,
+    /// Keep traces with end-to-end latency at or above this (ns).
+    pub min_latency_ns: Option<u64>,
+    /// Keep traces reconstructed in this window (the exemplar
+    /// `window_id` resolution path).
+    pub window: Option<u64>,
+    /// Maximum traces returned (0 = the default cap of 100).
+    pub limit: usize,
+}
+
+impl TraceQuery {
+    /// The effective result cap.
+    pub fn effective_limit(&self) -> usize {
+        if self.limit == 0 {
+            100
+        } else {
+            self.limit
+        }
+    }
+
+    /// True when a trace passes every filter.
+    pub fn matches(&self, trace: &StoredTrace) -> bool {
+        if let Some(from) = self.from_ns {
+            if trace.end < from {
+                return false;
+            }
+        }
+        if let Some(to) = self.to_ns {
+            if trace.start > to {
+                return false;
+            }
+        }
+        if let Some(window) = self.window {
+            if trace.window != window {
+                return false;
+            }
+        }
+        if let Some(min) = self.min_latency_ns {
+            if trace.latency_ns < min {
+                return false;
+            }
+        }
+        match (self.service, self.op) {
+            (None, None) => true,
+            (service, op) => trace.spans.iter().any(|s| {
+                service.is_none_or(|svc| s.record.callee.service.0 == svc)
+                    && op.is_none_or(|op| s.record.callee.op.0 == op)
+            }),
+        }
+    }
+
+    /// Segment-level pruning: false when the footer index proves the
+    /// segment cannot contain a match, so its body is never read.
+    pub fn may_match_segment(&self, index: &SegmentIndex) -> bool {
+        if index.traces == 0 {
+            return false;
+        }
+        if let Some(from) = self.from_ns {
+            if index.max_ts < from {
+                return false;
+            }
+        }
+        if let Some(to) = self.to_ns {
+            if index.min_ts > to {
+                return false;
+            }
+        }
+        if let Some(window) = self.window {
+            if window < index.min_window || window > index.max_window {
+                return false;
+            }
+        }
+        if let Some(min) = self.min_latency_ns {
+            if index.max_latency_ns < min {
+                return false;
+            }
+        }
+        match (self.service, self.op) {
+            (Some(service), Some(op)) => index.endpoint_records(service, op) > 0,
+            (Some(service), None) => index.service_records(service) > 0,
+            (None, Some(op)) => index
+                .by_endpoint
+                .iter()
+                .any(|e| e.op == op && e.records > 0),
+            (None, None) => true,
+        }
+    }
+}
+
+/// The JSON document `GET /traces` serves and `twctl query` parses.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TracesDoc {
+    pub traces: Vec<StoredTrace>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::testutil::trace;
+
+    #[test]
+    fn filters_are_conjunctive_and_prune_segments() {
+        let fast = trace(3, 1, 7, 1_000, 2_000);
+        let slow = trace(4, 2, 9, 5_000, 900_000_000);
+        let index = SegmentIndex::build(&[fast.clone(), slow.clone()]);
+
+        let q = TraceQuery::default();
+        assert!(q.matches(&fast) && q.matches(&slow));
+        assert!(q.may_match_segment(&index));
+
+        let q = TraceQuery {
+            service: Some(7),
+            ..TraceQuery::default()
+        };
+        assert!(q.matches(&fast) && !q.matches(&slow));
+        assert!(q.may_match_segment(&index));
+        let q = TraceQuery {
+            service: Some(42),
+            ..TraceQuery::default()
+        };
+        assert!(!q.may_match_segment(&index), "absent service prunes");
+
+        let q = TraceQuery {
+            min_latency_ns: Some(10_000_000),
+            ..TraceQuery::default()
+        };
+        assert!(!q.matches(&fast) && q.matches(&slow));
+
+        let q = TraceQuery {
+            window: Some(3),
+            ..TraceQuery::default()
+        };
+        assert!(q.matches(&fast) && !q.matches(&slow));
+        let q = TraceQuery {
+            window: Some(99),
+            ..TraceQuery::default()
+        };
+        assert!(!q.may_match_segment(&index), "window range prunes");
+
+        let q = TraceQuery {
+            from_ns: Some(4_000),
+            to_ns: Some(1_000_000_000),
+            service: Some(9),
+            op: Some(0),
+            min_latency_ns: Some(1_000_000),
+            ..TraceQuery::default()
+        };
+        assert!(!q.matches(&fast) && q.matches(&slow));
+        assert!(q.may_match_segment(&index));
+
+        let empty = SegmentIndex::build(&[]);
+        assert!(!TraceQuery::default().may_match_segment(&empty));
+    }
+}

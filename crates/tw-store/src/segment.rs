@@ -1,0 +1,547 @@
+//! Segment files: immutable, CRC-framed batches of sealed reconstructed
+//! traces, each carrying a footer index so queries can prune a segment
+//! without parsing its body.
+//!
+//! The framing reuses the `TWCK` checkpoint discipline (magic, version,
+//! length, CRC32, payload) with a segment-specific magic and *two* frames:
+//!
+//! ```text
+//! [ magic "TWSG" | version u32 LE ]
+//! [ body_len u64 LE  | body_crc u32 LE  | body JSON  = Vec<StoredTrace> ]
+//! [ index_len u64 LE | index_crc u32 LE | index JSON = SegmentIndex    ]
+//! ```
+//!
+//! [`read_segment_index`] validates the header, seeks past the body, and
+//! parses only the footer — the cheap path the query planner uses before
+//! deciding to read a segment's traces at all. Any malformed file (bad
+//! magic, unknown version, short read, CRC mismatch, unparsable JSON) is
+//! a *clean*, typed [`StoreError`] — never a panic, never trusted data.
+
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use tw_model::span::RpcRecord;
+
+const MAGIC: [u8; 4] = *b"TWSG";
+const VERSION: u32 = 1;
+/// magic + version.
+const FILE_HEADER_LEN: usize = 8;
+/// len + crc in front of each frame.
+const FRAME_HEADER_LEN: usize = 12;
+
+/// Upper bounds (ns) of the per-segment latency histogram in
+/// [`SegmentIndex`]: 1ms · 2^k for k in 0..12 (1ms … ~2s); one implicit
+/// overflow bucket follows.
+pub const LATENCY_BOUNDS_NS: [u64; 12] = [
+    1_000_000,
+    2_000_000,
+    4_000_000,
+    8_000_000,
+    16_000_000,
+    32_000_000,
+    64_000_000,
+    128_000_000,
+    256_000_000,
+    512_000_000,
+    1_024_000_000,
+    2_048_000_000,
+];
+
+/// One span of a stored trace: the wire record plus its depth in the
+/// reconstructed tree (0 = root), in pre-order.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StoredSpan {
+    pub depth: u32,
+    pub record: RpcRecord,
+}
+
+/// One reconstructed trace as the archive persists it: the assembled tree
+/// below an external root, flattened in pre-order with depths.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoredTrace {
+    /// Window index the trace was reconstructed in — the same id the
+    /// `window_id` exemplars on `tw_engine_window_latency_seconds` carry,
+    /// so an exemplar resolves to its stored traces.
+    pub window: u64,
+    /// Root RPC id (`caller == EXTERNAL`).
+    pub root: u64,
+    /// Client-side start: the root's `send_req` (ns).
+    pub start: u64,
+    /// Client-side end: the root's `recv_resp` (ns).
+    pub end: u64,
+    /// End-to-end latency (ns): `end - start`.
+    pub latency_ns: u64,
+    /// True when the window ran below `DegradationLevel::Full` — the
+    /// mapping may be partial, and retention preferentially keeps it.
+    pub degraded: bool,
+    /// Pre-order spans, root first.
+    pub spans: Vec<StoredSpan>,
+}
+
+/// Per-service record count inside one segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceCount {
+    pub service: u32,
+    pub records: u64,
+}
+
+/// Per-endpoint (callee service + operation) record count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EndpointCount {
+    pub service: u32,
+    pub op: u32,
+    pub records: u64,
+}
+
+/// The footer index of one segment: everything the query planner needs to
+/// decide whether the segment can contain a match, without reading the
+/// body. Also embedded in the manifest so most queries never touch
+/// non-matching files at all.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SegmentIndex {
+    /// Traces in the body.
+    pub traces: u64,
+    /// Spans summed over all traces.
+    pub records: u64,
+    /// Earliest trace start (ns; 0 when empty).
+    pub min_ts: u64,
+    /// Latest trace end (ns).
+    pub max_ts: u64,
+    /// Lowest window index present.
+    pub min_window: u64,
+    /// Highest window index present.
+    pub max_window: u64,
+    /// Record counts by callee service, ascending service id.
+    pub by_service: Vec<ServiceCount>,
+    /// Record counts by callee endpoint, ascending (service, op).
+    pub by_endpoint: Vec<EndpointCount>,
+    /// Trace-latency histogram: counts per [`LATENCY_BOUNDS_NS`] bucket
+    /// plus one trailing overflow bucket (`len == bounds.len() + 1`).
+    pub latency_counts: Vec<u64>,
+    /// Largest trace latency in the segment (ns).
+    pub max_latency_ns: u64,
+    /// Traces flagged degraded.
+    pub degraded_traces: u64,
+}
+
+impl SegmentIndex {
+    /// Build the footer index over a sealed batch.
+    pub fn build(traces: &[StoredTrace]) -> SegmentIndex {
+        let mut index = SegmentIndex {
+            traces: traces.len() as u64,
+            min_ts: u64::MAX,
+            min_window: u64::MAX,
+            latency_counts: vec![0; LATENCY_BOUNDS_NS.len() + 1],
+            ..SegmentIndex::default()
+        };
+        let mut by_service: std::collections::BTreeMap<u32, u64> = Default::default();
+        let mut by_endpoint: std::collections::BTreeMap<(u32, u32), u64> = Default::default();
+        for trace in traces {
+            index.records += trace.spans.len() as u64;
+            index.min_ts = index.min_ts.min(trace.start);
+            index.max_ts = index.max_ts.max(trace.end);
+            index.min_window = index.min_window.min(trace.window);
+            index.max_window = index.max_window.max(trace.window);
+            index.max_latency_ns = index.max_latency_ns.max(trace.latency_ns);
+            let bucket = LATENCY_BOUNDS_NS
+                .iter()
+                .position(|&b| trace.latency_ns <= b)
+                .unwrap_or(LATENCY_BOUNDS_NS.len());
+            index.latency_counts[bucket] += 1;
+            if trace.degraded {
+                index.degraded_traces += 1;
+            }
+            for span in &trace.spans {
+                *by_service.entry(span.record.callee.service.0).or_default() += 1;
+                *by_endpoint
+                    .entry((span.record.callee.service.0, span.record.callee.op.0))
+                    .or_default() += 1;
+            }
+        }
+        if traces.is_empty() {
+            index.min_ts = 0;
+            index.min_window = 0;
+        }
+        index.by_service = by_service
+            .into_iter()
+            .map(|(service, records)| ServiceCount { service, records })
+            .collect();
+        index.by_endpoint = by_endpoint
+            .into_iter()
+            .map(|((service, op), records)| EndpointCount {
+                service,
+                op,
+                records,
+            })
+            .collect();
+        index
+    }
+
+    /// Records for a callee service (0 when absent).
+    pub fn service_records(&self, service: u32) -> u64 {
+        self.by_service
+            .iter()
+            .find(|c| c.service == service)
+            .map_or(0, |c| c.records)
+    }
+
+    /// Records for a callee endpoint (0 when absent).
+    pub fn endpoint_records(&self, service: u32, op: u32) -> u64 {
+        self.by_endpoint
+            .iter()
+            .find(|c| c.service == service && c.op == op)
+            .map_or(0, |c| c.records)
+    }
+}
+
+/// Why a segment or manifest could not be read. Mirrors the checkpoint
+/// module's typed-rejection discipline: every failure is a clean reason,
+/// never a panic.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The file does not exist.
+    Missing,
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// Wrong leading magic.
+    BadMagic,
+    /// Unknown format version.
+    BadVersion(u32),
+    /// Shorter than a declared frame length.
+    Truncated,
+    /// Frame CRC32 mismatch (torn or bit-rotted write).
+    BadCrc,
+    /// Frame failed to parse/deserialize.
+    BadPayload(String),
+}
+
+impl StoreError {
+    /// Metric/report label: "missing", "io" or "corrupt".
+    pub fn reason(&self) -> &'static str {
+        match self {
+            StoreError::Missing => "missing",
+            StoreError::Io(_) => "io",
+            StoreError::BadMagic
+            | StoreError::BadVersion(_)
+            | StoreError::Truncated
+            | StoreError::BadCrc
+            | StoreError::BadPayload(_) => "corrupt",
+        }
+    }
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Missing => write!(f, "file missing"),
+            StoreError::Io(e) => write!(f, "io error: {e}"),
+            StoreError::BadMagic => write!(f, "bad magic"),
+            StoreError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            StoreError::Truncated => write!(f, "truncated file"),
+            StoreError::BadCrc => write!(f, "crc mismatch"),
+            StoreError::BadPayload(e) => write!(f, "bad payload: {e}"),
+        }
+    }
+}
+
+/// CRC32 (IEEE 802.3 polynomial, reflected), table-driven — the same
+/// framing checksum the checkpoint module uses.
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        let mut i = 0usize;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xedb8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    });
+    let mut crc = 0xffff_ffffu32;
+    for &b in bytes {
+        crc = table[((crc ^ u32::from(b)) & 0xff) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xffff_ffff
+}
+
+/// Atomically replace `path` with `bytes`: write a sibling temp file,
+/// fsync, rename. Readers observe either the old complete file or the new
+/// complete file, never a torn one.
+pub(crate) fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+fn to_json<T: Serialize>(value: &T) -> std::io::Result<Vec<u8>> {
+    serde_json::to_string(value)
+        .map(String::into_bytes)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Serialize and atomically write one sealed segment. Returns the file's
+/// size in bytes and the footer index it carries.
+pub fn write_segment(path: &Path, traces: &[StoredTrace]) -> std::io::Result<(u64, SegmentIndex)> {
+    let index = SegmentIndex::build(traces);
+    let body = to_json(&traces.to_vec())?;
+    let footer = to_json(&index)?;
+    let mut bytes = Vec::with_capacity(FILE_HEADER_LEN + 2 * FRAME_HEADER_LEN + body.len());
+    bytes.extend_from_slice(&MAGIC);
+    bytes.extend_from_slice(&VERSION.to_le_bytes());
+    bytes.extend_from_slice(&frame(&body));
+    bytes.extend_from_slice(&frame(&footer));
+    let len = bytes.len() as u64;
+    atomic_write(path, &bytes)?;
+    Ok((len, index))
+}
+
+fn open(path: &Path) -> Result<std::fs::File, StoreError> {
+    match std::fs::File::open(path) {
+        Ok(f) => Ok(f),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Err(StoreError::Missing),
+        Err(e) => Err(StoreError::Io(e)),
+    }
+}
+
+fn check_file_header(file: &mut std::fs::File, magic: [u8; 4]) -> Result<(), StoreError> {
+    let mut header = [0u8; FILE_HEADER_LEN];
+    read_exact(file, &mut header)?;
+    if header[..4] != magic {
+        return Err(StoreError::BadMagic);
+    }
+    let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(StoreError::BadVersion(version));
+    }
+    Ok(())
+}
+
+fn read_exact(file: &mut std::fs::File, buf: &mut [u8]) -> Result<(), StoreError> {
+    file.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            StoreError::Truncated
+        } else {
+            StoreError::Io(e)
+        }
+    })
+}
+
+/// Read one `len|crc|payload` frame at the file's current position. With
+/// `skip_payload`, seeks past the payload and returns an empty vec (the
+/// index-only read path).
+fn read_frame(file: &mut std::fs::File, skip_payload: bool) -> Result<Vec<u8>, StoreError> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    read_exact(file, &mut header)?;
+    let len = u64::from_le_bytes(header[..8].try_into().expect("8 bytes"));
+    let crc = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+    if skip_payload {
+        file.seek(SeekFrom::Current(len as i64))
+            .map_err(StoreError::Io)?;
+        return Ok(Vec::new());
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_exact(file, &mut payload)?;
+    if crc32(&payload) != crc {
+        return Err(StoreError::BadCrc);
+    }
+    Ok(payload)
+}
+
+fn parse_json<T: for<'de> Deserialize<'de>>(payload: &[u8]) -> Result<T, StoreError> {
+    let text = std::str::from_utf8(payload).map_err(|e| StoreError::BadPayload(e.to_string()))?;
+    serde_json::from_str(text).map_err(|e| StoreError::BadPayload(e.to_string()))
+}
+
+/// Read and validate a whole segment: both frames CRC-checked, the body
+/// parsed into traces.
+pub fn read_segment(path: &Path) -> Result<Vec<StoredTrace>, StoreError> {
+    let mut file = open(path)?;
+    check_file_header(&mut file, MAGIC)?;
+    let body = read_frame(&mut file, false)?;
+    // Validate the footer too: a segment with a torn index is corrupt
+    // even when its body happens to parse.
+    let footer = read_frame(&mut file, false)?;
+    let _: SegmentIndex = parse_json(&footer)?;
+    parse_json(&body)
+}
+
+/// Read only a segment's footer index, seeking past the body — the cheap
+/// pruning path. The body CRC is *not* checked here; [`read_segment`]
+/// validates it before any trace is returned to a query.
+pub fn read_segment_index(path: &Path) -> Result<SegmentIndex, StoreError> {
+    let mut file = open(path)?;
+    check_file_header(&mut file, MAGIC)?;
+    read_frame(&mut file, true)?;
+    let footer = read_frame(&mut file, false)?;
+    parse_json(&footer)
+}
+
+/// Single-frame file (the manifest): `magic | version | len | crc | payload`.
+pub(crate) fn write_framed(path: &Path, magic: [u8; 4], payload: &[u8]) -> std::io::Result<()> {
+    let mut bytes = Vec::with_capacity(FILE_HEADER_LEN + FRAME_HEADER_LEN + payload.len());
+    bytes.extend_from_slice(&magic);
+    bytes.extend_from_slice(&VERSION.to_le_bytes());
+    bytes.extend_from_slice(&frame(payload));
+    atomic_write(path, &bytes)
+}
+
+pub(crate) fn read_framed(path: &Path, magic: [u8; 4]) -> Result<Vec<u8>, StoreError> {
+    let mut file = open(path)?;
+    check_file_header(&mut file, magic)?;
+    let payload = read_frame(&mut file, false)?;
+    // A trailing-garbage file was not produced by us: reject it.
+    let mut rest = Vec::new();
+    file.read_to_end(&mut rest).map_err(StoreError::Io)?;
+    if !rest.is_empty() {
+        return Err(StoreError::BadPayload("trailing bytes".to_string()));
+    }
+    Ok(payload)
+}
+
+/// Test fixtures shared by this crate's unit tests.
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::{StoredSpan, StoredTrace};
+    use tw_model::ids::{Endpoint, OperationId, RpcId, ServiceId};
+    use tw_model::span::{RpcRecord, EXTERNAL};
+    use tw_model::time::Nanos;
+
+    pub(crate) fn record(rpc: u64, service: u32, op: u32, start: u64, end: u64) -> RpcRecord {
+        RpcRecord {
+            rpc: RpcId(rpc),
+            caller: EXTERNAL,
+            caller_replica: 0,
+            callee: Endpoint::new(ServiceId(service), OperationId(op)),
+            callee_replica: 0,
+            send_req: Nanos(start),
+            recv_req: Nanos(start + 1),
+            send_resp: Nanos(end - 1),
+            recv_resp: Nanos(end),
+            caller_thread: None,
+            callee_thread: None,
+        }
+    }
+
+    pub(crate) fn trace(window: u64, rpc: u64, service: u32, start: u64, end: u64) -> StoredTrace {
+        StoredTrace {
+            window,
+            root: rpc,
+            start,
+            end,
+            latency_ns: end - start,
+            degraded: false,
+            spans: vec![StoredSpan {
+                depth: 0,
+                record: record(rpc, service, 0, start, end),
+            }],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::trace;
+    use super::*;
+
+    #[test]
+    fn segment_round_trips_with_footer_index() {
+        let dir = std::env::temp_dir().join(format!("twsg-rt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("seg-00000000.twsg");
+        let traces = vec![
+            trace(3, 1, 7, 1_000_000, 5_000_000),
+            trace(4, 2, 9, 2_000_000, 600_000_000),
+        ];
+        let (bytes, index) = write_segment(&path, &traces).unwrap();
+        assert_eq!(bytes, std::fs::metadata(&path).unwrap().len());
+        assert_eq!(index.traces, 2);
+        assert_eq!(index.records, 2);
+        assert_eq!((index.min_ts, index.max_ts), (1_000_000, 600_000_000));
+        assert_eq!((index.min_window, index.max_window), (3, 4));
+        assert_eq!(index.service_records(7), 1);
+        assert_eq!(index.service_records(9), 1);
+        assert_eq!(index.endpoint_records(7, 0), 1);
+        assert_eq!(index.max_latency_ns, 598_000_000);
+        // 4ms lands in the <=4ms bucket; 598ms in the <=1024ms bucket.
+        assert_eq!(index.latency_counts[2], 1);
+        assert_eq!(index.latency_counts[10], 1);
+
+        assert_eq!(read_segment(&path).unwrap(), traces);
+        assert_eq!(read_segment_index(&path).unwrap(), index);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_and_truncated_segments_rejected_cleanly() {
+        let dir = std::env::temp_dir().join(format!("twsg-bad-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("seg-00000000.twsg");
+        assert!(matches!(read_segment(&path), Err(StoreError::Missing)));
+
+        let traces = vec![trace(0, 1, 2, 10, 20)];
+        write_segment(&path, &traces).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        // Flip a body bit: the CRC must catch it.
+        let mut bad = good.clone();
+        bad[FILE_HEADER_LEN + FRAME_HEADER_LEN + 2] ^= 0x01;
+        std::fs::write(&path, &bad).unwrap();
+        let err = read_segment(&path).unwrap_err();
+        assert!(matches!(err, StoreError::BadCrc), "got {err}");
+        assert_eq!(err.reason(), "corrupt");
+
+        // Truncate mid-footer: the index read fails cleanly too.
+        std::fs::write(&path, &good[..good.len() - 3]).unwrap();
+        assert!(matches!(read_segment(&path), Err(StoreError::Truncated)));
+        assert!(matches!(
+            read_segment_index(&path),
+            Err(StoreError::Truncated)
+        ));
+
+        // Wrong magic and future version.
+        let mut wrong = good.clone();
+        wrong[0] = b'X';
+        std::fs::write(&path, &wrong).unwrap();
+        assert!(matches!(read_segment(&path), Err(StoreError::BadMagic)));
+        let mut future = good;
+        future[4] = 99;
+        std::fs::write(&path, &future).unwrap();
+        assert!(matches!(
+            read_segment(&path),
+            Err(StoreError::BadVersion(99))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+}

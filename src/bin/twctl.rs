@@ -49,6 +49,7 @@ fn main() -> ExitCode {
         "metrics" => cmd_metrics(&flags),
         "top" => cmd_top(&flags),
         "deadletters" => cmd_deadletters(&flags),
+        "query" => cmd_query(&flags),
         "push-sink" => cmd_push_sink(&flags),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -83,11 +84,14 @@ USAGE:
                      pipeline knobs: [--window-ms N] [--grace-ms N] [--shards N]
                      [--capacity N] [--backpressure block|shed] [--adaptive-shed]
                      [--checkpoint-dir DIR] [--checkpoint-interval-ms N] + sanitizer knobs
+                     [--archive-dir DIR] [--archive-segment-bytes N] [--archive-retention BYTES]
                      + tracing/export knobs (see simulate)
   twctl replay       --spans FILE --to HOST:PORT [--batch N] [--pace-ms N] [--retries N]
   twctl metrics      --addr HOST:PORT
   twctl top          --addr HOST:PORT [--interval-ms N] [--iterations N] [--limit N]
   twctl deadletters  --addr HOST:PORT [--resubmit --to HOST:PORT]
+  twctl query        (--dir DIR | --addr HOST:PORT) [--service N] [--op N] [--window N]
+                     [--min-latency-ms N] [--from-ms N] [--to-ms N] [--limit N] [--json]
   twctl push-sink    [--listen ADDR] [--batches N]
   twctl help
 
@@ -122,6 +126,25 @@ them on the next start, and reports the recovery gap in
 tw_pipeline_recovery_* metrics. The metrics endpoint also serves
 /healthz (liveness), /readyz (503 until the restore finishes), and
 /deadletters (records quarantined by the stage supervisor as JSON).
+--archive-dir adds a durable trace archive behind the merge: every
+sealed window's reconstructed traces are appended to CRC-framed
+segment files (sealed at --archive-segment-bytes, default 1 MiB) under
+an atomically-committed manifest, a background compactor merges small
+segments, and --archive-retention caps the archive's total bytes
+(evicting oldest-first but salvaging high-latency/degraded traces into
+a tail segment). The archive watermark rides in the checkpoint, so a
+crash + restart neither re-archives nor loses sealed windows; progress
+is visible in the tw_store_* metrics and the metrics endpoint gains
+GET /traces.
+
+`query` reads archived traces back — read-only from an archive
+directory (--dir, works offline or against a live server's dir) or
+over HTTP from a serving pipeline's /traces endpoint (--addr). All
+filters are conjunctive: --service/--op match callee endpoints,
+--window resolves an exemplar window_id, --min-latency-ms keeps slow
+traces, --from-ms/--to-ms bound the stream-time range, --limit caps
+results (default 100). --json prints the raw TracesDoc instead of the
+one-line-per-trace summary.
 
 `replay` exports recorded spans (e.g. from `simulate --out-dir`) to a
 running `serve` ingest listener over the capture wire protocol, in
@@ -173,7 +196,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         // Boolean flags take no value.
         if matches!(
             name,
-            "dynamism" | "sanitize" | "no-drift" | "adaptive-shed" | "resubmit"
+            "dynamism" | "sanitize" | "no-drift" | "adaptive-shed" | "resubmit" | "json"
         ) {
             flags.insert(name.to_string(), "true".to_string());
             i += 1;
@@ -200,6 +223,17 @@ fn num<T: std::str::FromStr>(flags: &Flags, name: &str, default: T) -> Result<T,
         None => Ok(default),
         Some(v) => v
             .parse()
+            .map_err(|_| format!("--{name}: cannot parse `{v}`")),
+    }
+}
+
+/// Like [`num`], but absence means "no filter" rather than a default.
+fn opt_num<T: std::str::FromStr>(flags: &Flags, name: &str) -> Result<Option<T>, String> {
+    match flags.get(name) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
             .map_err(|_| format!("--{name}: cannot parse `{v}`")),
     }
 }
@@ -426,13 +460,22 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     )?;
     let (server, engine) = serve_online(listen, tw, config).map_err(|e| e.to_string())?;
     health.attach_dead_letters(engine.dead_letters().clone());
+    if let Some(archive) = engine.archive() {
+        health.attach_archive(archive.clone());
+    }
     health.set_ready();
 
     println!("ingest listening on {}", server.local_addr());
+    if let Some(archive) = engine.archive() {
+        println!("trace archive at {}", archive.dir().display());
+    }
     if let Some(scrape) = &scrape {
         println!("metrics at http://{}/metrics", scrape.local_addr());
         if recorder.is_some() {
             println!("span trees at http://{}/spans", scrape.local_addr());
+        }
+        if engine.archive().is_some() {
+            println!("traces at http://{}/traces", scrape.local_addr());
         }
     }
     println!("stages: {}", engine.stage_names().join(" → "));
@@ -600,6 +643,22 @@ fn online_config_from(
         }
         None => None,
     };
+    let archive = match flags.get("archive-dir") {
+        Some(dir) => {
+            let mut cfg = traceweaver::store::ArchiveConfig::new(dir);
+            cfg.segment_bytes = num(flags, "archive-segment-bytes", cfg.segment_bytes)?;
+            cfg.retention.max_bytes = num(flags, "archive-retention", cfg.retention.max_bytes)?;
+            Some(cfg)
+        }
+        None => {
+            for dependent in ["archive-segment-bytes", "archive-retention"] {
+                if flags.contains_key(dependent) {
+                    return Err(format!("--{dependent} requires --archive-dir"));
+                }
+            }
+            None
+        }
+    };
     let shed = if flags.contains_key("adaptive-shed") {
         traceweaver::pipeline::ShedPolicy {
             adaptive: Some(traceweaver::pipeline::AdaptiveShed::default()),
@@ -616,6 +675,7 @@ fn online_config_from(
         backpressure,
         sanitize: Some(sanitize_config_from(flags)?),
         checkpoint,
+        archive,
         shed,
         telemetry,
         ..defaults
@@ -861,6 +921,65 @@ fn cmd_deadletters(flags: &Flags) -> Result<(), String> {
         records.len(),
         letters.len()
     );
+    Ok(())
+}
+
+/// Build a [`tw_store::TraceQuery`] from the shared query-filter flags.
+/// Millisecond flags are converted to the stream-nanosecond clock the
+/// archive stores.
+fn trace_query_from(flags: &Flags) -> Result<traceweaver::store::TraceQuery, String> {
+    let ms_to_ns = |ms: u64| ms.saturating_mul(1_000_000);
+    Ok(traceweaver::store::TraceQuery {
+        from_ns: opt_num::<u64>(flags, "from-ms")?.map(ms_to_ns),
+        to_ns: opt_num::<u64>(flags, "to-ms")?.map(ms_to_ns),
+        service: opt_num(flags, "service")?,
+        op: opt_num(flags, "op")?,
+        min_latency_ns: opt_num::<u64>(flags, "min-latency-ms")?.map(ms_to_ns),
+        window: opt_num(flags, "window")?,
+        limit: num(flags, "limit", 0usize)?,
+    })
+}
+
+/// Query archived traces — read-only from an archive directory (`--dir`)
+/// or over HTTP from a serving pipeline's `/traces` endpoint (`--addr`).
+/// Prints a one-line summary per trace, or the raw JSON document with
+/// `--json`.
+fn cmd_query(flags: &Flags) -> Result<(), String> {
+    let query = trace_query_from(flags)?;
+    let traces = match (flags.get("dir"), flags.get("addr")) {
+        (Some(dir), None) => traceweaver::store::read_query(Path::new(dir), &query)
+            .map_err(|e| format!("{dir}: {e}"))?,
+        (None, Some(_)) => {
+            let addr = scrape_addr(flags)?;
+            traceweaver::pipeline::fetch_traces(addr, &query).map_err(|e| format!("{addr}: {e}"))?
+        }
+        _ => return Err("query needs exactly one of --dir DIR or --addr HOST:PORT".to_string()),
+    };
+    if flags.contains_key("json") {
+        let doc = traceweaver::store::TracesDoc { traces };
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    if traces.is_empty() {
+        println!("no traces matched");
+        return Ok(());
+    }
+    println!("{} trace(s):", traces.len());
+    for t in &traces {
+        println!(
+            "  window {:>4} root {:>6} [{} .. {}] {:>10.3}ms {:>3} span(s){}",
+            t.window,
+            t.root,
+            t.start,
+            t.end,
+            t.latency_ns as f64 / 1e6,
+            t.spans.len(),
+            if t.degraded { " degraded" } else { "" },
+        );
+    }
     Ok(())
 }
 

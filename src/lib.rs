@@ -56,6 +56,7 @@ pub use tw_pipeline as pipeline;
 pub use tw_sim as sim;
 pub use tw_solver as solver;
 pub use tw_stats as stats;
+pub use tw_store as store;
 pub use tw_telemetry as telemetry;
 pub use tw_viz as viz;
 
